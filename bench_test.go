@@ -1,0 +1,522 @@
+package orwlplace_test
+
+// Benchmark harness: one target per table and figure of the paper
+// (regenerating the artifact end to end), plus ablation benches for the
+// design choices called out in DESIGN.md §5 and micro-benchmarks of the
+// live runtime. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The Fig/Table benches report the modeled quantities (seconds of the
+// simulated run, GFLOPS, FPS) as custom metrics so a bench run doubles
+// as a reproduction log.
+
+import (
+	"net"
+	"testing"
+
+	"orwlplace/internal/apps/livermore"
+	"orwlplace/internal/apps/matmul"
+	"orwlplace/internal/apps/tracking"
+	"orwlplace/internal/comm"
+	"orwlplace/internal/experiments"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/orwlnet"
+	"orwlplace/internal/perfsim"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// --- Paper artifacts -------------------------------------------------
+
+func BenchmarkFig1CommMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2Mapping(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIMachines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.TableI() == nil {
+			b.Fatal("no table")
+		}
+	}
+}
+
+func benchFigure(b *testing.B, gen func(*topology.Topology) (*experiments.Figure, error)) {
+	for _, top := range experiments.Machines() {
+		top := top
+		b.Run(top.Attrs.Name, func(b *testing.B) {
+			var fig *experiments.Figure
+			var err error
+			for i := 0; i < b.N; i++ {
+				fig, err = gen(top)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Report the last tick of the first and second series (the
+			// native vs affinity endpoints).
+			if len(fig.Series) >= 2 && len(fig.Series[0].Y) > 0 {
+				last := len(fig.Series[0].Y) - 1
+				b.ReportMetric(fig.Series[0].Y[last], "native")
+				b.ReportMetric(fig.Series[1].Y[last], "affinity")
+			}
+		})
+	}
+}
+
+func BenchmarkFig4Livermore(b *testing.B) { benchFigure(b, experiments.Fig4) }
+func BenchmarkFig5Matmul(b *testing.B)    { benchFigure(b, experiments.Fig5) }
+func BenchmarkFig6Tracking(b *testing.B)  { benchFigure(b, experiments.Fig6) }
+
+func BenchmarkTableIICounters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIIICounters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIII(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableIVCounters(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TableIV(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ----------------------------------------
+
+// Exhaustive vs greedy GroupProcesses: solution quality vs run time.
+func BenchmarkAblationGroupingExhaustive(b *testing.B) {
+	m := comm.Random(12, 1000, 7)
+	var vol float64
+	for i := 0; i < b.N; i++ {
+		groups, err := treematch.GroupProcesses(m, 3, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vol = treematch.IntraGroupVolume(m, groups)
+	}
+	b.ReportMetric(vol, "intra-volume")
+}
+
+func BenchmarkAblationGroupingGreedy(b *testing.B) {
+	m := comm.Random(12, 1000, 7)
+	var vol float64
+	for i := 0; i < b.N; i++ {
+		groups, err := treematch.GroupProcesses(m, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vol = treematch.IntraGroupVolume(m, groups)
+	}
+	b.ReportMetric(vol, "intra-volume")
+}
+
+// Swap refinement on top of greedy grouping: quality recovered vs time
+// spent (compare the intra-volume metric with the exhaustive/greedy
+// benches above).
+func BenchmarkAblationGroupingRefined(b *testing.B) {
+	m := comm.Random(12, 1000, 7)
+	var vol float64
+	for i := 0; i < b.N; i++ {
+		groups, err := treematch.GroupProcesses(m, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		groups = treematch.RefineSwap(m, groups, 8)
+		vol = treematch.IntraGroupVolume(m, groups)
+	}
+	b.ReportMetric(vol, "intra-volume")
+}
+
+func BenchmarkAblationMapRefinement(b *testing.B) {
+	top := topology.SMP12E5()
+	m := comm.Random(96, 1<<20, 5)
+	for _, cfg := range []struct {
+		name   string
+		rounds int
+	}{{"plain", 0}, {"refine-8", 8}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				mp, err := treematch.Map(top, m, treematch.Options{
+					ControlThreads: true, RefineRounds: cfg.rounds,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost, err = treematch.Cost(top, m, mp.ComputePU)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost, "cost")
+		})
+	}
+}
+
+func BenchmarkAblationGroupingGreedyLarge(b *testing.B) {
+	m := comm.Random(96, 1000, 7)
+	for i := 0; i < b.N; i++ {
+		if _, err := treematch.GroupProcesses(m, 8, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Control-thread accounting on/off on the hyperthreaded machine: the
+// modeled run time of the K23 workload under both mappings.
+func BenchmarkAblationControlThreads(b *testing.B) {
+	top := topology.SMP12E5()
+	w, err := livermore.Profile(16384, 64, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		ctl  bool
+	}{{"with-control", true}, {"without-control", false}} {
+		cfg := cfg
+		b.Run(cfg.name, func(b *testing.B) {
+			var seconds float64
+			for i := 0; i < b.N; i++ {
+				mp, err := treematch.Map(top, w.Comm, treematch.Options{ControlThreads: cfg.ctl})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := perfsim.Simulate(top, w, &perfsim.Placement{
+					ComputePU: mp.ComputePU, ControlPU: mp.ControlPU, LocalAlloc: true,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				seconds = res.Seconds
+			}
+			b.ReportMetric(seconds, "modeled-s")
+		})
+	}
+}
+
+// Oversubscription: the added virtual tree level vs a naive modulo fold
+// of entities onto cores.
+func BenchmarkAblationOversubscription(b *testing.B) {
+	top := topology.TinyFlat()
+	m := comm.Clustered(16, 8, 1000, 1)
+	b.Run("treematch-virtual-level", func(b *testing.B) {
+		var cost float64
+		for i := 0; i < b.N; i++ {
+			mp, err := treematch.Map(top, m, treematch.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cost, err = treematch.Cost(top, m, mp.ComputePU)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cost, "cost")
+	})
+	b.Run("modulo-fold", func(b *testing.B) {
+		var cost float64
+		pus := top.PUs()
+		place := make([]int, 16)
+		for e := range place {
+			place[e] = pus[e%len(pus)].LogicalIndex
+		}
+		for i := 0; i < b.N; i++ {
+			var err error
+			cost, err = treematch.Cost(top, m, place)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cost, "cost")
+	})
+}
+
+// TreeMatch vs the oblivious strategies on the canonical patterns.
+func BenchmarkAblationStrategies(b *testing.B) {
+	top := topology.SMP12E5()
+	patterns := map[string]*comm.Matrix{
+		"stencil":   comm.Stencil2D(8, 8, 1<<14, 1<<14),
+		"ring":      comm.Ring(64, 1<<20, true),
+		"dfg":       mustCommMatrix(b),
+		"clustered": comm.Clustered(64, 8, 1<<20, 1<<10),
+	}
+	for name, m := range patterns {
+		name, m := name, m
+		b.Run("treematch/"+name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				mp, err := treematch.Map(top, m, treematch.Options{ControlThreads: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost, err = treematch.Cost(top, m, mp.ComputePU)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(cost, "cost")
+		})
+		for _, s := range []treematch.Strategy{treematch.StrategyCompactCores, treematch.StrategyScatter} {
+			s := s
+			b.Run(s.String()+"/"+name, func(b *testing.B) {
+				var cost float64
+				for i := 0; i < b.N; i++ {
+					pl, err := treematch.Place(top, m.Order(), s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost, err = treematch.Cost(top, m, pl)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(cost, "cost")
+			})
+		}
+	}
+}
+
+func mustCommMatrix(b *testing.B) *comm.Matrix {
+	b.Helper()
+	m, err := tracking.PaperConfig(tracking.HD).CommMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// --- Live runtime micro-benchmarks -----------------------------------
+
+// One iterative grant/release round trip between two tasks.
+func BenchmarkLocationHandoff(b *testing.B) {
+	p := orwl.MustProgram(2, "ping")
+	done := make(chan error, 2)
+	iters := b.N
+	b.ResetTimer()
+	go func() {
+		done <- p.Run(func(ctx *orwl.TaskContext) error {
+			h := orwl.NewHandle2()
+			if err := ctx.WriteInsert(h, orwl.Loc(0, "ping"), ctx.TID()); err != nil {
+				return err
+			}
+			if err := ctx.Schedule(); err != nil {
+				return err
+			}
+			for i := 0; i < iters; i++ {
+				if err := h.Section(func([]byte) error { return nil }); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}()
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+}
+
+// One remote grant/read/release round trip over loopback TCP.
+func BenchmarkRemoteLocationRoundTrip(b *testing.B) {
+	prog := orwl.MustProgram(1, "data")
+	loc := prog.Location(orwl.Loc(0, "data"))
+	loc.Scale(64)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := orwlnet.NewServer(lis, map[string]*orwl.Location{"data": loc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+	c, err := orwlnet.Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := c.Insert("data", orwl.Write)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Acquire(); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Write([]byte{byte(i)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFifoPushPop(b *testing.B) {
+	f, err := orwl.NewFifo(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Push(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := f.Pop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+// Real ORWL executions of the three applications at test scale.
+func BenchmarkLivermoreORWL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := livermore.NewGrid(258, 258, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := livermore.RunORWL(g, 4, 2, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLivermoreForkJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g, err := livermore.NewGrid(258, 258, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := livermore.RunForkJoin(g, 4, 2, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatmulORWL(b *testing.B) {
+	a, _ := matmul.NewRandomMatrix(256, 1)
+	bm, _ := matmul.NewRandomMatrix(256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := matmul.NewMatrix(256)
+		if _, err := matmul.RunORWL(a, bm, c, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatmulForkJoin(b *testing.B) {
+	a, _ := matmul.NewRandomMatrix(256, 1)
+	bm, _ := matmul.NewRandomMatrix(256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c, _ := matmul.NewMatrix(256)
+		if err := matmul.RunForkJoin(a, bm, c, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackingDFG(b *testing.B) {
+	cfg := tracking.Config{
+		Size: tracking.Size{W: 160, H: 96}, GMMSplits: 4, CCLSplits: 2,
+		Dilates: 2, MinArea: 16, MaxDist: 32, Objects: 3, Seed: 7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tracking.RunORWL(cfg, 8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrackingSerial(b *testing.B) {
+	cfg := tracking.Config{
+		Size: tracking.Size{W: 160, H: 96}, GMMSplits: 4, CCLSplits: 2,
+		Dilates: 2, MinArea: 16, MaxDist: 32, Objects: 3, Seed: 7,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracking.RunSerial(cfg, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TreeMatch end-to-end mapping cost at machine scale.
+func BenchmarkTreeMatchMap(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		m    *comm.Matrix
+		top  *topology.Topology
+	}{
+		{"30tasks-32cores", mustCommMatrixB(b), topology.Fig2Machine()},
+		{"64tasks-96cores", comm.Stencil2D(8, 8, 1<<14, 1<<14), topology.SMP12E5()},
+		{"160tasks-160cores", comm.Ring(160, 1<<20, true), topology.SMP20E7()},
+	} {
+		size := size
+		b.Run(size.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := treematch.Map(size.top, size.m, treematch.Options{ControlThreads: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustCommMatrixB(b *testing.B) *comm.Matrix {
+	b.Helper()
+	m, err := tracking.PaperConfig(tracking.HD).CommMatrix()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// Simulator throughput.
+func BenchmarkPerfsimSimulate(b *testing.B) {
+	top := topology.SMP12E5()
+	w, err := livermore.Profile(16384, 96, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mp, err := treematch.Map(top, w.Comm, treematch.Options{ControlThreads: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pl := &perfsim.Placement{ComputePU: mp.ComputePU, ControlPU: mp.ControlPU, LocalAlloc: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perfsim.Simulate(top, w, pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation section on the simulated testbeds.
+//
+// Usage:
+//
+//	experiments [-run id] [-list]
+//
+// Artifact ids: fig1, fig2, fig3, table1, fig4, table2, fig5, table3, fig6,
+// table4, summary. Without -run, everything is produced in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"orwlplace/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "only produce artifacts with this id (e.g. fig4)")
+	list := flag.Bool("list", false, "list artifact ids and exit")
+	outDir := flag.String("o", "", "also write artifacts as files into this directory (fig1 additionally as PGM image)")
+	flag.Parse()
+
+	arts, err := experiments.All()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if *outDir != "" {
+		if err := writeFiles(*outDir, arts); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *list {
+		seen := map[string]bool{}
+		for _, a := range arts {
+			if !seen[a.ID] {
+				fmt.Println(a.ID)
+				seen[a.ID] = true
+			}
+		}
+		return
+	}
+	matched := false
+	for _, a := range arts {
+		if *run != "" && a.ID != *run {
+			continue
+		}
+		matched = true
+		fmt.Println(a.Text)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "experiments: no artifact %q (try -list)\n", *run)
+		os.Exit(1)
+	}
+}
+
+// writeFiles stores every artifact as <id>[-n].txt in dir, and the
+// Fig. 1 communication matrix additionally as a PGM image.
+func writeFiles(dir string, arts []experiments.Artifact) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	counts := map[string]int{}
+	for _, a := range arts {
+		name := a.ID
+		counts[a.ID]++
+		if counts[a.ID] > 1 {
+			name = fmt.Sprintf("%s-%d", a.ID, counts[a.ID])
+		}
+		if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(a.Text), 0o644); err != nil {
+			return err
+		}
+	}
+	m, _, err := experiments.Fig1()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "fig1.pgm"), m.RenderPGM(8), 0o644)
+}

@@ -1,0 +1,50 @@
+// Command lstopo renders the synthetic machine topologies, in the
+// spirit of hwloc's lstopo tool.
+//
+// Usage:
+//
+//	lstopo [-m machine] [-json]
+//
+// Machines: smp12e5 (default), smp20e7, fig2, tinyht, tinyflat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orwlplace/internal/topology"
+)
+
+func main() {
+	machine := flag.String("m", "smp12e5", "machine: smp12e5, smp20e7, fig2, tinyht, tinyflat")
+	asJSON := flag.Bool("json", false, "emit JSON instead of the tree rendering")
+	flag.Parse()
+
+	builders := map[string]func() *topology.Topology{
+		"smp12e5":  topology.SMP12E5,
+		"smp20e7":  topology.SMP20E7,
+		"fig2":     topology.Fig2Machine,
+		"tinyht":   topology.TinyHT,
+		"tinyflat": topology.TinyFlat,
+	}
+	build, ok := builders[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lstopo: unknown machine %q\n", *machine)
+		os.Exit(1)
+	}
+	top := build()
+	if *asJSON {
+		data, err := top.MarshalJSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lstopo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	if err := top.Render(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "lstopo: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Command orwlmap maps a communication matrix onto a machine with the
+// paper's Algorithm 1 and reports the placement, its cost, and how it
+// compares to the oblivious strategies.
+//
+// Usage:
+//
+//	orwlmap [-m machine] [-control] [-matrix file | -pattern name -n N]
+//
+// The matrix file uses the text format of internal/comm (order on the
+// first line, then rows). Built-in patterns: ring, pipeline, stencil,
+// clustered, uniform, random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/core"
+	"orwlplace/internal/ompenv"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+func main() {
+	machine := flag.String("m", "fig2", "machine: smp12e5, smp20e7, fig2, tinyht, tinyflat")
+	matrixPath := flag.String("matrix", "", "path to a communication matrix file")
+	pattern := flag.String("pattern", "ring", "built-in pattern: ring, pipeline, stencil, clustered, uniform, random")
+	n := flag.Int("n", 8, "entity count for built-in patterns")
+	control := flag.Bool("control", true, "account for runtime control threads")
+	ompPlaces := flag.String("omp-places", "", "evaluate an OMP_PLACES value as an extra strategy")
+	ompBind := flag.String("omp-proc-bind", "", "OMP_PROC_BIND value for -omp-places")
+	kmp := flag.String("kmp-affinity", "", "evaluate a KMP_AFFINITY value as an extra strategy")
+	gomp := flag.String("gomp-cpu-affinity", "", "evaluate a GOMP_CPU_AFFINITY value as an extra strategy")
+	flag.Parse()
+
+	top, err := pickMachine(*machine)
+	if err != nil {
+		fail(err)
+	}
+	m, err := loadMatrix(*matrixPath, *pattern, *n)
+	if err != nil {
+		fail(err)
+	}
+
+	mapping, err := treematch.Map(top, m, treematch.Options{ControlThreads: *control})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(core.RenderMapping(mapping, nil))
+
+	tmCost, err := treematch.Cost(top, m, mapping.ComputePU)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\n%-16s %12s %14s\n", "strategy", "cost", "cross-NUMA B")
+	report := func(name string, placement []int) {
+		cost, err := treematch.Cost(top, m, placement)
+		if err != nil {
+			fail(err)
+		}
+		cross, err := treematch.CrossNUMAVolume(top, m, placement)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-16s %12.0f %14.0f\n", name, cost, cross)
+	}
+	fmt.Printf("%-16s %12.0f", "treematch", tmCost)
+	cross, _ := treematch.CrossNUMAVolume(top, m, mapping.ComputePU)
+	fmt.Printf(" %14.0f\n", cross)
+	for _, s := range []treematch.Strategy{
+		treematch.StrategyCompact, treematch.StrategyCompactCores, treematch.StrategyScatter,
+	} {
+		placement, err := treematch.Place(top, m.Order(), s)
+		if err != nil {
+			fail(err)
+		}
+		report(s.String(), placement)
+	}
+	// Optional OpenMP-style environment configuration as an extra row.
+	if *ompPlaces != "" || *ompBind != "" || *kmp != "" || *gomp != "" {
+		settings, err := ompenv.Parse(*ompPlaces, *ompBind, *kmp, *gomp)
+		if err != nil {
+			fail(err)
+		}
+		placement, err := settings.Placement(top, m.Order())
+		if err != nil {
+			fail(err)
+		}
+		if placement == nil {
+			fmt.Printf("%-16s %12s %14s\n", "env (unbound)", "-", "-")
+		} else {
+			report("env", placement)
+		}
+	}
+}
+
+func pickMachine(name string) (*topology.Topology, error) {
+	switch name {
+	case "smp12e5":
+		return topology.SMP12E5(), nil
+	case "smp20e7":
+		return topology.SMP20E7(), nil
+	case "fig2":
+		return topology.Fig2Machine(), nil
+	case "tinyht":
+		return topology.TinyHT(), nil
+	case "tinyflat":
+		return topology.TinyFlat(), nil
+	default:
+		return nil, fmt.Errorf("orwlmap: unknown machine %q", name)
+	}
+}
+
+func loadMatrix(path, pattern string, n int) (*comm.Matrix, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return comm.Read(f)
+	}
+	switch pattern {
+	case "ring":
+		return comm.Ring(n, 1<<20, true), nil
+	case "pipeline":
+		return comm.Ring(n, 1<<20, false), nil
+	case "stencil":
+		gx, gy := nearSquare(n)
+		return comm.Stencil2D(gx, gy, 1<<16, 1<<16), nil
+	case "clustered":
+		k := 2
+		for n%k != 0 {
+			k++
+		}
+		return comm.Clustered(n, k, 1<<20, 1<<10), nil
+	case "uniform":
+		return comm.Uniform(n, 1<<16), nil
+	case "random":
+		return comm.Random(n, 1<<20, 1), nil
+	default:
+		return nil, fmt.Errorf("orwlmap: unknown pattern %q", pattern)
+	}
+}
+
+func nearSquare(n int) (int, int) {
+	gy := 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			gy = d
+		}
+	}
+	return n / gy, gy
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Command orwlnetd serves ORWL locations over TCP so that separate
+// processes can share them with the ordered read-write-lock FIFO
+// discipline (the distributed deployment of the ORWL model).
+//
+// Usage:
+//
+//	orwlnetd [-addr host:port] -loc name:size [-loc name:size ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/orwlnet"
+)
+
+// locFlags collects repeated -loc name:size flags.
+type locFlags map[string]int
+
+func (l locFlags) String() string { return fmt.Sprintf("%d locations", len(l)) }
+
+func (l locFlags) Set(v string) error {
+	name, sizeStr, ok := strings.Cut(v, ":")
+	if !ok || name == "" {
+		return fmt.Errorf("want name:size, got %q", v)
+	}
+	size, err := strconv.Atoi(sizeStr)
+	if err != nil || size < 0 {
+		return fmt.Errorf("bad size in %q", v)
+	}
+	if _, dup := l[name]; dup {
+		return fmt.Errorf("duplicate location %q", name)
+	}
+	l[name] = size
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
+	locSpec := locFlags{}
+	flag.Var(locSpec, "loc", "location to export as name:size (repeatable)")
+	flag.Parse()
+	if len(locSpec) == 0 {
+		fmt.Fprintln(os.Stderr, "orwlnetd: at least one -loc name:size required")
+		os.Exit(2)
+	}
+
+	prog := orwl.MustProgram(1)
+	locs := make(map[string]*orwl.Location, len(locSpec))
+	for name, size := range locSpec {
+		loc, err := prog.AddLocation(orwl.Loc(0, name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+			os.Exit(1)
+		}
+		loc.Scale(size)
+		locs[name] = loc
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+		os.Exit(1)
+	}
+	srv, err := orwlnet.NewServer(lis, locs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("orwlnetd: serving %d locations on %s\n", len(locs), lis.Addr())
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command simulate runs a workload (JSON, see internal/perfsim
+// ReadJSON) through the placement model on a chosen machine, comparing
+// the paper's affinity module against the oblivious strategies and the
+// simulated OS scheduler. It is the standalone face of the evaluation
+// pipeline: describe your application's threads and communication, and
+// see what automatic placement would buy.
+//
+// Usage:
+//
+//	simulate -w workload.json [-m machine] [-seed n]
+//	simulate -demo            # built-in demo workload (K23, 64 cores)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"orwlplace/internal/apps/livermore"
+	"orwlplace/internal/perfsim"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+func main() {
+	machine := flag.String("m", "smp12e5", "machine: smp12e5, smp20e7, fig2, tinyht, tinyflat")
+	path := flag.String("w", "", "workload JSON file")
+	demo := flag.Bool("demo", false, "use the built-in demo workload instead of -w")
+	seed := flag.Int64("seed", 42, "seed for the simulated OS scheduler")
+	flag.Parse()
+
+	top, err := pickMachine(*machine)
+	if err != nil {
+		fail(err)
+	}
+	w, err := loadWorkload(*path, *demo)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("workload %q: %d threads, %d iterations on %s\n\n",
+		w.Name, len(w.Threads), w.Iterations, top.Attrs.Name)
+
+	fmt.Printf("%-22s %12s %14s %14s %10s\n", "configuration", "seconds", "L3 misses", "stalled cyc", "migrations")
+	show := func(name string, r *perfsim.Result, err error) {
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-22s %12.3f %14.3g %14.3g %10.0f\n",
+			name, r.Seconds, r.L3Misses, r.StalledCycles, r.CPUMigrations)
+	}
+
+	dyn, err := perfsim.Simulate(top, w, &perfsim.Placement{
+		Dynamic: &perfsim.DynamicPolicy{Policy: perfsim.PolicyFor(top), Seed: *seed},
+	})
+	show("os-scheduler", dyn, err)
+
+	for _, s := range []treematch.Strategy{
+		treematch.StrategyCompact, treematch.StrategyCompactCores, treematch.StrategyScatter,
+	} {
+		place, err := treematch.Place(top, len(w.Threads), s)
+		if err != nil {
+			fail(err)
+		}
+		r, err := perfsim.Simulate(top, w, &perfsim.Placement{ComputePU: place, LocalAlloc: true})
+		show(s.String(), r, err)
+	}
+
+	mp, err := treematch.Map(top, w.Comm, treematch.Options{ControlThreads: true})
+	if err != nil {
+		fail(err)
+	}
+	aff, err := perfsim.Simulate(top, w, &perfsim.Placement{
+		ComputePU: mp.ComputePU, ControlPU: mp.ControlPU, LocalAlloc: true,
+	})
+	show("affinity-module", aff, err)
+	if aff.Seconds > 0 {
+		fmt.Printf("\naffinity speedup over the OS scheduler: %.2fx (control mode: %s)\n",
+			dyn.Seconds/aff.Seconds, mp.Mode)
+	}
+}
+
+func pickMachine(name string) (*topology.Topology, error) {
+	switch name {
+	case "smp12e5":
+		return topology.SMP12E5(), nil
+	case "smp20e7":
+		return topology.SMP20E7(), nil
+	case "fig2":
+		return topology.Fig2Machine(), nil
+	case "tinyht":
+		return topology.TinyHT(), nil
+	case "tinyflat":
+		return topology.TinyFlat(), nil
+	default:
+		return nil, fmt.Errorf("simulate: unknown machine %q", name)
+	}
+}
+
+func loadWorkload(path string, demo bool) (*perfsim.Workload, error) {
+	if demo || path == "" {
+		if !demo {
+			return nil, fmt.Errorf("simulate: -w workload.json or -demo required")
+		}
+		return livermore.Profile(16384, 64, 100)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return perfsim.ReadJSON(f)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "%v\n", err)
+	os.Exit(1)
+}

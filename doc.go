@@ -1,0 +1,13 @@
+// Package orwlplace reproduces "Automatic, Abstracted and Portable
+// Topology-Aware Thread Placement" (Gustedt, Jeannot, Mansouri; IEEE
+// CLUSTER 2017).
+//
+// The module is organised as a set of substrates under internal/ —
+// a hardware-topology library (internal/topology), a TreeMatch mapping
+// algorithm (internal/treematch), the ORWL ordered read-write-lock
+// runtime (internal/orwl) and a NUMA performance simulator
+// (internal/perfsim) — topped by the paper's contribution, the automatic
+// affinity module (internal/core). The benchmark harness in this root
+// package regenerates every table and figure of the paper's evaluation
+// section; see DESIGN.md and EXPERIMENTS.md.
+package orwlplace

@@ -1,0 +1,89 @@
+// Quickstart: the paper's Listing 1 — a pipeline of ORWL tasks where
+// every task writes its own location and reads its predecessor's —
+// with the automatic affinity module enabled, exactly as a user would:
+// no placement code, just ORWL_AFFINITY=1 (forced here so the example
+// is self-contained).
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+
+	"orwlplace/internal/core"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+)
+
+func main() {
+	const tasks = 8
+
+	// ORWL_LOCATIONS_PER_TASK(main_loc) + orwl_init.
+	prog, err := orwl.NewProgram(tasks, "main_loc")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The affinity add-on: one call, no change to the task code below.
+	top := topology.Fig2Machine()
+	mod, _, err := core.EnableAutomatic(prog, top, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	vals := make([]float64, tasks)
+	err = prog.Run(func(ctx *orwl.TaskContext) error {
+		// Scale our own location to hold one double.
+		if err := ctx.Scale("main_loc", 8); err != nil {
+			return err
+		}
+		// Have our own location writable; link "there" to the
+		// predecessor.
+		here := orwl.NewHandle()
+		there := orwl.NewHandle()
+		if err := ctx.WriteInsert(here, orwl.Loc(ctx.TID(), "main_loc"), ctx.TID()); err != nil {
+			return err
+		}
+		if ctx.TID() > 0 {
+			if err := ctx.ReadInsert(there, orwl.Loc(ctx.TID()-1, "main_loc"), ctx.TID()); err != nil {
+				return err
+			}
+		}
+		// Synchronise and coordinate the requests of all tasks. The
+		// affinity module computes and sets the thread mapping here.
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		// Critical section on our own location.
+		return here.Section(func(wbuf []byte) error {
+			val := float64(ctx.TID())
+			if ctx.TID() > 0 {
+				// Block until the predecessor's data is available.
+				if err := there.Section(func(rbuf []byte) error {
+					prev := math.Float64frombits(binary.LittleEndian.Uint64(rbuf))
+					val = (prev + val) * 0.5
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			binary.LittleEndian.PutUint64(wbuf, math.Float64bits(val))
+			vals[ctx.TID()] = val
+			return nil
+		})
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pipeline values:")
+	for t, v := range vals {
+		fmt.Printf("  task %d: %.6f\n", t, v)
+	}
+	fmt.Println()
+	fmt.Println("communication matrix extracted by the runtime:")
+	fmt.Print(mod.Matrix().RenderGrayScale())
+	fmt.Println()
+	fmt.Print(core.RenderMapping(mod.Mapping(), nil))
+}

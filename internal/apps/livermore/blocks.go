@@ -1,0 +1,173 @@
+package livermore
+
+import "fmt"
+
+// blockSpec describes one block of the interior decomposition.
+type blockSpec struct {
+	id     int
+	bx, by int // grid coordinates
+	r0, r1 int // global row range [r0, r1)
+	c0, c1 int // global column range [c0, c1)
+}
+
+// partition splits total into parts near-equal chunks (first chunks one
+// larger when it does not divide evenly).
+func partition(total, parts int) []int {
+	out := make([]int, parts)
+	base, extra := total/parts, total%parts
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// makeBlocks decomposes the interior of an m x n grid into a gx x gy
+// block grid, row-major block ids.
+func makeBlocks(m, n, gx, gy int) ([]blockSpec, error) {
+	interiorRows, interiorCols := m-2, n-2
+	if gx < 1 || gy < 1 {
+		return nil, fmt.Errorf("livermore: block grid %dx%d invalid", gx, gy)
+	}
+	if gy > interiorRows || gx > interiorCols {
+		return nil, fmt.Errorf("livermore: block grid %dx%d too fine for %dx%d interior",
+			gx, gy, interiorCols, interiorRows)
+	}
+	rowSizes := partition(interiorRows, gy)
+	colSizes := partition(interiorCols, gx)
+	blocks := make([]blockSpec, 0, gx*gy)
+	r := 1
+	for by := 0; by < gy; by++ {
+		c := 1
+		for bx := 0; bx < gx; bx++ {
+			blocks = append(blocks, blockSpec{
+				id: by*gx + bx, bx: bx, by: by,
+				r0: r, r1: r + rowSizes[by],
+				c0: c, c1: c + colSizes[bx],
+			})
+			c += colSizes[bx]
+		}
+		r += rowSizes[by]
+	}
+	return blocks, nil
+}
+
+// GridDims picks a near-square block grid (gx columns x gy rows) for a
+// given number of blocks, preferring more columns than rows when the
+// count is not a perfect square.
+func GridDims(blocks int) (gx, gy int) {
+	if blocks < 1 {
+		return 1, 1
+	}
+	gy = 1
+	for d := 1; d*d <= blocks; d++ {
+		if blocks%d == 0 {
+			gy = d
+		}
+	}
+	return blocks / gy, gy
+}
+
+// slab is a block-local working copy of za with a one-cell halo ring.
+type slab struct {
+	rows, cols int // interior size
+	vals       []float64
+}
+
+func newSlab(rows, cols int) *slab {
+	return &slab{rows: rows, cols: cols, vals: make([]float64, (rows+2)*(cols+2))}
+}
+
+func (s *slab) stride() int { return s.cols + 2 }
+
+// at addresses interior cell (i, j), 0-based.
+func (s *slab) at(i, j int) int { return (i+1)*s.stride() + (j + 1) }
+
+// loadFrom copies the block's cells and its constant global-boundary
+// halo edges from the grid.
+func (s *slab) loadFrom(g *Grid, b blockSpec) {
+	for i := 0; i < s.rows; i++ {
+		copy(s.vals[s.at(i, 0):s.at(i, 0)+s.cols], g.Za[(b.r0+i)*g.N+b.c0:(b.r0+i)*g.N+b.c1])
+	}
+	// Global boundary halos never change during the run; interior halos
+	// are overwritten from neighbour payloads each sweep.
+	if b.r0 == 1 {
+		copy(s.vals[s.at(-1, 0):s.at(-1, 0)+s.cols], g.Za[0*g.N+b.c0:0*g.N+b.c1])
+	}
+	if b.r1 == g.M-1 {
+		copy(s.vals[s.at(s.rows, 0):s.at(s.rows, 0)+s.cols], g.Za[(g.M-1)*g.N+b.c0:(g.M-1)*g.N+b.c1])
+	}
+	if b.c0 == 1 {
+		for i := 0; i < s.rows; i++ {
+			s.vals[s.at(i, -1)] = g.Za[(b.r0+i)*g.N]
+		}
+	}
+	if b.c1 == g.N-1 {
+		for i := 0; i < s.rows; i++ {
+			s.vals[s.at(i, s.cols)] = g.Za[(b.r0+i)*g.N+g.N-1]
+		}
+	}
+}
+
+// storeTo writes the interior cells back into the grid.
+func (s *slab) storeTo(g *Grid, b blockSpec) {
+	for i := 0; i < s.rows; i++ {
+		copy(g.Za[(b.r0+i)*g.N+b.c0:(b.r0+i)*g.N+b.c1], s.vals[s.at(i, 0):s.at(i, 0)+s.cols])
+	}
+}
+
+// step performs one Gauss-Seidel sweep over the slab, using the global
+// coefficient planes at the block's position. The operation order per
+// cell matches Grid.stepRow exactly, so blocked and serial runs agree
+// bitwise.
+func (s *slab) step(g *Grid, b blockSpec) {
+	st := s.stride()
+	for i := 0; i < s.rows; i++ {
+		gRow := (b.r0 + i) * g.N
+		for j := 0; j < s.cols; j++ {
+			idx := s.at(i, j)
+			gIdx := gRow + b.c0 + j
+			qa := s.vals[idx+st]*g.Zr[gIdx] + s.vals[idx-st]*g.Zb[gIdx] +
+				s.vals[idx+1]*g.Zu[gIdx] + s.vals[idx-1]*g.Zv[gIdx] +
+				g.Zz[gIdx]
+			s.vals[idx] += 0.175 * (qa - s.vals[idx])
+		}
+	}
+}
+
+// Border extraction/injection for the halo exchange.
+
+func (s *slab) topRow(dst []float64) {
+	copy(dst, s.vals[s.at(0, 0):s.at(0, 0)+s.cols])
+}
+func (s *slab) bottomRow(dst []float64) {
+	copy(dst, s.vals[s.at(s.rows-1, 0):s.at(s.rows-1, 0)+s.cols])
+}
+func (s *slab) leftCol(dst []float64) {
+	for i := 0; i < s.rows; i++ {
+		dst[i] = s.vals[s.at(i, 0)]
+	}
+}
+func (s *slab) rightCol(dst []float64) {
+	for i := 0; i < s.rows; i++ {
+		dst[i] = s.vals[s.at(i, s.cols-1)]
+	}
+}
+func (s *slab) setNorthHalo(src []float64) {
+	copy(s.vals[s.at(-1, 0):s.at(-1, 0)+s.cols], src)
+}
+func (s *slab) setSouthHalo(src []float64) {
+	copy(s.vals[s.at(s.rows, 0):s.at(s.rows, 0)+s.cols], src)
+}
+func (s *slab) setWestHalo(src []float64) {
+	for i := 0; i < s.rows; i++ {
+		s.vals[s.at(i, -1)] = src[i]
+	}
+}
+func (s *slab) setEastHalo(src []float64) {
+	for i := 0; i < s.rows; i++ {
+		s.vals[s.at(i, s.cols)] = src[i]
+	}
+}

@@ -1,0 +1,107 @@
+// Package livermore implements the Livermore Kernel 23 benchmark
+// (2-D implicit hydrodynamics fragment, §V-A): a memory-bound 5-point
+// stencil that is parallelised by pipelining blocks along NW→SE
+// wavefronts. Three implementations are provided: a serial reference, a
+// blocked ORWL version whose tasks exchange borders through locations,
+// and an OpenMP-style fork-join version that parallelises each
+// wavefront diagonal.
+package livermore
+
+import "fmt"
+
+// Grid holds the stencil state: the value plane za and the five
+// coefficient planes, all m x n row-major.
+type Grid struct {
+	M, N                   int
+	Za, Zb, Zr, Zu, Zv, Zz []float64
+}
+
+// NewGrid allocates an m x n grid with deterministic, seed-dependent
+// coefficients mimicking the LinPack initialisation.
+func NewGrid(m, n int, seed int64) (*Grid, error) {
+	if m < 3 || n < 3 {
+		return nil, fmt.Errorf("livermore: grid %dx%d too small (need >= 3x3)", m, n)
+	}
+	g := &Grid{
+		M: m, N: n,
+		Za: make([]float64, m*n),
+		Zb: make([]float64, m*n),
+		Zr: make([]float64, m*n),
+		Zu: make([]float64, m*n),
+		Zv: make([]float64, m*n),
+		Zz: make([]float64, m*n),
+	}
+	// A cheap deterministic LCG keeps initialisation reproducible
+	// without pulling in math/rand for a fixed pattern.
+	x := uint64(seed)*6364136223846793005 + 1442695040888963407
+	next := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return float64(x>>11) / float64(1<<53)
+	}
+	for i := range g.Za {
+		g.Za[i] = next()
+		g.Zb[i] = 0.05 + 0.1*next()
+		g.Zr[i] = 0.05 + 0.1*next()
+		g.Zu[i] = 0.05 + 0.1*next()
+		g.Zv[i] = 0.05 + 0.1*next()
+		g.Zz[i] = 0.1 * next()
+	}
+	return g, nil
+}
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{M: g.M, N: g.N}
+	dup := func(s []float64) []float64 { return append([]float64(nil), s...) }
+	c.Za, c.Zb, c.Zr, c.Zu, c.Zv, c.Zz = dup(g.Za), dup(g.Zb), dup(g.Zr), dup(g.Zu), dup(g.Zv), dup(g.Zz)
+	return c
+}
+
+// stepRow updates row j of za over columns [k0, k1) following
+// Listing 2. It reads za[j-1] (already updated this sweep), za[j+1]
+// (previous sweep), za[j][k-1] (updated) and za[j][k+1] (old) — the
+// Gauss-Seidel ordering of the original kernel.
+func (g *Grid) stepRow(j, k0, k1 int) {
+	n := g.N
+	za, zb, zr, zu, zv, zz := g.Za, g.Zb, g.Zr, g.Zu, g.Zv, g.Zz
+	row := j * n
+	for k := k0; k < k1; k++ {
+		qa := za[row+n+k]*zr[row+k] + za[row-n+k]*zb[row+k] +
+			za[row+k+1]*zu[row+k] + za[row+k-1]*zv[row+k] +
+			zz[row+k]
+		za[row+k] += 0.175 * (qa - za[row+k])
+	}
+}
+
+// Serial runs the reference kernel for the given number of sweeps over
+// the interior (rows 1..m-2, columns 1..n-2), exactly as Listing 2.
+func (g *Grid) Serial(loops int) {
+	for l := 0; l < loops; l++ {
+		for j := 1; j < g.M-1; j++ {
+			g.stepRow(j, 1, g.N-1)
+		}
+	}
+}
+
+// MaxAbsDiff returns the largest absolute element difference of the za
+// planes, for verification.
+func MaxAbsDiff(a, b *Grid) (float64, error) {
+	if a.M != b.M || a.N != b.N {
+		return 0, fmt.Errorf("livermore: grid shapes differ (%dx%d vs %dx%d)", a.M, a.N, b.M, b.N)
+	}
+	var mx float64
+	for i := range a.Za {
+		d := a.Za[i] - b.Za[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > mx {
+			mx = d
+		}
+	}
+	return mx, nil
+}
+
+// FlopsPerCell is the floating-point operation count of one stencil
+// update (4 mul + 4 add for qa, then 1 sub, 1 mul, 1 add).
+const FlopsPerCell = 11

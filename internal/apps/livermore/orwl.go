@@ -1,0 +1,236 @@
+package livermore
+
+import (
+	"fmt"
+
+	"orwlplace/internal/core"
+	"orwlplace/internal/fp"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+)
+
+// Border location names. Each task owns four locations carrying the
+// border it produces for the neighbour in that direction; e.g. "toS" is
+// the task's bottom row, read by its south neighbour.
+const (
+	locToN = "toN"
+	locToS = "toS"
+	locToE = "toE"
+	locToW = "toW"
+)
+
+// ORWLResult reports a parallel run.
+type ORWLResult struct {
+	Program *orwl.Program
+	// Mapping is non-nil when the affinity module was active.
+	Module *core.Module
+}
+
+// RunORWL executes loops Gauss-Seidel sweeps over g using a gx x gy
+// block decomposition, one ORWL task per block. Cross-block borders
+// travel through per-edge locations: "forward" edges (from the north
+// and west neighbours) are writer-first in the FIFO, so a block sees
+// its NW neighbours' current-sweep values; "backward" edges (south,
+// east) are reader-first, so it sees the previous sweep — the exact
+// dependence pattern of the sequential kernel, which makes the blocked
+// result bitwise equal to Grid.Serial.
+//
+// When top is non-nil, the affinity module is attached in forced
+// automatic mode, reproducing the paper's ORWL (affinity)
+// configuration; the computed binding is recorded on the returned
+// program.
+func RunORWL(g *Grid, gx, gy, loops int, top *topology.Topology) (*ORWLResult, error) {
+	blocks, err := makeBlocks(g.M, g.N, gx, gy)
+	if err != nil {
+		return nil, err
+	}
+	if loops < 0 {
+		return nil, fmt.Errorf("livermore: negative loop count %d", loops)
+	}
+	prog, err := orwl.NewProgram(len(blocks), locToN, locToS, locToE, locToW)
+	if err != nil {
+		return nil, err
+	}
+	res := &ORWLResult{Program: prog}
+	if top != nil {
+		mod, _, err := core.EnableAutomatic(prog, top, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Module = mod
+	}
+
+	err = prog.Run(func(ctx *orwl.TaskContext) error {
+		b := blocks[ctx.TID()]
+		rows, cols := b.r1-b.r0, b.c1-b.c0
+		sl := newSlab(rows, cols)
+		sl.loadFrom(g, b)
+
+		neighbour := func(dx, dy int) int {
+			nx, ny := b.bx+dx, b.by+dy
+			if nx < 0 || nx >= gx || ny < 0 || ny >= gy {
+				return -1
+			}
+			return ny*gx + nx
+		}
+		nN, nS, nE, nW := neighbour(0, -1), neighbour(0, 1), neighbour(1, 0), neighbour(-1, 0)
+
+		rowBytes := cols * fp.Bytes
+		colBytes := rows * fp.Bytes
+
+		// Size own border locations and preset the "backward" ones
+		// (read before first write) with the initial border values.
+		bufRow := make([]float64, cols)
+		bufCol := make([]float64, rows)
+		tmpRow := make([]byte, rowBytes)
+		tmpCol := make([]byte, colBytes)
+		preset := func(name string, vals []float64, buf []byte) error {
+			if err := fp.PutFloat64s(buf, vals); err != nil {
+				return err
+			}
+			return ctx.Location(orwl.Loc(ctx.TID(), name)).Preset(buf)
+		}
+		if err := ctx.Scale(locToN, rowBytes); err != nil {
+			return err
+		}
+		if err := ctx.Scale(locToS, rowBytes); err != nil {
+			return err
+		}
+		if err := ctx.Scale(locToE, colBytes); err != nil {
+			return err
+		}
+		if err := ctx.Scale(locToW, colBytes); err != nil {
+			return err
+		}
+		// Backward payloads: my toN is read by my north neighbour with
+		// lag 1, my toW by the west neighbour.
+		sl.topRow(bufRow)
+		if err := preset(locToN, bufRow, tmpRow); err != nil {
+			return err
+		}
+		sl.leftCol(bufCol)
+		if err := preset(locToW, bufCol, tmpCol); err != nil {
+			return err
+		}
+
+		// Handles. Write handles on own borders; read handles on the
+		// neighbours' facing borders. Forward edges writer-first
+		// (priority 0 writer, 1 reader); backward edges reader-first.
+		writeN := orwl.NewHandle2()
+		writeS := orwl.NewHandle2()
+		writeE := orwl.NewHandle2()
+		writeW := orwl.NewHandle2()
+		readN := orwl.NewHandle2() // north neighbour's toS (forward)
+		readW := orwl.NewHandle2() // west neighbour's toE (forward)
+		readS := orwl.NewHandle2() // south neighbour's toN (backward)
+		readE := orwl.NewHandle2() // east neighbour's toW (backward)
+
+		ins := func(err error) error { return err }
+		if nS >= 0 {
+			// Forward: my toS feeds the south neighbour.
+			if err := ins(ctx.WriteInsert(writeS, orwl.Loc(ctx.TID(), locToS), 0)); err != nil {
+				return err
+			}
+			// Backward: south neighbour's toN, reader (me) first.
+			if err := ins(ctx.ReadInsert(readS, orwl.Loc(nS, locToN), 0)); err != nil {
+				return err
+			}
+		}
+		if nN >= 0 {
+			if err := ins(ctx.ReadInsert(readN, orwl.Loc(nN, locToS), 1)); err != nil {
+				return err
+			}
+			if err := ins(ctx.WriteInsert(writeN, orwl.Loc(ctx.TID(), locToN), 1)); err != nil {
+				return err
+			}
+		}
+		if nE >= 0 {
+			if err := ins(ctx.WriteInsert(writeE, orwl.Loc(ctx.TID(), locToE), 0)); err != nil {
+				return err
+			}
+			if err := ins(ctx.ReadInsert(readE, orwl.Loc(nE, locToW), 0)); err != nil {
+				return err
+			}
+		}
+		if nW >= 0 {
+			if err := ins(ctx.ReadInsert(readW, orwl.Loc(nW, locToE), 1)); err != nil {
+				return err
+			}
+			if err := ins(ctx.WriteInsert(writeW, orwl.Loc(ctx.TID(), locToW), 1)); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+
+		readBorder := func(h *orwl.Handle, set func([]float64), vals []float64) error {
+			return h.Section(func(buf []byte) error {
+				if err := fp.GetFloat64s(vals, buf); err != nil {
+					return err
+				}
+				set(vals)
+				return nil
+			})
+		}
+		writeBorder := func(h *orwl.Handle, get func([]float64), vals []float64) error {
+			return h.Section(func(buf []byte) error {
+				get(vals)
+				return fp.PutFloat64s(buf, vals)
+			})
+		}
+
+		for l := 0; l < loops; l++ {
+			// Current-sweep halos from the NW wavefront.
+			if nN >= 0 {
+				if err := readBorder(readN, sl.setNorthHalo, bufRow); err != nil {
+					return err
+				}
+			}
+			if nW >= 0 {
+				if err := readBorder(readW, sl.setWestHalo, bufCol); err != nil {
+					return err
+				}
+			}
+			// Previous-sweep halos from the SE side.
+			if nS >= 0 {
+				if err := readBorder(readS, sl.setSouthHalo, bufRow); err != nil {
+					return err
+				}
+			}
+			if nE >= 0 {
+				if err := readBorder(readE, sl.setEastHalo, bufCol); err != nil {
+					return err
+				}
+			}
+			sl.step(g, b)
+			// Publish the updated borders.
+			if nS >= 0 {
+				if err := writeBorder(writeS, sl.bottomRow, bufRow); err != nil {
+					return err
+				}
+			}
+			if nE >= 0 {
+				if err := writeBorder(writeE, sl.rightCol, bufCol); err != nil {
+					return err
+				}
+			}
+			if nN >= 0 {
+				if err := writeBorder(writeN, sl.topRow, bufRow); err != nil {
+					return err
+				}
+			}
+			if nW >= 0 {
+				if err := writeBorder(writeW, sl.leftCol, bufCol); err != nil {
+					return err
+				}
+			}
+		}
+		sl.storeTo(g, b)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

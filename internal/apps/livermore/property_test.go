@@ -1,0 +1,65 @@
+package livermore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any grid geometry, block decomposition and sweep count
+// (within small bounds), the ORWL pipelined execution and the fork-join
+// execution are bitwise equal to the serial kernel.
+func TestParallelEqualsSerialProperty(t *testing.T) {
+	f := func(mRaw, nRaw, gxRaw, gyRaw, loopRaw uint8) bool {
+		m := 8 + int(mRaw)%17  // 8..24
+		n := 8 + int(nRaw)%17  // 8..24
+		gx := 1 + int(gxRaw)%4 // 1..4
+		gy := 1 + int(gyRaw)%4
+		loops := 1 + int(loopRaw)%5
+		if gx > n-2 || gy > m-2 {
+			return true // decomposition finer than the interior: skipped
+		}
+		ref, err := NewGrid(m, n, int64(mRaw)*131+int64(nRaw))
+		if err != nil {
+			return false
+		}
+		fj := ref.Clone()
+		ow := ref.Clone()
+		ref.Serial(loops)
+		if err := RunForkJoin(fj, gx, gy, loops); err != nil {
+			return false
+		}
+		if _, err := RunORWL(ow, gx, gy, loops, nil); err != nil {
+			return false
+		}
+		d1, err := MaxAbsDiff(ref, fj)
+		if err != nil || d1 != 0 {
+			return false
+		}
+		d2, err := MaxAbsDiff(ref, ow)
+		return err == nil && d2 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the kernel is a contraction towards the neighbour average
+// when coefficients are small — values stay bounded across sweeps.
+func TestKernelBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := NewGrid(12, 12, seed)
+		if err != nil {
+			return false
+		}
+		g.Serial(50)
+		for _, v := range g.Za {
+			if v != v || v > 100 || v < -100 { // NaN or blow-up
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

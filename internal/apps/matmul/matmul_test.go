@@ -1,0 +1,217 @@
+package matmul
+
+import (
+	"testing"
+
+	"orwlplace/internal/topology"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0); err == nil {
+		t.Error("accepted zero size")
+	}
+	if _, err := NewRandomMatrix(-1, 0); err == nil {
+		t.Error("accepted negative size")
+	}
+}
+
+func TestRandomMatrixDeterministic(t *testing.T) {
+	a, _ := NewRandomMatrix(8, 3)
+	b, _ := NewRandomMatrix(8, 3)
+	d, _ := MaxAbsDiff(a, b)
+	if d != 0 {
+		t.Error("same seed differs")
+	}
+	c, _ := NewRandomMatrix(8, 4)
+	d, _ = MaxAbsDiff(a, c)
+	if d == 0 {
+		t.Error("different seeds identical")
+	}
+}
+
+func TestMaxAbsDiffMismatch(t *testing.T) {
+	a, _ := NewMatrix(4)
+	b, _ := NewMatrix(5)
+	if _, err := MaxAbsDiff(a, b); err == nil {
+		t.Error("accepted size mismatch")
+	}
+}
+
+func TestSerialAgainstHandChecked(t *testing.T) {
+	a, _ := NewMatrix(2)
+	b, _ := NewMatrix(2)
+	c, _ := NewMatrix(2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	copy(b.Data, []float64{5, 6, 7, 8})
+	if err := Serial(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("c[%d] = %g, want %g", i, c.Data[i], w)
+		}
+	}
+	bad, _ := NewMatrix(3)
+	if err := Serial(a, bad, c); err == nil {
+		t.Error("accepted mismatch")
+	}
+}
+
+func TestORWLMatchesSerial(t *testing.T) {
+	for _, cfg := range []struct{ n, p int }{
+		{8, 1}, {8, 2}, {8, 4}, {12, 3}, {17, 4}, {16, 5}, {9, 9},
+	} {
+		a, _ := NewRandomMatrix(cfg.n, 1)
+		b, _ := NewRandomMatrix(cfg.n, 2)
+		want, _ := NewMatrix(cfg.n)
+		if err := Serial(a, b, want); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := NewMatrix(cfg.n)
+		if _, err := RunORWL(a, b, got, cfg.p, nil); err != nil {
+			t.Fatalf("n=%d p=%d: %v", cfg.n, cfg.p, err)
+		}
+		d, err := MaxAbsDiff(want, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > 1e-9 {
+			t.Errorf("n=%d p=%d: max diff %g", cfg.n, cfg.p, d)
+		}
+	}
+}
+
+func TestORWLValidation(t *testing.T) {
+	a, _ := NewRandomMatrix(4, 1)
+	b, _ := NewRandomMatrix(4, 2)
+	c, _ := NewMatrix(4)
+	if _, err := RunORWL(a, b, c, 0, nil); err == nil {
+		t.Error("accepted zero tasks")
+	}
+	if _, err := RunORWL(a, b, c, 5, nil); err == nil {
+		t.Error("accepted more tasks than rows")
+	}
+	bad, _ := NewMatrix(5)
+	if _, err := RunORWL(a, bad, c, 2, nil); err == nil {
+		t.Error("accepted size mismatch")
+	}
+}
+
+func TestORWLWithAffinity(t *testing.T) {
+	a, _ := NewRandomMatrix(16, 1)
+	b, _ := NewRandomMatrix(16, 2)
+	want, _ := NewMatrix(16)
+	if err := Serial(a, b, want); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := NewMatrix(16)
+	res, err := RunORWL(a, b, got, 4, topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := MaxAbsDiff(want, got)
+	if d > 1e-9 {
+		t.Errorf("affinity run differs by %g", d)
+	}
+	if res.Module == nil || res.Module.Mapping() == nil {
+		t.Fatal("affinity module inactive")
+	}
+	// The dependency matrix of the circulation is a ring.
+	m := res.Module.Matrix()
+	for i := 0; i < 4; i++ {
+		if m.At(i, (i+1)%4) == 0 {
+			t.Errorf("missing ring edge %d->%d", i, (i+1)%4)
+		}
+	}
+	if m.At(0, 2) != 0 {
+		t.Error("non-neighbour tasks should not communicate")
+	}
+}
+
+func TestForkJoinMatchesSerial(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7, 20} {
+		a, _ := NewRandomMatrix(12, 5)
+		b, _ := NewRandomMatrix(12, 6)
+		want, _ := NewMatrix(12)
+		if err := Serial(a, b, want); err != nil {
+			t.Fatal(err)
+		}
+		got, _ := NewMatrix(12)
+		if err := RunForkJoin(a, b, got, workers); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		d, _ := MaxAbsDiff(want, got)
+		if d > 1e-9 {
+			t.Errorf("workers=%d: max diff %g", workers, d)
+		}
+	}
+	a, _ := NewRandomMatrix(4, 1)
+	c, _ := NewMatrix(4)
+	if err := RunForkJoin(a, a, c, 0); err == nil {
+		t.Error("accepted zero workers")
+	}
+	bad, _ := NewMatrix(5)
+	if err := RunForkJoin(a, bad, c, 2); err == nil {
+		t.Error("accepted mismatch")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	orwl, err := ProfileORWL(16384, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orwl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if orwl.Iterations != 64 || len(orwl.Threads) != 64 {
+		t.Error("ORWL profile shape wrong")
+	}
+	if orwl.Comm.At(0, 1) == 0 || orwl.Comm.At(63, 0) == 0 {
+		t.Error("ring comm missing")
+	}
+	if orwl.ControlThreads == 0 {
+		t.Error("ORWL profile needs control threads")
+	}
+
+	mkl, err := ProfileMKL(16384, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mkl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mkl.Comm.At(0, 1) == 0 || mkl.Comm.At(0, 63) == 0 {
+		t.Error("star comm missing")
+	}
+	if mkl.Comm.At(1, 2) != 0 {
+		t.Error("workers should not talk to each other")
+	}
+	if mkl.ControlThreads != 0 {
+		t.Error("MKL profile should not have ORWL control threads")
+	}
+
+	if _, err := ProfileORWL(0, 4); err == nil {
+		t.Error("accepted zero size")
+	}
+	if _, err := ProfileMKL(16, 0); err == nil {
+		t.Error("accepted zero threads")
+	}
+}
+
+func TestTotalFlops(t *testing.T) {
+	if got := TotalFlops(10); got != 2000 {
+		t.Errorf("TotalFlops(10) = %g", got)
+	}
+}
+
+func TestRowBlocks(t *testing.T) {
+	offs := rowBlocks(10, 3)
+	want := []int{0, 4, 7, 10}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offs = %v, want %v", offs, want)
+		}
+	}
+}

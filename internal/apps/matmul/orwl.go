@@ -1,0 +1,140 @@
+package matmul
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"orwlplace/internal/blas"
+	"orwlplace/internal/core"
+	"orwlplace/internal/fp"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+)
+
+// locB is the per-task location holding the B block currently residing
+// at the task.
+const locB = "bblock"
+
+// ORWLResult reports a parallel multiplication run.
+type ORWLResult struct {
+	Program *orwl.Program
+	Module  *core.Module
+}
+
+// RunORWL computes C += A*B with p ORWL tasks. Task t owns row block t
+// of A and C; the row blocks of B circulate along the task ring through
+// each task's "bblock" location: in every phase a task fetches the
+// block stored at its predecessor, accumulates the corresponding
+// partial product into its C rows, and deposits the block in its own
+// location for the successor. After p phases every task has consumed
+// all of B.
+//
+// When top is non-nil the affinity module runs in forced automatic mode
+// (the paper's ORWL (Affinity) configuration).
+func RunORWL(a, b, c *Matrix, p int, top *topology.Topology) (*ORWLResult, error) {
+	if a.N != b.N || a.N != c.N {
+		return nil, fmt.Errorf("matmul: size mismatch %d/%d/%d", a.N, b.N, c.N)
+	}
+	n := a.N
+	if p < 1 || p > n {
+		return nil, fmt.Errorf("matmul: task count %d out of range [1,%d]", p, n)
+	}
+	offs := rowBlocks(n, p)
+	maxRows := offs[1] - offs[0]
+	// Payload: 8-byte block id header + the block rows.
+	payloadBytes := 8 + maxRows*n*fp.Bytes
+
+	prog, err := orwl.NewProgram(p, locB)
+	if err != nil {
+		return nil, err
+	}
+	res := &ORWLResult{Program: prog}
+	if top != nil {
+		mod, _, err := core.EnableAutomatic(prog, top, true)
+		if err != nil {
+			return nil, err
+		}
+		res.Module = mod
+	}
+
+	encode := func(buf []byte, blockID int) error {
+		binary.LittleEndian.PutUint64(buf, uint64(blockID))
+		rows := offs[blockID+1] - offs[blockID]
+		return fp.PutFloat64s(buf[8:8+rows*n*fp.Bytes], b.Data[offs[blockID]*n:offs[blockID+1]*n])
+	}
+
+	err = prog.Run(func(ctx *orwl.TaskContext) error {
+		t := ctx.TID()
+		pred := (t - 1 + p) % p
+		myRows := offs[t+1] - offs[t]
+
+		own := ctx.Location(orwl.Loc(t, locB))
+		initBuf := make([]byte, payloadBytes)
+		if err := encode(initBuf, t); err != nil {
+			return err
+		}
+		if err := own.Preset(initBuf); err != nil {
+			return err
+		}
+
+		readPred := orwl.NewHandle2()
+		writeOwn := orwl.NewHandle2()
+		if p > 1 {
+			// Reader-first on every location: the successor consumes
+			// the initial block before the owner overwrites it.
+			if err := ctx.ReadInsert(readPred, orwl.Loc(pred, locB), 0); err != nil {
+				return err
+			}
+			if err := ctx.WriteInsert(writeOwn, orwl.Loc(t, locB), 1); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+
+		blockBuf := make([]float64, maxRows*n)
+		cur := make([]byte, payloadBytes)
+		if p == 1 {
+			return blas.Dgemm(n, n, n, a.Data, n, b.Data, n, c.Data, n)
+		}
+		for phase := 0; phase < p; phase++ {
+			// Fetch the block waiting at the predecessor.
+			if err := readPred.Section(func(buf []byte) error {
+				copy(cur, buf)
+				return nil
+			}); err != nil {
+				return err
+			}
+			blockID := int(binary.LittleEndian.Uint64(cur))
+			if blockID < 0 || blockID >= p {
+				return fmt.Errorf("matmul: task %d phase %d: bad block id %d", t, phase, blockID)
+			}
+			kRows := offs[blockID+1] - offs[blockID]
+			if err := fp.GetFloat64s(blockBuf[:kRows*n], cur[8:8+kRows*n*fp.Bytes]); err != nil {
+				return err
+			}
+			// C[myRows, :] += A[myRows, kRange] * B[kRange, :].
+			if err := blas.Dgemm(
+				myRows, n, kRows,
+				a.Data[offs[t]*n+offs[blockID]:], n,
+				blockBuf, n,
+				c.Data[offs[t]*n:], n,
+			); err != nil {
+				return err
+			}
+			// Pass the block on to the successor.
+			if err := writeOwn.Section(func(buf []byte) error {
+				copy(buf, cur)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,85 @@
+package matmul
+
+import (
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/perfsim"
+)
+
+// cyclesPerFlop models a well-vectorised DGEMM inner kernel: with
+// AVX/FMA units a Sandy-Bridge-class core retires several flops per
+// cycle.
+const cyclesPerFlop = 0.15
+
+// ProfileORWL builds the perfsim workload of the block-cyclic ORWL
+// multiplication of two matrixSize² matrices over p tasks: p phases, a
+// ring communication pattern carrying one B row block per phase, and
+// distributed first-touch data.
+func ProfileORWL(matrixSize, p int) (*perfsim.Workload, error) {
+	if matrixSize < 1 || p < 1 {
+		return nil, fmt.Errorf("matmul: invalid profile %d/%d", matrixSize, p)
+	}
+	n := float64(matrixSize)
+	rows := n / float64(p)
+	blockBytes := rows * n * 8
+	threads := make([]perfsim.Thread, p)
+	for i := range threads {
+		threads[i] = perfsim.Thread{
+			// Per phase: 2 * rows * rows * n flops.
+			ComputeCycles: 2 * rows * rows * n * cyclesPerFlop,
+			// A row panel + C rows + the circulating block.
+			WorkingSet:    3 * blockBytes,
+			MemoryTraffic: blockBytes,
+		}
+	}
+	return &perfsim.Workload{
+		Name:       fmt.Sprintf("matmul-orwl-%dp", p),
+		Threads:    threads,
+		Comm:       comm.Ring(p, blockBytes, true),
+		Iterations: p,
+		// One location per task; a grant/release pair on both sides per
+		// phase.
+		ControlThreads:         p,
+		ControlEventsPerIter:   float64(p) * 2,
+		StartupContextSwitches: float64(2 * p),
+	}, nil
+}
+
+// ProfileMKL builds the perfsim workload of the MKL-style fork-join
+// multiplication: the same compute partition, but A and B live on the
+// master's NUMA node, so every phase pulls the shared panels from
+// thread 0 — a star communication pattern that saturates the master
+// node's links once several sockets are involved.
+func ProfileMKL(matrixSize, p int) (*perfsim.Workload, error) {
+	if matrixSize < 1 || p < 1 {
+		return nil, fmt.Errorf("matmul: invalid profile %d/%d", matrixSize, p)
+	}
+	n := float64(matrixSize)
+	rows := n / float64(p)
+	blockBytes := rows * n * 8
+	threads := make([]perfsim.Thread, p)
+	for i := range threads {
+		threads[i] = perfsim.Thread{
+			ComputeCycles: 2 * rows * rows * n * cyclesPerFlop,
+			WorkingSet:    3 * blockBytes,
+			MemoryTraffic: blockBytes,
+		}
+	}
+	m := comm.NewMatrix(p)
+	for i := 1; i < p; i++ {
+		// Per phase each worker streams one B panel from the master's
+		// node.
+		m.AddSym(0, i, blockBytes)
+	}
+	return &perfsim.Workload{
+		Name:                   fmt.Sprintf("matmul-mkl-%dp", p),
+		Threads:                threads,
+		Comm:                   m,
+		Iterations:             p,
+		ControlEventsPerIter:   0.4, // one fork-join per run, amortised
+		StartupContextSwitches: float64(p),
+		// A, B and C are allocated by the calling (master) thread.
+		MasterAlloc: true,
+	}, nil
+}

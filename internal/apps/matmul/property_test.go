@@ -1,0 +1,64 @@
+package matmul
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any size and task count, the block-cyclic ORWL
+// multiplication matches the serial kernel within numerical tolerance.
+func TestORWLEqualsSerialProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint8, seed int64) bool {
+		n := 2 + int(nRaw)%14 // 2..15
+		p := 1 + int(pRaw)%n  // 1..n
+		a, err := NewRandomMatrix(n, seed)
+		if err != nil {
+			return false
+		}
+		b, err := NewRandomMatrix(n, seed+1)
+		if err != nil {
+			return false
+		}
+		want, _ := NewMatrix(n)
+		if Serial(a, b, want) != nil {
+			return false
+		}
+		got, _ := NewMatrix(n)
+		if _, err := RunORWL(a, b, got, p, nil); err != nil {
+			return false
+		}
+		d, err := MaxAbsDiff(want, got)
+		return err == nil && d < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: C accumulates — running the multiplication twice doubles
+// the result of a single run when C starts at zero.
+func TestAccumulationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 8
+		a, _ := NewRandomMatrix(n, seed)
+		b, _ := NewRandomMatrix(n, seed+7)
+		once, _ := NewMatrix(n)
+		if Serial(a, b, once) != nil {
+			return false
+		}
+		twice, _ := NewMatrix(n)
+		if Serial(a, b, twice) != nil || Serial(a, b, twice) != nil {
+			return false
+		}
+		for i := range once.Data {
+			d := twice.Data[i] - 2*once.Data[i]
+			if d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package tracking
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Location payload encodings for the DFG. Locations have a fixed size,
+// so variable-length component/track lists are stored as a count plus a
+// fixed-capacity record array.
+
+const (
+	componentBytes = 7 * 8 // Area, SumX, SumY + 4 coords as int64
+	trackBytes     = 3 * 8 // ID + CX + CY as 8-byte fields
+	headerBytes    = 8
+)
+
+// componentCapacity returns how many components fit in a buffer of the
+// given size.
+func componentCapacity(bufLen int) int { return (bufLen - headerBytes) / componentBytes }
+
+// encodeComponents stores comps in buf. It fails when the capacity is
+// exceeded (the caller sizes the location for the expected maximum).
+func encodeComponents(buf []byte, comps []Component) error {
+	if len(comps) > componentCapacity(len(buf)) {
+		return fmt.Errorf("tracking: %d components exceed buffer capacity %d",
+			len(comps), componentCapacity(len(buf)))
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(len(comps)))
+	off := headerBytes
+	for _, c := range comps {
+		for _, v := range []int64{c.Area, c.SumX, c.SumY,
+			int64(c.MinX), int64(c.MinY), int64(c.MaxX), int64(c.MaxY)} {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(v))
+			off += 8
+		}
+	}
+	return nil
+}
+
+// decodeComponents parses a buffer written by encodeComponents.
+func decodeComponents(buf []byte) ([]Component, error) {
+	if len(buf) < headerBytes {
+		return nil, fmt.Errorf("tracking: component buffer too short")
+	}
+	n := int(binary.LittleEndian.Uint64(buf))
+	if n < 0 || n > componentCapacity(len(buf)) {
+		return nil, fmt.Errorf("tracking: corrupt component count %d", n)
+	}
+	comps := make([]Component, n)
+	off := headerBytes
+	get := func() int64 {
+		v := int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+		return v
+	}
+	for i := range comps {
+		comps[i].Area = get()
+		comps[i].SumX = get()
+		comps[i].SumY = get()
+		comps[i].MinX = int32(get())
+		comps[i].MinY = int32(get())
+		comps[i].MaxX = int32(get())
+		comps[i].MaxY = int32(get())
+	}
+	return comps, nil
+}
+
+// encodeStripLabels stores a strip labelling result: components plus
+// the top/bottom boundary id rows (w int32 each).
+func encodeStripLabels(buf []byte, sl *StripLabels, w int) error {
+	need := headerBytes + len(sl.Comps)*componentBytes
+	idsOff := len(buf) - 2*4*w
+	if idsOff < need {
+		return fmt.Errorf("tracking: strip buffer too small (%d for %d comps + %d ids)",
+			len(buf), len(sl.Comps), 2*w)
+	}
+	if err := encodeComponents(buf[:idsOff], sl.Comps); err != nil {
+		return err
+	}
+	off := idsOff
+	for _, ids := range [][]int32{sl.TopIDs, sl.BotIDs} {
+		if len(ids) != w {
+			return fmt.Errorf("tracking: boundary row has %d ids, want %d", len(ids), w)
+		}
+		for _, id := range ids {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(id))
+			off += 4
+		}
+	}
+	return nil
+}
+
+// decodeStripLabels parses a buffer written by encodeStripLabels.
+func decodeStripLabels(buf []byte, w int) (*StripLabels, error) {
+	idsOff := len(buf) - 2*4*w
+	if idsOff < headerBytes {
+		return nil, fmt.Errorf("tracking: strip buffer too short")
+	}
+	comps, err := decodeComponents(buf[:idsOff])
+	if err != nil {
+		return nil, err
+	}
+	sl := &StripLabels{Comps: comps, TopIDs: make([]int32, w), BotIDs: make([]int32, w)}
+	off := idsOff
+	for _, ids := range [][]int32{sl.TopIDs, sl.BotIDs} {
+		for i := range ids {
+			ids[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+			off += 4
+		}
+	}
+	return sl, nil
+}
+
+// trackCapacity returns how many tracks fit in a buffer.
+func trackCapacity(bufLen int) int { return (bufLen - headerBytes) / trackBytes }
+
+// encodeTracks stores the frame's tracks.
+func encodeTracks(buf []byte, tracks []Track) error {
+	if len(tracks) > trackCapacity(len(buf)) {
+		return fmt.Errorf("tracking: %d tracks exceed capacity %d", len(tracks), trackCapacity(len(buf)))
+	}
+	binary.LittleEndian.PutUint64(buf, uint64(len(tracks)))
+	off := headerBytes
+	for _, tr := range tracks {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(tr.ID))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(tr.CX))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(tr.CY))
+		off += trackBytes
+	}
+	return nil
+}
+
+// decodeTracks parses a buffer written by encodeTracks.
+func decodeTracks(buf []byte) ([]Track, error) {
+	if len(buf) < headerBytes {
+		return nil, fmt.Errorf("tracking: track buffer too short")
+	}
+	n := int(binary.LittleEndian.Uint64(buf))
+	if n < 0 || n > trackCapacity(len(buf)) {
+		return nil, fmt.Errorf("tracking: corrupt track count %d", n)
+	}
+	out := make([]Track, n)
+	off := headerBytes
+	for i := range out {
+		out[i].ID = int32(binary.LittleEndian.Uint64(buf[off:]))
+		out[i].CX = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+		out[i].CY = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:]))
+		off += trackBytes
+	}
+	return out, nil
+}

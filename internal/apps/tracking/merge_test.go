@@ -1,0 +1,223 @@
+package tracking
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestComponentSpanningThreeStrips: a vertical bar crossing all strips
+// must merge into a single component.
+func TestComponentSpanningThreeStrips(t *testing.T) {
+	w, h := 9, 9
+	mask := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		mask[y*w+4] = 255
+	}
+	offs := stripRows(h, 3)
+	strips := make([]*StripLabels, 3)
+	for i := range strips {
+		var err error
+		strips[i], err = LabelStrip(mask[offs[i]*w:offs[i+1]*w], w, offs[i+1]-offs[i], offs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(strips[i].Comps) != 1 {
+			t.Fatalf("strip %d components = %d", i, len(strips[i].Comps))
+		}
+	}
+	merged := MergeStrips(strips)
+	if len(merged) != 1 {
+		t.Fatalf("merged components = %d, want 1", len(merged))
+	}
+	c := merged[0]
+	if c.Area != int64(h) || c.MinY != 0 || c.MaxY != int32(h-1) || c.MinX != 4 || c.MaxX != 4 {
+		t.Errorf("merged component = %+v", c)
+	}
+}
+
+// TestZigzagAcrossStrips: a component entering and leaving a strip
+// boundary at two different columns exercises the union-find across
+// strips.
+func TestZigzagAcrossStrips(t *testing.T) {
+	w := 8
+	// Strip 0 (rows 0-1): segment connecting columns 1 and 5 via row 1.
+	// Strip 1 (rows 2-3): columns 1 and 5 both continue down; they are
+	// separate within strip 1 but joined through strip 0.
+	mask := make([]byte, w*4)
+	for x := 1; x <= 5; x++ {
+		mask[1*w+x] = 255
+	}
+	mask[2*w+1] = 255
+	mask[2*w+5] = 255
+	mask[3*w+1] = 255
+	mask[3*w+5] = 255
+	s0, err := LabelStrip(mask[:2*w], w, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := LabelStrip(mask[2*w:], w, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.Comps) != 2 {
+		t.Fatalf("strip 1 components = %d, want 2", len(s1.Comps))
+	}
+	merged := MergeStrips([]*StripLabels{s0, s1})
+	if len(merged) != 1 {
+		t.Fatalf("merged = %d components, want 1 (zigzag)", len(merged))
+	}
+	if merged[0].Area != 9 {
+		t.Errorf("area = %d, want 9", merged[0].Area)
+	}
+}
+
+// Property: strip labelling + merge equals full-frame labelling for
+// random masks at any strip count.
+func TestMergeEqualsFullFrameProperty(t *testing.T) {
+	const w, h = 24, 18
+	f := func(seed uint32, stripsPick uint8) bool {
+		parts := 2 + int(stripsPick)%4
+		mask := make([]byte, w*h)
+		x := uint64(seed)*2654435761 + 1
+		for i := range mask {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x>>62 == 3 { // ~25% foreground
+				mask[i] = 255
+			}
+		}
+		full, err := LabelStrip(mask, w, h, 0)
+		if err != nil {
+			return false
+		}
+		want := append([]Component(nil), full.Comps...)
+		SortComponents(want)
+
+		offs := stripRows(h, parts)
+		strips := make([]*StripLabels, parts)
+		for i := range strips {
+			strips[i], err = LabelStrip(mask[offs[i]*w:offs[i+1]*w], w, offs[i+1]-offs[i], offs[i])
+			if err != nil {
+				return false
+			}
+		}
+		got := MergeStrips(strips)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: erosion then dilation never grows beyond the original mask
+// plus its dilation ring (morphological sanity on random masks).
+func TestMorphologyProperties(t *testing.T) {
+	const w, h = 16, 12
+	f := func(seed uint32) bool {
+		mask := make([]byte, w*h)
+		x := uint64(seed) + 99
+		for i := range mask {
+			x = x*6364136223846793005 + 1442695040888963407
+			if x>>62 == 3 {
+				mask[i] = 255
+			}
+		}
+		eroded := make([]byte, w*h)
+		if Erode(mask, eroded, w, h) != nil {
+			return false
+		}
+		// Erosion shrinks: every eroded pixel was set before.
+		for i := range eroded {
+			if eroded[i] != 0 && mask[i] == 0 {
+				return false
+			}
+		}
+		dilated := make([]byte, w*h)
+		if Dilate(mask, dilated, w, h) != nil {
+			return false
+		}
+		// Dilation grows: every original pixel is still set.
+		for i := range mask {
+			if mask[i] != 0 && dilated[i] == 0 {
+				return false
+			}
+		}
+		// Opening (erode then dilate) stays within the original mask's
+		// dilation.
+		opened := make([]byte, w*h)
+		if Dilate(eroded, opened, w, h) != nil {
+			return false
+		}
+		for i := range opened {
+			if opened[i] != 0 && dilated[i] == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the GMM converges on a static scene — after enough frames
+// of constant input nothing is foreground.
+func TestGMMConvergesProperty(t *testing.T) {
+	f := func(level uint8) bool {
+		g, err := NewGMM(8, 4)
+		if err != nil {
+			return false
+		}
+		frame := make([]byte, 32)
+		for i := range frame {
+			frame[i] = 50 + level%100
+		}
+		mask := make([]byte, 32)
+		for r := 0; r < 250; r++ {
+			if g.Process(frame, mask) != nil {
+				return false
+			}
+		}
+		for _, v := range mask {
+			if v != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRenderDFG(t *testing.T) {
+	out := PaperConfig(HD).RenderDFG()
+	for _, want := range []string{"producer", "==>", "split{10", "split{26", "30 tasks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DFG render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortComponentsTieBreaking(t *testing.T) {
+	cs := []Component{
+		{MinY: 1, MinX: 1, Area: 5},
+		{MinY: 0, MinX: 9, Area: 1},
+		{MinY: 1, MinX: 1, Area: 9},
+	}
+	SortComponents(cs)
+	if cs[0].MinY != 0 {
+		t.Error("MinY should sort first")
+	}
+	if cs[1].Area != 9 || cs[2].Area != 5 {
+		t.Error("equal boxes should sort by decreasing area")
+	}
+}

@@ -1,0 +1,423 @@
+package tracking
+
+import (
+	"fmt"
+
+	"orwlplace/internal/core"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+)
+
+// Location names: every task exposes its product in "out"; split
+// workers additionally receive their input strip in "in".
+const (
+	locOut = "out"
+	locIn  = "in"
+)
+
+// compCapacity bounds the component count carried between CCL and
+// tracking stages.
+const compCapacity = 256
+
+// trackCap bounds the track count carried to the consumer.
+const trackCap = 128
+
+// ORWLResult exposes the runtime objects of a DFG run for inspection
+// (dependency matrix, mapping, control statistics).
+type ORWLResult struct {
+	Program *orwl.Program
+	Module  *core.Module
+	Config  Config
+}
+
+// RunORWL executes the video-tracking DFG of Fig. 3 on `frames`
+// synthetic frames: an iterative ORWL task per pipeline node, with the
+// GMM and CCL stages split into parallel stateful sub-tasks. Every
+// stage's output travels through its "out" location with writer-first
+// FIFO order, so consecutive stages alternate on it and different
+// stages process different frames concurrently (pipeline parallelism +
+// split-merge data parallelism, §V-C).
+//
+// When top is non-nil the affinity module runs in forced automatic
+// mode (ORWL (Affinity) in Fig. 6).
+func RunORWL(cfg Config, frames int, top *topology.Topology) ([][]Track, *ORWLResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if frames < 0 {
+		return nil, nil, fmt.Errorf("tracking: negative frame count")
+	}
+	src, err := NewSource(cfg.Size, cfg.Objects, cfg.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, h := cfg.Size.W, cfg.Size.H
+	frameBytes := w * h
+	gmmOffs := stripRows(h, cfg.GMMSplits)
+	cclOffs := stripRows(h, cfg.CCLSplits)
+	stripLabelBytes := headerBytes + compCapacity*componentBytes + 2*4*w
+
+	prog, err := orwl.NewProgram(cfg.NumTasks(), locOut, locIn)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &ORWLResult{Program: prog, Config: cfg}
+	if top != nil {
+		mod, _, err := core.EnableAutomatic(prog, top, true)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.Module = mod
+	}
+
+	results := make([][]Track, frames)
+
+	// pipeEdge wires a writer-first iterative edge from the out
+	// location of task `from` to reader handle of the running task.
+	readOut := func(ctx *orwl.TaskContext, from int) (*orwl.Handle, error) {
+		hd := orwl.NewHandle2()
+		if err := ctx.ReadInsert(hd, orwl.Loc(from, locOut), 1); err != nil {
+			return nil, err
+		}
+		return hd, nil
+	}
+	writeOwn := func(ctx *orwl.TaskContext, name string, size int) (*orwl.Handle, error) {
+		if err := ctx.Scale(name, size); err != nil {
+			return nil, err
+		}
+		hd := orwl.NewHandle2()
+		if err := ctx.WriteInsert(hd, orwl.Loc(ctx.TID(), name), 0); err != nil {
+			return nil, err
+		}
+		return hd, nil
+	}
+
+	bodies := make([]func(*orwl.TaskContext) error, cfg.NumTasks())
+
+	bodies[cfg.taskProducer()] = func(ctx *orwl.TaskContext) error {
+		out, err := writeOwn(ctx, locOut, frameBytes)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		for f := 0; f < frames; f++ {
+			if err := out.Section(func(buf []byte) error {
+				return src.Frame(f, buf)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	bodies[cfg.taskGMM()] = func(ctx *orwl.TaskContext) error {
+		in, err := readOut(ctx, cfg.taskProducer())
+		if err != nil {
+			return err
+		}
+		out, err := writeOwn(ctx, locOut, frameBytes)
+		if err != nil {
+			return err
+		}
+		toWorker := make([]*orwl.Handle, cfg.GMMSplits)
+		fromWorker := make([]*orwl.Handle, cfg.GMMSplits)
+		for i := range toWorker {
+			toWorker[i] = orwl.NewHandle2()
+			if err := ctx.WriteInsert(toWorker[i], orwl.Loc(cfg.taskGMMWorker(i), locIn), 0); err != nil {
+				return err
+			}
+			fromWorker[i] = orwl.NewHandle2()
+			if err := ctx.ReadInsert(fromWorker[i], orwl.Loc(cfg.taskGMMWorker(i), locOut), 1); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		frame := make([]byte, frameBytes)
+		mask := make([]byte, frameBytes)
+		for f := 0; f < frames; f++ {
+			if err := in.Section(func(buf []byte) error {
+				copy(frame, buf)
+				return nil
+			}); err != nil {
+				return err
+			}
+			for i := 0; i < cfg.GMMSplits; i++ {
+				lo, hi := gmmOffs[i]*w, gmmOffs[i+1]*w
+				if err := toWorker[i].Section(func(buf []byte) error {
+					copy(buf, frame[lo:hi])
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < cfg.GMMSplits; i++ {
+				lo := gmmOffs[i] * w
+				if err := fromWorker[i].Section(func(buf []byte) error {
+					copy(mask[lo:lo+len(buf)], buf)
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			if err := out.Section(func(buf []byte) error {
+				copy(buf, mask)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.GMMSplits; i++ {
+		i := i
+		bodies[cfg.taskGMMWorker(i)] = func(ctx *orwl.TaskContext) error {
+			rows := gmmOffs[i+1] - gmmOffs[i]
+			stripBytes := rows * w
+			if err := ctx.Scale(locIn, stripBytes); err != nil {
+				return err
+			}
+			in := orwl.NewHandle2()
+			if err := ctx.ReadInsert(in, orwl.Loc(ctx.TID(), locIn), 1); err != nil {
+				return err
+			}
+			out, err := writeOwn(ctx, locOut, stripBytes)
+			if err != nil {
+				return err
+			}
+			if err := ctx.Schedule(); err != nil {
+				return err
+			}
+			model, err := NewGMM(w, rows)
+			if err != nil {
+				return err
+			}
+			strip := make([]byte, stripBytes)
+			for f := 0; f < frames; f++ {
+				if err := in.Section(func(buf []byte) error {
+					copy(strip, buf)
+					return nil
+				}); err != nil {
+					return err
+				}
+				if err := out.Section(func(buf []byte) error {
+					return model.Process(strip, buf)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	// morphStage builds the body of a full-frame mask filter stage.
+	morphStage := func(from int, filter func(in, out []byte) error) func(*orwl.TaskContext) error {
+		return func(ctx *orwl.TaskContext) error {
+			in, err := readOut(ctx, from)
+			if err != nil {
+				return err
+			}
+			out, err := writeOwn(ctx, locOut, frameBytes)
+			if err != nil {
+				return err
+			}
+			if err := ctx.Schedule(); err != nil {
+				return err
+			}
+			mask := make([]byte, frameBytes)
+			for f := 0; f < frames; f++ {
+				if err := in.Section(func(buf []byte) error {
+					copy(mask, buf)
+					return nil
+				}); err != nil {
+					return err
+				}
+				if err := out.Section(func(buf []byte) error {
+					return filter(mask, buf)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	bodies[cfg.taskErode()] = morphStage(cfg.taskGMM(), func(in, out []byte) error {
+		return Erode(in, out, w, h)
+	})
+	for d := 0; d < cfg.Dilates; d++ {
+		from := cfg.taskErode()
+		if d > 0 {
+			from = cfg.taskDilate(d - 1)
+		}
+		bodies[cfg.taskDilate(d)] = morphStage(from, func(in, out []byte) error {
+			return Dilate(in, out, w, h)
+		})
+	}
+
+	bodies[cfg.taskCCL()] = func(ctx *orwl.TaskContext) error {
+		in, err := readOut(ctx, cfg.taskDilate(cfg.Dilates-1))
+		if err != nil {
+			return err
+		}
+		out, err := writeOwn(ctx, locOut, headerBytes+compCapacity*componentBytes)
+		if err != nil {
+			return err
+		}
+		toWorker := make([]*orwl.Handle, cfg.CCLSplits)
+		fromWorker := make([]*orwl.Handle, cfg.CCLSplits)
+		for i := range toWorker {
+			toWorker[i] = orwl.NewHandle2()
+			if err := ctx.WriteInsert(toWorker[i], orwl.Loc(cfg.taskCCLWorker(i), locIn), 0); err != nil {
+				return err
+			}
+			fromWorker[i] = orwl.NewHandle2()
+			if err := ctx.ReadInsert(fromWorker[i], orwl.Loc(cfg.taskCCLWorker(i), locOut), 1); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		mask := make([]byte, frameBytes)
+		strips := make([]*StripLabels, cfg.CCLSplits)
+		for f := 0; f < frames; f++ {
+			if err := in.Section(func(buf []byte) error {
+				copy(mask, buf)
+				return nil
+			}); err != nil {
+				return err
+			}
+			for i := 0; i < cfg.CCLSplits; i++ {
+				lo, hi := cclOffs[i]*w, cclOffs[i+1]*w
+				if err := toWorker[i].Section(func(buf []byte) error {
+					copy(buf, mask[lo:hi])
+					return nil
+				}); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < cfg.CCLSplits; i++ {
+				i := i
+				if err := fromWorker[i].Section(func(buf []byte) error {
+					var err error
+					strips[i], err = decodeStripLabels(buf, w)
+					return err
+				}); err != nil {
+					return err
+				}
+			}
+			comps := MergeStrips(strips)
+			if err := out.Section(func(buf []byte) error {
+				return encodeComponents(buf, comps)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < cfg.CCLSplits; i++ {
+		i := i
+		bodies[cfg.taskCCLWorker(i)] = func(ctx *orwl.TaskContext) error {
+			rows := cclOffs[i+1] - cclOffs[i]
+			stripBytes := rows * w
+			if err := ctx.Scale(locIn, stripBytes); err != nil {
+				return err
+			}
+			in := orwl.NewHandle2()
+			if err := ctx.ReadInsert(in, orwl.Loc(ctx.TID(), locIn), 1); err != nil {
+				return err
+			}
+			out, err := writeOwn(ctx, locOut, stripLabelBytes)
+			if err != nil {
+				return err
+			}
+			if err := ctx.Schedule(); err != nil {
+				return err
+			}
+			strip := make([]byte, stripBytes)
+			for f := 0; f < frames; f++ {
+				if err := in.Section(func(buf []byte) error {
+					copy(strip, buf)
+					return nil
+				}); err != nil {
+					return err
+				}
+				sl, err := LabelStrip(strip, w, rows, cclOffs[i])
+				if err != nil {
+					return err
+				}
+				if err := out.Section(func(buf []byte) error {
+					return encodeStripLabels(buf, sl, w)
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	bodies[cfg.taskTracking()] = func(ctx *orwl.TaskContext) error {
+		in, err := readOut(ctx, cfg.taskCCL())
+		if err != nil {
+			return err
+		}
+		out, err := writeOwn(ctx, locOut, headerBytes+trackCap*trackBytes)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		tracker := NewTracker(cfg.MinArea, cfg.MaxDist)
+		for f := 0; f < frames; f++ {
+			var comps []Component
+			if err := in.Section(func(buf []byte) error {
+				var err error
+				comps, err = decodeComponents(buf)
+				return err
+			}); err != nil {
+				return err
+			}
+			tracks := tracker.Update(comps)
+			if err := out.Section(func(buf []byte) error {
+				return encodeTracks(buf, tracks)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	bodies[cfg.taskConsumer()] = func(ctx *orwl.TaskContext) error {
+		in, err := readOut(ctx, cfg.taskTracking())
+		if err != nil {
+			return err
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		for f := 0; f < frames; f++ {
+			if err := in.Section(func(buf []byte) error {
+				tracks, err := decodeTracks(buf)
+				if err != nil {
+					return err
+				}
+				results[f] = tracks
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := prog.RunTasks(bodies); err != nil {
+		return nil, nil, err
+	}
+	return results, res, nil
+}

@@ -1,0 +1,286 @@
+package tracking
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Config fixes the pipeline structure. The paper's configuration
+// (Fig. 3) uses 16 GMM sub-tasks, 4 CCL sub-tasks and a chain of 4
+// dilate tasks, for 30 tasks in total.
+type Config struct {
+	Size      Size
+	GMMSplits int
+	CCLSplits int
+	Dilates   int
+	// MinArea and MaxDist parameterise the tracker.
+	MinArea int64
+	MaxDist float64
+	// Objects and Seed parameterise the synthetic source.
+	Objects int
+	Seed    int64
+}
+
+// PaperConfig returns the 30-task configuration of Figs. 1-3 at the
+// given resolution.
+func PaperConfig(size Size) Config {
+	return Config{
+		Size:      size,
+		GMMSplits: 16,
+		CCLSplits: 4,
+		Dilates:   4,
+		MinArea:   64,
+		MaxDist:   64,
+		Objects:   6,
+		Seed:      2017,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Size.W < 8 || c.Size.H < 8 {
+		return fmt.Errorf("tracking: frame %v too small", c.Size)
+	}
+	if c.GMMSplits < 1 || c.GMMSplits > c.Size.H {
+		return fmt.Errorf("tracking: GMM splits %d out of range", c.GMMSplits)
+	}
+	if c.CCLSplits < 1 || c.CCLSplits > c.Size.H {
+		return fmt.Errorf("tracking: CCL splits %d out of range", c.CCLSplits)
+	}
+	if c.Dilates < 1 {
+		return fmt.Errorf("tracking: need at least one dilate stage")
+	}
+	if c.Objects < 0 || c.MinArea < 0 || c.MaxDist < 0 {
+		return fmt.Errorf("tracking: negative tracker/source parameters")
+	}
+	return nil
+}
+
+// NumTasks returns the DFG task count: producer, GMM master, erode,
+// the dilate chain, CCL master, tracking, consumer, plus the GMM and
+// CCL sub-tasks.
+func (c Config) NumTasks() int { return 6 + c.Dilates + c.GMMSplits + c.CCLSplits }
+
+// Task ids within the DFG, matching Fig. 2's numbering for the paper
+// configuration.
+func (c Config) taskProducer() int       { return 0 }
+func (c Config) taskGMM() int            { return 1 }
+func (c Config) taskErode() int          { return 2 }
+func (c Config) taskDilate(i int) int    { return 3 + i }
+func (c Config) taskCCL() int            { return 3 + c.Dilates }
+func (c Config) taskTracking() int       { return 4 + c.Dilates }
+func (c Config) taskConsumer() int       { return 5 + c.Dilates }
+func (c Config) taskGMMWorker(i int) int { return 6 + c.Dilates + i }
+func (c Config) taskCCLWorker(i int) int { return 6 + c.Dilates + c.GMMSplits + i }
+
+// TaskNames returns a display name per task id (for Fig. 2 rendering).
+func (c Config) TaskNames() []string {
+	names := make([]string, c.NumTasks())
+	names[c.taskProducer()] = "producer"
+	names[c.taskGMM()] = "gmm"
+	names[c.taskErode()] = "erode"
+	for i := 0; i < c.Dilates; i++ {
+		names[c.taskDilate(i)] = "dilate"
+	}
+	names[c.taskCCL()] = "ccl"
+	names[c.taskTracking()] = "tracking"
+	names[c.taskConsumer()] = "consumer"
+	for i := 0; i < c.GMMSplits; i++ {
+		names[c.taskGMMWorker(i)] = "gmm split"
+	}
+	for i := 0; i < c.CCLSplits; i++ {
+		names[c.taskCCLWorker(i)] = "ccl split"
+	}
+	return names
+}
+
+// stripRows partitions the frame height into near-equal strips and
+// returns the row offsets (length parts+1).
+func stripRows(h, parts int) []int {
+	offs := make([]int, parts+1)
+	base, extra := h/parts, h%parts
+	for i := 0; i < parts; i++ {
+		offs[i+1] = offs[i] + base
+		if i < extra {
+			offs[i+1]++
+		}
+	}
+	return offs
+}
+
+// RunSerial processes `frames` frames sequentially and returns the
+// per-frame track lists — the reference output every parallel
+// implementation must reproduce, and the "Sequential" series of Fig. 6.
+func RunSerial(cfg Config, frames int) ([][]Track, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if frames < 0 {
+		return nil, fmt.Errorf("tracking: negative frame count")
+	}
+	src, err := NewSource(cfg.Size, cfg.Objects, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w, h := cfg.Size.W, cfg.Size.H
+	// The GMM state is banded exactly like the parallel version so the
+	// outputs agree bitwise (the model is per-pixel, so banding is only
+	// an ownership question).
+	gmmOffs := stripRows(h, cfg.GMMSplits)
+	gmms := make([]*GMM, cfg.GMMSplits)
+	for i := range gmms {
+		gmms[i], err = NewGMM(w, gmmOffs[i+1]-gmmOffs[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	cclOffs := stripRows(h, cfg.CCLSplits)
+	tracker := NewTracker(cfg.MinArea, cfg.MaxDist)
+
+	frame := make([]byte, w*h)
+	mask := make([]byte, w*h)
+	tmp := make([]byte, w*h)
+	var results [][]Track
+	for f := 0; f < frames; f++ {
+		if err := src.Frame(f, frame); err != nil {
+			return nil, err
+		}
+		for i := range gmms {
+			lo, hi := gmmOffs[i]*w, gmmOffs[i+1]*w
+			if err := gmms[i].Process(frame[lo:hi], mask[lo:hi]); err != nil {
+				return nil, err
+			}
+		}
+		if err := Erode(mask, tmp, w, h); err != nil {
+			return nil, err
+		}
+		mask, tmp = tmp, mask
+		for d := 0; d < cfg.Dilates; d++ {
+			if err := Dilate(mask, tmp, w, h); err != nil {
+				return nil, err
+			}
+			mask, tmp = tmp, mask
+		}
+		strips := make([]*StripLabels, cfg.CCLSplits)
+		for i := range strips {
+			lo, hi := cclOffs[i]*w, cclOffs[i+1]*w
+			strips[i], err = LabelStrip(mask[lo:hi], w, cclOffs[i+1]-cclOffs[i], cclOffs[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		comps := MergeStrips(strips)
+		results = append(results, tracker.Update(comps))
+	}
+	return results, nil
+}
+
+// RunForkJoin is the OpenMP-style implementation of §VI-B3: each
+// pipeline stage is executed for the whole frame before the next
+// starts, with a parallel-for (static chunks over `workers` goroutines)
+// inside every data-parallel stage. There is no pipelining across
+// frames, which is the structural handicap against the ORWL DFG.
+func RunForkJoin(cfg Config, frames, workers int) ([][]Track, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if frames < 0 || workers < 1 {
+		return nil, fmt.Errorf("tracking: invalid frames/workers %d/%d", frames, workers)
+	}
+	src, err := NewSource(cfg.Size, cfg.Objects, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	w, h := cfg.Size.W, cfg.Size.H
+	gmmOffs := stripRows(h, cfg.GMMSplits)
+	gmms := make([]*GMM, cfg.GMMSplits)
+	for i := range gmms {
+		gmms[i], err = NewGMM(w, gmmOffs[i+1]-gmmOffs[i])
+		if err != nil {
+			return nil, err
+		}
+	}
+	cclOffs := stripRows(h, cfg.CCLSplits)
+	rowOffs := stripRows(h, workers)
+	tracker := NewTracker(cfg.MinArea, cfg.MaxDist)
+
+	parallel := func(parts int, body func(i int) error) error {
+		var wg sync.WaitGroup
+		errs := make([]error, parts)
+		for i := 0; i < parts; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = body(i)
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+		return nil
+	}
+
+	frame := make([]byte, w*h)
+	mask := make([]byte, w*h)
+	tmp := make([]byte, w*h)
+	var results [][]Track
+	for f := 0; f < frames; f++ {
+		if err := src.Frame(f, frame); err != nil {
+			return nil, err
+		}
+		if err := parallel(cfg.GMMSplits, func(i int) error {
+			lo, hi := gmmOffs[i]*w, gmmOffs[i+1]*w
+			return gmms[i].Process(frame[lo:hi], mask[lo:hi])
+		}); err != nil {
+			return nil, err
+		}
+		if err := parallel(workers, func(i int) error {
+			ErodeRows(mask, tmp, w, h, rowOffs[i], rowOffs[i+1])
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		mask, tmp = tmp, mask
+		for d := 0; d < cfg.Dilates; d++ {
+			if err := parallel(workers, func(i int) error {
+				DilateRows(mask, tmp, w, h, rowOffs[i], rowOffs[i+1])
+				return nil
+			}); err != nil {
+				return nil, err
+			}
+			mask, tmp = tmp, mask
+		}
+		strips := make([]*StripLabels, cfg.CCLSplits)
+		if err := parallel(cfg.CCLSplits, func(i int) error {
+			lo, hi := cclOffs[i]*w, cclOffs[i+1]*w
+			var err error
+			strips[i], err = LabelStrip(mask[lo:hi], w, cclOffs[i+1]-cclOffs[i], cclOffs[i])
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		results = append(results, tracker.Update(MergeStrips(strips)))
+	}
+	return results, nil
+}
+
+// TracksEqual compares two per-frame track lists exactly.
+func TracksEqual(a, b [][]Track) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f := range a {
+		if len(a[f]) != len(b[f]) {
+			return false
+		}
+		for i := range a[f] {
+			if a[f][i] != b[f][i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+package tracking
+
+import (
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/perfsim"
+)
+
+// Per-pixel cycle weights of the stages, calibrated so the stage mix
+// matches the paper's description: GMM and CCL are the expensive
+// bottleneck stages (hence split 16 and 4 ways), erode/dilate are
+// cheaper full-frame filters.
+const (
+	cyclesPerPxProducer = 2
+	cyclesPerPxGMM      = 24
+	cyclesPerPxMorph    = 7
+	cyclesPerPxCCL      = 14
+	cyclesPerPxMerge    = 0.4
+	cyclesTracking      = 200_000
+	cyclesConsumer      = 50_000
+)
+
+// CommMatrix derives the per-frame communication matrix of the DFG —
+// the structure rendered in Fig. 1. It matches what the ORWL runtime
+// extracts from the task-location graph at schedule time.
+func (c Config) CommMatrix() (*comm.Matrix, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	frameBytes := float64(c.Size.Pixels())
+	m := comm.NewMatrix(c.NumTasks())
+	// Pipeline spine.
+	m.AddSym(c.taskProducer(), c.taskGMM(), frameBytes)
+	m.AddSym(c.taskGMM(), c.taskErode(), frameBytes)
+	prev := c.taskErode()
+	for d := 0; d < c.Dilates; d++ {
+		m.AddSym(prev, c.taskDilate(d), frameBytes)
+		prev = c.taskDilate(d)
+	}
+	m.AddSym(prev, c.taskCCL(), frameBytes)
+	compBytes := float64(headerBytes + compCapacity*componentBytes)
+	m.AddSym(c.taskCCL(), c.taskTracking(), compBytes)
+	m.AddSym(c.taskTracking(), c.taskConsumer(), float64(headerBytes+trackCap*trackBytes))
+	// Split-merge stars.
+	for i := 0; i < c.GMMSplits; i++ {
+		strip := frameBytes / float64(c.GMMSplits)
+		m.AddSym(c.taskGMM(), c.taskGMMWorker(i), 2*strip) // in + out
+	}
+	for i := 0; i < c.CCLSplits; i++ {
+		strip := frameBytes / float64(c.CCLSplits)
+		m.AddSym(c.taskCCL(), c.taskCCLWorker(i), strip+compBytes)
+	}
+	return m, nil
+}
+
+// Profile builds the perfsim workload of the DFG processing `frames`
+// frames. The pipeline runs in steady state, so the modeled throughput
+// is set by the slowest stage under the chosen placement.
+func (c Config) Profile(frames int) (*perfsim.Workload, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("tracking: need at least one frame")
+	}
+	m, err := c.CommMatrix()
+	if err != nil {
+		return nil, err
+	}
+	px := float64(c.Size.Pixels())
+	frameB := px
+	threads := make([]perfsim.Thread, c.NumTasks())
+	set := func(id int, cycles, ws, traffic float64) {
+		threads[id] = perfsim.Thread{ComputeCycles: cycles, WorkingSet: ws, MemoryTraffic: traffic}
+	}
+	set(c.taskProducer(), cyclesPerPxProducer*px, frameB, frameB)
+	// The GMM master only scatters and gathers strips.
+	set(c.taskGMM(), 0.5*px, 2*frameB, 2*frameB)
+	set(c.taskErode(), cyclesPerPxMorph*px, 2*frameB, 2*frameB)
+	for d := 0; d < c.Dilates; d++ {
+		set(c.taskDilate(d), cyclesPerPxMorph*px, 2*frameB, 2*frameB)
+	}
+	set(c.taskCCL(), cyclesPerPxMerge*px, frameB, frameB)
+	set(c.taskTracking(), cyclesTracking, 1<<16, 1<<14)
+	set(c.taskConsumer(), cyclesConsumer, 1<<14, 1<<12)
+	for i := 0; i < c.GMMSplits; i++ {
+		strip := px / float64(c.GMMSplits)
+		// The background model is 8 bytes of state per pixel.
+		set(c.taskGMMWorker(i), cyclesPerPxGMM*strip, 9*strip, 9*strip)
+	}
+	for i := 0; i < c.CCLSplits; i++ {
+		strip := px / float64(c.CCLSplits)
+		// Labels are 4 bytes per pixel.
+		set(c.taskCCLWorker(i), cyclesPerPxCCL*strip, 5*strip, 5*strip)
+	}
+	return &perfsim.Workload{
+		Name:       fmt.Sprintf("tracking-%s", c.Size),
+		Threads:    threads,
+		Comm:       m,
+		Iterations: frames,
+		// One location per task plus one "in" per worker; a
+		// grant/release pair on each edge per frame.
+		ControlThreads:         c.NumTasks() + c.GMMSplits + c.CCLSplits,
+		ControlEventsPerIter:   float64(c.NumTasks()+c.GMMSplits+c.CCLSplits) * 2,
+		StartupContextSwitches: float64(2 * c.NumTasks()),
+	}, nil
+}
+
+// ProfileOpenMP models the fork-join implementation: the same stage
+// threads, but stages execute one after the other per frame (no
+// pipeline overlap), the OpenMP runtime deploys no per-location control
+// threads, and a barrier ends every stage.
+func (c Config) ProfileOpenMP(frames int) (*perfsim.Workload, error) {
+	w, err := c.Profile(frames)
+	if err != nil {
+		return nil, err
+	}
+	w.Name = fmt.Sprintf("tracking-omp-%s", c.Size)
+	w.ControlThreads = 0
+	stages := [][]int{{c.taskProducer()}}
+	gmmStage := []int{c.taskGMM()}
+	for i := 0; i < c.GMMSplits; i++ {
+		gmmStage = append(gmmStage, c.taskGMMWorker(i))
+	}
+	stages = append(stages, gmmStage, []int{c.taskErode()})
+	for d := 0; d < c.Dilates; d++ {
+		stages = append(stages, []int{c.taskDilate(d)})
+	}
+	cclStage := []int{c.taskCCL()}
+	for i := 0; i < c.CCLSplits; i++ {
+		cclStage = append(cclStage, c.taskCCLWorker(i))
+	}
+	stages = append(stages, cclStage, []int{c.taskTracking()}, []int{c.taskConsumer()})
+	w.Stages = stages
+	w.ControlEventsPerIter = float64(len(stages)) * 0.05 * float64(c.NumTasks())
+	// Frames and masks are shared arrays allocated by the main thread.
+	w.MasterAlloc = true
+	return w, nil
+}
+
+// ProfileSequential models the whole pipeline on a single thread (the
+// Sequential series of Fig. 6).
+func (c Config) ProfileSequential(frames int) (*perfsim.Workload, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("tracking: need at least one frame")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	px := float64(c.Size.Pixels())
+	total := cyclesPerPxProducer*px + 0.5*px +
+		cyclesPerPxMorph*px*float64(1+c.Dilates) +
+		cyclesPerPxGMM*px + cyclesPerPxCCL*px + cyclesPerPxMerge*px +
+		cyclesTracking + cyclesConsumer
+	return &perfsim.Workload{
+		Name:                   fmt.Sprintf("tracking-seq-%s", c.Size),
+		Threads:                []perfsim.Thread{{ComputeCycles: total, WorkingSet: 12 * px, MemoryTraffic: 14 * px}},
+		Comm:                   comm.NewMatrix(1),
+		Iterations:             frames,
+		StartupContextSwitches: 2,
+	}, nil
+}

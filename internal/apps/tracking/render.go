@@ -1,0 +1,41 @@
+package tracking
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderDFG draws the data-flow graph of the pipeline (the paper's
+// Fig. 3): nodes are tasks, edges are the locations they exchange data
+// through, with the GMM and CCL split-merge fans shown under their
+// master stages.
+func (c Config) RenderDFG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "video tracking DFG, %s, %d tasks\n", c.Size, c.NumTasks())
+	spine := []string{fmt.Sprintf("[%d:producer]", c.taskProducer())}
+	spine = append(spine, fmt.Sprintf("[%d:gmm]", c.taskGMM()))
+	spine = append(spine, fmt.Sprintf("[%d:erode]", c.taskErode()))
+	for d := 0; d < c.Dilates; d++ {
+		spine = append(spine, fmt.Sprintf("[%d:dilate]", c.taskDilate(d)))
+	}
+	spine = append(spine, fmt.Sprintf("[%d:ccl]", c.taskCCL()))
+	spine = append(spine, fmt.Sprintf("[%d:tracking]", c.taskTracking()))
+	spine = append(spine, fmt.Sprintf("[%d:consumer]", c.taskConsumer()))
+	b.WriteString(strings.Join(spine, " ==> "))
+	b.WriteByte('\n')
+	fan := func(master string, first, count int) {
+		fmt.Fprintf(&b, "%s <=> split{", master)
+		for i := 0; i < count; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%d", first+i)
+		}
+		b.WriteString("}\n")
+	}
+	fan(fmt.Sprintf("[%d:gmm]", c.taskGMM()), c.taskGMMWorker(0), c.GMMSplits)
+	fan(fmt.Sprintf("[%d:ccl]", c.taskCCL()), c.taskCCLWorker(0), c.CCLSplits)
+	fmt.Fprintf(&b, "edges carry one %s frame (%d bytes) per iteration; split edges carry strips\n",
+		c.Size, c.Size.Pixels())
+	return b.String()
+}

@@ -1,0 +1,408 @@
+package tracking
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GMM is a single-Gaussian per-pixel background model over a band of
+// rows (the foreground–background extraction of [16], simplified to
+// one mode). Each pixel keeps a running mean and variance; a pixel
+// whose squared deviation exceeds k²·variance is foreground. The state
+// is owned by whichever task processes the band, which is why the DFG
+// splits the stage into stateful sub-tasks rather than a stateless
+// parallel-for.
+type GMM struct {
+	w, rows int
+	mean    []float32
+	vari    []float32
+	alpha   float32 // learning rate
+	k2      float32 // squared deviation threshold factor
+}
+
+// NewGMM creates the model for a w-wide band of rows, initialised to a
+// dark background.
+func NewGMM(w, rows int) (*GMM, error) {
+	if w < 1 || rows < 1 {
+		return nil, fmt.Errorf("tracking: GMM band %dx%d invalid", w, rows)
+	}
+	g := &GMM{
+		w: w, rows: rows,
+		mean:  make([]float32, w*rows),
+		vari:  make([]float32, w*rows),
+		alpha: 0.05,
+		k2:    9, // k = 3 sigmas
+	}
+	for i := range g.mean {
+		g.mean[i] = 25
+		g.vari[i] = 36
+	}
+	return g, nil
+}
+
+// Process classifies the band's pixels into out (255 = foreground) and
+// updates the background model with the background pixels.
+func (g *GMM) Process(in, out []byte) error {
+	if len(in) != g.w*g.rows || len(out) != g.w*g.rows {
+		return fmt.Errorf("tracking: GMM band size mismatch (%d/%d, want %d)",
+			len(in), len(out), g.w*g.rows)
+	}
+	for i, px := range in {
+		x := float32(px)
+		d := x - g.mean[i]
+		if d*d > g.k2*g.vari[i] {
+			out[i] = 255
+			// Absorb persistent changes slowly, so a parked object or a
+			// lighting change eventually becomes background (standard
+			// background-maintenance behaviour).
+			g.mean[i] += g.alpha / 4 * d
+			continue
+		}
+		out[i] = 0
+		g.mean[i] += g.alpha * d
+		g.vari[i] = (1-g.alpha)*g.vari[i] + g.alpha*d*d
+		if g.vari[i] < 4 {
+			g.vari[i] = 4
+		}
+	}
+	return nil
+}
+
+// Erode writes the 4-neighbourhood binary erosion of mask into out;
+// border pixels erode to background.
+func Erode(mask, out []byte, w, h int) error {
+	if len(mask) != w*h || len(out) != w*h {
+		return fmt.Errorf("tracking: erode size mismatch")
+	}
+	ErodeRows(mask, out, w, h, 0, h)
+	return nil
+}
+
+// ErodeRows erodes rows [r0, r1), reading neighbour rows from mask —
+// the parallel-for body of the fork-join implementation.
+func ErodeRows(mask, out []byte, w, h, r0, r1 int) {
+	for y := r0; y < r1; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			if mask[i] == 0 || x == 0 || x == w-1 || y == 0 || y == h-1 {
+				out[i] = 0
+				continue
+			}
+			if mask[i-1] != 0 && mask[i+1] != 0 && mask[i-w] != 0 && mask[i+w] != 0 {
+				out[i] = 255
+			} else {
+				out[i] = 0
+			}
+		}
+	}
+}
+
+// Dilate writes the 4-neighbourhood binary dilation of mask into out.
+func Dilate(mask, out []byte, w, h int) error {
+	if len(mask) != w*h || len(out) != w*h {
+		return fmt.Errorf("tracking: dilate size mismatch")
+	}
+	DilateRows(mask, out, w, h, 0, h)
+	return nil
+}
+
+// DilateRows dilates rows [r0, r1), reading neighbour rows from mask.
+func DilateRows(mask, out []byte, w, h, r0, r1 int) {
+	for y := r0; y < r1; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			v := mask[i]
+			if v == 0 && x > 0 {
+				v = mask[i-1]
+			}
+			if v == 0 && x < w-1 {
+				v = mask[i+1]
+			}
+			if v == 0 && y > 0 {
+				v = mask[i-w]
+			}
+			if v == 0 && y < h-1 {
+				v = mask[i+w]
+			}
+			out[i] = v
+		}
+	}
+}
+
+// Component is one connected foreground region.
+type Component struct {
+	Area       int64
+	SumX, SumY int64
+	MinX, MinY int32
+	MaxX, MaxY int32
+}
+
+// CX returns the centroid x coordinate.
+func (c Component) CX() float64 { return float64(c.SumX) / float64(c.Area) }
+
+// CY returns the centroid y coordinate.
+func (c Component) CY() float64 { return float64(c.SumY) / float64(c.Area) }
+
+// merge absorbs other into c.
+func (c *Component) merge(other Component) {
+	c.Area += other.Area
+	c.SumX += other.SumX
+	c.SumY += other.SumY
+	if other.MinX < c.MinX {
+		c.MinX = other.MinX
+	}
+	if other.MinY < c.MinY {
+		c.MinY = other.MinY
+	}
+	if other.MaxX > c.MaxX {
+		c.MaxX = other.MaxX
+	}
+	if other.MaxY > c.MaxY {
+		c.MaxY = other.MaxY
+	}
+}
+
+// unionFind is a plain union-find over int32 ids.
+type unionFind struct{ parent []int32 }
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
+	}
+	return uf
+}
+
+func (u *unionFind) find(x int32) int32 {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int32) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		if ra < rb {
+			u.parent[rb] = ra
+		} else {
+			u.parent[ra] = rb
+		}
+	}
+}
+
+// StripLabels is the result of labelling one horizontal strip: the
+// components found and, for the boundary rows, which component each
+// foreground column belongs to (-1 for background). Coordinates are
+// global thanks to the strip's row offset.
+type StripLabels struct {
+	Comps  []Component
+	TopIDs []int32
+	BotIDs []int32
+}
+
+// LabelStrip performs two-pass 4-connected labelling on a strip of
+// `rows` mask rows whose first row is global row rowOff.
+func LabelStrip(mask []byte, w, rows, rowOff int) (*StripLabels, error) {
+	if len(mask) != w*rows {
+		return nil, fmt.Errorf("tracking: strip %d bytes, want %d", len(mask), w*rows)
+	}
+	labels := make([]int32, w*rows)
+	for i := range labels {
+		labels[i] = -1
+	}
+	uf := newUnionFind(w*rows/2 + 1)
+	var next int32
+	for y := 0; y < rows; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			if mask[i] == 0 {
+				continue
+			}
+			var left, up int32 = -1, -1
+			if x > 0 {
+				left = labels[i-1]
+			}
+			if y > 0 {
+				up = labels[i-w]
+			}
+			switch {
+			case left < 0 && up < 0:
+				labels[i] = next
+				next++
+			case left >= 0 && up < 0:
+				labels[i] = left
+			case left < 0 && up >= 0:
+				labels[i] = up
+			default:
+				labels[i] = left
+				uf.union(left, up)
+			}
+		}
+	}
+	// Resolve and accumulate.
+	rootComp := make(map[int32]int)
+	sl := &StripLabels{
+		TopIDs: make([]int32, w),
+		BotIDs: make([]int32, w),
+	}
+	for i := range sl.TopIDs {
+		sl.TopIDs[i] = -1
+		sl.BotIDs[i] = -1
+	}
+	for y := 0; y < rows; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			l := labels[row+x]
+			if l < 0 {
+				continue
+			}
+			root := uf.find(l)
+			ci, ok := rootComp[root]
+			if !ok {
+				ci = len(sl.Comps)
+				rootComp[root] = ci
+				sl.Comps = append(sl.Comps, Component{
+					MinX: int32(x), MinY: int32(y + rowOff),
+					MaxX: int32(x), MaxY: int32(y + rowOff),
+				})
+			}
+			c := &sl.Comps[ci]
+			c.Area++
+			c.SumX += int64(x)
+			c.SumY += int64(y + rowOff)
+			if int32(x) < c.MinX {
+				c.MinX = int32(x)
+			}
+			if int32(x) > c.MaxX {
+				c.MaxX = int32(x)
+			}
+			if int32(y+rowOff) > c.MaxY {
+				c.MaxY = int32(y + rowOff)
+			}
+			if y == 0 {
+				sl.TopIDs[x] = int32(ci)
+			}
+			if y == rows-1 {
+				sl.BotIDs[x] = int32(ci)
+			}
+		}
+	}
+	return sl, nil
+}
+
+// MergeStrips fuses per-strip labelling results into the global
+// component list, joining components that touch across strip
+// boundaries (4-connectivity: same column).
+func MergeStrips(strips []*StripLabels) []Component {
+	// Global component index: offset of each strip's components.
+	offsets := make([]int, len(strips)+1)
+	for i, s := range strips {
+		offsets[i+1] = offsets[i] + len(s.Comps)
+	}
+	uf := newUnionFind(offsets[len(strips)])
+	for s := 0; s+1 < len(strips); s++ {
+		bot, top := strips[s].BotIDs, strips[s+1].TopIDs
+		for x := 0; x < len(bot) && x < len(top); x++ {
+			if bot[x] >= 0 && top[x] >= 0 {
+				uf.union(int32(offsets[s])+bot[x], int32(offsets[s+1])+top[x])
+			}
+		}
+	}
+	merged := make(map[int32]*Component)
+	var order []int32
+	for s, strip := range strips {
+		for ci, c := range strip.Comps {
+			root := uf.find(int32(offsets[s] + ci))
+			if dst, ok := merged[root]; ok {
+				dst.merge(c)
+			} else {
+				cc := c
+				merged[root] = &cc
+				order = append(order, root)
+			}
+		}
+	}
+	out := make([]Component, 0, len(order))
+	for _, root := range order {
+		out = append(out, *merged[root])
+	}
+	SortComponents(out)
+	return out
+}
+
+// SortComponents orders components canonically (by bounding box, then
+// area) so different labelling strategies produce comparable lists.
+func SortComponents(cs []Component) {
+	sort.Slice(cs, func(a, b int) bool {
+		if cs[a].MinY != cs[b].MinY {
+			return cs[a].MinY < cs[b].MinY
+		}
+		if cs[a].MinX != cs[b].MinX {
+			return cs[a].MinX < cs[b].MinX
+		}
+		return cs[a].Area > cs[b].Area
+	})
+}
+
+// Track is one followed object.
+type Track struct {
+	ID     int32
+	CX, CY float64
+}
+
+// Tracker assigns stable ids to components across frames by greedy
+// nearest-centroid matching, as in occlusion-free multi-object
+// tracking.
+type Tracker struct {
+	nextID  int32
+	prev    []Track
+	maxDist float64
+	minArea int64
+}
+
+// NewTracker creates a tracker; components smaller than minArea are
+// ignored, and a component matches a previous track within maxDist
+// pixels.
+func NewTracker(minArea int64, maxDist float64) *Tracker {
+	return &Tracker{minArea: minArea, maxDist: maxDist}
+}
+
+// Update consumes the (canonically sorted) components of one frame and
+// returns the current tracks sorted by id.
+func (t *Tracker) Update(comps []Component) []Track {
+	used := make(map[int]bool)
+	var out []Track
+	for _, c := range comps {
+		if c.Area < t.minArea {
+			continue
+		}
+		cx, cy := c.CX(), c.CY()
+		best, bestD := -1, t.maxDist*t.maxDist
+		for pi, p := range t.prev {
+			if used[pi] {
+				continue
+			}
+			dx, dy := cx-p.CX, cy-p.CY
+			if d := dx*dx + dy*dy; d < bestD {
+				best, bestD = pi, d
+			}
+		}
+		var id int32
+		if best >= 0 {
+			used[best] = true
+			id = t.prev[best].ID
+		} else {
+			id = t.nextID
+			t.nextID++
+		}
+		out = append(out, Track{ID: id, CX: cx, CY: cy})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	t.prev = out
+	return out
+}

@@ -1,0 +1,532 @@
+package tracking
+
+import (
+	"testing"
+
+	"orwlplace/internal/topology"
+)
+
+// tinyConfig is a fast test pipeline: 64x48 frames, 4 GMM splits, 2 CCL
+// splits, 2 dilates (13 tasks).
+func tinyConfig() Config {
+	return Config{
+		Size:      Size{W: 64, H: 48},
+		GMMSplits: 4,
+		CCLSplits: 2,
+		Dilates:   2,
+		MinArea:   16,
+		MaxDist:   32,
+		Objects:   3,
+		Seed:      7,
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	if _, err := NewSource(Size{W: 4, H: 4}, 1, 0); err == nil {
+		t.Error("accepted tiny frame")
+	}
+	if _, err := NewSource(HD, -1, 0); err == nil {
+		t.Error("accepted negative objects")
+	}
+	src, err := NewSource(Size{W: 32, H: 32}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Frame(0, make([]byte, 7)); err == nil {
+		t.Error("accepted short buffer")
+	}
+}
+
+func TestSourceDeterministicAndMoving(t *testing.T) {
+	size := Size{W: 64, H: 48}
+	a, _ := NewSource(size, 3, 5)
+	b, _ := NewSource(size, 3, 5)
+	f1 := make([]byte, size.Pixels())
+	f2 := make([]byte, size.Pixels())
+	if err := a.Frame(3, f1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Frame(3, f2); err != nil {
+		t.Fatal(err)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatal("same seed, same frame differ")
+		}
+	}
+	if err := a.Frame(4, f2); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("objects do not move between frames")
+	}
+}
+
+func TestGMMDetectsBrightObject(t *testing.T) {
+	g, err := NewGMM(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg := make([]byte, 64)
+	for i := range bg {
+		bg[i] = 25
+	}
+	mask := make([]byte, 64)
+	// Warm up on the background.
+	for i := 0; i < 10; i++ {
+		if err := g.Process(bg, mask); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, v := range mask {
+		if v != 0 {
+			t.Fatal("background classified as foreground after warm-up")
+		}
+	}
+	// A bright pixel must be flagged.
+	frame := append([]byte(nil), bg...)
+	frame[27] = 220
+	if err := g.Process(frame, mask); err != nil {
+		t.Fatal(err)
+	}
+	if mask[27] != 255 {
+		t.Error("bright pixel not detected")
+	}
+	if mask[26] != 0 {
+		t.Error("background pixel misclassified")
+	}
+	if err := g.Process(bg[:8], mask); err == nil {
+		t.Error("accepted wrong band size")
+	}
+	if _, err := NewGMM(0, 5); err == nil {
+		t.Error("accepted zero width")
+	}
+}
+
+func TestErodeDilateSmallPatterns(t *testing.T) {
+	// A single pixel erodes away and dilates into a plus.
+	w, h := 5, 5
+	mask := make([]byte, w*h)
+	out := make([]byte, w*h)
+	mask[2*w+2] = 255
+	if err := Erode(mask, out, w, h); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("erode left pixel %d", i)
+		}
+	}
+	if err := Dilate(mask, out, w, h); err != nil {
+		t.Fatal(err)
+	}
+	wantOn := []int{2*w + 2, 1*w + 2, 3*w + 2, 2*w + 1, 2*w + 3}
+	on := 0
+	for _, v := range out {
+		if v != 0 {
+			on++
+		}
+	}
+	if on != len(wantOn) {
+		t.Errorf("dilate produced %d pixels, want %d", on, len(wantOn))
+	}
+	for _, i := range wantOn {
+		if out[i] == 0 {
+			t.Errorf("dilate missing pixel %d", i)
+		}
+	}
+	if err := Erode(mask, out[:3], w, h); err == nil {
+		t.Error("accepted short buffer")
+	}
+	if err := Dilate(mask[:3], out, w, h); err == nil {
+		t.Error("accepted short buffer")
+	}
+	// A solid 3x3 block survives erosion at its centre.
+	for y := 1; y <= 3; y++ {
+		for x := 1; x <= 3; x++ {
+			mask[y*w+x] = 255
+		}
+	}
+	if err := Erode(mask, out, w, h); err != nil {
+		t.Fatal(err)
+	}
+	if out[2*w+2] != 255 {
+		t.Error("block centre should survive erosion")
+	}
+}
+
+func TestLabelStripFindsComponents(t *testing.T) {
+	// Two separate blobs in one strip.
+	w, rows := 8, 4
+	mask := make([]byte, w*rows)
+	mask[1*w+1] = 255
+	mask[1*w+2] = 255
+	mask[2*w+1] = 255
+	mask[1*w+5] = 255
+	sl, err := LabelStrip(mask, w, rows, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(sl.Comps))
+	}
+	SortComponents(sl.Comps)
+	if sl.Comps[0].Area != 3 || sl.Comps[1].Area != 1 {
+		t.Errorf("areas = %d/%d", sl.Comps[0].Area, sl.Comps[1].Area)
+	}
+	// Global coordinates include the row offset.
+	if sl.Comps[0].MinY != 11 {
+		t.Errorf("MinY = %d, want 11", sl.Comps[0].MinY)
+	}
+	if _, err := LabelStrip(mask, w, 5, 0); err == nil {
+		t.Error("accepted wrong strip size")
+	}
+}
+
+func TestLabelStripUShapeMergesLabels(t *testing.T) {
+	// A U shape forces a label union in the second pass.
+	w, rows := 5, 3
+	mask := make([]byte, w*rows)
+	for _, i := range []int{0, 2, w, w + 2, 2 * w, 2*w + 1, 2*w + 2} {
+		mask[i] = 255
+	}
+	sl, err := LabelStrip(mask, w, rows, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Comps) != 1 {
+		t.Fatalf("components = %d, want 1 (U shape)", len(sl.Comps))
+	}
+	if sl.Comps[0].Area != 7 {
+		t.Errorf("area = %d, want 7", sl.Comps[0].Area)
+	}
+}
+
+func TestMergeStripsEqualsFullFrameLabeling(t *testing.T) {
+	// Random-ish blobs; label the full frame vs 3 strips + merge.
+	size := Size{W: 32, H: 24}
+	src, _ := NewSource(size, 4, 3)
+	frame := make([]byte, size.Pixels())
+	if err := src.Frame(5, frame); err != nil {
+		t.Fatal(err)
+	}
+	mask := make([]byte, size.Pixels())
+	for i, v := range frame {
+		if v > 100 {
+			mask[i] = 255
+		}
+	}
+	full, err := LabelStrip(mask, size.W, size.H, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantComps := append([]Component(nil), full.Comps...)
+	SortComponents(wantComps)
+
+	offs := stripRows(size.H, 3)
+	strips := make([]*StripLabels, 3)
+	for i := range strips {
+		lo, hi := offs[i]*size.W, offs[i+1]*size.W
+		strips[i], err = LabelStrip(mask[lo:hi], size.W, offs[i+1]-offs[i], offs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := MergeStrips(strips)
+	if len(got) != len(wantComps) {
+		t.Fatalf("merged %d components, want %d", len(got), len(wantComps))
+	}
+	for i := range got {
+		if got[i] != wantComps[i] {
+			t.Errorf("component %d = %+v, want %+v", i, got[i], wantComps[i])
+		}
+	}
+}
+
+func TestTrackerAssignsStableIDs(t *testing.T) {
+	tr := NewTracker(1, 10)
+	mk := func(x, y int64) Component {
+		return Component{Area: 4, SumX: 4 * x, SumY: 4 * y,
+			MinX: int32(x), MinY: int32(y), MaxX: int32(x), MaxY: int32(y)}
+	}
+	f1 := tr.Update([]Component{mk(10, 10), mk(50, 50)})
+	if len(f1) != 2 || f1[0].ID != 0 || f1[1].ID != 1 {
+		t.Fatalf("frame 1 tracks = %+v", f1)
+	}
+	// Objects move slightly: ids persist.
+	f2 := tr.Update([]Component{mk(12, 11), mk(52, 49)})
+	if len(f2) != 2 || f2[0].ID != 0 || f2[1].ID != 1 {
+		t.Fatalf("frame 2 tracks = %+v", f2)
+	}
+	// A new distant object gets a fresh id.
+	f3 := tr.Update([]Component{mk(12, 11), mk(52, 49), mk(100, 100)})
+	if len(f3) != 3 || f3[2].ID != 2 {
+		t.Fatalf("frame 3 tracks = %+v", f3)
+	}
+	// Tiny components are ignored.
+	f4 := tr.Update([]Component{{Area: 0}})
+	if len(f4) != 0 {
+		t.Fatalf("tiny component tracked: %+v", f4)
+	}
+}
+
+func TestCodecRoundTrips(t *testing.T) {
+	comps := []Component{
+		{Area: 5, SumX: 10, SumY: 20, MinX: 1, MinY: 2, MaxX: 3, MaxY: 4},
+		{Area: 1, SumX: -5, SumY: 7, MinX: 0, MinY: 0, MaxX: 0, MaxY: 0},
+	}
+	buf := make([]byte, headerBytes+4*componentBytes)
+	if err := encodeComponents(buf, comps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeComponents(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != comps[0] || got[1] != comps[1] {
+		t.Errorf("components round trip = %+v", got)
+	}
+	if err := encodeComponents(make([]byte, headerBytes+componentBytes), comps); err == nil {
+		t.Error("accepted overflow")
+	}
+	if _, err := decodeComponents([]byte{1}); err == nil {
+		t.Error("accepted short buffer")
+	}
+
+	sl := &StripLabels{Comps: comps, TopIDs: []int32{-1, 0, 1}, BotIDs: []int32{1, -1, -1}}
+	sbuf := make([]byte, headerBytes+4*componentBytes+2*4*3)
+	if err := encodeStripLabels(sbuf, sl, 3); err != nil {
+		t.Fatal(err)
+	}
+	gsl, err := decodeStripLabels(sbuf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gsl.Comps) != 2 || gsl.TopIDs[1] != 0 || gsl.BotIDs[0] != 1 || gsl.TopIDs[0] != -1 {
+		t.Errorf("strip labels round trip = %+v", gsl)
+	}
+	if err := encodeStripLabels(make([]byte, 20), sl, 3); err == nil {
+		t.Error("accepted tiny strip buffer")
+	}
+
+	tracks := []Track{{ID: 3, CX: 1.5, CY: -2.25}}
+	tbuf := make([]byte, headerBytes+2*trackBytes)
+	if err := encodeTracks(tbuf, tracks); err != nil {
+		t.Fatal(err)
+	}
+	gt, err := decodeTracks(tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gt) != 1 || gt[0] != tracks[0] {
+		t.Errorf("tracks round trip = %+v", gt)
+	}
+	if err := encodeTracks(make([]byte, headerBytes), tracks); err == nil {
+		t.Error("accepted track overflow")
+	}
+	if _, err := decodeTracks([]byte{0}); err == nil {
+		t.Error("accepted short track buffer")
+	}
+}
+
+func TestConfigValidateAndTaskIDs(t *testing.T) {
+	cfg := PaperConfig(HD)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTasks() != 30 {
+		t.Errorf("paper config tasks = %d, want 30", cfg.NumTasks())
+	}
+	// Fig. 2 numbering.
+	if cfg.taskProducer() != 0 || cfg.taskGMM() != 1 || cfg.taskErode() != 2 ||
+		cfg.taskDilate(0) != 3 || cfg.taskCCL() != 7 || cfg.taskTracking() != 8 ||
+		cfg.taskConsumer() != 9 || cfg.taskGMMWorker(0) != 10 || cfg.taskCCLWorker(0) != 26 {
+		t.Error("task numbering does not match Fig. 2")
+	}
+	names := cfg.TaskNames()
+	if names[0] != "producer" || names[10] != "gmm split" || names[29] != "ccl split" {
+		t.Error("task names wrong")
+	}
+	bad := cfg
+	bad.GMMSplits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero splits")
+	}
+	bad = cfg
+	bad.Dilates = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("accepted zero dilates")
+	}
+}
+
+func TestSerialProducesTracks(t *testing.T) {
+	res, err := RunSerial(tinyConfig(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 8 {
+		t.Fatalf("frames = %d", len(res))
+	}
+	tracked := 0
+	for _, tracks := range res {
+		tracked += len(tracks)
+	}
+	if tracked == 0 {
+		t.Error("no objects tracked over 8 frames")
+	}
+}
+
+func TestForkJoinMatchesSerial(t *testing.T) {
+	cfg := tinyConfig()
+	want, err := RunSerial(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		got, err := RunForkJoin(cfg, 6, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !TracksEqual(want, got) {
+			t.Errorf("workers=%d: fork-join diverges from serial", workers)
+		}
+	}
+	if _, err := RunForkJoin(cfg, 2, 0); err == nil {
+		t.Error("accepted zero workers")
+	}
+}
+
+func TestORWLMatchesSerial(t *testing.T) {
+	cfg := tinyConfig()
+	want, err := RunSerial(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := RunORWL(cfg, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TracksEqual(want, got) {
+		t.Error("ORWL DFG diverges from serial")
+	}
+	if res.Program.NumTasks() != cfg.NumTasks() {
+		t.Error("task count mismatch")
+	}
+}
+
+func TestORWLWithAffinity(t *testing.T) {
+	cfg := tinyConfig()
+	want, err := RunSerial(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res, err := RunORWL(cfg, 4, topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !TracksEqual(want, got) {
+		t.Error("affinity run diverges from serial")
+	}
+	if res.Module == nil || res.Module.Mapping() == nil {
+		t.Fatal("affinity module inactive")
+	}
+	// 13 tasks on 8 cores: oversubscribed mapping.
+	if !res.Module.Mapping().Oversubscribed {
+		t.Error("expected oversubscription on TinyFlat")
+	}
+	// The dependency matrix must contain the pipeline spine and the
+	// split stars.
+	m := res.Module.Matrix()
+	if m.At(cfg.taskProducer(), cfg.taskGMM()) == 0 {
+		t.Error("producer->gmm edge missing")
+	}
+	if m.At(cfg.taskGMM(), cfg.taskGMMWorker(0)) == 0 {
+		t.Error("gmm->worker edge missing")
+	}
+	if m.At(cfg.taskGMMWorker(0), cfg.taskGMM()) == 0 {
+		t.Error("worker->gmm edge missing")
+	}
+}
+
+func TestORWLZeroFrames(t *testing.T) {
+	got, _, err := RunORWL(tinyConfig(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Error("zero frames should give no results")
+	}
+	if _, _, err := RunORWL(tinyConfig(), -1, nil); err == nil {
+		t.Error("accepted negative frames")
+	}
+}
+
+func TestCommMatrixShape(t *testing.T) {
+	cfg := PaperConfig(HD)
+	m, err := cfg.CommMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Order() != 30 {
+		t.Fatalf("order = %d", m.Order())
+	}
+	frameBytes := float64(HD.Pixels())
+	if m.At(0, 1) != frameBytes {
+		t.Errorf("producer->gmm volume = %g", m.At(0, 1))
+	}
+	// GMM worker star: 2 strips per worker.
+	if m.At(1, 10) != 2*frameBytes/16 {
+		t.Errorf("gmm->worker volume = %g", m.At(1, 10))
+	}
+	// No direct producer->erode edge.
+	if m.At(0, 2) != 0 {
+		t.Error("spurious edge")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	cfg := PaperConfig(FullHD)
+	w, err := cfg.Profile(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Threads) != 30 {
+		t.Errorf("threads = %d", len(w.Threads))
+	}
+	if w.ControlThreads == 0 {
+		t.Error("DFG profile needs control threads")
+	}
+	// GMM workers are the heaviest single-strip workers; erode carries
+	// a full frame.
+	if w.Threads[10].ComputeCycles <= 0 || w.Threads[2].ComputeCycles <= 0 {
+		t.Error("stage cycles missing")
+	}
+	seq, err := cfg.ProfileSequential(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Threads) != 1 {
+		t.Error("sequential profile should be single-threaded")
+	}
+	// The sequential thread does more work per frame than any single
+	// pipeline stage.
+	if seq.Threads[0].ComputeCycles <= w.Threads[10].ComputeCycles {
+		t.Error("sequential profile too light")
+	}
+	if _, err := cfg.Profile(0); err == nil {
+		t.Error("accepted zero frames")
+	}
+	if _, err := cfg.ProfileSequential(0); err == nil {
+		t.Error("accepted zero frames")
+	}
+}

@@ -1,0 +1,76 @@
+// Package bind pins the calling goroutine's OS thread to processing
+// units, playing hwloc's thread-binding role (hwloc_set_thread_cpubind)
+// on the live runtime.
+//
+// Go schedules goroutines across OS threads, so a meaningful binding
+// first locks the goroutine to its current thread (runtime.LockOSThread)
+// and then restricts that thread's CPU affinity mask. This works on
+// Linux; on other platforms the calls degrade to recorded no-ops so the
+// affinity module stays portable, which mirrors the paper's stance that
+// binding is an optimisation the application must never depend on.
+package bind
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Binding tracks the bound state of the calling goroutine.
+type Binding struct {
+	mu     sync.Mutex
+	locked bool
+	cpus   []int
+}
+
+// Supported reports whether real OS-thread binding is available on this
+// platform.
+func Supported() bool { return platformSupported }
+
+// BindCurrent locks the calling goroutine to its OS thread and
+// restricts the thread to the given PU OS indexes. It returns the
+// Binding handle for Unbind. On unsupported platforms the binding is
+// recorded but no system call is made, and err is nil.
+func BindCurrent(cpus ...int) (*Binding, error) {
+	if len(cpus) == 0 {
+		return nil, fmt.Errorf("bind: empty CPU set")
+	}
+	for _, c := range cpus {
+		if c < 0 {
+			return nil, fmt.Errorf("bind: negative CPU id %d", c)
+		}
+	}
+	runtime.LockOSThread()
+	b := &Binding{locked: true, cpus: append([]int(nil), cpus...)}
+	if err := setAffinity(cpus); err != nil {
+		runtime.UnlockOSThread()
+		b.locked = false
+		return nil, fmt.Errorf("bind: %w", err)
+	}
+	return b, nil
+}
+
+// CPUs returns the PU OS indexes of the binding.
+func (b *Binding) CPUs() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]int(nil), b.cpus...)
+}
+
+// Unbind releases the OS thread (and, where supported, restores an
+// unrestricted affinity mask). It is idempotent.
+func (b *Binding) Unbind() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.locked {
+		return nil
+	}
+	err := clearAffinity()
+	runtime.UnlockOSThread()
+	b.locked = false
+	return err
+}
+
+// Current returns the PU OS indexes the calling thread may run on, or
+// nil on unsupported platforms.
+func Current() ([]int, error) { return getAffinity() }

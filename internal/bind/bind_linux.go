@@ -1,0 +1,91 @@
+//go:build linux
+
+package bind
+
+import (
+	"runtime"
+	"syscall"
+	"unsafe"
+)
+
+const platformSupported = true
+
+// cpuSetWords is the size of the kernel cpu_set_t in 64-bit words
+// (1024 CPUs).
+const cpuSetWords = 16
+
+type cpuSet [cpuSetWords]uint64
+
+func (s *cpuSet) set(cpu int) {
+	if cpu >= 0 && cpu < cpuSetWords*64 {
+		s[cpu/64] |= 1 << uint(cpu%64)
+	}
+}
+
+func (s *cpuSet) isSet(cpu int) bool {
+	if cpu < 0 || cpu >= cpuSetWords*64 {
+		return false
+	}
+	return s[cpu/64]&(1<<uint(cpu%64)) != 0
+}
+
+func schedSetaffinity(set *cpuSet) error {
+	// pid 0 = the calling thread.
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, unsafe.Sizeof(*set), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func schedGetaffinity(set *cpuSet) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, unsafe.Sizeof(*set), uintptr(unsafe.Pointer(set)))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+func setAffinity(cpus []int) error {
+	var set cpuSet
+	any := false
+	for _, c := range cpus {
+		if c < runtime.NumCPU() {
+			set.set(c)
+			any = true
+		}
+	}
+	if !any {
+		// The requested PUs do not exist on this host (e.g. binding for
+		// a simulated 96-core machine on a laptop): fall back to the
+		// full mask rather than EINVAL, keeping binding best-effort.
+		for c := 0; c < runtime.NumCPU(); c++ {
+			set.set(c)
+		}
+	}
+	return schedSetaffinity(&set)
+}
+
+func clearAffinity() error {
+	var set cpuSet
+	for c := 0; c < runtime.NumCPU(); c++ {
+		set.set(c)
+	}
+	return schedSetaffinity(&set)
+}
+
+func getAffinity() ([]int, error) {
+	var set cpuSet
+	if err := schedGetaffinity(&set); err != nil {
+		return nil, err
+	}
+	var out []int
+	for c := 0; c < cpuSetWords*64; c++ {
+		if set.isSet(c) {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}

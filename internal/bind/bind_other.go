@@ -1,0 +1,11 @@
+//go:build !linux
+
+package bind
+
+const platformSupported = false
+
+func setAffinity(cpus []int) error { return nil }
+
+func clearAffinity() error { return nil }
+
+func getAffinity() ([]int, error) { return nil, nil }

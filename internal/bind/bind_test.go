@@ -1,0 +1,88 @@
+package bind
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestBindCurrentValidation(t *testing.T) {
+	if _, err := BindCurrent(); err == nil {
+		t.Error("accepted empty CPU set")
+	}
+	if _, err := BindCurrent(-1); err == nil {
+		t.Error("accepted negative CPU id")
+	}
+}
+
+func TestBindUnbindRoundTrip(t *testing.T) {
+	b, err := BindCurrent(0)
+	if err != nil {
+		t.Fatalf("BindCurrent: %v", err)
+	}
+	if got := b.CPUs(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("CPUs = %v", got)
+	}
+	if Supported() {
+		cur, err := Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cur) != 1 || cur[0] != 0 {
+			t.Errorf("thread affinity = %v, want [0]", cur)
+		}
+	}
+	if err := b.Unbind(); err != nil {
+		t.Fatalf("Unbind: %v", err)
+	}
+	if err := b.Unbind(); err != nil {
+		t.Errorf("second Unbind should be a no-op: %v", err)
+	}
+	if Supported() {
+		cur, err := Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cur) != runtime.NumCPU() {
+			t.Errorf("after unbind affinity covers %d CPUs, want %d", len(cur), runtime.NumCPU())
+		}
+	}
+}
+
+func TestBindOutOfRangeFallsBack(t *testing.T) {
+	// Binding to a PU of a larger simulated machine must not fail: it
+	// degrades to the full host mask.
+	b, err := BindCurrent(runtime.NumCPU() + 500)
+	if err != nil {
+		t.Fatalf("out-of-range bind should degrade, got %v", err)
+	}
+	defer b.Unbind()
+	if Supported() {
+		cur, err := Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cur) == 0 {
+			t.Error("fallback mask empty")
+		}
+	}
+}
+
+func TestBindMultipleCPUs(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("single-CPU host")
+	}
+	b, err := BindCurrent(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Unbind()
+	if Supported() {
+		cur, err := Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cur) != 2 {
+			t.Errorf("affinity = %v, want [0 1]", cur)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package comm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write writes the matrix in the plain text format accepted by Read:
+// the order on the first line, then one whitespace-separated row per
+// line.
+func (m *Matrix) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, m.n); err != nil {
+		return err
+	}
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(m.At(i, j), 'g', -1, 64)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a matrix in the format produced by Write. Blank lines
+// and lines starting with '#' are ignored.
+func Read(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	next := func() (string, bool) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	head, ok := next()
+	if !ok {
+		return nil, fmt.Errorf("comm: empty input")
+	}
+	n, err := strconv.Atoi(head)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("comm: bad order line %q", head)
+	}
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		line, ok := next()
+		if !ok {
+			return nil, fmt.Errorf("comm: missing row %d", i)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != n {
+			return nil, fmt.Errorf("comm: row %d has %d entries, want %d", i, len(fields), n)
+		}
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("comm: row %d col %d: %w", i, j, err)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("comm: read: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,97 @@
+package comm
+
+import "math/rand"
+
+// Pattern generators produce the communication structures exercised by
+// the paper's applications and by the ablation benchmarks.
+
+// Ring returns the matrix of a pipeline/ring of n entities where entity
+// i sends volume bytes to entity (i+1) mod n. With wrap=false the last
+// link is omitted (a pure pipeline, like Listing 1 of the paper).
+func Ring(n int, volume float64, wrap bool) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		j := i + 1
+		if j == n {
+			if !wrap {
+				break
+			}
+			j = 0
+		}
+		m.Set(i, j, volume)
+	}
+	return m
+}
+
+// Stencil2D returns the matrix of a bx x by block decomposition of a 2-D
+// stencil: blocks exchange border rows/columns with their N/S/E/W
+// neighbours. rowVolume is the volume of a horizontal border (exchanged
+// with N/S), colVolume of a vertical border (E/W). Entities are numbered
+// row-major.
+func Stencil2D(bx, by int, rowVolume, colVolume float64) *Matrix {
+	n := bx * by
+	m := NewMatrix(n)
+	id := func(x, y int) int { return y*bx + x }
+	for y := 0; y < by; y++ {
+		for x := 0; x < bx; x++ {
+			if y+1 < by {
+				m.AddSym(id(x, y), id(x, y+1), rowVolume)
+			}
+			if x+1 < bx {
+				m.AddSym(id(x, y), id(x+1, y), colVolume)
+			}
+		}
+	}
+	return m
+}
+
+// Uniform returns an all-to-all matrix with the given off-diagonal
+// volume.
+func Uniform(n int, volume float64) *Matrix {
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				m.Set(i, j, volume)
+			}
+		}
+	}
+	return m
+}
+
+// Clustered returns a matrix of k clusters of size n/k each: heavy
+// intra-cluster volume and light inter-cluster volume. n must be a
+// multiple of k. It is the canonical input on which topology-aware
+// placement beats oblivious strategies.
+func Clustered(n, k int, intra, inter float64) *Matrix {
+	m := NewMatrix(n)
+	size := n / k
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if i/size == j/size {
+				m.Set(i, j, intra)
+			} else {
+				m.Set(i, j, inter)
+			}
+		}
+	}
+	return m
+}
+
+// Random returns a symmetric random matrix with entries uniform in
+// [0,max), seeded deterministically.
+func Random(n int, max float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() * max
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}

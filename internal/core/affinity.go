@@ -1,0 +1,233 @@
+// Package core implements the paper's contribution: the automatic,
+// abstracted and portable affinity module for the ORWL runtime (§IV).
+//
+// Attached to an orwl.Program, the module hooks the orwl_schedule
+// barrier: at that point the runtime knows every task, every location
+// and every handle, so the module derives the communication matrix,
+// obtains the machine topology, runs the adapted TreeMatch algorithm
+// and binds each task's compute (and control) threads — with no change
+// to the application code. The fully automatic mode is switched on by
+// the ORWL_AFFINITY environment variable, exactly as in the paper; the
+// advanced API (DependencyGet, AffinityCompute, AffinitySet) exposes
+// the three steps separately for debugging and for dynamic task graphs
+// whose communication matrix changes at run time.
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// EnvVar is the environment variable that activates the fully automatic
+// mode (ORWL_AFFINITY=1).
+const EnvVar = "ORWL_AFFINITY"
+
+// EnabledByEnv reports whether the automatic affinity mode is requested
+// by the environment.
+func EnabledByEnv() bool {
+	v := strings.TrimSpace(os.Getenv(EnvVar))
+	return v == "1" || strings.EqualFold(v, "true") || strings.EqualFold(v, "yes")
+}
+
+// Module is one affinity-module instance bound to a program and a
+// machine.
+type Module struct {
+	mu   sync.Mutex
+	prog *orwl.Program
+	top  *topology.Topology
+	opt  treematch.Options
+
+	matrix  *comm.Matrix
+	mapping *treematch.Mapping
+}
+
+// Option customises a Module.
+type Option func(*Module)
+
+// WithTreeMatchOptions overrides the TreeMatch tuning (mainly for the
+// ablation benchmarks).
+func WithTreeMatchOptions(opt treematch.Options) Option {
+	return func(m *Module) { m.opt = opt }
+}
+
+// Attach creates the affinity module for a program on a machine. It
+// does not install the automatic hook; call EnableAutomatic for the
+// paper's transparent mode, or drive the three-step API manually.
+func Attach(prog *orwl.Program, top *topology.Topology, opts ...Option) (*Module, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("core: nil program")
+	}
+	if top == nil {
+		return nil, fmt.Errorf("core: nil topology")
+	}
+	m := &Module{prog: prog, top: top, opt: treematch.Options{ControlThreads: true}}
+	for _, o := range opts {
+		o(m)
+	}
+	return m, nil
+}
+
+// EnableAutomatic installs the schedule hook implementing the fully
+// automatic mode: when the last task reaches orwl_schedule, the module
+// computes and applies the optimized binding, transparently to the
+// application. When force is false the hook is installed only if
+// ORWL_AFFINITY is set in the environment; the returned bool says
+// whether automatic mode is active.
+func EnableAutomatic(prog *orwl.Program, top *topology.Topology, force bool, opts ...Option) (*Module, bool, error) {
+	m, err := Attach(prog, top, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	if !force && !EnabledByEnv() {
+		return m, false, nil
+	}
+	prog.SetScheduleHook(func(p *orwl.Program) {
+		// Failures must not break the application: affinity is an
+		// optimisation. The program simply runs unbound.
+		m.DependencyGet()
+		if err := m.AffinityCompute(); err != nil {
+			return
+		}
+		_ = m.AffinitySet()
+	})
+	return m, true, nil
+}
+
+// DependencyGet recomputes the task dependency graph and the resulting
+// communication matrix from the runtime state (orwl_dependency_get). It
+// only mutates module state, like its C counterpart.
+func (m *Module) DependencyGet() {
+	mat := m.prog.DependencyMatrix()
+	m.mu.Lock()
+	m.matrix = mat
+	m.mapping = nil
+	m.mu.Unlock()
+}
+
+// AffinityCompute runs the mapping algorithm on the current
+// communication matrix and the hardware topology
+// (orwl_affinity_compute). DependencyGet must have been called.
+func (m *Module) AffinityCompute() error {
+	m.mu.Lock()
+	mat := m.matrix
+	opt := m.opt
+	m.mu.Unlock()
+	if mat == nil {
+		return fmt.Errorf("core: AffinityCompute before DependencyGet")
+	}
+	mapping, err := treematch.Map(m.top, mat, opt)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	m.mu.Lock()
+	m.mapping = mapping
+	m.mu.Unlock()
+	return nil
+}
+
+// AffinitySet commits the computed mapping: every task's compute thread
+// (and, when resources allow, its control threads) is bound
+// (orwl_affinity_set). On this Go reproduction the binding is recorded
+// on the program — the performance simulator and the reporting tools
+// consume it — because goroutines cannot be pinned portably.
+func (m *Module) AffinitySet() error {
+	m.mu.Lock()
+	mapping := m.mapping
+	m.mu.Unlock()
+	if mapping == nil {
+		return fmt.Errorf("core: AffinitySet before AffinityCompute")
+	}
+	for task, pu := range mapping.ComputePU {
+		m.prog.SetBinding(task, pu)
+	}
+	for task, pu := range mapping.ControlPU {
+		if pu >= 0 {
+			m.prog.SetControlBinding(task, pu)
+		}
+	}
+	return nil
+}
+
+// Matrix returns the last communication matrix, or nil.
+func (m *Module) Matrix() *comm.Matrix {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.matrix
+}
+
+// Mapping returns the last computed mapping, or nil.
+func (m *Module) Mapping() *treematch.Mapping {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.mapping
+}
+
+// RenderMapping renders a task allocation like the paper's Fig. 2: for
+// every socket, the cores and the tasks bound to them. taskNames may be
+// nil, in which case tasks are shown by id.
+func RenderMapping(mapping *treematch.Mapping, taskNames []string) string {
+	if mapping == nil {
+		return "(no mapping)\n"
+	}
+	top := mapping.Top
+	pus := top.PUs()
+	taskOnPU := make(map[int][]string)
+	name := func(t int) string {
+		if taskNames != nil && t < len(taskNames) && taskNames[t] != "" {
+			return fmt.Sprintf("%d:%s", t, taskNames[t])
+		}
+		return fmt.Sprintf("%d", t)
+	}
+	for t, pu := range mapping.ComputePU {
+		taskOnPU[pu] = append(taskOnPU[pu], name(t))
+	}
+	for t, pu := range mapping.ControlPU {
+		if pu >= 0 {
+			taskOnPU[pu] = append(taskOnPU[pu], name(t)+"(ctl)")
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "task allocation on %s (control mode: %s)\n",
+		top.Attrs.Name, mapping.Mode)
+	groups := top.Objects(topology.Group)
+	if len(groups) == 0 {
+		groups = []*topology.Object{top.Root}
+	}
+	for _, g := range groups {
+		if g.Type == topology.Group {
+			fmt.Fprintf(&b, "%s\n", g)
+		}
+		for _, pu := range g.PUs() {
+			core := pu.AncestorOfType(topology.Core)
+			if core != nil && core.Children[0] != pu {
+				// Render per-core lines only once, on the first PU;
+				// siblings are folded into the same line below.
+				continue
+			}
+			sock := pu.AncestorOfType(topology.Socket)
+			if core != nil && core.LogicalIndex%8 == 0 && sock != nil {
+				fmt.Fprintf(&b, "  %s\n", sock)
+			}
+			var cell []string
+			for _, sib := range core.Children {
+				cell = append(cell, taskOnPU[sib.LogicalIndex]...)
+			}
+			sort.Strings(cell)
+			if len(cell) == 0 {
+				fmt.Fprintf(&b, "    core %2d: -\n", core.LogicalIndex)
+			} else {
+				fmt.Fprintf(&b, "    core %2d: %s\n", core.LogicalIndex, strings.Join(cell, ", "))
+			}
+		}
+	}
+	_ = pus
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+func TestRenderMappingHyperthreadMode(t *testing.T) {
+	top := topology.TinyHT()
+	mp, err := treematch.Map(top, comm.Ring(4, 100, true), treematch.Options{ControlThreads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMapping(mp, []string{"a", "b", "c", "d"})
+	if !strings.Contains(out, "hyperthread-sibling") {
+		t.Errorf("render missing control mode:\n%s", out)
+	}
+	// Every task appears with its control thread on the same core line.
+	for _, want := range []string{"0:a", "0:a(ctl)", "3:d(ctl)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderMappingOversubscribed(t *testing.T) {
+	top := topology.TinyFlat()
+	mp, err := treematch.Map(top, comm.Ring(16, 100, false), treematch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderMapping(mp, nil)
+	// 16 tasks on 8 cores: at least one core line lists two tasks.
+	two := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "core") && strings.Count(line, ",") >= 1 {
+			two = true
+		}
+	}
+	if !two {
+		t.Errorf("oversubscribed render shows no shared core:\n%s", out)
+	}
+}
+
+func TestAffinityComputeDeterministic(t *testing.T) {
+	// Two identical programs must produce identical mappings — the
+	// module is deterministic, a prerequisite for the paper's
+	// "portable performance" claim.
+	bindings := make([]map[int]int, 2)
+	for i := range bindings {
+		prog := orwlMustPipeline(t, 6)
+		mod, err := Attach(prog, topology.Fig2Machine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod.DependencyGet()
+		if err := mod.AffinityCompute(); err != nil {
+			t.Fatal(err)
+		}
+		if err := mod.AffinitySet(); err != nil {
+			t.Fatal(err)
+		}
+		bindings[i] = prog.Binding()
+	}
+	for task, pu := range bindings[0] {
+		if bindings[1][task] != pu {
+			t.Fatalf("non-deterministic mapping: task %d -> %d vs %d",
+				task, pu, bindings[1][task])
+		}
+	}
+}
+
+// orwlMustPipeline builds and schedules a simple pipeline program.
+func orwlMustPipeline(t *testing.T, n int) *orwl.Program {
+	t.Helper()
+	prog := orwl.MustProgram(n, "main")
+	err := prog.Run(func(ctx *orwl.TaskContext) error {
+		if err := ctx.Scale("main", 256); err != nil {
+			return err
+		}
+		h := orwl.NewHandle()
+		if err := ctx.WriteInsert(h, orwl.Loc(ctx.TID(), "main"), ctx.TID()); err != nil {
+			return err
+		}
+		if ctx.TID() > 0 {
+			r := orwl.NewHandle()
+			if err := ctx.ReadInsert(r, orwl.Loc(ctx.TID()-1, "main"), ctx.TID()); err != nil {
+				return err
+			}
+		}
+		return ctx.Schedule()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orwlplace/internal/apps/livermore"
+	"orwlplace/internal/perfsim"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// K23 experiment parameters (§VI-B1): 100 sweeps over a 16384x16384
+// double-precision matrix.
+const (
+	k23MatrixSize = 16384
+	k23Loops      = 100
+)
+
+// Fig4Cores returns the x axis of Fig. 4 for a machine: 1..96 cores on
+// the hyperthreaded SMP12E5, 1..128 on SMP20E7.
+func Fig4Cores(top *topology.Topology) []int {
+	if top.Attrs.Hyperthreaded {
+		return []int{1, 8, 16, 32, 64, 96}
+	}
+	return []int{1, 8, 16, 32, 64, 128}
+}
+
+// k23Result bundles the four configurations at one core count.
+type k23Result struct {
+	ORWL, ORWLAffinity, OpenMP, OpenMPAffinity *perfsim.Result
+}
+
+// k23Run evaluates all four configurations of Fig. 4 / Table II.
+func k23Run(top *topology.Topology, cores int) (*k23Result, error) {
+	orwlW, err := livermore.Profile(k23MatrixSize, cores, k23Loops)
+	if err != nil {
+		return nil, err
+	}
+	ompW, err := livermore.ProfileOpenMP(k23MatrixSize, cores, k23Loops)
+	if err != nil {
+		return nil, err
+	}
+	out := &k23Result{}
+	if out.ORWL, err = runDynamic(top, orwlW); err != nil {
+		return nil, err
+	}
+	if out.ORWLAffinity, _, err = runAffinity(top, orwlW); err != nil {
+		return nil, err
+	}
+	if out.OpenMP, err = runDynamic(top, ompW); err != nil {
+		return nil, err
+	}
+	// The paper reports the best OpenMP binding found
+	// (OMP_PLACES=cores with close/spread equivalent); try both and
+	// keep the faster, as the authors did.
+	best, err := runStrategy(top, ompW, treematch.StrategyCompactCores)
+	if err != nil {
+		return nil, err
+	}
+	alt, err := runStrategy(top, ompW, treematch.StrategyScatter)
+	if err != nil {
+		return nil, err
+	}
+	if alt.Seconds < best.Seconds {
+		best = alt
+	}
+	out.OpenMPAffinity = best
+	return out, nil
+}
+
+// Fig4 regenerates one panel of Fig. 4: K23 processing time against
+// core count on the given machine.
+func Fig4(top *topology.Topology) (*Figure, error) {
+	cores := Fig4Cores(top)
+	fig := &Figure{
+		ID:     "Fig. 4 (" + top.Attrs.Name + ")",
+		Title:  "Livermore Kernel 23 processing time, 100 sweeps of 16384^2 doubles",
+		XLabel: "cores",
+		YLabel: "seconds",
+		Series: []Series{
+			{Label: "ORWL"}, {Label: "ORWL(affinity)"},
+			{Label: "OpenMP"}, {Label: "OpenMP(affinity)"},
+		},
+	}
+	for _, c := range cores {
+		res, err := k23Run(top, c)
+		if err != nil {
+			return nil, err
+		}
+		fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", c))
+		fig.Series[0].Y = append(fig.Series[0].Y, res.ORWL.Seconds)
+		fig.Series[1].Y = append(fig.Series[1].Y, res.ORWLAffinity.Seconds)
+		fig.Series[2].Y = append(fig.Series[2].Y, res.OpenMP.Seconds)
+		fig.Series[3].Y = append(fig.Series[3].Y, res.OpenMPAffinity.Seconds)
+	}
+	return fig, nil
+}
+
+// TableII regenerates the hardware/software counters of the 64-core
+// K23 run on SMP12E5.
+func TableII() (*Table, error) {
+	res, err := k23Run(topology.SMP12E5(), 64)
+	if err != nil {
+		return nil, err
+	}
+	return counterTable("Table II",
+		"Livermore Kernel 23 counters on SMP12E5 (64 cores)",
+		[]string{"ORWL", "ORWL(Affinity)", "OpenMP", "OpenMP(Affinity)"},
+		[]*perfsim.Result{res.ORWL, res.ORWLAffinity, res.OpenMP, res.OpenMPAffinity}), nil
+}
+
+// counterTable renders the four-counter rows shared by Tables II-IV.
+func counterTable(id, title string, cols []string, rs []*perfsim.Result) *Table {
+	t := &Table{ID: id, Title: title, Columns: append([]string{"counter"}, cols...)}
+	row := func(name string, get func(*perfsim.Result) string) {
+		r := []string{name}
+		for _, res := range rs {
+			r = append(r, get(res))
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	row("Billions of L3 misses", func(r *perfsim.Result) string { return billions(r.L3Misses) })
+	row("Billions of stalled cycles", func(r *perfsim.Result) string { return billions(r.StalledCycles) })
+	row("Context switches", func(r *perfsim.Result) string { return fmt.Sprintf("%.0f", r.ContextSwitches) })
+	row("CPU migrations", func(r *perfsim.Result) string { return fmt.Sprintf("%.0f", r.CPUMigrations) })
+	return t
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orwlplace/internal/apps/matmul"
+	"orwlplace/internal/perfsim"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// Matmul experiment parameters (§VI-B2): C = A*B on 16384x16384
+// double-precision matrices.
+const matmulSize = 16384
+
+// Fig5Cores returns the x axis of Fig. 5 for a machine.
+func Fig5Cores(top *topology.Topology) []int {
+	if top.Attrs.Hyperthreaded {
+		return []int{1, 2, 4, 8, 16, 32, 64, 96}
+	}
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 160}
+}
+
+// matmulResult bundles the five configurations of Fig. 5 / Table III.
+type matmulResult struct {
+	ORWL, ORWLAffinity          *perfsim.Result
+	MKL, MKLScatter, MKLCompact *perfsim.Result
+}
+
+func matmulRun(top *topology.Topology, cores int) (*matmulResult, error) {
+	orwlW, err := matmul.ProfileORWL(matmulSize, cores)
+	if err != nil {
+		return nil, err
+	}
+	mklW, err := matmul.ProfileMKL(matmulSize, cores)
+	if err != nil {
+		return nil, err
+	}
+	out := &matmulResult{}
+	if out.ORWL, err = runDynamic(top, orwlW); err != nil {
+		return nil, err
+	}
+	if out.ORWLAffinity, _, err = runAffinity(top, orwlW); err != nil {
+		return nil, err
+	}
+	if out.MKL, err = runDynamic(top, mklW); err != nil {
+		return nil, err
+	}
+	if out.MKLScatter, err = runStrategy(top, mklW, treematch.StrategyScatter); err != nil {
+		return nil, err
+	}
+	// KMP_AFFINITY=compact fills hyperthread siblings first.
+	if out.MKLCompact, err = runStrategy(top, mklW, treematch.StrategyCompact); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig5 regenerates one panel of Fig. 5: matmul FLOP/s against core
+// count on the given machine.
+func Fig5(top *topology.Topology) (*Figure, error) {
+	flops := matmul.TotalFlops(matmulSize)
+	fig := &Figure{
+		ID:     "Fig. 5 (" + top.Attrs.Name + ")",
+		Title:  "Matrix multiplication 16384^2, block-cyclic vs MKL-style",
+		XLabel: "cores",
+		YLabel: "GFLOPS",
+		Series: []Series{
+			{Label: "ORWL"}, {Label: "ORWL(Affinity)"},
+			{Label: "MKL"}, {Label: "MKL(scatter)"}, {Label: "MKL(compact)"},
+		},
+	}
+	for _, c := range Fig5Cores(top) {
+		res, err := matmulRun(top, c)
+		if err != nil {
+			return nil, err
+		}
+		fig.XTicks = append(fig.XTicks, fmt.Sprintf("%d", c))
+		fig.Series[0].Y = append(fig.Series[0].Y, res.ORWL.GFLOPS(flops))
+		fig.Series[1].Y = append(fig.Series[1].Y, res.ORWLAffinity.GFLOPS(flops))
+		fig.Series[2].Y = append(fig.Series[2].Y, res.MKL.GFLOPS(flops))
+		fig.Series[3].Y = append(fig.Series[3].Y, res.MKLScatter.GFLOPS(flops))
+		fig.Series[4].Y = append(fig.Series[4].Y, res.MKLCompact.GFLOPS(flops))
+	}
+	return fig, nil
+}
+
+// TableIII regenerates the counters of the 64-core matmul run on
+// SMP12E5.
+func TableIII() (*Table, error) {
+	res, err := matmulRun(topology.SMP12E5(), 64)
+	if err != nil {
+		return nil, err
+	}
+	return counterTable("Table III",
+		"Matrix multiplication counters on SMP12E5 (64 cores)",
+		[]string{"ORWL", "ORWL(Affinity)", "MKL", "MKL(scatter)", "MKL(compact)"},
+		[]*perfsim.Result{res.ORWL, res.ORWLAffinity, res.MKL, res.MKLScatter, res.MKLCompact}), nil
+}

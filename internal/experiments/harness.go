@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orwlplace/internal/perfsim"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// dynamicSeed fixes the affinity-oblivious scheduler permutation so
+// every regeneration produces the same numbers.
+const dynamicSeed = 42
+
+// runAffinity maps a workload with the paper's affinity module
+// (TreeMatch with control-thread accounting) and simulates it.
+func runAffinity(top *topology.Topology, w *perfsim.Workload) (*perfsim.Result, *treematch.Mapping, error) {
+	mapping, err := treematch.Map(top, w.Comm, treematch.Options{ControlThreads: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("experiments: mapping %q: %w", w.Name, err)
+	}
+	res, err := perfsim.Simulate(top, w, &perfsim.Placement{
+		ComputePU:  mapping.ComputePU,
+		ControlPU:  mapping.ControlPU,
+		LocalAlloc: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, mapping, nil
+}
+
+// runDynamic simulates an unbound run under the machine's native OS
+// scheduling policy.
+func runDynamic(top *topology.Topology, w *perfsim.Workload) (*perfsim.Result, error) {
+	return perfsim.Simulate(top, w, &perfsim.Placement{
+		Dynamic: &perfsim.DynamicPolicy{
+			Policy: perfsim.PolicyFor(top),
+			Seed:   dynamicSeed,
+		},
+	})
+}
+
+// runStrategy simulates a run bound by one of the OpenMP/MKL
+// environment strategies.
+func runStrategy(top *topology.Topology, w *perfsim.Workload, s treematch.Strategy) (*perfsim.Result, error) {
+	place, err := treematch.Place(top, len(w.Threads), s)
+	if err != nil {
+		return nil, err
+	}
+	return perfsim.Simulate(top, w, &perfsim.Placement{
+		ComputePU:  place,
+		LocalAlloc: true,
+	})
+}
+
+// Machines returns the two simulated testbeds of Table I.
+func Machines() []*topology.Topology {
+	return []*topology.Topology{topology.SMP12E5(), topology.SMP20E7()}
+}

@@ -1,0 +1,117 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation section (§VI) on the simulated testbeds. Each
+// artifact has one entry point returning structured data plus a text
+// rendering; cmd/experiments drives them all, and the root-level
+// benchmarks wrap them as testing.B targets.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure is a reproduced paper figure: X values (core counts,
+// resolutions) against one or more series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	XTicks []string
+	Series []Series
+}
+
+// Render lays the figure out as an aligned text table, one row per X
+// tick.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", f.ID, f.Title, f.YLabel)
+	headers := append([]string{f.XLabel}, labels(f.Series)...)
+	rows := make([][]string, len(f.XTicks))
+	for i, tick := range f.XTicks {
+		row := []string{tick}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatValue(s.Y[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows[i] = row
+	}
+	writeAligned(&b, headers, rows)
+	return b.String()
+}
+
+// Table is a reproduced paper table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render lays the table out with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeAligned(&b, t.Columns, t.Rows)
+	return b.String()
+}
+
+func labels(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+func writeAligned(b *strings.Builder, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for _, row := range rows {
+		writeRow(row)
+	}
+}
+
+// billions formats a counter as billions with one decimal.
+func billions(v float64) string { return fmt.Sprintf("%.1f", v/1e9) }

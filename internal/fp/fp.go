@@ -1,0 +1,50 @@
+// Package fp converts between float64 slices and the byte buffers held
+// by ORWL locations. Locations store raw bytes (they may hold any
+// resource); the numeric applications use these helpers at the
+// location boundary.
+package fp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Bytes is the encoded size of one float64.
+const Bytes = 8
+
+// PutFloat64s encodes src into dst, which must be exactly
+// len(src)*Bytes long.
+func PutFloat64s(dst []byte, src []float64) error {
+	if len(dst) != len(src)*Bytes {
+		return fmt.Errorf("fp: buffer %d bytes for %d floats", len(dst), len(src))
+	}
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[i*Bytes:], math.Float64bits(v))
+	}
+	return nil
+}
+
+// GetFloat64s decodes src into dst, which must hold exactly
+// len(src)/Bytes values.
+func GetFloat64s(dst []float64, src []byte) error {
+	if len(src) != len(dst)*Bytes {
+		return fmt.Errorf("fp: buffer %d bytes for %d floats", len(src), len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*Bytes:]))
+	}
+	return nil
+}
+
+// Float64s decodes a whole buffer into a fresh slice.
+func Float64s(src []byte) ([]float64, error) {
+	if len(src)%Bytes != 0 {
+		return nil, fmt.Errorf("fp: buffer length %d not a multiple of %d", len(src), Bytes)
+	}
+	out := make([]float64, len(src)/Bytes)
+	if err := GetFloat64s(out, src); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package fp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	src := []float64{0, 1.5, -2.25, math.Pi, math.Inf(1)}
+	buf := make([]byte, len(src)*Bytes)
+	if err := PutFloat64s(buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, len(src))
+	if err := GetFloat64s(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Errorf("value %d = %g, want %g", i, dst[i], src[i])
+		}
+	}
+	got, err := Float64s(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(src) || got[3] != math.Pi {
+		t.Error("Float64s round trip failed")
+	}
+}
+
+func TestSizeValidation(t *testing.T) {
+	if err := PutFloat64s(make([]byte, 7), []float64{1}); err == nil {
+		t.Error("accepted short buffer")
+	}
+	if err := GetFloat64s(make([]float64, 2), make([]byte, 8)); err == nil {
+		t.Error("accepted mismatched decode")
+	}
+	if _, err := Float64s(make([]byte, 9)); err == nil {
+		t.Error("accepted ragged buffer")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		buf := make([]byte, len(vals)*Bytes)
+		if PutFloat64s(buf, vals) != nil {
+			return false
+		}
+		back, err := Float64s(buf)
+		if err != nil || len(back) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if back[i] != vals[i] && !(math.IsNaN(back[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package ompenv parses the OpenMP-family affinity environment
+// variables the paper's baselines are configured with (§II, §VI):
+// OMP_PLACES and OMP_PROC_BIND from the OpenMP 4.5 standard,
+// KMP_AFFINITY from Intel's runtime and GOMP_CPU_AFFINITY from GCC's.
+// The parsed settings translate into concrete placements on a
+// topology, which is how cmd/orwlmap and the experiment harness name
+// their baseline configurations.
+package ompenv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// PlaceKind is the granularity named by OMP_PLACES.
+type PlaceKind int
+
+// OMP_PLACES granularities.
+const (
+	PlacesThreads  PlaceKind = iota // one place per hardware thread
+	PlacesCores                     // one place per core
+	PlacesSockets                   // one place per socket
+	PlacesExplicit                  // an explicit place list
+)
+
+// ProcBind is the OMP_PROC_BIND policy.
+type ProcBind int
+
+// OMP_PROC_BIND policies.
+const (
+	BindFalse ProcBind = iota
+	BindTrue
+	BindClose
+	BindSpread
+	BindMaster
+)
+
+// Settings is the parsed affinity configuration.
+type Settings struct {
+	Places     PlaceKind
+	PlaceList  [][]int // PU OS indexes per place, for PlacesExplicit
+	Bind       ProcBind
+	KMPCompact bool  // KMP_AFFINITY=compact
+	KMPScatter bool  // KMP_AFFINITY=scatter
+	GOMPList   []int // GOMP_CPU_AFFINITY CPU list, in order
+}
+
+// ParsePlaces parses an OMP_PLACES value: "threads", "cores",
+// "sockets", or an explicit list like "{0,1},{2,3}" or "{0:4}" (start
+// and length) with an optional stride form "{0:2}:4:8" (length:count:
+// stride) reduced here to the common start:len subset per place.
+func ParsePlaces(v string) (PlaceKind, [][]int, error) {
+	switch strings.TrimSpace(strings.ToLower(v)) {
+	case "threads":
+		return PlacesThreads, nil, nil
+	case "cores":
+		return PlacesCores, nil, nil
+	case "sockets":
+		return PlacesSockets, nil, nil
+	case "":
+		return PlacesCores, nil, nil
+	}
+	var places [][]int
+	rest := strings.TrimSpace(v)
+	for len(rest) > 0 {
+		if rest[0] != '{' {
+			return 0, nil, fmt.Errorf("ompenv: expected '{' in OMP_PLACES at %q", rest)
+		}
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return 0, nil, fmt.Errorf("ompenv: unterminated place in %q", v)
+		}
+		place, err := parsePlaceBody(rest[1:end])
+		if err != nil {
+			return 0, nil, err
+		}
+		places = append(places, place)
+		rest = rest[end+1:]
+		rest = strings.TrimPrefix(rest, ",")
+		rest = strings.TrimSpace(rest)
+	}
+	if len(places) == 0 {
+		return 0, nil, fmt.Errorf("ompenv: empty OMP_PLACES %q", v)
+	}
+	return PlacesExplicit, places, nil
+}
+
+// parsePlaceBody parses "0,1,2" or "0:4" (start:length).
+func parsePlaceBody(body string) ([]int, error) {
+	if strings.Contains(body, ":") {
+		parts := strings.Split(body, ":")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("ompenv: unsupported place form {%s}", body)
+		}
+		start, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		length, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || length <= 0 || start < 0 {
+			return nil, fmt.Errorf("ompenv: bad place {%s}", body)
+		}
+		out := make([]int, length)
+		for i := range out {
+			out[i] = start + i
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range strings.Split(body, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("ompenv: bad place member %q", f)
+		}
+		out = append(out, id)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ompenv: empty place")
+	}
+	return out, nil
+}
+
+// ParseProcBind parses an OMP_PROC_BIND value.
+func ParseProcBind(v string) (ProcBind, error) {
+	switch strings.TrimSpace(strings.ToLower(v)) {
+	case "", "false":
+		return BindFalse, nil
+	case "true":
+		return BindTrue, nil
+	case "close":
+		return BindClose, nil
+	case "spread":
+		return BindSpread, nil
+	case "master", "primary":
+		return BindMaster, nil
+	default:
+		return 0, fmt.Errorf("ompenv: unknown OMP_PROC_BIND %q", v)
+	}
+}
+
+// ParseKMPAffinity parses the KMP_AFFINITY forms used in the paper:
+// comma-separated modifiers where "compact" and "scatter" name the
+// strategy and "granularity=..." is accepted and recorded implicitly.
+func ParseKMPAffinity(v string) (compact, scatter bool, err error) {
+	if strings.TrimSpace(v) == "" {
+		return false, false, nil
+	}
+	for _, f := range strings.Split(v, ",") {
+		f = strings.TrimSpace(strings.ToLower(f))
+		switch {
+		case f == "compact":
+			compact = true
+		case f == "scatter":
+			scatter = true
+		case f == "none" || f == "disabled" || f == "norespect" || f == "respect" ||
+			f == "verbose" || strings.HasPrefix(f, "granularity="):
+			// accepted modifiers without effect on the placement shape
+		default:
+			return false, false, fmt.Errorf("ompenv: unknown KMP_AFFINITY part %q", f)
+		}
+	}
+	if compact && scatter {
+		return false, false, fmt.Errorf("ompenv: KMP_AFFINITY cannot be both compact and scatter")
+	}
+	return compact, scatter, nil
+}
+
+// ParseGOMPAffinity parses GOMP_CPU_AFFINITY: a space- or
+// comma-separated list of CPUs and ranges with optional stride, e.g.
+// "0 3 1-2 4-10:2".
+func ParseGOMPAffinity(v string) ([]int, error) {
+	fields := strings.FieldsFunc(v, func(r rune) bool { return r == ' ' || r == ',' || r == '\t' })
+	var out []int
+	for _, f := range fields {
+		stride := 1
+		if i := strings.IndexByte(f, ':'); i >= 0 {
+			s, err := strconv.Atoi(f[i+1:])
+			if err != nil || s <= 0 {
+				return nil, fmt.Errorf("ompenv: bad stride in %q", f)
+			}
+			stride = s
+			f = f[:i]
+		}
+		if i := strings.IndexByte(f, '-'); i >= 0 {
+			lo, err1 := strconv.Atoi(f[:i])
+			hi, err2 := strconv.Atoi(f[i+1:])
+			if err1 != nil || err2 != nil || lo < 0 || hi < lo {
+				return nil, fmt.Errorf("ompenv: bad range %q", f)
+			}
+			for c := lo; c <= hi; c += stride {
+				out = append(out, c)
+			}
+			continue
+		}
+		c, err := strconv.Atoi(f)
+		if err != nil || c < 0 {
+			return nil, fmt.Errorf("ompenv: bad CPU %q", f)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ompenv: empty GOMP_CPU_AFFINITY")
+	}
+	return out, nil
+}
+
+// Parse combines the four variables into Settings. Values are passed
+// explicitly (rather than read from the process environment) so callers
+// can evaluate configurations side by side.
+func Parse(ompPlaces, ompProcBind, kmpAffinity, gompAffinity string) (*Settings, error) {
+	s := &Settings{}
+	var err error
+	s.Places, s.PlaceList, err = ParsePlaces(ompPlaces)
+	if err != nil {
+		return nil, err
+	}
+	s.Bind, err = ParseProcBind(ompProcBind)
+	if err != nil {
+		return nil, err
+	}
+	s.KMPCompact, s.KMPScatter, err = ParseKMPAffinity(kmpAffinity)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(gompAffinity) != "" {
+		s.GOMPList, err = ParseGOMPAffinity(gompAffinity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Placement derives the placement of n threads on a topology from the
+// settings, reproducing how the respective runtimes interpret them:
+// GOMP_CPU_AFFINITY wins when present, then KMP_AFFINITY, then
+// OMP_PLACES+OMP_PROC_BIND. An unbound configuration returns nil (the
+// OS schedules).
+func (s *Settings) Placement(top *topology.Topology, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("ompenv: thread count %d", n)
+	}
+	osToLogical := make(map[int]int, top.NumPUs())
+	for _, pu := range top.PUs() {
+		osToLogical[pu.OSIndex] = pu.LogicalIndex
+	}
+	fromOS := func(ids []int) ([]int, error) {
+		out := make([]int, n)
+		for i := 0; i < n; i++ {
+			id := ids[i%len(ids)]
+			logical, ok := osToLogical[id]
+			if !ok {
+				return nil, fmt.Errorf("ompenv: CPU %d not in topology", id)
+			}
+			out[i] = logical
+		}
+		return out, nil
+	}
+	switch {
+	case len(s.GOMPList) > 0:
+		return fromOS(s.GOMPList)
+	case s.KMPCompact:
+		return treematch.Place(top, n, treematch.StrategyCompact)
+	case s.KMPScatter:
+		return treematch.Place(top, n, treematch.StrategyScatter)
+	}
+	if s.Bind == BindFalse {
+		return nil, nil // unbound
+	}
+	if s.Places == PlacesExplicit {
+		// Thread i goes to place i (close) or to places spread over the
+		// list; one PU per thread: the first PU of its place.
+		firsts := make([]int, len(s.PlaceList))
+		for i, p := range s.PlaceList {
+			firsts[i] = p[0]
+		}
+		if s.Bind == BindSpread && len(firsts) > n {
+			stride := len(firsts) / n
+			spread := make([]int, n)
+			for i := range spread {
+				spread[i] = firsts[i*stride]
+			}
+			return fromOS(spread)
+		}
+		return fromOS(firsts)
+	}
+	switch s.Bind {
+	case BindSpread:
+		return treematch.Place(top, n, treematch.StrategyScatter)
+	case BindMaster:
+		// All threads on the master's place.
+		out := make([]int, n)
+		return out, nil
+	default: // BindTrue, BindClose
+		switch s.Places {
+		case PlacesThreads:
+			return treematch.Place(top, n, treematch.StrategyCompact)
+		case PlacesSockets:
+			return treematch.Place(top, n, treematch.StrategyScatter)
+		default: // PlacesCores
+			return treematch.Place(top, n, treematch.StrategyCompactCores)
+		}
+	}
+}

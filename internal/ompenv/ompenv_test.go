@@ -1,0 +1,244 @@
+package ompenv
+
+import (
+	"testing"
+
+	"orwlplace/internal/topology"
+)
+
+func TestParsePlacesKeywords(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want PlaceKind
+	}{{"threads", PlacesThreads}, {"cores", PlacesCores}, {"SOCKETS", PlacesSockets}, {"", PlacesCores}} {
+		kind, list, err := ParsePlaces(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if kind != c.want || list != nil {
+			t.Errorf("%q: kind %v list %v", c.in, kind, list)
+		}
+	}
+}
+
+func TestParsePlacesExplicit(t *testing.T) {
+	kind, list, err := ParsePlaces("{0,1},{2,3}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != PlacesExplicit || len(list) != 2 {
+		t.Fatalf("kind %v list %v", kind, list)
+	}
+	if list[0][0] != 0 || list[0][1] != 1 || list[1][0] != 2 {
+		t.Errorf("list = %v", list)
+	}
+	// start:length form.
+	_, list, err = ParsePlaces("{4:4}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || len(list[0]) != 4 || list[0][3] != 7 {
+		t.Errorf("range place = %v", list)
+	}
+	for _, bad := range []string{"{", "{0,1", "0,1}", "{}", "{a}", "{0:0}", "{-1}", "{0:2:3:4}"} {
+		if _, _, err := ParsePlaces(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseProcBind(t *testing.T) {
+	cases := map[string]ProcBind{
+		"": BindFalse, "false": BindFalse, "true": BindTrue,
+		"close": BindClose, "SPREAD": BindSpread, "master": BindMaster, "primary": BindMaster,
+	}
+	for in, want := range cases {
+		got, err := ParseProcBind(in)
+		if err != nil || got != want {
+			t.Errorf("%q = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseProcBind("sideways"); err == nil {
+		t.Error("accepted bad policy")
+	}
+}
+
+func TestParseKMPAffinity(t *testing.T) {
+	compact, scatter, err := ParseKMPAffinity("granularity=core,compact")
+	if err != nil || !compact || scatter {
+		t.Errorf("compact parse: %v %v %v", compact, scatter, err)
+	}
+	compact, scatter, err = ParseKMPAffinity("granularity=core,scatter")
+	if err != nil || compact || !scatter {
+		t.Errorf("scatter parse: %v %v %v", compact, scatter, err)
+	}
+	if _, _, err := ParseKMPAffinity("compact,scatter"); err == nil {
+		t.Error("accepted contradictory value")
+	}
+	if _, _, err := ParseKMPAffinity("explode"); err == nil {
+		t.Error("accepted unknown modifier")
+	}
+	if c, s, err := ParseKMPAffinity(""); err != nil || c || s {
+		t.Error("empty value should be neutral")
+	}
+}
+
+func TestParseGOMPAffinity(t *testing.T) {
+	got, err := ParseGOMPAffinity("0 3 1-2 8-14:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 1, 2, 8, 11, 14}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "3-1", "1-2:0", "-4"} {
+		if _, err := ParseGOMPAffinity(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseCombined(t *testing.T) {
+	s, err := Parse("cores", "close", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Places != PlacesCores || s.Bind != BindClose {
+		t.Errorf("settings = %+v", s)
+	}
+	if _, err := Parse("{bad", "", "", ""); err == nil {
+		t.Error("accepted bad places")
+	}
+	if _, err := Parse("", "bad", "", ""); err == nil {
+		t.Error("accepted bad proc bind")
+	}
+	if _, err := Parse("", "", "bad", ""); err == nil {
+		t.Error("accepted bad kmp")
+	}
+	if _, err := Parse("", "", "", "bad"); err == nil {
+		t.Error("accepted bad gomp")
+	}
+}
+
+func TestPlacementPriorities(t *testing.T) {
+	top := topology.TinyHT() // 2 NUMA x 2 cores x 2 PUs
+	pus := top.PUs()
+
+	// GOMP list wins over everything.
+	s, _ := Parse("cores", "close", "compact", "3 1")
+	pl, err := s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pus[pl[0]].OSIndex != 3 || pus[pl[1]].OSIndex != 1 {
+		t.Errorf("GOMP placement = %v", pl)
+	}
+
+	// KMP compact fills siblings.
+	s, _ = Parse("", "", "granularity=core,compact", "")
+	pl, err = s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pus[pl[0]].Parent != pus[pl[1]].Parent {
+		t.Error("KMP compact should fill hyperthread siblings")
+	}
+
+	// KMP scatter spreads over NUMA nodes.
+	s, _ = Parse("", "", "scatter", "")
+	pl, err = s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := pus[pl[0]].AncestorOfType(topology.NUMANode)
+	n1 := pus[pl[1]].AncestorOfType(topology.NUMANode)
+	if n0 == n1 {
+		t.Error("KMP scatter should spread")
+	}
+
+	// OMP_PLACES=cores + close: one PU per core.
+	s, _ = Parse("cores", "close", "", "")
+	pl, err = s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pus[pl[0]].Parent == pus[pl[1]].Parent {
+		t.Error("places=cores should use distinct cores")
+	}
+
+	// spread policy scatters.
+	s, _ = Parse("cores", "spread", "", "")
+	pl, err = s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pus[pl[0]].AncestorOfType(topology.NUMANode) == pus[pl[1]].AncestorOfType(topology.NUMANode) {
+		t.Error("spread should cross NUMA nodes")
+	}
+
+	// master packs everything on PU 0.
+	s, _ = Parse("cores", "master", "", "")
+	pl, err = s.Placement(top, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pl {
+		if p != 0 {
+			t.Errorf("master placement = %v", pl)
+		}
+	}
+
+	// Unbound.
+	s, _ = Parse("cores", "false", "", "")
+	pl, err = s.Placement(top, 2)
+	if err != nil || pl != nil {
+		t.Errorf("unbound placement = %v, %v", pl, err)
+	}
+}
+
+func TestPlacementExplicitPlaces(t *testing.T) {
+	top := topology.TinyFlat() // 8 PUs
+	s, err := Parse("{0,1},{4,5}", "close", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pus := top.PUs()
+	if pus[pl[0]].OSIndex != 0 || pus[pl[1]].OSIndex != 4 {
+		t.Errorf("explicit placement = %v", pl)
+	}
+	// More threads than places wrap around.
+	pl, err = s.Placement(top, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pus[pl[2]].OSIndex != 0 {
+		t.Errorf("wrap placement = %v", pl)
+	}
+	// Spread over a longer place list picks strided places.
+	s, _ = Parse("{0},{1},{2},{3},{4},{5},{6},{7}", "spread", "", "")
+	pl, err = s.Placement(top, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pus[pl[0]].OSIndex != 0 || pus[pl[1]].OSIndex != 4 {
+		t.Errorf("spread over places = %v", pl)
+	}
+	// Place naming a CPU outside the topology fails.
+	s, _ = Parse("{99}", "close", "", "")
+	if _, err := s.Placement(top, 1); err == nil {
+		t.Error("accepted out-of-topology CPU")
+	}
+	if _, err := s.Placement(top, 0); err == nil {
+		t.Error("accepted zero threads")
+	}
+}

@@ -1,0 +1,67 @@
+package orwl
+
+import (
+	"runtime"
+	"testing"
+
+	"orwlplace/internal/bind"
+)
+
+func TestBindSelfUnboundIsNoop(t *testing.T) {
+	p := MustProgram(1, "m")
+	err := p.Run(func(ctx *TaskContext) error {
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		release, err := ctx.BindSelf()
+		if err != nil {
+			return err
+		}
+		release()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBindSelfAppliesBinding(t *testing.T) {
+	p := MustProgram(2, "m")
+	p.SetScheduleHook(func(prog *Program) {
+		prog.SetBinding(0, 0)
+		prog.SetBinding(1, 0)
+	})
+	err := p.Run(func(ctx *TaskContext) error {
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		release, err := ctx.BindSelf()
+		if err != nil {
+			return err
+		}
+		defer release()
+		if bind.Supported() && runtime.NumCPU() > 1 {
+			cpus, err := bind.Current()
+			if err != nil {
+				return err
+			}
+			if len(cpus) != 1 || cpus[0] != 0 {
+				t.Errorf("task %d affinity = %v, want [0]", ctx.TID(), cpus)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After Run, the test goroutine itself must be unrestricted.
+	if bind.Supported() {
+		cpus, err := bind.Current()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cpus) != runtime.NumCPU() {
+			t.Errorf("test thread affinity leaked: %v", cpus)
+		}
+	}
+}

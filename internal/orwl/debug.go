@@ -1,0 +1,94 @@
+package orwl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// QueueInfo is a snapshot of one location's FIFO, for debugging and for
+// the stall diagnostics of DumpState.
+type QueueInfo struct {
+	Location string
+	Owner    int
+	Size     int
+	// Groups lists the queued request groups in FIFO order; entry 0 is
+	// granted.
+	Groups []QueueGroup
+}
+
+// QueueGroup describes one FIFO entry.
+type QueueGroup struct {
+	Mode    Mode
+	Width   int // number of coalesced requests (readers share)
+	Pending int // not yet released
+	Granted bool
+}
+
+// Snapshot captures the location's queue state.
+func (l *Location) Snapshot() QueueInfo {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	info := QueueInfo{Location: l.name, Owner: l.owner, Size: len(l.data)}
+	for _, g := range l.queue {
+		info.Groups = append(info.Groups, QueueGroup{
+			Mode:    g.mode,
+			Width:   len(g.reqs),
+			Pending: g.pending,
+			Granted: g.granted,
+		})
+	}
+	return info
+}
+
+// DumpState renders every location's queue, for diagnosing stalls: a
+// deadlocked program shows non-empty queues whose heads are granted but
+// never released, and the blocked requests waiting behind them. Empty
+// queues are omitted unless verbose is set.
+func (p *Program) DumpState(verbose bool) string {
+	p.mu.Lock()
+	ids := make([]LocationID, 0, len(p.locs))
+	for id := range p.locs {
+		ids = append(ids, id)
+	}
+	locs := make(map[LocationID]*Location, len(p.locs))
+	for id, l := range p.locs {
+		locs[id] = l
+	}
+	scheduled := p.scheduled
+	arrivals := p.arrivals
+	p.mu.Unlock()
+
+	sort.Slice(ids, func(a, b int) bool {
+		if ids[a].Task != ids[b].Task {
+			return ids[a].Task < ids[b].Task
+		}
+		return ids[a].Name < ids[b].Name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d tasks, scheduled=%v (%d/%d arrivals)\n",
+		p.numTasks, scheduled, arrivals, p.numTasks)
+	for _, id := range ids {
+		info := locs[id].Snapshot()
+		if len(info.Groups) == 0 && !verbose {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s (%dB):", info.Location, info.Size)
+		if len(info.Groups) == 0 {
+			b.WriteString(" idle\n")
+			continue
+		}
+		for i, g := range info.Groups {
+			state := "waiting"
+			if g.Granted {
+				state = "granted"
+			}
+			if i > 0 {
+				b.WriteString(" <-")
+			}
+			fmt.Fprintf(&b, " [%s x%d %s pending=%d]", g.Mode, g.Width, state, g.Pending)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

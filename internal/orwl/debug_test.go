@@ -1,0 +1,84 @@
+package orwl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotAndDumpState(t *testing.T) {
+	p := MustProgram(3, "m")
+	loc := p.Location(Loc(0, "m"))
+	loc.Scale(32)
+
+	// Before any requests: idle.
+	out := p.DumpState(false)
+	if strings.Contains(out, "0/m") {
+		t.Errorf("idle location should be omitted without verbose:\n%s", out)
+	}
+	out = p.DumpState(true)
+	if !strings.Contains(out, "0/m (32B): idle") {
+		t.Errorf("verbose dump missing idle location:\n%s", out)
+	}
+
+	// Queue a writer (granted) and two readers (waiting, coalesced).
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(func(ctx *TaskContext) error {
+			h := NewHandle()
+			var err error
+			if ctx.TID() == 0 {
+				err = ctx.WriteInsert(h, Loc(0, "m"), 0)
+			} else {
+				err = ctx.ReadInsert(h, Loc(0, "m"), 1)
+			}
+			if err != nil {
+				return err
+			}
+			if err := ctx.Schedule(); err != nil {
+				return err
+			}
+			if ctx.TID() == 0 {
+				if err := h.Acquire(); err != nil {
+					return err
+				}
+				<-release
+				return h.Release()
+			}
+			return h.Section(func([]byte) error { return nil })
+		})
+	}()
+
+	// Wait until the writer holds the grant and the readers queued.
+	for {
+		info := loc.Snapshot()
+		if len(info.Groups) == 2 && info.Groups[0].Granted && info.Groups[1].Width == 2 {
+			break
+		}
+	}
+	out = p.DumpState(false)
+	if !strings.Contains(out, "[write x1 granted pending=1]") {
+		t.Errorf("dump missing granted writer:\n%s", out)
+	}
+	if !strings.Contains(out, "[read x2 waiting pending=2]") {
+		t.Errorf("dump missing coalesced waiting readers:\n%s", out)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Drained again.
+	if info := loc.Snapshot(); len(info.Groups) != 0 {
+		t.Errorf("queue not drained: %+v", info)
+	}
+}
+
+func TestSnapshotFields(t *testing.T) {
+	p := MustProgram(2, "x")
+	loc := p.Location(Loc(1, "x"))
+	loc.Scale(7)
+	info := loc.Snapshot()
+	if info.Owner != 1 || info.Size != 7 || info.Location != "1/x" {
+		t.Errorf("snapshot = %+v", info)
+	}
+}

@@ -1,0 +1,95 @@
+package orwl
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fifo is the orwl_fifo DFG primitive: a bounded queue of data versions
+// between a producer and consumers. Instead of holding the location
+// lock while a frame is consumed, the producer pushes a fresh copy and
+// releases immediately, which keeps the pipeline flowing (§V-C).
+type Fifo struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	buf      [][]byte
+	capacity int
+	closed   bool
+}
+
+// NewFifo creates a FIFO holding at most capacity versions.
+func NewFifo(capacity int) (*Fifo, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("orwl: fifo capacity must be positive, got %d", capacity)
+	}
+	f := &Fifo{capacity: capacity}
+	f.notEmpty = sync.NewCond(&f.mu)
+	f.notFull = sync.NewCond(&f.mu)
+	return f, nil
+}
+
+// Push copies data into the FIFO, blocking while it is full. Pushing to
+// a closed FIFO returns an error.
+func (f *Fifo) Push(data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.buf) >= f.capacity && !f.closed {
+		f.notFull.Wait()
+	}
+	if f.closed {
+		return fmt.Errorf("orwl: push on closed fifo")
+	}
+	f.buf = append(f.buf, cp)
+	f.notEmpty.Signal()
+	return nil
+}
+
+// Pop removes and returns the oldest version, blocking while the FIFO
+// is empty. It returns ok=false once the FIFO is closed and drained.
+func (f *Fifo) Pop() (data []byte, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.buf) == 0 && !f.closed {
+		f.notEmpty.Wait()
+	}
+	if len(f.buf) == 0 {
+		return nil, false
+	}
+	data = f.buf[0]
+	f.buf = f.buf[1:]
+	f.notFull.Signal()
+	return data, true
+}
+
+// TryPop is Pop without blocking.
+func (f *Fifo) TryPop() (data []byte, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.buf) == 0 {
+		return nil, false
+	}
+	data = f.buf[0]
+	f.buf = f.buf[1:]
+	f.notFull.Signal()
+	return data, true
+}
+
+// Len returns the number of buffered versions.
+func (f *Fifo) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.buf)
+}
+
+// Close marks the FIFO finished: blocked producers fail, consumers
+// drain the remaining versions and then see ok=false.
+func (f *Fifo) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	f.notEmpty.Broadcast()
+	f.notFull.Broadcast()
+}

@@ -1,0 +1,234 @@
+package orwl
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestFifoValidation(t *testing.T) {
+	if _, err := NewFifo(0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+	if _, err := NewFifo(-1); err == nil {
+		t.Error("accepted negative capacity")
+	}
+}
+
+func TestFifoOrderAndCopySemantics(t *testing.T) {
+	f, err := NewFifo(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte{1, 2, 3}
+	if err := f.Push(src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99 // must not affect the queued version
+	if err := f.Push([]byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 {
+		t.Errorf("len = %d", f.Len())
+	}
+	got, ok := f.Pop()
+	if !ok || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("pop = %v, %v", got, ok)
+	}
+	got, ok = f.Pop()
+	if !ok || !bytes.Equal(got, []byte{4}) {
+		t.Errorf("pop = %v, %v", got, ok)
+	}
+	if _, ok := f.TryPop(); ok {
+		t.Error("TryPop on empty should fail")
+	}
+}
+
+func TestFifoBlocksWhenFullAndDrainsOnClose(t *testing.T) {
+	f, err := NewFifo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Push([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- f.Push([]byte{2}) }() // blocks until a pop
+	if got, ok := f.Pop(); !ok || got[0] != 1 {
+		t.Fatalf("pop = %v %v", got, ok)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if got, ok := f.Pop(); !ok || got[0] != 2 {
+		t.Errorf("drain after close = %v %v", got, ok)
+	}
+	if _, ok := f.Pop(); ok {
+		t.Error("pop after drain should report closed")
+	}
+	if err := f.Push([]byte{3}); err == nil {
+		t.Error("push after close accepted")
+	}
+}
+
+func TestFifoCloseUnblocksProducer(t *testing.T) {
+	f, _ := NewFifo(1)
+	_ = f.Push([]byte{1})
+	done := make(chan error, 1)
+	go func() { done <- f.Push([]byte{2}) }()
+	f.Close()
+	if err := <-done; err == nil {
+		t.Error("blocked producer should fail on close")
+	}
+}
+
+func TestFifoProducerConsumerStress(t *testing.T) {
+	f, _ := NewFifo(8)
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := f.Push([]byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		f.Close()
+	}()
+	count := 0
+	for {
+		got, ok := f.Pop()
+		if !ok {
+			break
+		}
+		val := int(got[0]) | int(got[1])<<8
+		if val != count {
+			t.Fatalf("out of order: got %d, want %d", val, count)
+		}
+		count++
+	}
+	wg.Wait()
+	if count != n {
+		t.Errorf("consumed %d, want %d", count, n)
+	}
+}
+
+func TestSplitValidation(t *testing.T) {
+	p := MustProgram(1, "frame")
+	loc := p.Location(Loc(0, "frame"))
+	loc.Scale(10)
+	if _, err := p.NewSplit(nil, Loc(0, "frame"), 2); err == nil {
+		t.Error("accepted nil location")
+	}
+	if _, err := p.NewSplit(loc, Loc(0, "frame"), 0); err == nil {
+		t.Error("accepted zero parts")
+	}
+}
+
+func TestSplitPartSizesAndScatterGather(t *testing.T) {
+	p := MustProgram(1, "frame")
+	loc := p.Location(Loc(0, "frame"))
+	loc.Scale(10)
+	s, err := p.NewSplit(loc, Loc(0, "frame"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Parts() != 3 {
+		t.Fatalf("parts = %d", s.Parts())
+	}
+	// 10 bytes over 3 parts: sizes 4,3,3.
+	wantSizes := []int{4, 3, 3}
+	total := 0
+	for i, w := range wantSizes {
+		if got := s.Part(i).Size(); got != w {
+			t.Errorf("part %d size = %d, want %d", i, got, w)
+		}
+		total += s.Part(i).Size()
+	}
+	if total != 10 {
+		t.Errorf("total = %d", total)
+	}
+	if s.Part(-1) != nil || s.Part(3) != nil {
+		t.Error("out-of-range Part should be nil")
+	}
+
+	src := []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s.Scatter(src)
+	if got := s.Part(1).buffer(); !bytes.Equal(got, []byte{4, 5, 6}) {
+		t.Errorf("part 1 = %v", got)
+	}
+	dst := make([]byte, 10)
+	s.Gather(dst)
+	if !bytes.Equal(dst, src) {
+		t.Errorf("gather = %v", dst)
+	}
+}
+
+func TestSplitPartsParticipateInDependencies(t *testing.T) {
+	// A splitter task writes parts; worker tasks read them: the comm
+	// matrix must show splitter -> worker edges.
+	p := MustProgram(3, "frame")
+	loc := p.Location(Loc(0, "frame"))
+	loc.Scale(8)
+	s, err := p.NewSplit(loc, Loc(0, "frame"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = p.Run(func(ctx *TaskContext) error {
+		switch ctx.TID() {
+		case 0:
+			h0 := NewHandle()
+			h1 := NewHandle()
+			if err := ctx.WriteInsert(h0, Loc(0, "frame#0"), 0); err != nil {
+				return err
+			}
+			if err := ctx.WriteInsert(h1, Loc(0, "frame#1"), 0); err != nil {
+				return err
+			}
+			return ctx.Schedule()
+		default:
+			h := NewHandle()
+			name := "frame#0"
+			if ctx.TID() == 2 {
+				name = "frame#1"
+			}
+			if err := ctx.ReadInsert(h, Loc(0, name), 1); err != nil {
+				return err
+			}
+			return ctx.Schedule()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.DependencyMatrix()
+	if m.At(0, 1) != 4 || m.At(0, 2) != 4 {
+		t.Errorf("split dependencies = %g/%g, want 4/4", m.At(0, 1), m.At(0, 2))
+	}
+	_ = s
+}
+
+func TestSplitUnevenSmallerThanParts(t *testing.T) {
+	p := MustProgram(1, "x")
+	loc := p.Location(Loc(0, "x"))
+	loc.Scale(2)
+	s, err := p.NewSplit(loc, Loc(0, "x"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := 0
+	for i := 0; i < 4; i++ {
+		sizes += s.Part(i).Size()
+	}
+	if sizes != 2 {
+		t.Errorf("total part size = %d, want 2", sizes)
+	}
+	// Scatter with a short parent buffer must zero-fill.
+	s.Scatter([]byte{7})
+	if got := s.Part(0).buffer(); len(got) != 1 || got[0] != 7 {
+		t.Errorf("part 0 = %v", got)
+	}
+}

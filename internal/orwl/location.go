@@ -1,0 +1,300 @@
+// Package orwl implements the Ordered Read-Write Lock programming model
+// (§III of the paper): shared resources are abstracted as locations,
+// concurrent access is ordered by a FIFO of read/write requests, and
+// applications are decomposed into tasks that interact only through the
+// locations they share.
+//
+// The runtime mirrors the reference C library's primitives: Location
+// (orwl_location), Handle (orwl_handle / orwl_handle2), Section
+// (ORWL_SECTION / ORWL_SECTION2), Program (orwl_init/orwl_schedule),
+// plus the DFG extensions Fifo (orwl_fifo) and Split (orwl_split). When
+// all tasks have announced their handles, Schedule orders the initial
+// requests, which makes the full task–location graph — and hence the
+// communication matrix — available to the affinity module without any
+// user annotation.
+package orwl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode is the access mode of a request: concurrent Read or exclusive
+// Write.
+type Mode int
+
+// Access modes.
+const (
+	Read Mode = iota
+	Write
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Location is a shared resource guarded by an ordered read-write lock.
+// Requests are queued FIFO; adjacent read requests share a grant (a
+// reader group), a write request is granted exclusively.
+type Location struct {
+	name  string
+	owner int // task that owns this location (it appears in its namespace)
+
+	mu    sync.Mutex
+	data  []byte
+	queue []*group
+
+	// Statistics, maintained atomically: they stand in for the control
+	// traffic the ORWL control threads handle in the C implementation.
+	grants   atomic.Uint64
+	inserts  atomic.Uint64
+	releases atomic.Uint64
+}
+
+// group is one FIFO entry: either a single writer or a set of readers
+// sharing the grant.
+type group struct {
+	mode    Mode
+	reqs    []*request
+	pending int // requests not yet released
+	granted bool
+}
+
+// request is one queued access by one handle.
+type request struct {
+	mode  Mode
+	ready chan struct{}
+	loc   *Location
+	done  bool
+}
+
+// Name returns the location name.
+func (l *Location) Name() string { return l.name }
+
+// Owner returns the task id owning the location.
+func (l *Location) Owner() int { return l.owner }
+
+// Size returns the current buffer size in bytes.
+func (l *Location) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.data)
+}
+
+// Scale resizes the location's buffer, preserving existing content up
+// to the new size (orwl_scale).
+func (l *Location) Scale(size int) {
+	if size < 0 {
+		size = 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if size <= cap(l.data) {
+		l.data = l.data[:size]
+		return
+	}
+	nd := make([]byte, size)
+	copy(nd, l.data)
+	l.data = nd
+}
+
+// Preset fills the location's buffer (resizing it) before any request
+// is queued. It is the initialisation path for locations whose first
+// FIFO entry is a read — e.g. the lag-1 border exchanges of iterative
+// stencils, where the first reader must observe the initial data.
+func (l *Location) Preset(data []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) != 0 {
+		return fmt.Errorf("orwl: preset on location %q with queued requests", l.name)
+	}
+	l.data = append(l.data[:0], data...)
+	return nil
+}
+
+// Stats reports the number of insert/grant/release control events the
+// location has processed.
+func (l *Location) Stats() (inserts, grants, releases uint64) {
+	return l.inserts.Load(), l.grants.Load(), l.releases.Load()
+}
+
+// insert queues a request; callers wait on req.ready.
+func (l *Location) insert(mode Mode) *request {
+	req := &request{mode: mode, ready: make(chan struct{}), loc: l}
+	l.mu.Lock()
+	l.enqueueLocked(req)
+	l.mu.Unlock()
+	l.inserts.Add(1)
+	return req
+}
+
+// enqueueLocked appends the request, coalescing adjacent readers, and
+// grants it immediately when it lands at the head.
+func (l *Location) enqueueLocked(req *request) {
+	if req.mode == Read && len(l.queue) > 0 {
+		tail := l.queue[len(l.queue)-1]
+		// Readers join the tail reader group. If that group is the
+		// granted head the new reader is admitted immediately: no
+		// writer is waiting behind it, so FIFO order is preserved.
+		if tail.mode == Read {
+			tail.reqs = append(tail.reqs, req)
+			tail.pending++
+			if tail.granted {
+				l.grants.Add(1)
+				close(req.ready)
+			}
+			return
+		}
+	}
+	g := &group{mode: req.mode, reqs: []*request{req}, pending: 1}
+	l.queue = append(l.queue, g)
+	if len(l.queue) == 1 {
+		l.grantLocked(g)
+	}
+}
+
+func (l *Location) grantLocked(g *group) {
+	g.granted = true
+	for _, r := range g.reqs {
+		l.grants.Add(1)
+		close(r.ready)
+	}
+}
+
+// release marks one request of the head group as done; when the whole
+// group is done the next group is granted.
+func (l *Location) release(req *request) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if req.done {
+		return fmt.Errorf("orwl: double release on location %q", l.name)
+	}
+	if len(l.queue) == 0 || !contains(l.queue[0], req) {
+		return fmt.Errorf("orwl: release of non-granted request on location %q", l.name)
+	}
+	req.done = true
+	head := l.queue[0]
+	head.pending--
+	l.releases.Add(1)
+	if head.pending == 0 {
+		l.queue = l.queue[1:]
+		if len(l.queue) > 0 {
+			l.grantLocked(l.queue[0])
+		}
+	}
+	return nil
+}
+
+// releaseAndReinsert atomically releases the request and queues a fresh
+// request with the same mode at the FIFO tail. This is the iterative
+// handle (orwl_handle2) step: before leaving the critical section the
+// task requests the resource for its next iteration, which guarantees
+// that every task gets exactly one turn per round.
+func (l *Location) releaseAndReinsert(req *request) (*request, error) {
+	next := &request{mode: req.mode, ready: make(chan struct{}), loc: l}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if req.done {
+		return nil, fmt.Errorf("orwl: double release on location %q", l.name)
+	}
+	if len(l.queue) == 0 || !contains(l.queue[0], req) {
+		return nil, fmt.Errorf("orwl: release of non-granted request on location %q", l.name)
+	}
+	// Insert the next-iteration request first so it lands behind every
+	// request already queued, then release the current one.
+	l.enqueueLocked(next)
+	l.inserts.Add(1)
+	req.done = true
+	head := l.queue[0]
+	head.pending--
+	l.releases.Add(1)
+	if head.pending == 0 {
+		l.queue = l.queue[1:]
+		if len(l.queue) > 0 {
+			l.grantLocked(l.queue[0])
+		}
+	}
+	return next, nil
+}
+
+func contains(g *group, req *request) bool {
+	for _, r := range g.reqs {
+		if r == req {
+			return true
+		}
+	}
+	return false
+}
+
+// buffer returns the raw storage; only valid while holding a grant.
+func (l *Location) buffer() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.data
+}
+
+// RawRequest exposes one queued FIFO access for low-level integrations
+// such as the network location service (orwlnet). Applications should
+// use Handle, which adds state checking on top.
+type RawRequest struct {
+	loc *Location
+	req *request
+}
+
+// NewRequest queues a request at the FIFO tail and returns it. Unlike
+// Handle insertion, this path is not ordered by the schedule barrier:
+// it is the steady-state insertion used by remote peers.
+func (l *Location) NewRequest(mode Mode) *RawRequest {
+	return &RawRequest{loc: l, req: l.insert(mode)}
+}
+
+// Mode returns the request's access mode.
+func (r *RawRequest) Mode() Mode { return r.req.mode }
+
+// Await blocks until the request is granted.
+func (r *RawRequest) Await() { <-r.req.ready }
+
+// TryAwait reports whether the request is granted, without blocking.
+func (r *RawRequest) TryAwait() bool {
+	select {
+	case <-r.req.ready:
+		return true
+	default:
+		return false
+	}
+}
+
+// Buffer returns the location's storage; only valid between Await and
+// Release.
+func (r *RawRequest) Buffer() []byte { return r.loc.buffer() }
+
+// Release ends the grant.
+func (r *RawRequest) Release() error { return r.loc.release(r.req) }
+
+// ReleaseAndReinsert atomically releases the grant and queues the next
+// iteration's request (the Handle2 step); the RawRequest then tracks
+// the new request.
+func (r *RawRequest) ReleaseAndReinsert() error {
+	next, err := r.loc.releaseAndReinsert(r.req)
+	if err != nil {
+		return err
+	}
+	r.req = next
+	return nil
+}
+
+// queueLen returns the number of queued groups (for tests/diagnostics).
+func (l *Location) queueLen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}

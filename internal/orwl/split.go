@@ -1,0 +1,84 @@
+package orwl
+
+import "fmt"
+
+// Split is the orwl_split DFG primitive: it partitions the data of a
+// location into k pieces, each guarded by its own request FIFO, so that
+// k sub-tasks can process the pieces in parallel (used for the GMM and
+// CCL stages of the video-tracking application, §V-C).
+type Split struct {
+	parent *Location
+	parts  []*Location
+}
+
+// NewSplit creates a split of loc into k near-equal contiguous pieces.
+// The parts are registered as extra locations of the program, named
+// "<loc>#<i>" and owned by ownerTask, so they participate in dependency
+// extraction. The parent must be scaled to its final size first.
+func (p *Program) NewSplit(loc *Location, id LocationID, k int) (*Split, error) {
+	if loc == nil {
+		return nil, fmt.Errorf("orwl: split of nil location")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("orwl: split into %d parts", k)
+	}
+	size := loc.Size()
+	s := &Split{parent: loc}
+	base := size / k
+	extra := size % k
+	off := 0
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < extra {
+			sz++
+		}
+		partID := LocationID{Task: id.Task, Name: fmt.Sprintf("%s#%d", id.Name, i)}
+		part, err := p.AddLocation(partID)
+		if err != nil {
+			return nil, err
+		}
+		part.Scale(sz)
+		s.parts = append(s.parts, part)
+		off += sz
+	}
+	return s, nil
+}
+
+// Parts returns the number of pieces.
+func (s *Split) Parts() int { return len(s.parts) }
+
+// Part returns the i-th piece location.
+func (s *Split) Part(i int) *Location {
+	if i < 0 || i >= len(s.parts) {
+		return nil
+	}
+	return s.parts[i]
+}
+
+// Scatter copies the parent's buffer into the pieces. The caller must
+// hold a grant on the parent and write grants on every piece (the usual
+// pattern is the splitter task holding all of them inside nested
+// sections).
+func (s *Split) Scatter(parentBuf []byte) {
+	off := 0
+	for _, part := range s.parts {
+		buf := part.buffer()
+		n := 0
+		if off < len(parentBuf) {
+			n = copy(buf, parentBuf[off:])
+		}
+		for i := n; i < len(buf); i++ {
+			buf[i] = 0
+		}
+		off += len(buf)
+	}
+}
+
+// Gather copies the pieces back into the parent's buffer. The caller
+// must hold a write grant on the parent and grants on every piece.
+func (s *Split) Gather(parentBuf []byte) {
+	off := 0
+	for _, part := range s.parts {
+		off += copy(parentBuf[off:], part.buffer())
+	}
+}

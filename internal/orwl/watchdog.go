@@ -1,0 +1,91 @@
+package orwl
+
+import (
+	"fmt"
+	"time"
+)
+
+// StallReport describes a suspected stall: the runtime made no control
+// progress for a full watch interval while requests were still queued
+// and waiting.
+type StallReport struct {
+	// Waiting counts the queued request groups that are not granted.
+	Waiting int
+	// State is the DumpState rendering at detection time.
+	State string
+}
+
+// Error lets a StallReport travel as an error.
+func (s *StallReport) Error() string {
+	return fmt.Sprintf("orwl: no progress with %d waiting request groups\n%s", s.Waiting, s.State)
+}
+
+// WatchStalls polls the runtime every interval and calls report when a
+// full interval passes with zero grant/release activity while requests
+// are waiting — the signature of a lock-order deadlock (e.g. two
+// iterative tasks acquiring each other's locations in opposite
+// orders). It returns a stop function; the watchdog also stops itself
+// after firing once. Polling is cheap (two atomic loads plus a queue
+// scan), so intervals of a few milliseconds are fine in tests.
+func (p *Program) WatchStalls(interval time.Duration, report func(*StallReport)) (stop func()) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		_, lastGrants, lastReleases := p.ControlStats()
+		idle := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			_, grants, releases := p.ControlStats()
+			progressed := grants != lastGrants || releases != lastReleases
+			lastGrants, lastReleases = grants, releases
+			if progressed || p.waitingGroups() == 0 {
+				idle = 0
+				continue
+			}
+			// Require two consecutive idle intervals before declaring a
+			// stall, so a scheduling hiccup on a loaded machine is not
+			// mistaken for a deadlock.
+			idle++
+			if idle < 2 {
+				continue
+			}
+			report(&StallReport{Waiting: p.waitingGroups(), State: p.DumpState(false)})
+			return
+		}
+	}()
+	var stopped bool
+	return func() {
+		if !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+}
+
+// waitingGroups counts queued, non-granted request groups across all
+// locations.
+func (p *Program) waitingGroups() int {
+	p.mu.Lock()
+	locs := make([]*Location, 0, len(p.locs))
+	for _, l := range p.locs {
+		locs = append(locs, l)
+	}
+	p.mu.Unlock()
+	waiting := 0
+	for _, l := range locs {
+		for _, g := range l.Snapshot().Groups {
+			if !g.Granted {
+				waiting++
+			}
+		}
+	}
+	return waiting
+}

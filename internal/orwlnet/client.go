@@ -1,0 +1,225 @@
+package orwlnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"orwlplace/internal/orwl"
+)
+
+// Client is one connection to a location server. It is safe for
+// concurrent use: calls are tagged and multiplexed, so a blocked
+// Acquire does not stall other handles on the same connection.
+type Client struct {
+	conn net.Conn
+
+	callID  atomic.Uint64
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan message
+	err     error
+	done    chan struct{}
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("orwlnet: dial: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		pending: make(map[uint64]chan message),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close terminates the connection; outstanding calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) readLoop() {
+	for {
+		msg, err := readMessage(c.conn)
+		if err != nil {
+			c.mu.Lock()
+			c.err = fmt.Errorf("orwlnet: connection lost: %w", err)
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			close(c.done)
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[msg.callID]
+		delete(c.pending, msg.callID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- msg
+		}
+	}
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	id := c.callID.Add(1)
+	ch := make(chan message, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := writeMessage(c.conn, message{callID: id, op: op, payload: payload})
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("orwlnet: send: %w", err)
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if resp.op == statusError {
+		return nil, fmt.Errorf("orwlnet: server: %s", string(resp.payload))
+	}
+	return resp.payload, nil
+}
+
+// Scale resizes a remote location.
+func (c *Client) Scale(location string, size int) error {
+	if size < 0 {
+		return fmt.Errorf("orwlnet: negative size %d", size)
+	}
+	_, err := c.call(opScale, putUint64(putString(nil, location), uint64(size)))
+	return err
+}
+
+// Size returns a remote location's buffer size.
+func (c *Client) Size(location string) (int, error) {
+	resp, err := c.call(opSize, putString(nil, location))
+	if err != nil {
+		return 0, err
+	}
+	v, _, err := getUint64(resp)
+	return int(v), err
+}
+
+// RemoteHandle is the client-side face of a queued request on a remote
+// location; it mirrors orwl.Handle's lifecycle.
+type RemoteHandle struct {
+	c        *Client
+	id       uint64
+	mode     orwl.Mode
+	acquired bool
+	spent    bool
+}
+
+// Insert queues a request on the remote location. Remote requests are
+// FIFO-ordered by arrival (the steady-state ordering of the runtime;
+// initial priority ordering happens inside the owning process).
+func (c *Client) Insert(location string, mode orwl.Mode) (*RemoteHandle, error) {
+	payload := append(putString(nil, location), byte(mode))
+	resp, err := c.call(opInsert, payload)
+	if err != nil {
+		return nil, err
+	}
+	id, _, err := getUint64(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteHandle{c: c, id: id, mode: mode}, nil
+}
+
+// Acquire blocks until the remote FIFO grants the request.
+func (h *RemoteHandle) Acquire() error {
+	if h.spent {
+		return fmt.Errorf("orwlnet: acquire on spent handle")
+	}
+	if h.acquired {
+		return fmt.Errorf("orwlnet: double acquire")
+	}
+	if _, err := h.c.call(opAwait, putUint64(nil, h.id)); err != nil {
+		return err
+	}
+	h.acquired = true
+	return nil
+}
+
+// Read fetches the location content; the handle must be acquired.
+func (h *RemoteHandle) Read() ([]byte, error) {
+	if !h.acquired {
+		return nil, fmt.Errorf("orwlnet: read without grant")
+	}
+	return h.c.call(opRead, putUint64(nil, h.id))
+}
+
+// Write replaces the leading bytes of the location content; the handle
+// must be an acquired write handle.
+func (h *RemoteHandle) Write(data []byte) error {
+	if !h.acquired {
+		return fmt.Errorf("orwlnet: write without grant")
+	}
+	_, err := h.c.call(opWrite, append(putUint64(nil, h.id), data...))
+	return err
+}
+
+// Release ends the critical section; the handle becomes spent.
+func (h *RemoteHandle) Release() error {
+	if !h.acquired {
+		return fmt.Errorf("orwlnet: release without acquire")
+	}
+	if _, err := h.c.call(opRelease, putUint64(nil, h.id)); err != nil {
+		return err
+	}
+	h.acquired = false
+	h.spent = true
+	return nil
+}
+
+// ReleaseReinsert atomically releases and queues the next iteration
+// (the iterative orwl_handle2 step).
+func (h *RemoteHandle) ReleaseReinsert() error {
+	if !h.acquired {
+		return fmt.Errorf("orwlnet: release without acquire")
+	}
+	if _, err := h.c.call(opReleaseReinsert, putUint64(nil, h.id)); err != nil {
+		return err
+	}
+	h.acquired = false
+	return nil
+}
+
+// Section runs fn under the grant and releases afterwards, re-queueing
+// when iterative is true.
+func (h *RemoteHandle) Section(iterative bool, fn func(h *RemoteHandle) error) error {
+	if err := h.Acquire(); err != nil {
+		return err
+	}
+	ferr := fn(h)
+	var rerr error
+	if iterative {
+		rerr = h.ReleaseReinsert()
+	} else {
+		rerr = h.Release()
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return rerr
+}

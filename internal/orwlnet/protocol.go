@@ -1,0 +1,123 @@
+// Package orwlnet provides remote access to ORWL locations over TCP,
+// reproducing the distributed face of the reference library: in the
+// ORWL model a location may live in another process or on another
+// node, and tasks interact with it through exactly the same
+// insert/acquire/release FIFO discipline. The paper's evaluation is
+// single-SMP, so this package is the "extension" substrate: it lets
+// the examples and tests exercise location sharing across process
+// boundaries without changing the protocol semantics.
+//
+// The wire protocol is deliberately small: length-prefixed binary
+// messages, one multiplexed TCP connection per client, each call
+// tagged with an id so long-blocking operations (Await) do not stall
+// unrelated calls.
+package orwlnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Operation codes.
+const (
+	opScale = iota + 1
+	opSize
+	opInsert
+	opAwait
+	opRead
+	opWrite
+	opRelease
+	opReleaseReinsert
+)
+
+// Status codes.
+const (
+	statusOK = iota
+	statusError
+)
+
+// maxMessage bounds a single message (64 MiB), protecting both sides
+// against corrupt length prefixes.
+const maxMessage = 64 << 20
+
+// message is one framed request or response.
+type message struct {
+	callID  uint64
+	op      byte // request: operation; response: status
+	payload []byte
+}
+
+// writeMessage frames and writes m.
+func writeMessage(w io.Writer, m message) error {
+	if len(m.payload) > maxMessage {
+		return fmt.Errorf("orwlnet: message payload %d exceeds limit", len(m.payload))
+	}
+	head := make([]byte, 4+8+1)
+	binary.LittleEndian.PutUint32(head, uint32(8+1+len(m.payload)))
+	binary.LittleEndian.PutUint64(head[4:], m.callID)
+	head[12] = m.op
+	if _, err := w.Write(head); err != nil {
+		return err
+	}
+	if len(m.payload) > 0 {
+		if _, err := w.Write(m.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readMessage reads one framed message.
+func readMessage(r io.Reader) (message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return message{}, err
+	}
+	n := binary.LittleEndian.Uint32(lenBuf[:])
+	if n < 9 || n > maxMessage {
+		return message{}, fmt.Errorf("orwlnet: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return message{}, err
+	}
+	return message{
+		callID:  binary.LittleEndian.Uint64(body),
+		op:      body[8],
+		payload: body[9:],
+	}, nil
+}
+
+// Payload encoding helpers.
+
+func putString(dst []byte, s string) []byte {
+	var l [2]byte
+	binary.LittleEndian.PutUint16(l[:], uint16(len(s)))
+	dst = append(dst, l[:]...)
+	return append(dst, s...)
+}
+
+func getString(src []byte) (string, []byte, error) {
+	if len(src) < 2 {
+		return "", nil, fmt.Errorf("orwlnet: truncated string")
+	}
+	n := int(binary.LittleEndian.Uint16(src))
+	if len(src) < 2+n {
+		return "", nil, fmt.Errorf("orwlnet: truncated string body")
+	}
+	return string(src[2 : 2+n]), src[2+n:], nil
+}
+
+func putUint64(dst []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+func getUint64(src []byte) (uint64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, fmt.Errorf("orwlnet: truncated integer")
+	}
+	return binary.LittleEndian.Uint64(src), src[8:], nil
+}

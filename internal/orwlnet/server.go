@@ -1,0 +1,275 @@
+package orwlnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"orwlplace/internal/orwl"
+)
+
+// Server exports a set of named ORWL locations to remote clients. Each
+// client connection is served independently; a blocking Await occupies
+// only its own goroutine, so one connection can multiplex many
+// outstanding requests.
+type Server struct {
+	lis  net.Listener
+	locs map[string]*orwl.Location
+
+	mu       sync.Mutex
+	closed   bool
+	conns    map[net.Conn]struct{}
+	handleID atomic.Uint64
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a listener and the locations to export (keyed by the
+// names clients use).
+func NewServer(lis net.Listener, locs map[string]*orwl.Location) (*Server, error) {
+	if lis == nil {
+		return nil, fmt.Errorf("orwlnet: nil listener")
+	}
+	if len(locs) == 0 {
+		return nil, fmt.Errorf("orwlnet: no locations to export")
+	}
+	return &Server{
+		lis:   lis,
+		locs:  locs,
+		conns: make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.lis.Addr() }
+
+// Serve accepts connections until Close; it returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every connection and waits for the
+// per-connection goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	s.wg.Wait()
+	return err
+}
+
+// connState tracks the open requests of one client connection.
+type connState struct {
+	mu      sync.Mutex
+	writeMu sync.Mutex
+	reqs    map[uint64]*orwl.RawRequest
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	st := &connState{reqs: make(map[uint64]*orwl.RawRequest)}
+	for {
+		msg, err := readMessage(conn)
+		if err != nil {
+			return // client gone or protocol error: drop the connection
+		}
+		s.wg.Add(1)
+		go func(m message) {
+			defer s.wg.Done()
+			payload, err := s.handle(st, m)
+			resp := message{callID: m.callID, op: statusOK, payload: payload}
+			if err != nil {
+				resp.op = statusError
+				resp.payload = []byte(err.Error())
+			}
+			st.writeMu.Lock()
+			werr := writeMessage(conn, resp)
+			st.writeMu.Unlock()
+			if werr != nil {
+				conn.Close()
+			}
+		}(msg)
+	}
+}
+
+var errUnknownHandle = errors.New("orwlnet: unknown handle")
+
+func (s *Server) handle(st *connState, m message) ([]byte, error) {
+	switch m.op {
+	case opScale:
+		name, rest, err := getString(m.payload)
+		if err != nil {
+			return nil, err
+		}
+		size, _, err := getUint64(rest)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := s.location(name)
+		if err != nil {
+			return nil, err
+		}
+		loc.Scale(int(size))
+		return nil, nil
+	case opSize:
+		name, _, err := getString(m.payload)
+		if err != nil {
+			return nil, err
+		}
+		loc, err := s.location(name)
+		if err != nil {
+			return nil, err
+		}
+		return putUint64(nil, uint64(loc.Size())), nil
+	case opInsert:
+		name, rest, err := getString(m.payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("orwlnet: missing mode")
+		}
+		mode := orwl.Mode(rest[0])
+		if mode != orwl.Read && mode != orwl.Write {
+			return nil, fmt.Errorf("orwlnet: bad mode %d", rest[0])
+		}
+		loc, err := s.location(name)
+		if err != nil {
+			return nil, err
+		}
+		id := s.handleID.Add(1)
+		st.mu.Lock()
+		st.reqs[id] = loc.NewRequest(mode)
+		st.mu.Unlock()
+		return putUint64(nil, id), nil
+	case opAwait:
+		req, err := s.request(st, m.payload)
+		if err != nil {
+			return nil, err
+		}
+		req.Await()
+		return nil, nil
+	case opRead:
+		req, err := s.request(st, m.payload)
+		if err != nil {
+			return nil, err
+		}
+		if !req.TryAwait() {
+			return nil, fmt.Errorf("orwlnet: read without grant")
+		}
+		buf := req.Buffer()
+		out := make([]byte, len(buf))
+		copy(out, buf)
+		return out, nil
+	case opWrite:
+		id, rest, err := getUint64(m.payload)
+		if err != nil {
+			return nil, err
+		}
+		req, err := s.requestByID(st, id)
+		if err != nil {
+			return nil, err
+		}
+		if !req.TryAwait() {
+			return nil, fmt.Errorf("orwlnet: write without grant")
+		}
+		if req.Mode() != orwl.Write {
+			return nil, fmt.Errorf("orwlnet: write on read handle")
+		}
+		buf := req.Buffer()
+		if len(rest) > len(buf) {
+			return nil, fmt.Errorf("orwlnet: write of %d bytes into %d-byte location", len(rest), len(buf))
+		}
+		copy(buf, rest)
+		return nil, nil
+	case opRelease:
+		id, _, err := getUint64(m.payload)
+		if err != nil {
+			return nil, err
+		}
+		req, err := s.requestByID(st, id)
+		if err != nil {
+			return nil, err
+		}
+		if err := req.Release(); err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		delete(st.reqs, id)
+		st.mu.Unlock()
+		return nil, nil
+	case opReleaseReinsert:
+		req, err := s.request(st, m.payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, req.ReleaseAndReinsert()
+	default:
+		return nil, fmt.Errorf("orwlnet: unknown op %d", m.op)
+	}
+}
+
+func (s *Server) location(name string) (*orwl.Location, error) {
+	loc, ok := s.locs[name]
+	if !ok {
+		return nil, fmt.Errorf("orwlnet: unknown location %q", name)
+	}
+	return loc, nil
+}
+
+func (s *Server) request(st *connState, payload []byte) (*orwl.RawRequest, error) {
+	id, _, err := getUint64(payload)
+	if err != nil {
+		return nil, err
+	}
+	return s.requestByID(st, id)
+}
+
+func (s *Server) requestByID(st *connState, id uint64) (*orwl.RawRequest, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	req, ok := st.reqs[id]
+	if !ok {
+		return nil, errUnknownHandle
+	}
+	return req, nil
+}

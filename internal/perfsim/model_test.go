@@ -1,0 +1,204 @@
+package perfsim
+
+import (
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+)
+
+// Additional model-behaviour tests: stages, master allocation, control
+// wake-ups and channel saturation.
+
+func TestStagesValidation(t *testing.T) {
+	w := computeWorkload(3, comm.NewMatrix(3))
+	w.Stages = [][]int{{0, 1}, {2, 5}}
+	if err := w.Validate(); err == nil {
+		t.Error("accepted out-of-range stage member")
+	}
+	w.Stages = [][]int{{0, 1}, {1, 2}}
+	if err := w.Validate(); err == nil {
+		t.Error("accepted duplicated stage member")
+	}
+	w.Stages = [][]int{{0, 1}}
+	if err := w.Validate(); err == nil {
+		t.Error("accepted incomplete stage cover")
+	}
+	w.Stages = [][]int{{0}, {1, 2}}
+	if err := w.Validate(); err != nil {
+		t.Errorf("rejected valid stages: %v", err)
+	}
+}
+
+func TestStagedWorkloadSumsStageTimes(t *testing.T) {
+	top := topology.TinyFlat()
+	mk := func(stages [][]int) *Result {
+		w := computeWorkload(2, comm.NewMatrix(2))
+		w.Threads[0].MemoryTraffic = 0
+		w.Threads[1].MemoryTraffic = 0
+		w.Stages = stages
+		r, err := Simulate(top, w, identityPlacement(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	pipelined := mk(nil)
+	staged := mk([][]int{{0}, {1}})
+	// Two equal sequential stages take twice the pipelined steady
+	// state.
+	ratio := staged.Seconds / pipelined.Seconds
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("staged/pipelined ratio = %g, want ~2", ratio)
+	}
+	together := mk([][]int{{0, 1}})
+	if together.Seconds != pipelined.Seconds {
+		t.Errorf("single-stage time %g != pipelined %g", together.Seconds, pipelined.Seconds)
+	}
+}
+
+func TestMasterAllocForcesRemoteTraffic(t *testing.T) {
+	top := topology.TinyFlat()
+	mk := func(master bool) *Result {
+		w := computeWorkload(2, comm.NewMatrix(2))
+		w.Threads[0].ComputeCycles = 0
+		w.Threads[1].ComputeCycles = 0
+		w.Threads[0].MemoryTraffic = 64 << 20
+		w.Threads[1].MemoryTraffic = 64 << 20
+		w.Threads[0].WorkingSet = 32 << 20 // overflow L3 so traffic misses
+		w.Threads[1].WorkingSet = 32 << 20
+		w.MasterAlloc = master
+		r, err := Simulate(top, w, identityPlacement(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	local := mk(false)
+	master := mk(true)
+	if master.CrossNUMABytes <= local.CrossNUMABytes {
+		t.Errorf("master alloc cross bytes %g not above local %g",
+			master.CrossNUMABytes, local.CrossNUMABytes)
+	}
+	if master.Seconds < local.Seconds {
+		t.Error("master alloc should not be faster than local alloc")
+	}
+}
+
+func TestUnboundControlWakeupsThrottlePipeline(t *testing.T) {
+	top := topology.TinyFlat()
+	mk := func(events float64) *Result {
+		w := computeWorkload(2, comm.NewMatrix(2))
+		w.ControlThreads = 4
+		w.ControlEventsPerIter = events
+		r, err := Simulate(top, w, &Placement{Dynamic: &DynamicPolicy{Policy: PolicySpread, Seed: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	quiet := mk(0)
+	chatty := mk(1000)
+	if chatty.Seconds <= quiet.Seconds {
+		t.Errorf("control wake-ups should throttle the unbound pipeline (%g vs %g)",
+			chatty.Seconds, quiet.Seconds)
+	}
+}
+
+func TestDRAMChannelSaturation(t *testing.T) {
+	// Many streaming threads on one node must be limited by the node's
+	// DRAM bandwidth, not by their individual streaming times.
+	top := topology.TinyFlat() // 4 cores per node, 20 GB/s local
+	n := 4
+	w := computeWorkload(n, comm.NewMatrix(n))
+	for i := range w.Threads {
+		w.Threads[i].ComputeCycles = 0
+		w.Threads[i].MemoryTraffic = 1 << 30 // 1 GB per iteration each
+		w.Threads[i].WorkingSet = 1 << 30
+	}
+	pl := identityPlacement(n) // all on node 0
+	r, err := Simulate(top, w, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 GB per iteration through one 20 GB/s controller: >= 0.2 s/iter.
+	wantMin := 4.0 / 20 * float64(w.Iterations)
+	if r.Seconds < wantMin*0.9 {
+		t.Errorf("node DRAM channel not saturating: %gs, want >= %gs", r.Seconds, wantMin)
+	}
+	// Spreading over both nodes halves the channel pressure.
+	spread := &Placement{ComputePU: []int{0, 1, 4, 5}, LocalAlloc: true}
+	r2, err := Simulate(top, w, spread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Seconds >= r.Seconds {
+		t.Errorf("two-node spread %gs not faster than one-node %gs", r2.Seconds, r.Seconds)
+	}
+}
+
+func TestTrafficInflationIncreasesMisses(t *testing.T) {
+	top := topology.TinyFlat()
+	w := computeWorkload(4, comm.NewMatrix(4))
+	for i := range w.Threads {
+		w.Threads[i].MemoryTraffic = 16 << 20
+		w.Threads[i].WorkingSet = 16 << 20
+	}
+	lo, err := Simulate(top, w, &Placement{Dynamic: &DynamicPolicy{
+		Policy: PolicySpread, Seed: 1, TrafficInflation: 1.0001,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Simulate(top, w, &Placement{Dynamic: &DynamicPolicy{
+		Policy: PolicySpread, Seed: 1, TrafficInflation: 3,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi.L3Misses <= lo.L3Misses {
+		t.Errorf("inflation misses %g not above baseline %g", hi.L3Misses, lo.L3Misses)
+	}
+}
+
+func TestBottleneckThreadReported(t *testing.T) {
+	top := topology.TinyFlat()
+	w := computeWorkload(3, comm.NewMatrix(3))
+	w.Threads[1].ComputeCycles = 100 * w.Threads[0].ComputeCycles
+	r, err := Simulate(top, w, identityPlacement(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BottleneckThread != 1 {
+		t.Errorf("bottleneck = %d, want 1", r.BottleneckThread)
+	}
+}
+
+func TestControlShareSlowdown(t *testing.T) {
+	top := topology.TinyHT()
+	w := computeWorkload(1, comm.NewMatrix(1))
+	w.Threads[0].MemoryTraffic = 0
+	w.ControlThreads = 1
+	// Control on the sibling PU of the compute core: mild slowdown vs
+	// control on a different core.
+	sameCore, err := Simulate(top, w, &Placement{
+		ComputePU: []int{0}, ControlPU: []int{1}, LocalAlloc: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherCore, err := Simulate(top, w, &Placement{
+		ComputePU: []int{0}, ControlPU: []int{2}, LocalAlloc: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sameCore.Seconds <= otherCore.Seconds {
+		t.Errorf("sibling control (%g) should cost slightly more than remote control (%g)",
+			sameCore.Seconds, otherCore.Seconds)
+	}
+	ratio := sameCore.Seconds / otherCore.Seconds
+	if ratio > 1.1 {
+		t.Errorf("sibling-control penalty %g too harsh", ratio)
+	}
+}

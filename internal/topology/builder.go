@@ -1,0 +1,141 @@
+package topology
+
+import "fmt"
+
+// Spec describes a balanced machine for the generic builder. A zero
+// count at any level removes that level from the tree (except cores and
+// PUs, which are mandatory).
+type Spec struct {
+	Name string
+	// Groups is the number of NUMA groups (blades). 0 or 1 omits the
+	// level.
+	Groups int
+	// NUMAPerGroup is the number of NUMA nodes per group (>= 1).
+	NUMAPerGroup int
+	// SocketsPerNUMA is the number of sockets per NUMA node (>= 1).
+	SocketsPerNUMA int
+	// CoresPerSocket is the number of physical cores per socket (>= 1).
+	CoresPerSocket int
+	// PUsPerCore is the number of hardware threads per core; 1 means no
+	// hyperthreading, 2 is typical SMT.
+	PUsPerCore int
+
+	// Cache capacities in bytes; zero omits that cache level from the
+	// tree. L3 is per socket, L2 and L1 per core.
+	L3Size int64
+	L2Size int64
+	L1Size int64
+
+	// MemoryPerNUMA is the local memory per NUMA node in bytes.
+	MemoryPerNUMA int64
+
+	Attrs Attrs
+}
+
+// Build constructs a balanced topology from the spec.
+func Build(spec Spec) (*Topology, error) {
+	if spec.NUMAPerGroup < 1 || spec.SocketsPerNUMA < 1 || spec.CoresPerSocket < 1 {
+		return nil, fmt.Errorf("topology: spec needs at least one NUMA node, socket and core (got %d/%d/%d)",
+			spec.NUMAPerGroup, spec.SocketsPerNUMA, spec.CoresPerSocket)
+	}
+	if spec.PUsPerCore < 1 {
+		return nil, fmt.Errorf("topology: spec needs at least one PU per core (got %d)", spec.PUsPerCore)
+	}
+	groups := spec.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	root := &Object{Type: Machine, Memory: spec.MemoryPerNUMA * int64(groups*spec.NUMAPerGroup)}
+	puOS := 0
+	for g := 0; g < groups; g++ {
+		groupObj := root
+		if spec.Groups > 1 {
+			groupObj = &Object{Type: Group}
+			root.Children = append(root.Children, groupObj)
+		}
+		for n := 0; n < spec.NUMAPerGroup; n++ {
+			numa := &Object{Type: NUMANode, Memory: spec.MemoryPerNUMA}
+			groupObj.Children = append(groupObj.Children, numa)
+			for s := 0; s < spec.SocketsPerNUMA; s++ {
+				sock := &Object{Type: Socket}
+				numa.Children = append(numa.Children, sock)
+				coreParent := sock
+				if spec.L3Size > 0 {
+					l3 := &Object{Type: L3, CacheSize: spec.L3Size}
+					sock.Children = append(sock.Children, l3)
+					coreParent = l3
+				}
+				for c := 0; c < spec.CoresPerSocket; c++ {
+					puParent := coreParent
+					if spec.L2Size > 0 {
+						l2 := &Object{Type: L2, CacheSize: spec.L2Size}
+						puParent.Children = append(puParent.Children, l2)
+						puParent = l2
+					}
+					if spec.L1Size > 0 {
+						l1 := &Object{Type: L1, CacheSize: spec.L1Size}
+						puParent.Children = append(puParent.Children, l1)
+						puParent = l1
+					}
+					core := &Object{Type: Core}
+					puParent.Children = append(puParent.Children, core)
+					for p := 0; p < spec.PUsPerCore; p++ {
+						pu := &Object{Type: PU, OSIndex: puOS}
+						puOS++
+						core.Children = append(core.Children, pu)
+					}
+				}
+			}
+		}
+	}
+	attrs := spec.Attrs
+	if attrs.Name == "" {
+		attrs.Name = spec.Name
+	}
+	attrs.Hyperthreaded = spec.PUsPerCore > 1
+	applyLatencyDefaults(&attrs)
+	return New(root, attrs)
+}
+
+// applyLatencyDefaults fills in reasonable latency attributes when the
+// spec left them zero, so the performance simulator always has a
+// complete model.
+func applyLatencyDefaults(a *Attrs) {
+	if a.L1LatencyCycles == 0 {
+		a.L1LatencyCycles = 4
+	}
+	if a.L2LatencyCycles == 0 {
+		a.L2LatencyCycles = 12
+	}
+	if a.L3LatencyCycles == 0 {
+		a.L3LatencyCycles = 40
+	}
+	if a.DRAMLatencyCycles == 0 {
+		a.DRAMLatencyCycles = 200
+	}
+	if a.RemoteNUMAFactor == 0 {
+		a.RemoteNUMAFactor = 1.8
+	}
+	if a.CrossGroupFactor == 0 {
+		a.CrossGroupFactor = 2.6
+	}
+	if a.ClockMHz == 0 {
+		a.ClockMHz = 2600
+	}
+	if a.InterconnectGBps == 0 {
+		a.InterconnectGBps = 10
+	}
+	if a.LocalMemGBps == 0 {
+		a.LocalMemGBps = 20
+	}
+}
+
+// MustBuild is Build but panics on error; intended for the fixed
+// synthetic machines and for tests.
+func MustBuild(spec Spec) *Topology {
+	t, err := Build(spec)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

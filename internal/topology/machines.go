@@ -1,0 +1,117 @@
+package topology
+
+// Synthetic models of the machines used in the paper's evaluation
+// (Table I) plus the 4-socket machine of Fig. 2.
+
+// SMP12E5 models the newer testbed: 12 NUMA nodes of one E5-4620 socket
+// each (8 cores, 2.6 GHz), hyperthreading enabled (192 PUs on 96 cores),
+// NUMAlink6 interconnect at 6.5 GB/s, L1 32K / L2 256K / L3 20480K.
+func SMP12E5() *Topology {
+	return MustBuild(Spec{
+		Name:           "SMP12E5",
+		Groups:         1,
+		NUMAPerGroup:   12,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: 8,
+		PUsPerCore:     2,
+		L1Size:         32 << 10,
+		L2Size:         256 << 10,
+		L3Size:         20480 << 10,
+		MemoryPerNUMA:  32 << 30,
+		Attrs: Attrs{
+			Name:             "SMP12E5",
+			OS:               "Red Hat 4.8.3-9",
+			Kernel:           "3.10.0",
+			SocketModel:      "E5-4620",
+			ClockMHz:         2600,
+			InterconnectName: "NUMAlink6",
+			InterconnectGBps: 6.5,
+		},
+	})
+}
+
+// SMP20E7 models the older testbed: 20 NUMA nodes of one E7-8837 socket
+// each (8 cores, 2.66 GHz), no hyperthreading (160 PUs on 160 cores),
+// NUMAlink5 interconnect at 15 GB/s, L1 32K / L2 32K / L3 24576K.
+func SMP20E7() *Topology {
+	return MustBuild(Spec{
+		Name:           "SMP20E7",
+		Groups:         1,
+		NUMAPerGroup:   20,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: 8,
+		PUsPerCore:     1,
+		L1Size:         32 << 10,
+		L2Size:         32 << 10,
+		L3Size:         24576 << 10,
+		MemoryPerNUMA:  32 << 30,
+		Attrs: Attrs{
+			Name:             "SMP20E7",
+			OS:               "SUSE Server 11",
+			Kernel:           "2.6.32.46",
+			SocketModel:      "E7-8837",
+			ClockMHz:         2660,
+			InterconnectName: "NUMAlink5",
+			InterconnectGBps: 15,
+		},
+	})
+}
+
+// Fig2Machine models the 4-socket, 32-core machine of the paper's
+// Fig. 2: 2 blades of 2 sockets, 8 cores per socket, no hyperthreading.
+// Each socket is its own NUMA node, as on the testbeds.
+func Fig2Machine() *Topology {
+	return MustBuild(Spec{
+		Name:           "Fig2-4socket",
+		Groups:         2,
+		NUMAPerGroup:   2,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: 8,
+		PUsPerCore:     1,
+		L1Size:         32 << 10,
+		L2Size:         256 << 10,
+		L3Size:         20480 << 10,
+		MemoryPerNUMA:  16 << 30,
+		Attrs: Attrs{
+			Name:             "Fig2-4socket",
+			SocketModel:      "E5-4620",
+			ClockMHz:         2600,
+			InterconnectName: "QPI",
+			InterconnectGBps: 12,
+		},
+	})
+}
+
+// TinyHT is a small hyperthreaded machine used throughout the test
+// suite: 2 NUMA nodes x 1 socket x 2 cores x 2 PUs = 8 PUs.
+func TinyHT() *Topology {
+	return MustBuild(Spec{
+		Name:           "TinyHT",
+		NUMAPerGroup:   2,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: 2,
+		PUsPerCore:     2,
+		L1Size:         32 << 10,
+		L2Size:         256 << 10,
+		L3Size:         4 << 20,
+		MemoryPerNUMA:  4 << 30,
+		Attrs:          Attrs{Name: "TinyHT", ClockMHz: 2000, InterconnectGBps: 8},
+	})
+}
+
+// TinyFlat is a small non-hyperthreaded machine for tests: 2 NUMA nodes
+// x 1 socket x 4 cores = 8 PUs.
+func TinyFlat() *Topology {
+	return MustBuild(Spec{
+		Name:           "TinyFlat",
+		NUMAPerGroup:   2,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: 4,
+		PUsPerCore:     1,
+		L1Size:         32 << 10,
+		L2Size:         256 << 10,
+		L3Size:         4 << 20,
+		MemoryPerNUMA:  4 << 30,
+		Attrs:          Attrs{Name: "TinyFlat", ClockMHz: 2000, InterconnectGBps: 8},
+	})
+}

@@ -1,0 +1,54 @@
+package topology
+
+import "fmt"
+
+// Restrict returns a new topology containing only the first `nodes`
+// NUMA nodes of top (in logical order), with all attributes preserved.
+// It reproduces experiment setups that confine an application to part
+// of a machine, like the paper's video-tracking runs "on only 4
+// sockets (30 cores)". The input topology is not modified.
+func Restrict(top *Topology, nodes int) (*Topology, error) {
+	total := top.NumObjects(NUMANode)
+	if total == 0 {
+		return nil, fmt.Errorf("topology: %s has no NUMA nodes to restrict", top.Attrs.Name)
+	}
+	if nodes < 1 || nodes > total {
+		return nil, fmt.Errorf("topology: restrict to %d of %d NUMA nodes", nodes, total)
+	}
+	if nodes == total {
+		// Still rebuild, so the caller always owns an independent tree.
+		nodes = total
+	}
+	kept := 0
+	var clone func(o *Object) *Object
+	clone = func(o *Object) *Object {
+		if o.Type == NUMANode {
+			if kept >= nodes {
+				return nil
+			}
+			kept++
+		}
+		c := &Object{
+			Type:      o.Type,
+			OSIndex:   o.OSIndex,
+			CacheSize: o.CacheSize,
+			Memory:    o.Memory,
+		}
+		for _, child := range o.Children {
+			if cc := clone(child); cc != nil {
+				c.Children = append(c.Children, cc)
+			}
+		}
+		if o.Type != PU && len(c.Children) == 0 {
+			return nil // containers emptied by the cut disappear
+		}
+		return c
+	}
+	root := clone(top.Root)
+	if root == nil {
+		return nil, fmt.Errorf("topology: restriction removed every PU")
+	}
+	attrs := top.Attrs
+	attrs.Name = fmt.Sprintf("%s/%dnodes", top.Attrs.Name, nodes)
+	return New(root, attrs)
+}

@@ -1,0 +1,60 @@
+package treematch
+
+import (
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+)
+
+// Cost evaluates a placement: the sum over entity pairs of the
+// symmetrized communication volume weighted by the hop distance between
+// their PUs in the topology tree. Lower is better; it is the objective
+// TreeMatch minimises.
+func Cost(top *topology.Topology, m *comm.Matrix, computePU []int) (float64, error) {
+	if len(computePU) != m.Order() {
+		return 0, fmt.Errorf("treematch: placement for %d entities, matrix order %d",
+			len(computePU), m.Order())
+	}
+	pus := top.PUs()
+	for i, pu := range computePU {
+		if pu < 0 || pu >= len(pus) {
+			return 0, fmt.Errorf("treematch: entity %d bound to invalid PU %d", i, pu)
+		}
+	}
+	var total float64
+	for i := 0; i < m.Order(); i++ {
+		for j := i + 1; j < m.Order(); j++ {
+			v := m.At(i, j) + m.At(j, i)
+			if v == 0 {
+				continue
+			}
+			total += v * float64(topology.HopDistance(pus[computePU[i]], pus[computePU[j]]))
+		}
+	}
+	return total, nil
+}
+
+// CrossNUMAVolume returns the symmetrized volume exchanged between
+// entities placed on different NUMA nodes — the quantity the affinity
+// module is designed to shrink.
+func CrossNUMAVolume(top *topology.Topology, m *comm.Matrix, computePU []int) (float64, error) {
+	if len(computePU) != m.Order() {
+		return 0, fmt.Errorf("treematch: placement for %d entities, matrix order %d",
+			len(computePU), m.Order())
+	}
+	pus := top.PUs()
+	var total float64
+	for i := 0; i < m.Order(); i++ {
+		for j := i + 1; j < m.Order(); j++ {
+			v := m.At(i, j) + m.At(j, i)
+			if v == 0 {
+				continue
+			}
+			if topology.LocalityOf(pus[computePU[i]], pus[computePU[j]]) > topology.SameL3 {
+				total += v
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,237 @@
+package treematch
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"orwlplace/internal/comm"
+)
+
+// GroupProcesses partitions the m.Order() entities into groups of size
+// arity, maximising the communication volume kept inside groups
+// (function GroupProcesses of Algorithm 1). The order must be divisible
+// by arity. For at most exhaustiveLimit entities an optimal exponential
+// algorithm runs; beyond that a greedy engine is used, as in the paper
+// ("depending on the problem size, we go from an optimal but exponential
+// algorithm to a greedy one").
+//
+// Groups are returned with members in increasing order and the group
+// list sorted by smallest member, so results are deterministic.
+func GroupProcesses(m *comm.Matrix, arity, exhaustiveLimit int) ([][]int, error) {
+	n := m.Order()
+	if arity < 1 {
+		return nil, fmt.Errorf("treematch: arity %d < 1", arity)
+	}
+	if n%arity != 0 {
+		return nil, fmt.Errorf("treematch: %d entities not divisible by arity %d", n, arity)
+	}
+	var groups [][]int
+	switch {
+	case arity == 1:
+		groups = make([][]int, n)
+		for i := range groups {
+			groups[i] = []int{i}
+		}
+	case arity == n:
+		g := make([]int, n)
+		for i := range g {
+			g[i] = i
+		}
+		groups = [][]int{g}
+	case n <= exhaustiveLimit && n <= 20:
+		groups = groupExhaustive(m, arity)
+	default:
+		groups = groupGreedy(m, arity)
+	}
+	normalizeGroups(groups)
+	return groups, nil
+}
+
+// normalizeGroups sorts members within each group and groups by their
+// smallest member.
+func normalizeGroups(groups [][]int) {
+	for _, g := range groups {
+		sort.Ints(g)
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a][0] < groups[b][0] })
+}
+
+// IntraGroupVolume returns the total symmetrized volume kept inside the
+// groups — the objective GroupProcesses maximises.
+func IntraGroupVolume(m *comm.Matrix, groups [][]int) float64 {
+	var total float64
+	for _, g := range groups {
+		for x := 0; x < len(g); x++ {
+			for y := x + 1; y < len(g); y++ {
+				total += m.At(g[x], g[y]) + m.At(g[y], g[x])
+			}
+		}
+	}
+	return total
+}
+
+// groupExhaustive finds the optimal partition by dynamic programming
+// over subsets: dp[mask] is the best intra-group volume achievable when
+// partitioning exactly the entities in mask into groups of size arity.
+func groupExhaustive(m *comm.Matrix, arity int) [][]int {
+	n := m.Order()
+	full := (1 << uint(n)) - 1
+	dp := make([]float64, full+1)
+	choice := make([]int, full+1) // the group removed from mask
+	for i := range dp {
+		dp[i] = math.Inf(-1)
+	}
+	dp[0] = 0
+
+	groupWeight := func(mask int) float64 {
+		var w float64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<uint(j)) != 0 {
+					w += m.At(i, j) + m.At(j, i)
+				}
+			}
+		}
+		return w
+	}
+
+	// Enumerate masks in increasing order; only masks whose popcount is
+	// a multiple of arity are reachable.
+	for mask := 1; mask <= full; mask++ {
+		if bits.OnesCount(uint(mask))%arity != 0 {
+			continue
+		}
+		// Anchor on the lowest set bit to avoid enumerating each group
+		// arrangement more than once.
+		low := mask & -mask
+		rest := mask &^ low
+		// Enumerate (arity-1)-subsets of rest.
+		forEachSubsetOfSize(rest, arity-1, func(sub int) {
+			g := sub | low
+			prev := dp[mask&^g]
+			if math.IsInf(prev, -1) {
+				return
+			}
+			cand := prev + groupWeight(g)
+			if cand > dp[mask] {
+				dp[mask] = cand
+				choice[mask] = g
+			}
+		})
+	}
+
+	var groups [][]int
+	for mask := full; mask != 0; {
+		g := choice[mask]
+		var members []int
+		for i := 0; i < n; i++ {
+			if g&(1<<uint(i)) != 0 {
+				members = append(members, i)
+			}
+		}
+		groups = append(groups, members)
+		mask &^= g
+	}
+	return groups
+}
+
+// forEachSubsetOfSize calls fn with every subset of mask having exactly
+// size bits set.
+func forEachSubsetOfSize(mask, size int, fn func(int)) {
+	if size == 0 {
+		fn(0)
+		return
+	}
+	// Collect the set bit positions once, then walk combinations.
+	var pos []int
+	for i := mask; i != 0; i &= i - 1 {
+		pos = append(pos, bits.TrailingZeros(uint(i)))
+	}
+	if len(pos) < size {
+		return
+	}
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		sub := 0
+		for _, k := range idx {
+			sub |= 1 << uint(pos[k])
+		}
+		fn(sub)
+		// Next combination.
+		i := size - 1
+		for i >= 0 && idx[i] == len(pos)-size+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// groupGreedy builds groups around the heaviest communicating pairs and
+// grows each group by repeatedly adding the unassigned entity with the
+// strongest connection to the group.
+func groupGreedy(m *comm.Matrix, arity int) [][]int {
+	n := m.Order()
+	assigned := make([]bool, n)
+	pairs := m.HeaviestPairs(0)
+	var groups [][]int
+	pairIdx := 0
+	remaining := n
+	for remaining > 0 {
+		// Seed with the heaviest fully-unassigned pair.
+		var g []int
+		for ; pairIdx < len(pairs); pairIdx++ {
+			pr := pairs[pairIdx]
+			if !assigned[pr.I] && !assigned[pr.J] {
+				g = append(g, pr.I, pr.J)
+				assigned[pr.I], assigned[pr.J] = true, true
+				break
+			}
+		}
+		if len(g) == 0 {
+			// No communicating pair left: seed with the lowest
+			// unassigned entity.
+			for i := 0; i < n; i++ {
+				if !assigned[i] {
+					g = append(g, i)
+					assigned[i] = true
+					break
+				}
+			}
+		}
+		// Grow to the target size.
+		for len(g) < arity {
+			best, bestVol := -1, math.Inf(-1)
+			for k := 0; k < n; k++ {
+				if assigned[k] {
+					continue
+				}
+				var vol float64
+				for _, e := range g {
+					vol += m.At(k, e) + m.At(e, k)
+				}
+				if vol > bestVol {
+					best, bestVol = k, vol
+				}
+			}
+			g = append(g, best)
+			assigned[best] = true
+		}
+		remaining -= len(g)
+		groups = append(groups, g)
+	}
+	return groups
+}

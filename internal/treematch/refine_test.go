@@ -1,0 +1,138 @@
+package treematch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+)
+
+func TestRefineSwapFixesGreedyTrap(t *testing.T) {
+	// The adversarial case of TestExhaustiveOptimalSmallCase: greedy
+	// pairs (0,1)+(2,3) for volume 22; one swap reaches the optimum
+	// (0,2)+(1,3) with volume 34.
+	m := comm.NewMatrix(4)
+	m.AddSym(0, 1, 10)
+	m.AddSym(0, 2, 9)
+	m.AddSym(1, 3, 8)
+	m.AddSym(2, 3, 1)
+	greedy, err := GroupProcesses(m, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IntraGroupVolume(m, greedy) != 2*(10+1) {
+		t.Fatalf("unexpected greedy volume %g", IntraGroupVolume(m, greedy))
+	}
+	refined := RefineSwap(m, greedy, 10)
+	if got := IntraGroupVolume(m, refined); got != 2*(9+8) {
+		t.Errorf("refined volume = %g, want %g", got, 2.0*(9+8))
+	}
+}
+
+func TestRefineSwapDoesNotModifyInput(t *testing.T) {
+	m := comm.Random(8, 100, 3)
+	groups, _ := GroupProcesses(m, 2, 1)
+	snapshot := make([][]int, len(groups))
+	for i, g := range groups {
+		snapshot[i] = append([]int(nil), g...)
+	}
+	_ = RefineSwap(m, groups, 5)
+	for i := range groups {
+		for j := range groups[i] {
+			if groups[i][j] != snapshot[i][j] {
+				t.Fatal("RefineSwap mutated its input")
+			}
+		}
+	}
+}
+
+func TestRefineSwapZeroRoundsIsIdentity(t *testing.T) {
+	m := comm.Random(6, 50, 1)
+	groups, _ := GroupProcesses(m, 3, 1)
+	refined := RefineSwap(m, groups, 0)
+	if IntraGroupVolume(m, refined) != IntraGroupVolume(m, groups) {
+		t.Error("zero rounds changed the grouping quality")
+	}
+}
+
+// Property: refinement never reduces intra-group volume and always
+// returns a valid partition.
+func TestRefineSwapMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := comm.Random(9, 100, seed)
+		groups, err := GroupProcesses(m, 3, 1)
+		if err != nil {
+			return false
+		}
+		refined := RefineSwap(m, groups, 8)
+		if IntraGroupVolume(m, refined) < IntraGroupVolume(m, groups)-1e-9 {
+			return false
+		}
+		seen := make([]bool, 9)
+		for _, g := range refined {
+			if len(g) != 3 {
+				return false
+			}
+			for _, e := range g {
+				if e < 0 || e >= 9 || seen[e] {
+					return false
+				}
+				seen[e] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: refinement closes part of the gap to the exhaustive
+// optimum — refined greedy is never worse than plain greedy and never
+// better than optimal.
+func TestRefineBoundedByOptimalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := comm.Random(8, 100, seed)
+		opt, err := GroupProcesses(m, 2, 12)
+		if err != nil {
+			return false
+		}
+		greedy, err := GroupProcesses(m, 2, 1)
+		if err != nil {
+			return false
+		}
+		refined := RefineSwap(m, greedy, 16)
+		vOpt := IntraGroupVolume(m, opt)
+		vRef := IntraGroupVolume(m, refined)
+		vGreedy := IntraGroupVolume(m, greedy)
+		return vGreedy-1e-9 <= vRef && vRef <= vOpt+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapWithRefinement(t *testing.T) {
+	top := topology.SMP12E5()
+	m := comm.Random(64, 1<<20, 11)
+	plain, err := Map(top, m, Options{ControlThreads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := Map(top, m, Options{ControlThreads: true, RefineRounds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cPlain, err := Cost(top, m, plain.ComputePU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRef, err := Cost(top, m, refined.ComputePU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cRef > cPlain+1e-6 {
+		t.Errorf("refined mapping cost %g worse than plain %g", cRef, cPlain)
+	}
+}

@@ -1,0 +1,108 @@
+package treematch
+
+import (
+	"fmt"
+
+	"orwlplace/internal/topology"
+)
+
+// Strategy names a topology-oblivious placement policy, matching the
+// OpenMP/MKL environment settings compared against in the paper
+// (OMP_PROC_BIND=close/spread, KMP_AFFINITY=compact/scatter).
+type Strategy int
+
+const (
+	// StrategyCompact fills PUs in logical order: hyperthread siblings
+	// first, then the next core, like KMP_AFFINITY=compact.
+	StrategyCompact Strategy = iota
+	// StrategyCompactCores fills one PU per core in core order, like
+	// OMP_PLACES=cores with OMP_PROC_BIND=close.
+	StrategyCompactCores
+	// StrategyScatter round-robins entities over NUMA nodes (then over
+	// cores inside each node), like KMP_AFFINITY=scatter or
+	// OMP_PROC_BIND=spread.
+	StrategyScatter
+	// StrategyRoundRobinPU round-robins over all PUs ignoring the
+	// core/NUMA structure entirely.
+	StrategyRoundRobinPU
+)
+
+var strategyNames = [...]string{
+	StrategyCompact:      "compact",
+	StrategyCompactCores: "compact-cores",
+	StrategyScatter:      "scatter",
+	StrategyRoundRobinPU: "round-robin-pu",
+}
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s < 0 || int(s) >= len(strategyNames) {
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+	return strategyNames[s]
+}
+
+// Place binds n entities to PUs following the strategy, wrapping around
+// when n exceeds the available resources. The result has the same form
+// as Mapping.ComputePU: entity index -> logical PU index.
+func Place(top *topology.Topology, n int, s Strategy) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("treematch: negative entity count %d", n)
+	}
+	out := make([]int, n)
+	switch s {
+	case StrategyCompact:
+		pus := top.PUs()
+		for i := 0; i < n; i++ {
+			out[i] = pus[i%len(pus)].LogicalIndex
+		}
+	case StrategyCompactCores:
+		cores := top.Cores()
+		for i := 0; i < n; i++ {
+			core := cores[i%len(cores)]
+			// Wrap onto hyperthread siblings once all cores are used.
+			slot := (i / len(cores)) % len(core.Children)
+			out[i] = core.Children[slot].LogicalIndex
+		}
+	case StrategyScatter:
+		nodes := top.Objects(topology.NUMANode)
+		if len(nodes) == 0 {
+			nodes = []*topology.Object{top.Root}
+		}
+		// Round-robin across NUMA nodes; within a node, fill one PU per
+		// core first.
+		perNode := make([][]*topology.Object, len(nodes))
+		for ni, node := range nodes {
+			pus := node.PUs()
+			// Reorder so that slot-0 PUs of every core come first.
+			var first, rest []*topology.Object
+			for _, pu := range pus {
+				if pu.Parent.Children[0] == pu {
+					first = append(first, pu)
+				} else {
+					rest = append(rest, pu)
+				}
+			}
+			perNode[ni] = append(first, rest...)
+		}
+		counts := make([]int, len(nodes))
+		for i := 0; i < n; i++ {
+			ni := i % len(nodes)
+			pus := perNode[ni]
+			out[i] = pus[counts[ni]%len(pus)].LogicalIndex
+			counts[ni]++
+		}
+	case StrategyRoundRobinPU:
+		pus := top.PUs()
+		stride := len(pus)/n + 1
+		if n >= len(pus) {
+			stride = 1
+		}
+		for i := 0; i < n; i++ {
+			out[i] = pus[(i*stride)%len(pus)].LogicalIndex
+		}
+	default:
+		return nil, fmt.Errorf("treematch: unknown strategy %v", s)
+	}
+	return out, nil
+}

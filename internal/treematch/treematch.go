@@ -1,0 +1,333 @@
+// Package treematch implements the mapping algorithm of the paper
+// (Algorithm 1), an adaptation of the TreeMatch process-placement
+// algorithm to thread placement in the ORWL runtime.
+//
+// Given a hardware topology tree and a communication matrix between
+// computing entities, Map produces an assignment of each entity to a
+// processing unit that groups heavily-communicating entities under
+// shared caches and NUMA nodes. The two adaptations described in §IV-A
+// are included: accounting for the runtime's control threads (reserving
+// hyperthread siblings, or spare cores, for them) and oversubscription
+// when there are more entities than computing resources.
+package treematch
+
+import (
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+)
+
+// ControlMode describes how control threads were accounted for by the
+// mapping (second adaptation of Algorithm 1).
+type ControlMode int
+
+const (
+	// ControlNone leaves control threads to the OS scheduler: there was
+	// no spare capacity, or control-thread accounting was disabled.
+	ControlNone ControlMode = iota
+	// ControlHyperthread reserves one hyperthread sibling per physical
+	// core: the compute thread gets one PU, its control threads the
+	// other.
+	ControlHyperthread
+	// ControlSpareCores maps control threads onto cores left over after
+	// placing one compute entity per core.
+	ControlSpareCores
+)
+
+var controlModeNames = [...]string{
+	ControlNone:        "none",
+	ControlHyperthread: "hyperthread-sibling",
+	ControlSpareCores:  "spare-cores",
+}
+
+// String names the control mode.
+func (m ControlMode) String() string {
+	if m < 0 || int(m) >= len(controlModeNames) {
+		return fmt.Sprintf("ControlMode(%d)", int(m))
+	}
+	return controlModeNames[m]
+}
+
+// Options tunes Map. The zero value gives the paper's defaults.
+type Options struct {
+	// ControlThreads enables the control-thread adaptation
+	// (extend_to_manage_control_threads in Algorithm 1).
+	ControlThreads bool
+	// ControlVolumeFraction is the fraction of a task's total
+	// communication volume attributed to its control thread when control
+	// entities are added to the matrix (spare-core mode). Default 0.1.
+	ControlVolumeFraction float64
+	// ExhaustiveLimit is the largest number of entities for which
+	// GroupProcesses uses the optimal exponential engine; above it the
+	// linear greedy engine runs. Default 12.
+	ExhaustiveLimit int
+	// RefineRounds, when positive, runs up to that many swap-refinement
+	// passes (RefineSwap) after every grouping step — an optional
+	// quality/time trade-off on top of the greedy engine. Default 0
+	// (off), the paper's configuration.
+	RefineRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ControlVolumeFraction == 0 {
+		o.ControlVolumeFraction = 0.1
+	}
+	if o.ExhaustiveLimit == 0 {
+		o.ExhaustiveLimit = 12
+	}
+	return o
+}
+
+// Mapping is the result of Map: a binding of every compute entity (and,
+// when possible, of its control threads) to PUs of the topology.
+type Mapping struct {
+	Top *topology.Topology
+	// ComputePU[i] is the logical PU index entity i is bound to.
+	ComputePU []int
+	// ControlPU[i] is the logical PU index the control threads of
+	// entity i are bound to, or -1 when they are left to the OS.
+	ControlPU []int
+	// Mode records how control threads were handled.
+	Mode ControlMode
+	// Oversubscribed is true when there were more entities than cores
+	// and a virtual tree level was added.
+	Oversubscribed bool
+	// CoreOf[i] is the logical core index entity i runs on (diagnostic).
+	CoreOf []int
+}
+
+// PUSet returns the set of OS indexes of all PUs used by compute
+// entities.
+func (mp *Mapping) PUSet() topology.CPUSet {
+	s := topology.NewCPUSet()
+	for _, pu := range mp.ComputePU {
+		s.Add(mp.Top.PU(pu).OSIndex)
+	}
+	return s
+}
+
+// Map runs Algorithm 1: it adapts the communication matrix for control
+// threads, handles oversubscription, groups entities bottom-up by
+// communication affinity along the topology tree, and assigns the
+// resulting group hierarchy to cores.
+func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) {
+	opt = opt.withDefaults()
+	p := m.Order()
+	if p == 0 {
+		return nil, fmt.Errorf("treematch: empty communication matrix")
+	}
+	cores := top.NumCores()
+	pusPerCore := top.NumPUs() / cores
+
+	// The mapping tree has the physical cores as leaves: one compute
+	// entity per core ("we map only one compute intensive task per
+	// physical core"). Arity-1 levels (single socket per NUMA node,
+	// private cache chains) do not affect grouping and are skipped.
+	arities := coreArities(top)
+
+	// --- Step 1: extend m to manage control threads. ---
+	mode := ControlNone
+	controlOwner := []int(nil) // extended-entity index -> owning task
+	work := m.Symmetrized()
+	switch {
+	case !opt.ControlThreads:
+		// Nothing to do.
+	case top.Attrs.Hyperthreaded && pusPerCore >= 2 && p <= cores:
+		// One hyperthread sibling per core is reserved for control
+		// threads; no matrix extension needed.
+		mode = ControlHyperthread
+	case p < cores:
+		// Spare cores exist: add control entities communicating with
+		// their tasks so that grouping pulls each control thread next
+		// to its task.
+		spare := cores - p
+		if spare > p {
+			spare = p
+		}
+		owners := heaviestTasks(work, spare)
+		ext := work.Extend(p + spare)
+		for ci, task := range owners {
+			vol := rowSum(work, task) * opt.ControlVolumeFraction
+			if vol == 0 {
+				vol = 1 // keep a tiny pull towards the task
+			}
+			ext.AddSym(p+ci, task, vol)
+		}
+		work = ext
+		controlOwner = owners
+		mode = ControlSpareCores
+	}
+	order := work.Order()
+
+	// --- Step 2: manage oversubscription. ---
+	oversub := false
+	vArity := 1
+	if order > cores {
+		// Add a virtual level below the cores so there are enough
+		// leaves; entities sharing a virtual parent share a core.
+		vArity = (order + cores - 1) / cores
+		arities = append(arities, vArity)
+		oversub = true
+		mode = ControlNone
+		controlOwner = nil
+		work = m.Symmetrized() // drop any control extension
+		order = work.Order()
+	}
+	leaves := 1
+	for _, a := range arities {
+		leaves *= a
+	}
+	if order < leaves {
+		work = work.Extend(leaves)
+	}
+
+	// --- Steps 3-7: group bottom-up, aggregating the matrix. ---
+	// partitions[k] is the grouping performed at loop iteration k, from
+	// the leaf-parent level upwards.
+	var partitions [][][]int
+	cur := work
+	for lvl := len(arities) - 1; lvl >= 0; lvl-- {
+		a := arities[lvl]
+		groups, err := GroupProcesses(cur, a, opt.ExhaustiveLimit)
+		if err != nil {
+			return nil, fmt.Errorf("treematch: level %d: %w", lvl, err)
+		}
+		if opt.RefineRounds > 0 && a > 1 && a < cur.Order() {
+			groups = RefineSwap(cur, groups, opt.RefineRounds)
+		}
+		partitions = append(partitions, groups)
+		cur, err = cur.Aggregate(groups)
+		if err != nil {
+			return nil, fmt.Errorf("treematch: aggregate level %d: %w", lvl, err)
+		}
+	}
+
+	// --- Step 8: MapGroups — expand the hierarchy into a leaf order. ---
+	leafOrder := mapGroups(partitions)
+	if len(leafOrder) != leaves {
+		return nil, fmt.Errorf("treematch: internal: %d leaves ordered, want %d", len(leafOrder), leaves)
+	}
+
+	// Translate leaf positions into PU bindings.
+	res := &Mapping{
+		Top:            top,
+		ComputePU:      make([]int, p),
+		ControlPU:      make([]int, p),
+		CoreOf:         make([]int, p),
+		Mode:           mode,
+		Oversubscribed: oversub,
+	}
+	for i := range res.ControlPU {
+		res.ControlPU[i] = -1
+	}
+	slotOf := make(map[int]int, p) // per-core next PU slot for oversubscription
+	coreObjs := top.Cores()
+	for pos, ent := range leafOrder {
+		if ent < 0 || ent >= order {
+			continue // padding entity
+		}
+		coreIdx := pos
+		if oversub {
+			coreIdx = pos / vArity
+		}
+		core := coreObjs[coreIdx]
+		switch {
+		case ent < p:
+			slot := 0
+			if oversub {
+				slot = slotOf[coreIdx] % len(core.Children)
+				slotOf[coreIdx]++
+			}
+			res.ComputePU[ent] = core.Children[slot].LogicalIndex
+			res.CoreOf[ent] = coreIdx
+			if mode == ControlHyperthread && len(core.Children) > 1 {
+				res.ControlPU[ent] = core.Children[1].LogicalIndex
+			}
+		default:
+			// A control entity: bind the owner's control threads to
+			// this core.
+			task := controlOwner[ent-p]
+			res.ControlPU[task] = core.Children[0].LogicalIndex
+		}
+	}
+	return res, nil
+}
+
+// coreArities returns the arities of the topology tree truncated at the
+// core level, with arity-1 levels removed. The product equals the number
+// of cores.
+func coreArities(top *topology.Topology) []int {
+	all := top.Arities()
+	// The last level is Core -> PU; drop it so cores are the leaves.
+	all = all[:len(all)-1]
+	var out []int
+	for _, a := range all {
+		if a > 1 {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{top.NumCores()}
+	}
+	return out
+}
+
+// heaviestTasks returns the indexes of the count tasks with the largest
+// total communication volume, in decreasing order (ties by index).
+func heaviestTasks(m *comm.Matrix, count int) []int {
+	type tv struct {
+		task int
+		vol  float64
+	}
+	all := make([]tv, m.Order())
+	for i := range all {
+		all[i] = tv{i, rowSum(m, i)}
+	}
+	for i := 1; i < len(all); i++ { // insertion sort: small n, stable
+		for j := i; j > 0 && (all[j].vol > all[j-1].vol ||
+			(all[j].vol == all[j-1].vol && all[j].task < all[j-1].task)); j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	if count > len(all) {
+		count = len(all)
+	}
+	out := make([]int, count)
+	for i := 0; i < count; i++ {
+		out[i] = all[i].task
+	}
+	return out
+}
+
+func rowSum(m *comm.Matrix, i int) float64 {
+	var s float64
+	for j := 0; j < m.Order(); j++ {
+		s += m.At(i, j)
+	}
+	return s
+}
+
+// mapGroups expands the bottom-up grouping hierarchy into the final
+// leaf order: element k of the result is the entity assigned to leaf k.
+// partitions[0] is the leaf-parent grouping, the last element the
+// top-level grouping.
+func mapGroups(partitions [][][]int) []int {
+	// Start from the top: the final aggregation has one entity per
+	// top-level group, in group order.
+	top := partitions[len(partitions)-1]
+	seq := make([]int, len(top))
+	for i := range seq {
+		seq[i] = i
+	}
+	// Walk back down, expanding each super-entity into its members.
+	for lvl := len(partitions) - 1; lvl >= 0; lvl-- {
+		groups := partitions[lvl]
+		var next []int
+		for _, e := range seq {
+			next = append(next, groups[e]...)
+		}
+		seq = next
+	}
+	return seq
+}
