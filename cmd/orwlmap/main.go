@@ -1,6 +1,6 @@
 // Command orwlmap maps a communication matrix onto a machine with the
 // paper's Algorithm 1 and reports the placement, its cost, and how it
-// compares to the oblivious strategies.
+// compares to every bound strategy in the placement registry.
 //
 // Usage:
 //
@@ -19,6 +19,7 @@ import (
 	"orwlplace/internal/comm"
 	"orwlplace/internal/core"
 	"orwlplace/internal/ompenv"
+	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
 	"orwlplace/internal/treematch"
 )
@@ -43,40 +44,44 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	mapping, err := treematch.Map(top, m, treematch.Options{ControlThreads: *control})
+	eng, err := placement.NewEngine(top)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Print(core.RenderMapping(mapping, nil))
 
-	tmCost, err := treematch.Cost(top, m, mapping.ComputePU)
+	tm, err := eng.Compute(placement.TreeMatch, m, 0, placement.Options{ControlThreads: *control})
 	if err != nil {
 		fail(err)
 	}
+	fmt.Print(core.RenderMapping(tm.Mapping(top), nil))
+
 	fmt.Printf("\n%-16s %12s %14s\n", "strategy", "cost", "cross-NUMA B")
-	report := func(name string, placement []int) {
-		cost, err := treematch.Cost(top, m, placement)
+	report := func(name string, pus []int) {
+		cost, err := treematch.Cost(top, m, pus)
 		if err != nil {
 			fail(err)
 		}
-		cross, err := treematch.CrossNUMAVolume(top, m, placement)
+		cross, err := treematch.CrossNUMAVolume(top, m, pus)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("%-16s %12.0f %14.0f\n", name, cost, cross)
 	}
-	fmt.Printf("%-16s %12.0f", "treematch", tmCost)
-	cross, _ := treematch.CrossNUMAVolume(top, m, mapping.ComputePU)
-	fmt.Printf(" %14.0f\n", cross)
-	for _, s := range []treematch.Strategy{
-		treematch.StrategyCompact, treematch.StrategyCompactCores, treematch.StrategyScatter,
-	} {
-		placement, err := treematch.Place(top, m.Order(), s)
+	// Every bound strategy in the registry, the affinity module first
+	// (registration order).
+	for _, name := range placement.Names() {
+		if name == placement.TreeMatch {
+			report(name, tm.ComputePU)
+			continue
+		}
+		a, err := eng.Compute(name, m, 0, placement.Options{})
 		if err != nil {
 			fail(err)
 		}
-		report(s.String(), placement)
+		if a.Unbound {
+			continue // no binding to cost
+		}
+		report(name, a.ComputePU)
 	}
 	// Optional OpenMP-style environment configuration as an extra row.
 	if *ompPlaces != "" || *ompBind != "" || *kmp != "" || *gomp != "" {
@@ -84,14 +89,14 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		placement, err := settings.Placement(top, m.Order())
+		pus, err := settings.Placement(top, m.Order())
 		if err != nil {
 			fail(err)
 		}
-		if placement == nil {
+		if pus == nil {
 			fmt.Printf("%-16s %12s %14s\n", "env (unbound)", "-", "-")
 		} else {
-			report("env", placement)
+			report("env", pus)
 		}
 	}
 }

@@ -1,9 +1,10 @@
 // Command simulate runs a workload (JSON, see internal/perfsim
 // ReadJSON) through the placement model on a chosen machine, comparing
-// the paper's affinity module against the oblivious strategies and the
-// simulated OS scheduler. It is the standalone face of the evaluation
-// pipeline: describe your application's threads and communication, and
-// see what automatic placement would buy.
+// every strategy registered in the placement engine — the paper's
+// affinity module, the oblivious environment policies and the unbound
+// OS scheduler. It is the standalone face of the evaluation pipeline:
+// describe your application's threads and communication, and see what
+// automatic placement would buy.
 //
 // Usage:
 //
@@ -18,8 +19,8 @@ import (
 
 	"orwlplace/internal/apps/livermore"
 	"orwlplace/internal/perfsim"
+	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
-	"orwlplace/internal/treematch"
 )
 
 func main() {
@@ -37,45 +38,43 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("workload %q: %d threads, %d iterations on %s\n\n",
-		w.Name, len(w.Threads), w.Iterations, top.Attrs.Name)
-
-	fmt.Printf("%-22s %12s %14s %14s %10s\n", "configuration", "seconds", "L3 misses", "stalled cyc", "migrations")
-	show := func(name string, r *perfsim.Result, err error) {
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("%-22s %12.3f %14.3g %14.3g %10.0f\n",
-			name, r.Seconds, r.L3Misses, r.StalledCycles, r.CPUMigrations)
-	}
-
-	dyn, err := perfsim.Simulate(top, w, &perfsim.Placement{
-		Dynamic: &perfsim.DynamicPolicy{Policy: perfsim.PolicyFor(top), Seed: *seed},
-	})
-	show("os-scheduler", dyn, err)
-
-	for _, s := range []treematch.Strategy{
-		treematch.StrategyCompact, treematch.StrategyCompactCores, treematch.StrategyScatter,
-	} {
-		place, err := treematch.Place(top, len(w.Threads), s)
-		if err != nil {
-			fail(err)
-		}
-		r, err := perfsim.Simulate(top, w, &perfsim.Placement{ComputePU: place, LocalAlloc: true})
-		show(s.String(), r, err)
-	}
-
-	mp, err := treematch.Map(top, w.Comm, treematch.Options{ControlThreads: true})
+	eng, err := placement.NewEngine(top)
 	if err != nil {
 		fail(err)
 	}
-	aff, err := perfsim.Simulate(top, w, &perfsim.Placement{
-		ComputePU: mp.ComputePU, ControlPU: mp.ControlPU, LocalAlloc: true,
-	})
-	show("affinity-module", aff, err)
-	if aff.Seconds > 0 {
+	fmt.Printf("workload %q: %d threads, %d iterations on %s\n\n",
+		w.Name, len(w.Threads), w.Iterations, top.Attrs.Name)
+
+	fmt.Printf("%-22s %12s %14s %14s %10s\n", "strategy", "seconds", "L3 misses", "stalled cyc", "migrations")
+	results := map[string]*perfsim.Result{}
+	var affinityMode fmt.Stringer
+	for _, name := range placement.Names() {
+		// The affinity module runs with the paper's control-thread
+		// accounting; the baselines have no options to tune.
+		opt := placement.Options{}
+		if name == placement.TreeMatch {
+			opt.ControlThreads = true
+		}
+		r, a, err := eng.Simulate(name, w, opt, *seed)
+		if err != nil {
+			fail(err)
+		}
+		label := name
+		if name == placement.None {
+			label = "none (os-scheduler)"
+		}
+		fmt.Printf("%-22s %12.3f %14.3g %14.3g %10.0f\n",
+			label, r.Seconds, r.L3Misses, r.StalledCycles, r.CPUMigrations)
+		results[name] = r
+		if name == placement.TreeMatch {
+			affinityMode = a.Mode
+		}
+	}
+
+	aff, dyn := results[placement.TreeMatch], results[placement.None]
+	if aff != nil && dyn != nil && aff.Seconds > 0 {
 		fmt.Printf("\naffinity speedup over the OS scheduler: %.2fx (control mode: %s)\n",
-			dyn.Seconds/aff.Seconds, mp.Mode)
+			dyn.Seconds/aff.Seconds, affinityMode)
 	}
 }
 

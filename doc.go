@@ -6,8 +6,13 @@
 // a hardware-topology library (internal/topology), a TreeMatch mapping
 // algorithm (internal/treematch), the ORWL ordered read-write-lock
 // runtime (internal/orwl) and a NUMA performance simulator
-// (internal/perfsim) — topped by the paper's contribution, the automatic
-// affinity module (internal/core). The benchmark harness in this root
-// package regenerates every table and figure of the paper's evaluation
-// section; see DESIGN.md and EXPERIMENTS.md.
+// (internal/perfsim) — unified by the placement engine
+// (internal/placement), which owns the pipeline of matrix extraction,
+// strategy dispatch (a registry where TreeMatch and the oblivious
+// baselines are peers) and binding commit behind a mapping cache, and
+// topped by the paper's contribution, the automatic affinity module
+// (internal/core), a thin adapter keeping the paper-named three-step
+// API. The benchmark harness in this root package regenerates every
+// table and figure of the paper's evaluation section; see DESIGN.md
+// and EXPERIMENTS.md.
 package orwlplace

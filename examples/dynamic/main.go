@@ -8,7 +8,10 @@
 // Here a two-phase computation first runs as a pipeline, then as two
 // dense clusters. The example recomputes the mapping between the
 // phases and shows how the binding follows the new communication
-// matrix.
+// matrix. Both phases share one placement engine: when the program
+// oscillates back to a pattern the engine has already mapped, the
+// assignment comes from the mapping cache instead of a fresh
+// TreeMatch run.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"orwlplace/internal/core"
 	"orwlplace/internal/orwl"
+	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
 	"orwlplace/internal/treematch"
 )
@@ -24,13 +28,14 @@ import (
 const tasks = 8
 
 // runPhase executes one program phase and returns its module with the
-// affinity computed through the advanced API.
-func runPhase(top *topology.Topology, wire func(ctx *orwl.TaskContext) error) (*core.Module, error) {
+// affinity computed through the advanced API. All phases place through
+// the shared engine, so recurring matrices hit its cache.
+func runPhase(eng *placement.Engine, wire func(ctx *orwl.TaskContext) error) (*core.Module, error) {
 	prog, err := orwl.NewProgram(tasks, "data")
 	if err != nil {
 		return nil, err
 	}
-	mod, err := core.Attach(prog, top)
+	mod, err := core.Attach(prog, eng.Topology(), core.WithEngine(eng))
 	if err != nil {
 		return nil, err
 	}
@@ -48,66 +53,94 @@ func runPhase(top *topology.Topology, wire func(ctx *orwl.TaskContext) error) (*
 	return mod, nil
 }
 
+// wirePipeline connects each task to its predecessor.
+func wirePipeline(ctx *orwl.TaskContext) error {
+	if err := ctx.Scale("data", 1<<16); err != nil {
+		return err
+	}
+	h := orwl.NewHandle()
+	if err := ctx.WriteInsert(h, orwl.Loc(ctx.TID(), "data"), ctx.TID()); err != nil {
+		return err
+	}
+	if ctx.TID() > 0 {
+		r := orwl.NewHandle()
+		if err := ctx.ReadInsert(r, orwl.Loc(ctx.TID()-1, "data"), ctx.TID()); err != nil {
+			return err
+		}
+	}
+	return ctx.Schedule()
+}
+
+// wireClusters connects each task to the other three of its cluster of
+// four.
+func wireClusters(ctx *orwl.TaskContext) error {
+	if err := ctx.Scale("data", 1<<16); err != nil {
+		return err
+	}
+	h := orwl.NewHandle()
+	if err := ctx.WriteInsert(h, orwl.Loc(ctx.TID(), "data"), ctx.TID()); err != nil {
+		return err
+	}
+	base := ctx.TID() / 4 * 4
+	for peer := base; peer < base+4; peer++ {
+		if peer == ctx.TID() {
+			continue
+		}
+		r := orwl.NewHandle()
+		if err := ctx.ReadInsert(r, orwl.Loc(peer, "data"), ctx.TID()); err != nil {
+			return err
+		}
+	}
+	return ctx.Schedule()
+}
+
 func main() {
 	top := topology.Fig2Machine()
-
-	// Phase 1: a pipeline — each task reads its predecessor.
-	pipeline, err := runPhase(top, func(ctx *orwl.TaskContext) error {
-		if err := ctx.Scale("data", 1<<16); err != nil {
-			return err
-		}
-		h := orwl.NewHandle()
-		if err := ctx.WriteInsert(h, orwl.Loc(ctx.TID(), "data"), ctx.TID()); err != nil {
-			return err
-		}
-		if ctx.TID() > 0 {
-			r := orwl.NewHandle()
-			if err := ctx.ReadInsert(r, orwl.Loc(ctx.TID()-1, "data"), ctx.TID()); err != nil {
-				return err
-			}
-		}
-		return ctx.Schedule()
-	})
+	eng, err := placement.NewEngine(top)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Phase 2: the task graph changed — two dense clusters of four.
-	clusters, err := runPhase(top, func(ctx *orwl.TaskContext) error {
-		if err := ctx.Scale("data", 1<<16); err != nil {
-			return err
+	// Phase 1: a pipeline. Phase 2: the task graph changed — two dense
+	// clusters of four. Then the program oscillates back and forth;
+	// from the third phase on, every mapping is a cache hit.
+	phases := []struct {
+		name string
+		wire func(ctx *orwl.TaskContext) error
+	}{
+		{"pipeline", wirePipeline},
+		{"clusters", wireClusters},
+		{"pipeline (again)", wirePipeline},
+		{"clusters (again)", wireClusters},
+	}
+	mods := map[string]*core.Module{}
+	for _, ph := range phases {
+		mod, err := runPhase(eng, ph.wire)
+		if err != nil {
+			log.Fatal(err)
 		}
-		h := orwl.NewHandle()
-		if err := ctx.WriteInsert(h, orwl.Loc(ctx.TID(), "data"), ctx.TID()); err != nil {
-			return err
-		}
-		base := ctx.TID() / 4 * 4
-		for peer := base; peer < base+4; peer++ {
-			if peer == ctx.TID() {
-				continue
-			}
-			r := orwl.NewHandle()
-			if err := ctx.ReadInsert(r, orwl.Loc(peer, "data"), ctx.TID()); err != nil {
-				return err
-			}
-		}
-		return ctx.Schedule()
-	})
-	if err != nil {
-		log.Fatal(err)
+		mods[ph.name] = mod
 	}
 
-	for name, mod := range map[string]*core.Module{"pipeline": pipeline, "clusters": clusters} {
+	for _, name := range []string{"pipeline", "clusters"} {
+		mod := mods[name]
 		fmt.Printf("=== phase: %s ===\n", name)
 		fmt.Print(mod.Matrix().RenderGrayScale())
 		cost, err := treematch.Cost(top, mod.Matrix(), mod.Mapping().ComputePU)
 		if err != nil {
 			log.Fatal(err)
 		}
-		scatter, _ := treematch.Place(top, tasks, treematch.StrategyScatter)
-		scCost, _ := treematch.Cost(top, mod.Matrix(), scatter)
+		scatter, err := eng.Compute("scatter", nil, tasks, placement.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		scCost, _ := treematch.Cost(top, mod.Matrix(), scatter.ComputePU)
 		fmt.Printf("treematch cost %.0f vs scatter %.0f\n", cost, scCost)
 		fmt.Print(core.RenderMapping(mod.Mapping(), nil))
 		fmt.Println()
 	}
+
+	st := eng.Stats()
+	fmt.Printf("mapping cache: %d hits, %d misses, %d entries — the repeated phases were served from the cache\n",
+		st.Hits, st.Misses, st.Entries)
 }

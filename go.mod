@@ -1,0 +1,3 @@
+module orwlplace
+
+go 1.24

@@ -3,8 +3,8 @@ package livermore
 import (
 	"fmt"
 
-	"orwlplace/internal/comm"
 	"orwlplace/internal/perfsim"
+	"orwlplace/internal/profile"
 )
 
 // planesStreamed is the number of planes the stencil moves per sweep:
@@ -56,55 +56,42 @@ func Profile(matrixSize, cores, loops int) (*perfsim.Workload, error) {
 	traffic := cells * 8 * planesStreamed * pipelineFactor
 	workingSet := cells * 8 * planesStreamed
 
-	threads := make([]perfsim.Thread, n)
-	m := comm.NewMatrix(n)
-	central := func(b int) int { return b * threadsPerBlock }
+	b := profile.New(fmt.Sprintf("k23-orwl-%dc", cores), n)
+	central := func(blk int) int { return blk * threadsPerBlock }
 	rowBorderBytes := float64(blockCols) * 8
 	colBorderBytes := float64(blockRows) * 8
-	for b := 0; b < blocks; b++ {
-		bx, by := b%gx, b/gx
-		threads[central(b)] = perfsim.Thread{
-			ComputeCycles: cells * FlopsPerCell, // ~1 cycle per flop
-			WorkingSet:    workingSet,
-			MemoryTraffic: traffic,
-		}
+	for blk := 0; blk < blocks; blk++ {
+		bx, by := blk%gx, blk/gx
+		b.Thread(central(blk), cells*FlopsPerCell /* ~1 cycle per flop */, workingSet, traffic)
 		for o := 1; o < threadsPerBlock; o++ {
-			threads[central(b)+o] = perfsim.Thread{
-				ComputeCycles: (rowBorderBytes + colBorderBytes) * 2,
-				WorkingSet:    (rowBorderBytes + colBorderBytes) * 4,
-				MemoryTraffic: (rowBorderBytes + colBorderBytes) * 2,
-			}
+			b.Thread(central(blk)+o,
+				(rowBorderBytes+colBorderBytes)*2,
+				(rowBorderBytes+colBorderBytes)*4,
+				(rowBorderBytes+colBorderBytes)*2)
 			// Border operations share the block data with the central
 			// thread: strong intra-block affinity.
-			m.AddSym(central(b), central(b)+o, cells*8/8)
+			b.Link(central(blk), central(blk)+o, cells*8/8)
 		}
 		// Cross-block border exchanges, attached to the border
 		// operation threads (or the central one when the block runs
 		// alone).
 		attach := func(nb, off int, vol float64) {
-			src := central(b) + off%threadsPerBlock
-			dst := central(nb) + off%threadsPerBlock
-			m.AddSym(src, dst, vol)
+			b.Link(central(blk)+off%threadsPerBlock, central(nb)+off%threadsPerBlock, vol)
 		}
 		if bx+1 < gx {
-			attach(b+1, 1, colBorderBytes)
+			attach(blk+1, 1, colBorderBytes)
 		}
 		if by+1 < gy {
-			attach(b+gx, 2, rowBorderBytes)
+			attach(blk+gx, 2, rowBorderBytes)
 		}
 	}
 
-	return &perfsim.Workload{
-		Name:       fmt.Sprintf("k23-orwl-%dc", cores),
-		Threads:    threads,
-		Comm:       m,
-		Iterations: loops,
-		// One control thread per border location; each sweep triggers
-		// a grant/release pair per handle on both sides.
-		ControlThreads:         blocks * 4,
-		ControlEventsPerIter:   float64(blocks) * 4 * 2.5,
-		StartupContextSwitches: float64(n + blocks*4),
-	}, nil
+	// One control thread per border location; each sweep triggers a
+	// grant/release pair per handle on both sides.
+	return b.Iterations(loops).
+		Control(blocks*4, float64(blocks)*4*2.5).
+		Startup(float64(n + blocks*4)).
+		Build()
 }
 
 // ProfileOpenMP builds the perfsim workload of the fork-join
@@ -121,33 +108,21 @@ func ProfileOpenMP(matrixSize, cores, loops int) (*perfsim.Workload, error) {
 	if cores == 1 {
 		barrierFactor = 1 // no barriers in a single-threaded run
 	}
-	traffic := cells * 8 * planesStreamed * barrierFactor
-	threads := make([]perfsim.Thread, cores)
-	for i := range threads {
-		threads[i] = perfsim.Thread{
-			ComputeCycles: cells * FlopsPerCell,
-			WorkingSet:    cells * 8 * planesStreamed,
-			MemoryTraffic: traffic,
-		}
-	}
+	b := profile.New(fmt.Sprintf("k23-omp-%dc", cores), cores).
+		EachThread(cells*FlopsPerCell, cells*8*planesStreamed, cells*8*planesStreamed*barrierFactor)
 	// Adjacent chunks exchange their border rows every sweep.
 	rowBytes := float64(matrixSize) * 8
-	m := comm.NewMatrix(cores)
 	for i := 0; i+1 < cores; i++ {
-		m.AddSym(i, i+1, 2*rowBytes)
+		b.Link(i, i+1, 2*rowBytes)
 	}
-	return &perfsim.Workload{
-		Name:       fmt.Sprintf("k23-omp-%dc", cores),
-		Threads:    threads,
-		Comm:       m,
-		Iterations: loops,
-		// A barrier per sweep wakes a fraction of the team.
-		ControlEventsPerIter:   0.1 * float64(cores),
-		StartupContextSwitches: float64(cores),
-		// The shared planes are initialised by the master thread, so
-		// first touch concentrates them on its NUMA node.
-		MasterAlloc: true,
-	}, nil
+	// A barrier per sweep wakes a fraction of the team; the shared
+	// planes are initialised by the master thread, so first touch
+	// concentrates them on its NUMA node.
+	return b.Iterations(loops).
+		Control(0, 0.1*float64(cores)).
+		Startup(float64(cores)).
+		MasterAlloc().
+		Build()
 }
 
 // TotalFlops returns the floating-point work of a run, for rate

@@ -5,6 +5,7 @@ import (
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/perfsim"
+	"orwlplace/internal/profile"
 )
 
 // cyclesPerFlop models a well-vectorised DGEMM inner kernel: with
@@ -23,27 +24,16 @@ func ProfileORWL(matrixSize, p int) (*perfsim.Workload, error) {
 	n := float64(matrixSize)
 	rows := n / float64(p)
 	blockBytes := rows * n * 8
-	threads := make([]perfsim.Thread, p)
-	for i := range threads {
-		threads[i] = perfsim.Thread{
-			// Per phase: 2 * rows * rows * n flops.
-			ComputeCycles: 2 * rows * rows * n * cyclesPerFlop,
-			// A row panel + C rows + the circulating block.
-			WorkingSet:    3 * blockBytes,
-			MemoryTraffic: blockBytes,
-		}
-	}
-	return &perfsim.Workload{
-		Name:       fmt.Sprintf("matmul-orwl-%dp", p),
-		Threads:    threads,
-		Comm:       comm.Ring(p, blockBytes, true),
-		Iterations: p,
-		// One location per task; a grant/release pair on both sides per
-		// phase.
-		ControlThreads:         p,
-		ControlEventsPerIter:   float64(p) * 2,
-		StartupContextSwitches: float64(2 * p),
-	}, nil
+	// Per phase: 2 * rows * rows * n flops on a row panel + C rows +
+	// the circulating block. One location per task; a grant/release
+	// pair on both sides per phase.
+	return profile.New(fmt.Sprintf("matmul-orwl-%dp", p), p).
+		EachThread(2*rows*rows*n*cyclesPerFlop, 3*blockBytes, blockBytes).
+		Comm(comm.Ring(p, blockBytes, true)).
+		Iterations(p).
+		Control(p, float64(p)*2).
+		Startup(float64(2 * p)).
+		Build()
 }
 
 // ProfileMKL builds the perfsim workload of the MKL-style fork-join
@@ -58,28 +48,18 @@ func ProfileMKL(matrixSize, p int) (*perfsim.Workload, error) {
 	n := float64(matrixSize)
 	rows := n / float64(p)
 	blockBytes := rows * n * 8
-	threads := make([]perfsim.Thread, p)
-	for i := range threads {
-		threads[i] = perfsim.Thread{
-			ComputeCycles: 2 * rows * rows * n * cyclesPerFlop,
-			WorkingSet:    3 * blockBytes,
-			MemoryTraffic: blockBytes,
-		}
-	}
-	m := comm.NewMatrix(p)
+	b := profile.New(fmt.Sprintf("matmul-mkl-%dp", p), p).
+		EachThread(2*rows*rows*n*cyclesPerFlop, 3*blockBytes, blockBytes)
 	for i := 1; i < p; i++ {
 		// Per phase each worker streams one B panel from the master's
 		// node.
-		m.AddSym(0, i, blockBytes)
+		b.Link(0, i, blockBytes)
 	}
-	return &perfsim.Workload{
-		Name:                   fmt.Sprintf("matmul-mkl-%dp", p),
-		Threads:                threads,
-		Comm:                   m,
-		Iterations:             p,
-		ControlEventsPerIter:   0.4, // one fork-join per run, amortised
-		StartupContextSwitches: float64(p),
-		// A, B and C are allocated by the calling (master) thread.
-		MasterAlloc: true,
-	}, nil
+	// One fork-join per run, amortised; A, B and C are allocated by
+	// the calling (master) thread.
+	return b.Iterations(p).
+		Control(0, 0.4).
+		Startup(float64(p)).
+		MasterAlloc().
+		Build()
 }

@@ -5,6 +5,7 @@ import (
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/perfsim"
+	"orwlplace/internal/profile"
 )
 
 // Per-pixel cycle weights of the stages, calibrated so the stage mix
@@ -67,41 +68,34 @@ func (c Config) Profile(frames int) (*perfsim.Workload, error) {
 	}
 	px := float64(c.Size.Pixels())
 	frameB := px
-	threads := make([]perfsim.Thread, c.NumTasks())
-	set := func(id int, cycles, ws, traffic float64) {
-		threads[id] = perfsim.Thread{ComputeCycles: cycles, WorkingSet: ws, MemoryTraffic: traffic}
-	}
-	set(c.taskProducer(), cyclesPerPxProducer*px, frameB, frameB)
+	b := profile.New(fmt.Sprintf("tracking-%s", c.Size), c.NumTasks()).Comm(m)
+	b.Thread(c.taskProducer(), cyclesPerPxProducer*px, frameB, frameB)
 	// The GMM master only scatters and gathers strips.
-	set(c.taskGMM(), 0.5*px, 2*frameB, 2*frameB)
-	set(c.taskErode(), cyclesPerPxMorph*px, 2*frameB, 2*frameB)
+	b.Thread(c.taskGMM(), 0.5*px, 2*frameB, 2*frameB)
+	b.Thread(c.taskErode(), cyclesPerPxMorph*px, 2*frameB, 2*frameB)
 	for d := 0; d < c.Dilates; d++ {
-		set(c.taskDilate(d), cyclesPerPxMorph*px, 2*frameB, 2*frameB)
+		b.Thread(c.taskDilate(d), cyclesPerPxMorph*px, 2*frameB, 2*frameB)
 	}
-	set(c.taskCCL(), cyclesPerPxMerge*px, frameB, frameB)
-	set(c.taskTracking(), cyclesTracking, 1<<16, 1<<14)
-	set(c.taskConsumer(), cyclesConsumer, 1<<14, 1<<12)
+	b.Thread(c.taskCCL(), cyclesPerPxMerge*px, frameB, frameB)
+	b.Thread(c.taskTracking(), cyclesTracking, 1<<16, 1<<14)
+	b.Thread(c.taskConsumer(), cyclesConsumer, 1<<14, 1<<12)
 	for i := 0; i < c.GMMSplits; i++ {
 		strip := px / float64(c.GMMSplits)
 		// The background model is 8 bytes of state per pixel.
-		set(c.taskGMMWorker(i), cyclesPerPxGMM*strip, 9*strip, 9*strip)
+		b.Thread(c.taskGMMWorker(i), cyclesPerPxGMM*strip, 9*strip, 9*strip)
 	}
 	for i := 0; i < c.CCLSplits; i++ {
 		strip := px / float64(c.CCLSplits)
 		// Labels are 4 bytes per pixel.
-		set(c.taskCCLWorker(i), cyclesPerPxCCL*strip, 5*strip, 5*strip)
+		b.Thread(c.taskCCLWorker(i), cyclesPerPxCCL*strip, 5*strip, 5*strip)
 	}
-	return &perfsim.Workload{
-		Name:       fmt.Sprintf("tracking-%s", c.Size),
-		Threads:    threads,
-		Comm:       m,
-		Iterations: frames,
-		// One location per task plus one "in" per worker; a
-		// grant/release pair on each edge per frame.
-		ControlThreads:         c.NumTasks() + c.GMMSplits + c.CCLSplits,
-		ControlEventsPerIter:   float64(c.NumTasks()+c.GMMSplits+c.CCLSplits) * 2,
-		StartupContextSwitches: float64(2 * c.NumTasks()),
-	}, nil
+	// One location per task plus one "in" per worker; a grant/release
+	// pair on each edge per frame.
+	control := c.NumTasks() + c.GMMSplits + c.CCLSplits
+	return b.Iterations(frames).
+		Control(control, float64(control)*2).
+		Startup(float64(2 * c.NumTasks())).
+		Build()
 }
 
 // ProfileOpenMP models the fork-join implementation: the same stage
@@ -150,11 +144,9 @@ func (c Config) ProfileSequential(frames int) (*perfsim.Workload, error) {
 		cyclesPerPxMorph*px*float64(1+c.Dilates) +
 		cyclesPerPxGMM*px + cyclesPerPxCCL*px + cyclesPerPxMerge*px +
 		cyclesTracking + cyclesConsumer
-	return &perfsim.Workload{
-		Name:                   fmt.Sprintf("tracking-seq-%s", c.Size),
-		Threads:                []perfsim.Thread{{ComputeCycles: total, WorkingSet: 12 * px, MemoryTraffic: 14 * px}},
-		Comm:                   comm.NewMatrix(1),
-		Iterations:             frames,
-		StartupContextSwitches: 2,
-	}, nil
+	return profile.New(fmt.Sprintf("tracking-seq-%s", c.Size), 1).
+		EachThread(total, 12*px, 14*px).
+		Iterations(frames).
+		Startup(2).
+		Build()
 }

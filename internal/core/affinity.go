@@ -11,6 +11,11 @@
 // advanced API (DependencyGet, AffinityCompute, AffinitySet) exposes
 // the three steps separately for debugging and for dynamic task graphs
 // whose communication matrix changes at run time.
+//
+// The module is a thin adapter over internal/placement: the engine
+// owns the pipeline steps, the strategy registry and the mapping
+// cache; this package keeps the paper-named three-step surface and
+// the environment gating.
 package core
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/orwl"
+	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
 	"orwlplace/internal/treematch"
 )
@@ -40,13 +46,14 @@ func EnabledByEnv() bool {
 // Module is one affinity-module instance bound to a program and a
 // machine.
 type Module struct {
-	mu   sync.Mutex
-	prog *orwl.Program
-	top  *topology.Topology
-	opt  treematch.Options
+	mu       sync.Mutex
+	prog     *orwl.Program
+	eng      *placement.Engine
+	strategy string
+	opt      placement.Options
 
-	matrix  *comm.Matrix
-	mapping *treematch.Mapping
+	matrix *comm.Matrix
+	asgn   *placement.Assignment
 }
 
 // Option customises a Module.
@@ -58,6 +65,21 @@ func WithTreeMatchOptions(opt treematch.Options) Option {
 	return func(m *Module) { m.opt = opt }
 }
 
+// WithStrategy selects a registered placement strategy instead of the
+// default TreeMatch — mainly to drive baseline comparisons through
+// the same three-step API.
+func WithStrategy(name string) Option {
+	return func(m *Module) { m.strategy = name }
+}
+
+// WithEngine shares an existing placement engine (and therefore its
+// mapping cache) across modules. Dynamic programs that oscillate
+// between phases attach one module per phase to a common engine so a
+// recurring communication matrix pays the mapping cost once.
+func WithEngine(e *placement.Engine) Option {
+	return func(m *Module) { m.eng = e }
+}
+
 // Attach creates the affinity module for a program on a machine. It
 // does not install the automatic hook; call EnableAutomatic for the
 // paper's transparent mode, or drive the three-step API manually.
@@ -65,12 +87,32 @@ func Attach(prog *orwl.Program, top *topology.Topology, opts ...Option) (*Module
 	if prog == nil {
 		return nil, fmt.Errorf("core: nil program")
 	}
-	if top == nil {
-		return nil, fmt.Errorf("core: nil topology")
+	m := &Module{
+		prog:     prog,
+		strategy: placement.TreeMatch,
+		opt:      placement.Options{ControlThreads: true},
 	}
-	m := &Module{prog: prog, top: top, opt: treematch.Options{ControlThreads: true}}
 	for _, o := range opts {
 		o(m)
+	}
+	if m.eng == nil {
+		if top == nil {
+			return nil, fmt.Errorf("core: nil topology")
+		}
+		eng, err := placement.NewEngine(top)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m.eng = eng
+	} else if top != nil && placement.Signature(top) != m.eng.TopologySignature() {
+		// A shared engine places on its own machine; silently accepting
+		// a different topology would bind tasks to PUs that do not
+		// exist on it.
+		return nil, fmt.Errorf("core: topology %q does not match engine's %q",
+			top.Attrs.Name, m.eng.Topology().Attrs.Name)
+	}
+	if _, ok := placement.Lookup(m.strategy); !ok {
+		return nil, fmt.Errorf("core: unknown strategy %q", m.strategy)
 	}
 	return m, nil
 }
@@ -101,34 +143,39 @@ func EnableAutomatic(prog *orwl.Program, top *topology.Topology, force bool, opt
 	return m, true, nil
 }
 
+// Engine exposes the underlying placement engine (for cache
+// statistics and direct strategy access).
+func (m *Module) Engine() *placement.Engine { return m.eng }
+
 // DependencyGet recomputes the task dependency graph and the resulting
 // communication matrix from the runtime state (orwl_dependency_get). It
 // only mutates module state, like its C counterpart.
 func (m *Module) DependencyGet() {
-	mat := m.prog.DependencyMatrix()
+	mat := m.eng.ExtractMatrix(m.prog)
 	m.mu.Lock()
 	m.matrix = mat
-	m.mapping = nil
+	m.asgn = nil
 	m.mu.Unlock()
 }
 
-// AffinityCompute runs the mapping algorithm on the current
+// AffinityCompute runs the configured strategy on the current
 // communication matrix and the hardware topology
-// (orwl_affinity_compute). DependencyGet must have been called.
+// (orwl_affinity_compute). DependencyGet must have been called. A
+// matrix already seen by the engine is served from its mapping cache.
 func (m *Module) AffinityCompute() error {
 	m.mu.Lock()
 	mat := m.matrix
-	opt := m.opt
+	strategy, opt := m.strategy, m.opt
 	m.mu.Unlock()
 	if mat == nil {
 		return fmt.Errorf("core: AffinityCompute before DependencyGet")
 	}
-	mapping, err := treematch.Map(m.top, mat, opt)
+	asgn, err := m.eng.Compute(strategy, mat, 0, opt)
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	m.mu.Lock()
-	m.mapping = mapping
+	m.asgn = asgn
 	m.mu.Unlock()
 	return nil
 }
@@ -140,20 +187,12 @@ func (m *Module) AffinityCompute() error {
 // consume it — because goroutines cannot be pinned portably.
 func (m *Module) AffinitySet() error {
 	m.mu.Lock()
-	mapping := m.mapping
+	asgn := m.asgn
 	m.mu.Unlock()
-	if mapping == nil {
+	if asgn == nil {
 		return fmt.Errorf("core: AffinitySet before AffinityCompute")
 	}
-	for task, pu := range mapping.ComputePU {
-		m.prog.SetBinding(task, pu)
-	}
-	for task, pu := range mapping.ControlPU {
-		if pu >= 0 {
-			m.prog.SetControlBinding(task, pu)
-		}
-	}
-	return nil
+	return m.eng.Bind(m.prog, asgn)
 }
 
 // Matrix returns the last communication matrix, or nil.
@@ -163,11 +202,19 @@ func (m *Module) Matrix() *comm.Matrix {
 	return m.matrix
 }
 
-// Mapping returns the last computed mapping, or nil.
+// Assignment returns the last computed assignment, or nil.
+func (m *Module) Assignment() *placement.Assignment {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.asgn
+}
+
+// Mapping returns the last computed mapping in the paper's result
+// shape, or nil.
 func (m *Module) Mapping() *treematch.Mapping {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.mapping
+	return m.asgn.Mapping(m.eng.Topology())
 }
 
 // RenderMapping renders a task allocation like the paper's Fig. 2: for
@@ -178,7 +225,6 @@ func RenderMapping(mapping *treematch.Mapping, taskNames []string) string {
 		return "(no mapping)\n"
 	}
 	top := mapping.Top
-	pus := top.PUs()
 	taskOnPU := make(map[int][]string)
 	name := func(t int) string {
 		if taskNames != nil && t < len(taskNames) && taskNames[t] != "" {
@@ -207,13 +253,25 @@ func RenderMapping(mapping *treematch.Mapping, taskNames []string) string {
 		}
 		for _, pu := range g.PUs() {
 			core := pu.AncestorOfType(topology.Core)
-			if core != nil && core.Children[0] != pu {
+			if core == nil {
+				// A PU without a Core ancestor (degenerate trees) gets
+				// its own line.
+				cell := append([]string(nil), taskOnPU[pu.LogicalIndex]...)
+				sort.Strings(cell)
+				line := "-"
+				if len(cell) > 0 {
+					line = strings.Join(cell, ", ")
+				}
+				fmt.Fprintf(&b, "    pu %2d: %s\n", pu.LogicalIndex, line)
+				continue
+			}
+			if core.Children[0] != pu {
 				// Render per-core lines only once, on the first PU;
 				// siblings are folded into the same line below.
 				continue
 			}
 			sock := pu.AncestorOfType(topology.Socket)
-			if core != nil && core.LogicalIndex%8 == 0 && sock != nil {
+			if core.LogicalIndex%8 == 0 && sock != nil {
 				fmt.Fprintf(&b, "  %s\n", sock)
 			}
 			var cell []string
@@ -228,6 +286,5 @@ func RenderMapping(mapping *treematch.Mapping, taskNames []string) string {
 			}
 		}
 	}
-	_ = pus
 	return b.String()
 }

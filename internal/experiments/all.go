@@ -71,6 +71,12 @@ func All() ([]Artifact, error) {
 	}
 	add("table4", t4.Render())
 
+	strat, err := StrategyTable()
+	if err != nil {
+		return nil, err
+	}
+	add("strategies", strat.Render())
+
 	summary, err := Summary()
 	if err != nil {
 		return nil, err

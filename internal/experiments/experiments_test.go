@@ -348,7 +348,7 @@ func TestAllArtifacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []string{"fig1", "fig2", "fig3", "table1", "fig4", "fig4", "table2",
-		"fig5", "fig5", "table3", "fig6", "fig6", "table4", "summary"}
+		"fig5", "fig5", "table3", "fig6", "fig6", "table4", "strategies", "summary"}
 	if len(arts) != len(want) {
 		t.Fatalf("artifacts = %d, want %d", len(arts), len(want))
 	}

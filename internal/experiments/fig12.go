@@ -6,6 +6,7 @@ import (
 	"orwlplace/internal/apps/tracking"
 	"orwlplace/internal/comm"
 	"orwlplace/internal/core"
+	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
 	"orwlplace/internal/treematch"
 )
@@ -34,11 +35,12 @@ func Fig2() (*treematch.Mapping, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	top := topology.Fig2Machine()
-	mapping, err := treematch.Map(top, m, treematch.Options{ControlThreads: true})
+	eng := engineFor(topology.Fig2Machine())
+	a, err := eng.Compute(placement.TreeMatch, m, 0, placement.Options{ControlThreads: true})
 	if err != nil {
 		return nil, "", err
 	}
+	mapping := a.Mapping(eng.Topology())
 	text := "Fig. 2 — " + core.RenderMapping(mapping, cfg.TaskNames())
 	return mapping, text, nil
 }

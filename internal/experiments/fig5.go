@@ -6,7 +6,6 @@ import (
 	"orwlplace/internal/apps/matmul"
 	"orwlplace/internal/perfsim"
 	"orwlplace/internal/topology"
-	"orwlplace/internal/treematch"
 )
 
 // Matmul experiment parameters (§VI-B2): C = A*B on 16384x16384
@@ -46,11 +45,11 @@ func matmulRun(top *topology.Topology, cores int) (*matmulResult, error) {
 	if out.MKL, err = runDynamic(top, mklW); err != nil {
 		return nil, err
 	}
-	if out.MKLScatter, err = runStrategy(top, mklW, treematch.StrategyScatter); err != nil {
+	if out.MKLScatter, err = runStrategy(top, mklW, "scatter"); err != nil {
 		return nil, err
 	}
 	// KMP_AFFINITY=compact fills hyperthread siblings first.
-	if out.MKLCompact, err = runStrategy(top, mklW, treematch.StrategyCompact); err != nil {
+	if out.MKLCompact, err = runStrategy(top, mklW, "compact"); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -4,7 +4,6 @@ import (
 	"orwlplace/internal/apps/tracking"
 	"orwlplace/internal/perfsim"
 	"orwlplace/internal/topology"
-	"orwlplace/internal/treematch"
 )
 
 // Tracking experiment parameters (§VI-B3): 30 tasks on 30 cores (4
@@ -43,24 +42,17 @@ func trackingRun(full *topology.Topology, size tracking.Size, frames int) (*trac
 		return nil, err
 	}
 	out := &trackingResult{}
-	if out.Sequential, err = runStrategy(top, seqW, treematch.StrategyCompactCores); err != nil {
+	if out.Sequential, err = runStrategy(top, seqW, "compact-cores"); err != nil {
 		return nil, err
 	}
 	if out.OpenMP, err = runDynamic(top, ompW); err != nil {
 		return nil, err
 	}
-	best, err := runStrategy(top, ompW, treematch.StrategyCompactCores)
-	if err != nil {
+	// Like Fig. 4: the best environment binding found over the whole
+	// strategy registry.
+	if out.OpenMPAffinity, _, err = bestOblivious(top, ompW); err != nil {
 		return nil, err
 	}
-	alt, err := runStrategy(top, ompW, treematch.StrategyScatter)
-	if err != nil {
-		return nil, err
-	}
-	if alt.Seconds < best.Seconds {
-		best = alt
-	}
-	out.OpenMPAffinity = best
 	if out.ORWL, err = runDynamic(top, orwlW); err != nil {
 		return nil, err
 	}

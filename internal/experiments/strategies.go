@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+
+	"orwlplace/internal/apps/tracking"
+	"orwlplace/internal/placement"
+)
+
+// StrategyTable runs the full strategy registry — the paper's affinity
+// module, every environment baseline and the unbound OS scheduler —
+// over the HD tracking workload on both testbeds. It is the registry
+// made visible: a strategy registered in internal/placement gains a
+// row here (and a candidate slot in the best-baseline selections of
+// Figs. 4 and 6) without any harness change.
+func StrategyTable() (*Table, error) {
+	tops := Machines()
+	t := &Table{
+		ID:    "Strategies",
+		Title: "Modeled seconds per registered placement strategy, HD tracking workload",
+		Columns: []string{
+			"strategy", tops[0].Attrs.Name, tops[1].Attrs.Name,
+		},
+	}
+	cfg := tracking.PaperConfig(tracking.HD)
+	w, err := cfg.Profile(trackingFrames)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range placement.Names() {
+		// The affinity module accounts for the runtime's control
+		// threads, like the paper's configuration.
+		opt := placement.Options{}
+		if name == placement.TreeMatch {
+			opt.ControlThreads = true
+		}
+		row := []string{name}
+		for _, top := range tops {
+			res, _, err := engineFor(top).Simulate(name, w, opt, dynamicSeed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", res.Seconds))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package placement
+
+import (
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+)
+
+// The cache pays off when a dynamic program re-presents a matrix the
+// engine has mapped before: a cached Compute is a fingerprint plus a
+// map lookup, against a full TreeMatch run cold. Compare:
+//
+//	go test ./internal/placement -bench 'TreeMatch(Cold|Cached)' -benchmem
+
+func benchMatrix() *comm.Matrix {
+	return comm.Stencil2D(8, 8, 1<<14, 1<<14)
+}
+
+func BenchmarkTreeMatchCold(b *testing.B) {
+	top := topology.SMP12E5()
+	m := benchMatrix()
+	eng, err := NewEngine(top, WithCacheEntries(0)) // every run computes
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreeMatchCached(b *testing.B) {
+	top := topology.SMP12E5()
+	m := benchMatrix()
+	eng, err := NewEngine(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

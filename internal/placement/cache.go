@@ -1,0 +1,127 @@
+package placement
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+)
+
+// cacheKey identifies one memoised mapping: the machine, the matrix
+// (for comm-aware strategies), the entity count and the strategy with
+// its options. Two programs presenting the same communication pattern
+// on the same machine share the entry.
+type cacheKey struct {
+	topo     uint64
+	matrix   uint64
+	entities int
+	strategy string
+	options  uint64
+}
+
+// Signature fingerprints a topology by its canonical JSON encoding
+// plus its name, so structurally identical machines (every call of
+// topology.SMP12E5 builds a fresh tree) hash alike and a restricted
+// machine hashes apart from its parent.
+func Signature(top *topology.Topology) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(top.Attrs.Name))
+	if data, err := top.MarshalJSON(); err == nil {
+		h.Write(data)
+	}
+	return h.Sum64()
+}
+
+// matrixFingerprint hashes the order and every entry of the matrix.
+func matrixFingerprint(m *comm.Matrix) uint64 {
+	if m == nil {
+		return 0
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	n := m.Order()
+	put(uint64(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			put(math.Float64bits(m.At(i, j)))
+		}
+	}
+	return h.Sum64()
+}
+
+// optionsFingerprint hashes the mapping options that change the
+// result, canonicalised so default-equivalent configurations share a
+// cache entry.
+func optionsFingerprint(opt Options) uint64 {
+	opt = opt.Canonical()
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	flags := uint64(0)
+	if opt.ControlThreads {
+		flags = 1
+	}
+	put(flags)
+	put(math.Float64bits(opt.ControlVolumeFraction))
+	put(uint64(opt.ExhaustiveLimit))
+	put(uint64(opt.RefineRounds))
+	return h.Sum64()
+}
+
+// mappingCache is a small LRU of computed assignments. A max of zero
+// (or less) disables caching entirely.
+type mappingCache struct {
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	a   *Assignment
+}
+
+func newMappingCache(max int) *mappingCache {
+	return &mappingCache{max: max, order: list.New(), entries: make(map[cacheKey]*list.Element)}
+}
+
+func (c *mappingCache) get(k cacheKey) (*Assignment, bool) {
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).a, true
+}
+
+func (c *mappingCache) put(k cacheKey, a *Assignment) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*cacheEntry).a = a
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[k] = c.order.PushFront(&cacheEntry{key: k, a: a})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *mappingCache) len() int { return c.order.Len() }

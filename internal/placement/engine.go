@@ -1,0 +1,177 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+)
+
+// defaultCacheEntries bounds the engine's mapping cache. A dynamic
+// program oscillating between phases has a handful of distinct
+// matrices; the experiments harness sweeps a few dozen workloads per
+// machine. 256 covers both with room to spare.
+const defaultCacheEntries = 256
+
+// Engine owns the placement pipeline for one machine: matrix
+// extraction from a running program, strategy dispatch with mapping
+// memoisation, and binding commit. It is safe for concurrent use.
+type Engine struct {
+	top     *topology.Topology
+	topoSig uint64
+
+	mu    sync.Mutex
+	cache *mappingCache
+	stats CacheStats
+}
+
+// CacheStats counts mapping-cache traffic.
+type CacheStats struct {
+	// Hits is the number of Compute calls served from the cache.
+	Hits uint64
+	// Misses is the number of Compute calls that ran a strategy.
+	Misses uint64
+	// Entries is the current number of cached assignments.
+	Entries int
+}
+
+// EngineOption customises a new engine.
+type EngineOption func(*Engine)
+
+// WithCacheEntries bounds the mapping cache (0 disables caching).
+func WithCacheEntries(n int) EngineOption {
+	return func(e *Engine) { e.cache = newMappingCache(n) }
+}
+
+// NewEngine creates a placement engine for one machine.
+func NewEngine(top *topology.Topology, opts ...EngineOption) (*Engine, error) {
+	if top == nil {
+		return nil, fmt.Errorf("placement: nil topology")
+	}
+	e := &Engine{
+		top:     top,
+		topoSig: Signature(top),
+		cache:   newMappingCache(defaultCacheEntries),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e, nil
+}
+
+// Topology returns the machine the engine places onto.
+func (e *Engine) Topology() *topology.Topology { return e.top }
+
+// TopologySignature returns the cached Signature of the engine's
+// machine, so callers comparing machines need not re-marshal the
+// tree.
+func (e *Engine) TopologySignature() uint64 { return e.topoSig }
+
+// ExtractMatrix derives the communication matrix from the runtime
+// state of a scheduled program — step 1 of the pipeline
+// (orwl_dependency_get).
+func (e *Engine) ExtractMatrix(prog *orwl.Program) *comm.Matrix {
+	return prog.DependencyMatrix()
+}
+
+// Compute runs the named strategy — step 2 of the pipeline
+// (orwl_affinity_compute) — memoising the result. n may be zero when
+// m is non-nil, in which case the matrix order is used. The returned
+// assignment is the caller's to keep: mutating it does not corrupt
+// the cache.
+func (e *Engine) Compute(strategy string, m *comm.Matrix, n int, opt Options) (*Assignment, error) {
+	s, ok := Lookup(strategy)
+	if !ok {
+		return nil, fmt.Errorf("placement: unknown strategy %q (have %v)", strategy, Names())
+	}
+	if n == 0 && m != nil {
+		n = m.Order()
+	}
+	key := cacheKey{
+		topo:     e.topoSig,
+		entities: n,
+		strategy: strategy,
+	}
+	if s.CommAware() {
+		key.matrix = matrixFingerprint(m)
+	}
+	if usesOptions(s) {
+		// Strategies declaring options-insensitivity share one entry
+		// across option values instead of duplicating identical
+		// results.
+		key.options = optionsFingerprint(opt)
+	}
+
+	e.mu.Lock()
+	if a, ok := e.cache.get(key); ok {
+		e.stats.Hits++
+		e.mu.Unlock()
+		return a.Clone(), nil
+	}
+	e.stats.Misses++
+	e.mu.Unlock()
+
+	// The strategy runs outside the lock: TreeMatch on a large matrix
+	// is the expensive path the cache exists for, and concurrent
+	// computes of different keys should not serialise. A rare duplicate
+	// compute of the same key is benign (last write wins).
+	a, err := s.Map(e.top, m, n, opt)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.cache.put(key, a)
+	e.mu.Unlock()
+	return a.Clone(), nil
+}
+
+// Bind commits an assignment to a program — step 3 of the pipeline
+// (orwl_affinity_set). Unbound assignments are a no-op: the program
+// simply keeps running under the OS scheduler.
+func (e *Engine) Bind(prog *orwl.Program, a *Assignment) error {
+	if prog == nil {
+		return fmt.Errorf("placement: bind to nil program")
+	}
+	if a == nil {
+		return fmt.Errorf("placement: bind nil assignment")
+	}
+	if a.Unbound {
+		return nil
+	}
+	for task, pu := range a.ComputePU {
+		prog.SetBinding(task, pu)
+	}
+	for task, pu := range a.ControlPU {
+		if pu >= 0 {
+			prog.SetControlBinding(task, pu)
+		}
+	}
+	return nil
+}
+
+// Place runs the full pipeline on a scheduled program: extract the
+// matrix, compute the named strategy's assignment, commit it.
+func (e *Engine) Place(prog *orwl.Program, strategy string, opt Options) (*Assignment, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("placement: place nil program")
+	}
+	a, err := e.Compute(strategy, e.ExtractMatrix(prog), 0, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.Bind(prog, a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.stats
+	st.Entries = e.cache.len()
+	return st
+}

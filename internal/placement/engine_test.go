@@ -1,0 +1,343 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/topology"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	want := []string{"treematch", "compact", "compact-cores", "scatter", "round-robin-pu", "none"}
+	if len(names) < len(want) {
+		t.Fatalf("registry has %d strategies, want >= %d", len(names), len(want))
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Errorf("registry missing %q", n)
+		}
+		if _, ok := Lookup(n); !ok {
+			t.Errorf("Lookup(%q) failed", n)
+		}
+	}
+	for _, n := range ObliviousNames() {
+		s, _ := Lookup(n)
+		if s.CommAware() {
+			t.Errorf("oblivious list contains comm-aware %q", n)
+		}
+		if n == None {
+			t.Error("oblivious list contains the unbound baseline")
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register(nil); err == nil {
+		t.Error("accepted nil strategy")
+	}
+	if err := Register(&noneStrategy{}); err == nil {
+		t.Error("accepted duplicate name")
+	}
+}
+
+func TestComputeCacheHitMiss(t *testing.T) {
+	eng, err := NewEngine(topology.Fig2Machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := comm.Ring(8, 1<<16, true)
+
+	a1, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after first compute: %+v", st)
+	}
+
+	// The same matrix again: a hit, and an identical assignment.
+	a2, err := eng.Compute(TreeMatch, m.Clone(), 0, Options{ControlThreads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("after repeat compute: %+v", st)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Errorf("cached assignment differs:\n%+v\n%+v", a1, a2)
+	}
+
+	// A different matrix, different options and a different strategy
+	// each miss.
+	if _, err := eng.Compute(TreeMatch, comm.Ring(8, 1<<10, true), 0, Options{ControlThreads: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Compute(TreeMatch, m, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Compute("scatter", m, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 1 || st.Misses != 4 {
+		t.Fatalf("after distinct computes: %+v", st)
+	}
+}
+
+func TestObliviousStrategiesIgnoreMatrix(t *testing.T) {
+	eng, err := NewEngine(topology.TinyHT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two different matrices of the same order share the cache entry
+	// for a matrix-oblivious strategy.
+	if _, err := eng.Compute("compact", comm.Ring(4, 100, true), 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Compute("compact", comm.Uniform(4, 7), 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want one hit one miss", st)
+	}
+	// A nil matrix with an explicit entity count also works.
+	if _, err := eng.Compute("compact", nil, 4, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 2 {
+		t.Fatalf("stats = %+v, want second hit", st)
+	}
+}
+
+func TestOptionsCanonicalizedInCacheKey(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := comm.Ring(4, 100, true)
+	if _, err := eng.Compute(TreeMatch, m, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Spelled-out defaults are the same configuration: a hit.
+	if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlVolumeFraction: 0.1, ExhaustiveLimit: 12}); err != nil {
+		t.Fatal(err)
+	}
+	// Oblivious strategies ignore the options entirely: one entry.
+	if _, err := eng.Compute("scatter", m, 0, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Compute("scatter", m, 0, Options{ControlThreads: true}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want default-equivalent and options-insensitive hits", st)
+	}
+	if eng.TopologySignature() != Signature(eng.Topology()) {
+		t.Error("cached topology signature disagrees with Signature()")
+	}
+}
+
+func TestCachedAssignmentIsIsolated(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := comm.Ring(4, 100, true)
+	a1, err := eng.Compute(TreeMatch, m, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1.ComputePU[0] = -999 // caller scribbles on its copy
+	a2, err := eng.Compute(TreeMatch, m, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2.ComputePU[0] == -999 {
+		t.Error("mutation leaked into the cache")
+	}
+}
+
+func TestNoneStrategyUnbound(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Compute(None, nil, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Unbound || len(a.ComputePU) != 0 {
+		t.Fatalf("none assignment = %+v", a)
+	}
+	if a.Mapping(eng.Topology()) != nil {
+		t.Error("unbound assignment has a mapping")
+	}
+	pl := eng.SimPlacement(a, 7)
+	if pl.Dynamic == nil || pl.Dynamic.Seed != 7 {
+		t.Errorf("unbound SimPlacement = %+v, want dynamic policy", pl)
+	}
+
+	prog := orwl.MustProgram(4, "m")
+	if err := eng.Bind(prog, a); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Binding() != nil {
+		t.Error("unbound assignment produced bindings")
+	}
+}
+
+func TestBindCommitsAssignment(t *testing.T) {
+	top := topology.TinyHT()
+	eng, err := NewEngine(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Compute(TreeMatch, comm.Ring(4, 100, true), 0, Options{ControlThreads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := orwl.MustProgram(4, "m")
+	if err := eng.Bind(prog, a); err != nil {
+		t.Fatal(err)
+	}
+	b := prog.Binding()
+	if len(b) != 4 {
+		t.Fatalf("binding = %v", b)
+	}
+	for task, pu := range b {
+		if pu != a.ComputePU[task] {
+			t.Errorf("task %d bound to %d, assignment says %d", task, pu, a.ComputePU[task])
+		}
+	}
+	// TinyHT reserves hyperthread siblings for control threads.
+	if cb := prog.ControlBinding(); len(cb) != 4 {
+		t.Errorf("control binding = %v", cb)
+	}
+
+	pl := eng.SimPlacement(a, 0)
+	if pl.Dynamic != nil || !pl.LocalAlloc || len(pl.ComputePU) != 4 {
+		t.Errorf("bound SimPlacement = %+v", pl)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat(), WithCacheEntries(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 3, 4} {
+		if _, err := eng.Compute("compact", nil, n, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.Stats(); st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+	// The oldest key (n=2) was evicted; recomputing it misses.
+	if _, err := eng.Compute("compact", nil, 2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("stats = %+v, want 4 misses", st)
+	}
+	// n=4 is still resident.
+	if _, err := eng.Compute("compact", nil, 4, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.Stats(); st.Hits != 1 {
+		t.Fatalf("stats = %+v, want a hit on the resident key", st)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat(), WithCacheEntries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := eng.Compute("compact", nil, 4, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.Stats(); st.Hits != 0 || st.Misses != 2 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want no caching", st)
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Compute("no-such-strategy", nil, 4, Options{}); err == nil {
+		t.Error("accepted unknown strategy")
+	}
+	if _, err := eng.Compute(TreeMatch, nil, 4, Options{}); err == nil {
+		t.Error("treematch accepted nil matrix")
+	}
+	if _, err := eng.Compute("compact", nil, 0, Options{}); err == nil {
+		t.Error("accepted zero entities with nil matrix")
+	}
+	if _, err := NewEngine(nil); err == nil {
+		t.Error("accepted nil topology")
+	}
+}
+
+func TestSignature(t *testing.T) {
+	if Signature(topology.SMP12E5()) != Signature(topology.SMP12E5()) {
+		t.Error("identical machines hash differently")
+	}
+	if Signature(topology.SMP12E5()) == Signature(topology.SMP20E7()) {
+		t.Error("different machines hash alike")
+	}
+	restricted, err := topology.Restrict(topology.SMP12E5(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Signature(topology.SMP12E5()) == Signature(restricted) {
+		t.Error("restricted machine hashes like its parent")
+	}
+}
+
+func TestPlaceFullPipeline(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := orwl.MustProgram(4, "main")
+	err = prog.Run(func(ctx *orwl.TaskContext) error {
+		if err := ctx.Scale("main", 128); err != nil {
+			return err
+		}
+		h := orwl.NewHandle()
+		if err := ctx.WriteInsert(h, orwl.Loc(ctx.TID(), "main"), ctx.TID()); err != nil {
+			return err
+		}
+		if ctx.TID() > 0 {
+			r := orwl.NewHandle()
+			if err := ctx.ReadInsert(r, orwl.Loc(ctx.TID()-1, "main"), ctx.TID()); err != nil {
+				return err
+			}
+		}
+		return ctx.Schedule()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := eng.Place(prog, TreeMatch, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Binding()) != 4 {
+		t.Errorf("binding = %v", prog.Binding())
+	}
+	if a.Strategy != TreeMatch {
+		t.Errorf("strategy = %q", a.Strategy)
+	}
+}

@@ -1,0 +1,117 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps strategy names to implementations. The built-in
+// strategies register themselves at init time; experiment harnesses
+// and tools iterate Names() so a newly registered strategy shows up
+// in every comparison without touching the consumers.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Strategy)
+	regOrder []string
+)
+
+// Register adds a strategy under its name. Registering a duplicate
+// name is an error: strategies are identity-keyed in the mapping
+// cache.
+func Register(s Strategy) error {
+	if s == nil || s.Name() == "" {
+		return fmt.Errorf("placement: register nil or unnamed strategy")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name()]; dup {
+		return fmt.Errorf("placement: strategy %q already registered", s.Name())
+	}
+	registry[s.Name()] = s
+	regOrder = append(regOrder, s.Name())
+	return nil
+}
+
+// MustRegister is Register panicking on error, for init-time use.
+func MustRegister(s Strategy) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a strategy by name.
+func Lookup(name string) (Strategy, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns all registered strategy names in registration order
+// (built-ins first, in their declaration order), so comparison tables
+// keep a stable row order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// BoundNames returns the names of all strategies that produce an
+// actual binding (everything but the unbound baselines), sorted with
+// comm-oblivious strategies first — the candidate set when picking
+// "the best environment binding" like the paper does for the OpenMP
+// and MKL baselines.
+func BoundNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	var out []string
+	for _, name := range regOrder {
+		if s := registry[name]; !isUnbound(s) {
+			out = append(out, name)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return !registry[out[i]].CommAware() && registry[out[j]].CommAware()
+	})
+	return out
+}
+
+// ObliviousNames returns the bound, matrix-oblivious strategies — the
+// environment-variable policies (compact, scatter, ...) the paper
+// compares the affinity module against.
+func ObliviousNames() []string {
+	var out []string
+	for _, name := range BoundNames() {
+		if s, _ := Lookup(name); !s.CommAware() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Unbinder is the optional interface an unbound strategy (one whose
+// assignments carry no binding) implements so the Bound/Oblivious
+// listings can exclude it.
+type Unbinder interface {
+	Unbound() bool
+}
+
+func isUnbound(s Strategy) bool {
+	u, ok := s.(Unbinder)
+	return ok && u.Unbound()
+}
+
+// OptionsInsensitive is the optional interface a strategy implements
+// to declare its result does not depend on Options, letting the
+// engine's cache share one entry across option values. Strategies
+// that do not implement it are keyed on the options — at worst a
+// duplicate entry, never a stale result.
+type OptionsInsensitive interface {
+	IgnoresOptions() bool
+}
+
+func usesOptions(s Strategy) bool {
+	o, ok := s.(OptionsInsensitive)
+	return !ok || !o.IgnoresOptions()
+}

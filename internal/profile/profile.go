@@ -1,0 +1,140 @@
+// Package profile builds perfsim workloads from application models.
+//
+// The three evaluated applications (Livermore K23, matmul, video
+// tracking) each derive a placement-independent workload — per-thread
+// compute/memory characteristics, a communication matrix, runtime
+// control-thread counts — from their paper-scale parameters. The
+// assembly and validation of that description is identical across
+// them; Builder centralises it so an application profiler only states
+// its numbers.
+package profile
+
+import (
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/perfsim"
+)
+
+// Builder accumulates one workload description. The zero thread
+// count is rejected at New; everything else is validated at Build.
+type Builder struct {
+	w   perfsim.Workload
+	err error
+}
+
+// New starts a workload for n compute threads with an empty
+// communication matrix and a single iteration.
+func New(name string, n int) *Builder {
+	if n < 1 {
+		return &Builder{
+			w:   perfsim.Workload{Name: name, Comm: comm.NewMatrix(0)},
+			err: fmt.Errorf("profile: workload %q needs at least one thread, got %d", name, n),
+		}
+	}
+	return &Builder{w: perfsim.Workload{
+		Name:       name,
+		Threads:    make([]perfsim.Thread, n),
+		Comm:       comm.NewMatrix(n),
+		Iterations: 1,
+	}}
+}
+
+// Thread sets the compute cycles, working set and per-iteration
+// memory traffic of thread i.
+func (b *Builder) Thread(i int, cycles, workingSet, traffic float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if i < 0 || i >= len(b.w.Threads) {
+		b.err = fmt.Errorf("profile: workload %q: thread %d out of range [0,%d)", b.w.Name, i, len(b.w.Threads))
+		return b
+	}
+	b.w.Threads[i] = perfsim.Thread{ComputeCycles: cycles, WorkingSet: workingSet, MemoryTraffic: traffic}
+	return b
+}
+
+// EachThread sets every thread to the same characteristics — the
+// shape of the regular data-parallel profiles.
+func (b *Builder) EachThread(cycles, workingSet, traffic float64) *Builder {
+	for i := range b.w.Threads {
+		b.Thread(i, cycles, workingSet, traffic)
+	}
+	return b
+}
+
+// Link adds a symmetric communication volume between threads i and j.
+func (b *Builder) Link(i, j int, bytes float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	n := b.w.Comm.Order()
+	if i < 0 || i >= n || j < 0 || j >= n {
+		b.err = fmt.Errorf("profile: workload %q: link %d<->%d out of range [0,%d)", b.w.Name, i, j, n)
+		return b
+	}
+	b.w.Comm.AddSym(i, j, bytes)
+	return b
+}
+
+// Comm replaces the communication matrix with a prebuilt one (e.g. a
+// pattern from internal/comm or a matrix extracted from a DFG).
+func (b *Builder) Comm(m *comm.Matrix) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if m == nil {
+		b.err = fmt.Errorf("profile: workload %q: nil comm matrix", b.w.Name)
+		return b
+	}
+	b.w.Comm = m
+	return b
+}
+
+// Iterations sets the number of iterations (sweeps, phases, frames).
+func (b *Builder) Iterations(n int) *Builder {
+	b.w.Iterations = n
+	return b
+}
+
+// Control declares the runtime's control threads and their wake-up
+// rate per iteration (zero threads for fork-join runtimes, which only
+// pay barrier wake-ups).
+func (b *Builder) Control(threads int, eventsPerIter float64) *Builder {
+	b.w.ControlThreads = threads
+	b.w.ControlEventsPerIter = eventsPerIter
+	return b
+}
+
+// Startup accounts thread creation and runtime initialisation context
+// switches.
+func (b *Builder) Startup(contextSwitches float64) *Builder {
+	b.w.StartupContextSwitches = contextSwitches
+	return b
+}
+
+// MasterAlloc marks the shared data as first-touched by a master
+// thread, as in the OpenMP/MKL baselines.
+func (b *Builder) MasterAlloc() *Builder {
+	b.w.MasterAlloc = true
+	return b
+}
+
+// Stages groups threads into sequential fork-join phases instead of a
+// pipelined steady state.
+func (b *Builder) Stages(stages [][]int) *Builder {
+	b.w.Stages = stages
+	return b
+}
+
+// Build finalises and validates the workload.
+func (b *Builder) Build() (*perfsim.Workload, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	w := b.w
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}

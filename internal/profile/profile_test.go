@@ -1,0 +1,78 @@
+package profile
+
+import (
+	"testing"
+
+	"orwlplace/internal/comm"
+)
+
+func TestBuilderAssemblesWorkload(t *testing.T) {
+	w, err := New("w", 3).
+		Thread(0, 100, 200, 300).
+		EachThread(1, 2, 3).
+		Link(0, 1, 64).
+		Link(1, 2, 32).
+		Iterations(7).
+		Control(2, 1.5).
+		Startup(9).
+		MasterAlloc().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "w" || len(w.Threads) != 3 || w.Iterations != 7 {
+		t.Fatalf("workload = %+v", w)
+	}
+	if w.Threads[0].ComputeCycles != 1 {
+		t.Error("EachThread should overwrite earlier Thread calls")
+	}
+	if w.Comm.At(0, 1) != 64 || w.Comm.At(1, 0) != 64 || w.Comm.At(2, 1) != 32 {
+		t.Errorf("links not symmetric: %v", w.Comm)
+	}
+	if w.ControlThreads != 2 || w.ControlEventsPerIter != 1.5 ||
+		w.StartupContextSwitches != 9 || !w.MasterAlloc {
+		t.Errorf("runtime knobs lost: %+v", w)
+	}
+}
+
+func TestBuilderStages(t *testing.T) {
+	w, err := New("s", 2).
+		EachThread(1, 1, 1).
+		Stages([][]int{{0}, {1}}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Stages) != 2 {
+		t.Errorf("stages = %v", w.Stages)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := New("e", 0).Build(); err == nil {
+		t.Error("accepted zero threads")
+	}
+	// Negative counts error through the builder instead of panicking
+	// in make; later calls ride the sticky error.
+	if _, err := New("e", -1).Thread(0, 1, 1, 1).Build(); err == nil {
+		t.Error("accepted negative thread count")
+	}
+	if _, err := New("e", 2).Thread(2, 1, 1, 1).Build(); err == nil {
+		t.Error("accepted out-of-range thread")
+	}
+	if _, err := New("e", 2).Link(0, 5, 1).Build(); err == nil {
+		t.Error("accepted out-of-range link")
+	}
+	// A prebuilt matrix must match the thread count.
+	if _, err := New("e", 2).Comm(comm.NewMatrix(3)).Build(); err == nil {
+		t.Error("accepted mismatched comm matrix")
+	}
+	// A nil matrix errors instead of panicking in later calls.
+	if _, err := New("e", 2).Comm(nil).Link(0, 1, 1).Build(); err == nil {
+		t.Error("accepted nil comm matrix")
+	}
+	// The first error sticks through later calls.
+	if _, err := New("e", 2).Thread(9, 1, 1, 1).Link(0, 1, 1).Iterations(3).Build(); err == nil {
+		t.Error("error did not stick")
+	}
+}

@@ -79,6 +79,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Canonical returns the options with the defaults filled in, so
+// configurations that Map treats identically also compare (and hash)
+// alike.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
 // Mapping is the result of Map: a binding of every compute entity (and,
 // when possible, of its control threads) to PUs of the topology.
 type Mapping struct {
