@@ -12,28 +12,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"orwlplace/internal/topology"
 )
 
 func main() {
-	machine := flag.String("m", "smp12e5", "machine: smp12e5, smp20e7, fig2, tinyht, tinyflat")
+	machine := flag.String("m", "smp12e5", "machine: "+strings.Join(topology.MachineNames(), ", "))
 	asJSON := flag.Bool("json", false, "emit JSON instead of the tree rendering")
 	flag.Parse()
 
-	builders := map[string]func() *topology.Topology{
-		"smp12e5":  topology.SMP12E5,
-		"smp20e7":  topology.SMP20E7,
-		"fig2":     topology.Fig2Machine,
-		"tinyht":   topology.TinyHT,
-		"tinyflat": topology.TinyFlat,
-	}
-	build, ok := builders[*machine]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lstopo: unknown machine %q\n", *machine)
+	top, err := topology.ByName(*machine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lstopo: %v\n", err)
 		os.Exit(1)
 	}
-	top := build()
 	if *asJSON {
 		data, err := top.MarshalJSON()
 		if err != nil {

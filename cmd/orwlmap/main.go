@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/core"
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	machine := flag.String("m", "fig2", "machine: smp12e5, smp20e7, fig2, tinyht, tinyflat")
+	machine := flag.String("m", "fig2", "machine: "+strings.Join(topology.MachineNames(), ", "))
 	matrixPath := flag.String("matrix", "", "path to a communication matrix file")
 	pattern := flag.String("pattern", "ring", "built-in pattern: ring, pipeline, stencil, clustered, uniform, random")
 	n := flag.Int("n", 8, "entity count for built-in patterns")
@@ -36,7 +37,7 @@ func main() {
 	gomp := flag.String("gomp-cpu-affinity", "", "evaluate a GOMP_CPU_AFFINITY value as an extra strategy")
 	flag.Parse()
 
-	top, err := pickMachine(*machine)
+	top, err := topology.ByName(*machine)
 	if err != nil {
 		fail(err)
 	}
@@ -98,23 +99,6 @@ func main() {
 		} else {
 			report("env", pus)
 		}
-	}
-}
-
-func pickMachine(name string) (*topology.Topology, error) {
-	switch name {
-	case "smp12e5":
-		return topology.SMP12E5(), nil
-	case "smp20e7":
-		return topology.SMP20E7(), nil
-	case "fig2":
-		return topology.Fig2Machine(), nil
-	case "tinyht":
-		return topology.TinyHT(), nil
-	case "tinyflat":
-		return topology.TinyFlat(), nil
-	default:
-		return nil, fmt.Errorf("orwlmap: unknown machine %q", name)
 	}
 }
 

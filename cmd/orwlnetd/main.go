@@ -1,10 +1,19 @@
-// Command orwlnetd serves ORWL locations over TCP so that separate
-// processes can share them with the ordered read-write-lock FIFO
-// discipline (the distributed deployment of the ORWL model).
+// Command orwlnetd serves ORWL locations — and, with -place, a
+// placement service for a machine topology — over TCP, so separate
+// processes can share locations with the ordered read-write-lock FIFO
+// discipline and obtain topology-aware mappings from a central daemon
+// (the distributed deployment of the ORWL model).
 //
 // Usage:
 //
-//	orwlnetd [-addr host:port] -loc name:size [-loc name:size ...]
+//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name]
+//
+// At least one of -loc or -place is required. -machine picks the
+// topology the placement service maps onto: a named testbed (see
+// lstopo) or "host" for the machine the daemon runs on.
+//
+// The daemon traps SIGINT/SIGTERM and drains in-flight calls before
+// exiting.
 package main
 
 import (
@@ -12,11 +21,15 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/orwlnet"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
 )
 
 // locFlags collects repeated -loc name:size flags.
@@ -42,38 +55,92 @@ func (l locFlags) Set(v string) error {
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
+	place := flag.Bool("place", false, "export a placement service")
+	machine := flag.String("machine", "host", "machine the placement service maps onto: host, "+strings.Join(topology.MachineNames(), ", "))
 	locSpec := locFlags{}
 	flag.Var(locSpec, "loc", "location to export as name:size (repeatable)")
 	flag.Parse()
-	if len(locSpec) == 0 {
-		fmt.Fprintln(os.Stderr, "orwlnetd: at least one -loc name:size required")
+	if len(locSpec) == 0 && !*place {
+		fmt.Fprintln(os.Stderr, "orwlnetd: nothing to serve: need -loc name:size and/or -place")
 		os.Exit(2)
 	}
 
-	prog := orwl.MustProgram(1)
-	locs := make(map[string]*orwl.Location, len(locSpec))
-	for name, size := range locSpec {
-		loc, err := prog.AddLocation(orwl.Loc(0, name))
+	var opts []orwlnet.ServerOption
+	if *place {
+		top, err := pickMachine(*machine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+			os.Exit(2)
+		}
+		eng, err := placement.NewEngine(top)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 			os.Exit(1)
 		}
-		loc.Scale(size)
-		locs[name] = loc
+		svc, err := placement.NewLocalService(eng)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+			os.Exit(1)
+		}
+		opts = append(opts, orwlnet.WithPlacement(svc))
+		fmt.Printf("orwlnetd: placement service on %s (%d PUs, strategies: %s)\n",
+			top.Attrs.Name, top.NumPUs(), strings.Join(placement.Names(), ", "))
 	}
+
+	locs := make(map[string]*orwl.Location, len(locSpec))
+	if len(locSpec) > 0 {
+		prog := orwl.MustProgram(1)
+		for name, size := range locSpec {
+			loc, err := prog.AddLocation(orwl.Loc(0, name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+				os.Exit(1)
+			}
+			loc.Scale(size)
+			locs[name] = loc
+		}
+	}
+
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 		os.Exit(1)
 	}
-	srv, err := orwlnet.NewServer(lis, locs)
+	srv, err := orwlnet.NewServer(lis, locs, opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 		os.Exit(1)
 	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting and let
+	// Server.Close drain the per-connection goroutines, so no client is
+	// dropped mid-frame. Close blocks until the drain completes, so the
+	// process only exits once every in-flight call has been answered.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
 	fmt.Printf("orwlnetd: serving %d locations on %s\n", len(locs), lis.Addr())
-	if err := srv.Serve(); err != nil {
-		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
-		os.Exit(1)
+	select {
+	case sig := <-sigs:
+		fmt.Printf("orwlnetd: %v: draining...\n", sig)
+		srv.Close()
+		<-serveErr
+		fmt.Println("orwlnetd: drained, bye")
+	case err := <-serveErr:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// pickMachine resolves -machine: the synthetic testbeds by name, or
+// the host approximation.
+func pickMachine(name string) (*topology.Topology, error) {
+	if name == "host" {
+		return topology.Host(), nil
+	}
+	return topology.ByName(name)
 }

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"orwlplace/internal/apps/livermore"
 	"orwlplace/internal/perfsim"
@@ -24,13 +25,13 @@ import (
 )
 
 func main() {
-	machine := flag.String("m", "smp12e5", "machine: smp12e5, smp20e7, fig2, tinyht, tinyflat")
+	machine := flag.String("m", "smp12e5", "machine: "+strings.Join(topology.MachineNames(), ", "))
 	path := flag.String("w", "", "workload JSON file")
 	demo := flag.Bool("demo", false, "use the built-in demo workload instead of -w")
 	seed := flag.Int64("seed", 42, "seed for the simulated OS scheduler")
 	flag.Parse()
 
-	top, err := pickMachine(*machine)
+	top, err := topology.ByName(*machine)
 	if err != nil {
 		fail(err)
 	}
@@ -75,23 +76,6 @@ func main() {
 	if aff != nil && dyn != nil && aff.Seconds > 0 {
 		fmt.Printf("\naffinity speedup over the OS scheduler: %.2fx (control mode: %s)\n",
 			dyn.Seconds/aff.Seconds, affinityMode)
-	}
-}
-
-func pickMachine(name string) (*topology.Topology, error) {
-	switch name {
-	case "smp12e5":
-		return topology.SMP12E5(), nil
-	case "smp20e7":
-		return topology.SMP20E7(), nil
-	case "fig2":
-		return topology.Fig2Machine(), nil
-	case "tinyht":
-		return topology.TinyHT(), nil
-	case "tinyflat":
-		return topology.TinyFlat(), nil
-	default:
-		return nil, fmt.Errorf("simulate: unknown machine %q", name)
 	}
 }
 

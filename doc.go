@@ -1,18 +1,32 @@
 // Package orwlplace reproduces "Automatic, Abstracted and Portable
 // Topology-Aware Thread Placement" (Gustedt, Jeannot, Mansouri; IEEE
-// CLUSTER 2017).
+// CLUSTER 2017) and grows it into placement-as-a-service.
 //
-// The module is organised as a set of substrates under internal/ —
-// a hardware-topology library (internal/topology), a TreeMatch mapping
-// algorithm (internal/treematch), the ORWL ordered read-write-lock
-// runtime (internal/orwl) and a NUMA performance simulator
-// (internal/perfsim) — unified by the placement engine
-// (internal/placement), which owns the pipeline of matrix extraction,
-// strategy dispatch (a registry where TreeMatch and the oblivious
-// baselines are peers) and binding commit behind a mapping cache, and
-// topped by the paper's contribution, the automatic affinity module
-// (internal/core), a thin adapter keeping the paper-named three-step
-// API. The benchmark harness in this root package regenerates every
-// table and figure of the paper's evaluation section; see DESIGN.md
-// and EXPERIMENTS.md.
+// This root package is the public facade — the curated surface
+// external consumers import instead of internal/:
+//
+//   - Service, PlaceRequest, PlaceResponse: the context-aware,
+//     transport-agnostic placement contract (strategy + matrix in,
+//     assignment + cost/cache/latency diagnostics out).
+//   - NewService: the in-process deployment, a placement engine
+//     (strategy registry + LRU mapping cache) behind the interface.
+//   - DialPlacement: the remote deployment, a stub speaking the
+//     versioned orwlnetd wire protocol to a placement daemon.
+//   - Strategies, Machines, Machine, HostTopology: the strategy
+//     registry and topology discovery.
+//
+// The layering below the facade: internal/core keeps the paper-named
+// affinity module (ORWL_AFFINITY gating and the three-step
+// DependencyGet / AffinityCompute / AffinitySet API) as a thin shim
+// over Service — extraction and binding are local, the compute step
+// goes wherever the service lives. internal/placement owns the engine
+// (pipeline, registry, cache) and the Service contract.
+// internal/orwlnet carries both ORWL location sharing and the
+// placement RPCs over one multiplexed, length-prefixed,
+// version-negotiated TCP protocol, served by cmd/orwlnetd. The
+// substrates — internal/topology, internal/treematch, internal/orwl,
+// internal/perfsim, internal/comm — are unchanged in role; the
+// benchmark harness in this package regenerates every table and
+// figure of the paper's evaluation. See DESIGN.md (including the
+// PROTOCOL section) and EXPERIMENTS.md.
 package orwlplace

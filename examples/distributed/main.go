@@ -1,28 +1,38 @@
-// Distributed ORWL example: locations served over TCP (the distributed
-// face of the ORWL model — the paper evaluates a single SMP, but the
-// runtime's resource abstraction is network-transparent). A server
-// process exports a chain of locations; worker "processes" (separate
-// client connections here) run an iterative pipeline over them with
-// exactly the ORWL FIFO discipline.
+// Distributed ORWL example: locations and placement served over TCP
+// (the distributed face of the ORWL model — the paper evaluates a
+// single SMP, but the runtime's resource abstraction is
+// network-transparent). A daemon process exports a chain of locations
+// plus a placement service for its machine; worker "processes"
+// (separate client connections here) first obtain a topology-aware
+// mapping for the pipeline from the remote daemon through the public
+// orwlplace facade, then run an iterative pipeline over the shared
+// locations with exactly the ORWL FIFO discipline.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"sync"
+	"time"
 
+	"orwlplace"
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/orwlnet"
+	"orwlplace/internal/placement"
 )
 
 func main() {
 	stages := flag.Int("stages", 4, "pipeline stages")
 	rounds := flag.Int("rounds", 5, "iterations per stage")
+	machine := flag.String("machine", "tinyht", "daemon-side machine for placement")
 	flag.Parse()
 
-	// The owning process: it holds the locations and exports them.
+	// --- Daemon side: the owning process holds the locations, exports
+	// them, and serves placement for its machine (what `orwlnetd -place
+	// -machine ...` does as a standalone daemon).
 	names := make([]string, *stages)
 	owner := orwl.MustProgram(1, names[:0]...)
 	locs := make(map[string]*orwl.Location, *stages)
@@ -35,21 +45,80 @@ func main() {
 		loc.Scale(8)
 		locs[names[i]] = loc
 	}
+	top, err := orwlplace.Machine(*machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := placement.NewEngine(top)
+	if err != nil {
+		log.Fatal(err)
+	}
+	daemonSvc, err := placement.NewLocalService(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := orwlnet.NewServer(lis, locs)
+	srv, err := orwlnet.NewServer(lis, locs, orwlnet.WithPlacement(daemonSvc))
 	if err != nil {
 		log.Fatal(err)
 	}
 	go srv.Serve()
 	defer srv.Close()
-	fmt.Printf("location server on %s exporting %d locations\n", lis.Addr(), len(locs))
+	fmt.Printf("daemon on %s: %d locations + placement for %s\n",
+		lis.Addr(), len(locs), top.Attrs.Name)
 
-	// Worker clients: stage s reads stage s-1's location and writes its
-	// own, iteratively. Writer-first order is established by queueing
-	// the writes in stage order before any reads.
+	// --- Program side: before running, ask the remote daemon where the
+	// pipeline should go. Everything below uses only the public facade:
+	// dial, describe the communication pattern, get the assignment.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	remote, err := orwlplace.DialPlacement(ctx, lis.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer remote.Close()
+
+	stats, err := remote.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote placement daemon: machine %s, strategies %v\n",
+		stats.TopologyName, stats.Strategies)
+
+	// Each stage exchanges one 8-byte record with its neighbour every
+	// round: the chain structure is exactly what TreeMatch exploits.
+	mat := orwlplace.NewMatrix(*stages)
+	for s := 1; s < *stages; s++ {
+		mat.AddSym(s-1, s, float64(8**rounds))
+	}
+	resp, err := orwlplace.PlaceOn(ctx, remote, orwlplace.TreeMatch, mat, *stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote mapping: strategy %s, cost %.0f, cross-NUMA %.0f bytes, cache hit %v, %.2fms on daemon\n",
+		resp.Assignment.Strategy, resp.Cost, resp.CrossNUMAVolume, resp.CacheHit,
+		float64(resp.ElapsedNS)/1e6)
+	remoteTop, err := remote.Topology(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(orwlplace.RenderAssignment(remoteTop, resp.Assignment, names))
+
+	// A recurring phase is served from the daemon's mapping cache.
+	again, err := orwlplace.PlaceOn(ctx, remote, orwlplace.TreeMatch, mat, *stages)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second request: cache hit %v (daemon cache: %d hits, %d misses)\n",
+		again.CacheHit, again.Cache.Hits, again.Cache.Misses)
+
+	// --- Worker clients: stage s reads stage s-1's location and writes
+	// its own, iteratively, each on the PU the remote mapping assigned.
+	// Writer-first order is established by queueing the writes in stage
+	// order before any reads.
 	writerReady := make([]chan struct{}, *stages)
 	for i := range writerReady {
 		writerReady[i] = make(chan struct{})
@@ -97,7 +166,8 @@ func main() {
 					log.Fatal(err)
 				}
 				if s == *stages-1 {
-					fmt.Printf("round %d: value %d after %d hops\n", r, carry+1, *stages)
+					fmt.Printf("round %d: value %d after %d hops (stage on pu %d)\n",
+						r, carry+1, *stages, resp.Assignment.ComputePU[s])
 				}
 			}
 		}(s)

@@ -12,13 +12,15 @@
 // the three steps separately for debugging and for dynamic task graphs
 // whose communication matrix changes at run time.
 //
-// The module is a thin adapter over internal/placement: the engine
-// owns the pipeline steps, the strategy registry and the mapping
-// cache; this package keeps the paper-named three-step surface and
-// the environment gating.
+// The module is a thin shim over placement.Service: the service owns
+// matrix-to-assignment mapping (in process via placement.Engine, or in
+// a remote daemon via the orwlnet stub); this package keeps the
+// paper-named three-step surface, the environment gating, and the
+// purely local steps (matrix extraction, binding commit).
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -44,16 +46,21 @@ func EnabledByEnv() bool {
 }
 
 // Module is one affinity-module instance bound to a program and a
-// machine.
+// placement service (usually the in-process engine; possibly a remote
+// daemon's stub).
 type Module struct {
 	mu       sync.Mutex
 	prog     *orwl.Program
-	eng      *placement.Engine
+	svc      placement.Service
+	eng      *placement.Engine  // non-nil only when svc is in-process
+	top      *topology.Topology // the service's machine, fetched once at Attach
+	ctx      context.Context    // base context for service calls
 	strategy string
 	opt      placement.Options
 
-	matrix *comm.Matrix
-	asgn   *placement.Assignment
+	matrix   *comm.Matrix
+	asgn     *placement.Assignment
+	lastResp *placement.PlaceResponse
 }
 
 // Option customises a Module.
@@ -80,6 +87,22 @@ func WithEngine(e *placement.Engine) Option {
 	return func(m *Module) { m.eng = e }
 }
 
+// WithService routes the compute step through an explicit placement
+// service — typically the orwlnet stub of a remote placement daemon,
+// so the program's mapping is computed on (and for) another node's
+// topology while extraction and binding stay local.
+func WithService(svc placement.Service) Option {
+	return func(m *Module) { m.svc = svc }
+}
+
+// WithContext sets the base context for the module's service calls
+// (Attach validation, AffinityCompute). Remote modules should pass a
+// context with a deadline so a hung daemon cannot block the program
+// indefinitely; the default is context.Background().
+func WithContext(ctx context.Context) Option {
+	return func(m *Module) { m.ctx = ctx }
+}
+
 // Attach creates the affinity module for a program on a machine. It
 // does not install the automatic hook; call EnableAutomatic for the
 // paper's transparent mode, or drive the three-step API manually.
@@ -95,24 +118,68 @@ func Attach(prog *orwl.Program, top *topology.Topology, opts ...Option) (*Module
 	for _, o := range opts {
 		o(m)
 	}
-	if m.eng == nil {
-		if top == nil {
-			return nil, fmt.Errorf("core: nil topology")
+	if m.ctx == nil {
+		m.ctx = context.Background()
+	}
+	if m.svc != nil && m.eng != nil {
+		return nil, fmt.Errorf("core: WithEngine and WithService are mutually exclusive")
+	}
+	if m.svc == nil {
+		// In-process deployment: build (or adopt) an engine and wrap it.
+		if m.eng == nil {
+			if top == nil {
+				return nil, fmt.Errorf("core: nil topology")
+			}
+			eng, err := placement.NewEngine(top)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			m.eng = eng
+		} else if top != nil && placement.Signature(top) != m.eng.TopologySignature() {
+			// A shared engine places on its own machine; silently accepting
+			// a different topology would bind tasks to PUs that do not
+			// exist on it.
+			return nil, fmt.Errorf("core: topology %q does not match engine's %q",
+				top.Attrs.Name, m.eng.Topology().Attrs.Name)
 		}
-		eng, err := placement.NewEngine(top)
+		svc, err := placement.NewLocalService(m.eng)
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
-		m.eng = eng
-	} else if top != nil && placement.Signature(top) != m.eng.TopologySignature() {
-		// A shared engine places on its own machine; silently accepting
-		// a different topology would bind tasks to PUs that do not
-		// exist on it.
-		return nil, fmt.Errorf("core: topology %q does not match engine's %q",
-			top.Attrs.Name, m.eng.Topology().Attrs.Name)
+		m.svc = svc
+		m.top = m.eng.Topology()
+		if _, ok := placement.Lookup(m.strategy); !ok {
+			return nil, fmt.Errorf("core: unknown strategy %q", m.strategy)
+		}
+		return m, nil
 	}
-	if _, ok := placement.Lookup(m.strategy); !ok {
-		return nil, fmt.Errorf("core: unknown strategy %q", m.strategy)
+	// External service (usually remote): validate strategy and topology
+	// against the service's own description instead of the local
+	// registry — the daemon's strategy set is authoritative.
+	stats, err := m.svc.Stats(m.ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement service unavailable: %w", err)
+	}
+	known := false
+	for _, name := range stats.Strategies {
+		if name == m.strategy {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("core: unknown strategy %q (service offers %v)", m.strategy, stats.Strategies)
+	}
+	if top != nil && placement.Signature(top) != stats.TopologySignature {
+		return nil, fmt.Errorf("core: topology %q does not match service's %q",
+			top.Attrs.Name, stats.TopologyName)
+	}
+	// Fetch the service's machine once: it is immutable for the life of
+	// the service, and Mapping() should not pay (or be able to fail on)
+	// a network round trip per call.
+	m.top, err = m.svc.Topology(m.ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: placement service topology: %w", err)
 	}
 	return m, nil
 }
@@ -143,25 +210,32 @@ func EnableAutomatic(prog *orwl.Program, top *topology.Topology, force bool, opt
 	return m, true, nil
 }
 
-// Engine exposes the underlying placement engine (for cache
-// statistics and direct strategy access).
+// Engine exposes the underlying placement engine when the module's
+// service is in-process (for cache statistics and direct strategy
+// access); nil when the module places through a remote service.
 func (m *Module) Engine() *placement.Engine { return m.eng }
+
+// Service exposes the placement service the module computes through.
+func (m *Module) Service() placement.Service { return m.svc }
 
 // DependencyGet recomputes the task dependency graph and the resulting
 // communication matrix from the runtime state (orwl_dependency_get). It
-// only mutates module state, like its C counterpart.
+// only mutates module state, like its C counterpart. Extraction is
+// always local: the runtime state lives in this process.
 func (m *Module) DependencyGet() {
-	mat := m.eng.ExtractMatrix(m.prog)
+	mat := m.prog.DependencyMatrix()
 	m.mu.Lock()
 	m.matrix = mat
 	m.asgn = nil
+	m.lastResp = nil
 	m.mu.Unlock()
 }
 
 // AffinityCompute runs the configured strategy on the current
 // communication matrix and the hardware topology
-// (orwl_affinity_compute). DependencyGet must have been called. A
-// matrix already seen by the engine is served from its mapping cache.
+// (orwl_affinity_compute), through the placement service — in process
+// or over the wire. DependencyGet must have been called. A matrix
+// already seen by the service is served from its mapping cache.
 func (m *Module) AffinityCompute() error {
 	m.mu.Lock()
 	mat := m.matrix
@@ -170,12 +244,17 @@ func (m *Module) AffinityCompute() error {
 	if mat == nil {
 		return fmt.Errorf("core: AffinityCompute before DependencyGet")
 	}
-	asgn, err := m.eng.Compute(strategy, mat, 0, opt)
+	resp, err := m.svc.Place(m.ctx, &placement.PlaceRequest{
+		Strategy: strategy,
+		Matrix:   mat,
+		Options:  opt,
+	})
 	if err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	m.mu.Lock()
-	m.asgn = asgn
+	m.asgn = resp.Assignment
+	m.lastResp = resp
 	m.mu.Unlock()
 	return nil
 }
@@ -192,7 +271,16 @@ func (m *Module) AffinitySet() error {
 	if asgn == nil {
 		return fmt.Errorf("core: AffinitySet before AffinityCompute")
 	}
-	return m.eng.Bind(m.prog, asgn)
+	return placement.Bind(m.prog, asgn)
+}
+
+// LastResponse returns the full service response of the last
+// AffinityCompute — cache-hit flag, modeled cost, service latency —
+// or nil before the first compute.
+func (m *Module) LastResponse() *placement.PlaceResponse {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastResp
 }
 
 // Matrix returns the last communication matrix, or nil.
@@ -210,11 +298,12 @@ func (m *Module) Assignment() *placement.Assignment {
 }
 
 // Mapping returns the last computed mapping in the paper's result
-// shape, or nil.
+// shape, or nil. The topology is the service's machine, fetched once
+// at Attach.
 func (m *Module) Mapping() *treematch.Mapping {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.asgn.Mapping(m.eng.Topology())
+	return m.asgn.Mapping(m.top)
 }
 
 // RenderMapping renders a task allocation like the paper's Fig. 2: for

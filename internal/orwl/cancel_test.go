@@ -1,0 +1,104 @@
+package orwl
+
+import (
+	"testing"
+	"time"
+)
+
+func newCancelLoc(t *testing.T) *Location {
+	t.Helper()
+	prog := MustProgram(1)
+	loc, err := prog.AddLocation(Loc(0, "l"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc.Scale(4)
+	return loc
+}
+
+// TestCancelUngrantedUnblocksAwait is the dead-client story: a request
+// queued behind a held grant is withdrawn, and its blocked Await
+// returns instead of waiting for a release that will never come.
+func TestCancelUngrantedUnblocksAwait(t *testing.T) {
+	loc := newCancelLoc(t)
+	holder := loc.NewRequest(Write)
+	holder.Await() // granted immediately
+
+	waiter := loc.NewRequest(Write)
+	unblocked := make(chan struct{})
+	go func() {
+		waiter.Await()
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("await returned before grant or cancel")
+	case <-time.After(10 * time.Millisecond):
+	}
+
+	waiter.Cancel()
+	select {
+	case <-unblocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel did not unblock Await")
+	}
+	// The holder's grant is untouched and the queue stays sane.
+	if err := holder.Release(); err != nil {
+		t.Fatalf("release after cancel of successor: %v", err)
+	}
+}
+
+// TestCancelGrantedReleases: cancelling the grant holder passes the
+// grant on, exactly like a release.
+func TestCancelGrantedReleases(t *testing.T) {
+	loc := newCancelLoc(t)
+	holder := loc.NewRequest(Write)
+	holder.Await()
+	next := loc.NewRequest(Write)
+
+	holder.Cancel()
+	done := make(chan struct{})
+	go func() {
+		next.Await()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancel of the grant holder did not grant the successor")
+	}
+	if err := next.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCancelMiddleReaderGroup: removing one reader from a queued
+// group leaves the rest of the group intact.
+func TestCancelMiddleReaderGroup(t *testing.T) {
+	loc := newCancelLoc(t)
+	holder := loc.NewRequest(Write)
+	holder.Await()
+	r1 := loc.NewRequest(Read)
+	r2 := loc.NewRequest(Read)
+
+	r1.Cancel()
+	if err := holder.Release(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r2.Await()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("surviving reader not granted after sibling cancel")
+	}
+	if err := r2.Release(); err != nil {
+		t.Fatal(err)
+	}
+	// Double cancel and cancel-after-release are no-ops.
+	r1.Cancel()
+	r2.Cancel()
+}

@@ -226,6 +226,55 @@ func (l *Location) releaseAndReinsert(req *request) (*request, error) {
 	return next, nil
 }
 
+// cancel withdraws a queued request: a granted one is released, an
+// ungranted one is removed from its FIFO group, closing its ready
+// channel so blocked Awaits return. This is the liveness path for
+// dead remote clients (orwlnet): their queued requests must not stall
+// the FIFO — or a draining server — forever. Cancelling an already
+// released request is a no-op.
+func (l *Location) cancel(req *request) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if req.done {
+		return
+	}
+	// A granted request behaves like a release: the group may be
+	// holding successors back.
+	if len(l.queue) > 0 && l.queue[0].granted && contains(l.queue[0], req) {
+		req.done = true
+		head := l.queue[0]
+		head.pending--
+		l.releases.Add(1)
+		if head.pending == 0 {
+			l.queue = l.queue[1:]
+			if len(l.queue) > 0 {
+				l.grantLocked(l.queue[0])
+			}
+		}
+		return
+	}
+	// Ungranted: drop it from its group, dropping the group when it
+	// empties, and wake anything blocked on it.
+	for gi, g := range l.queue {
+		for ri, r := range g.reqs {
+			if r != req {
+				continue
+			}
+			req.done = true
+			close(req.ready)
+			g.reqs = append(g.reqs[:ri], g.reqs[ri+1:]...)
+			g.pending--
+			if g.pending == 0 {
+				l.queue = append(l.queue[:gi], l.queue[gi+1:]...)
+				if gi == 0 && len(l.queue) > 0 && !l.queue[0].granted {
+					l.grantLocked(l.queue[0])
+				}
+			}
+			return
+		}
+	}
+}
+
 func contains(g *group, req *request) bool {
 	for _, r := range g.reqs {
 		if r == req {
@@ -244,9 +293,13 @@ func (l *Location) buffer() []byte {
 
 // RawRequest exposes one queued FIFO access for low-level integrations
 // such as the network location service (orwlnet). Applications should
-// use Handle, which adds state checking on top.
+// use Handle, which adds state checking on top. RawRequest is safe for
+// concurrent use: a connection reaper may Cancel it while a handler
+// goroutine is blocked in Await or mid-ReleaseAndReinsert.
 type RawRequest struct {
 	loc *Location
+
+	mu  sync.Mutex
 	req *request
 }
 
@@ -257,16 +310,24 @@ func (l *Location) NewRequest(mode Mode) *RawRequest {
 	return &RawRequest{loc: l, req: l.insert(mode)}
 }
 
-// Mode returns the request's access mode.
-func (r *RawRequest) Mode() Mode { return r.req.mode }
+// current reads the tracked request under the lock (ReleaseAndReinsert
+// swaps it).
+func (r *RawRequest) current() *request {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.req
+}
 
-// Await blocks until the request is granted.
-func (r *RawRequest) Await() { <-r.req.ready }
+// Mode returns the request's access mode.
+func (r *RawRequest) Mode() Mode { return r.current().mode }
+
+// Await blocks until the request is granted (or cancelled).
+func (r *RawRequest) Await() { <-r.current().ready }
 
 // TryAwait reports whether the request is granted, without blocking.
 func (r *RawRequest) TryAwait() bool {
 	select {
-	case <-r.req.ready:
+	case <-r.current().ready:
 		return true
 	default:
 		return false
@@ -278,12 +339,14 @@ func (r *RawRequest) TryAwait() bool {
 func (r *RawRequest) Buffer() []byte { return r.loc.buffer() }
 
 // Release ends the grant.
-func (r *RawRequest) Release() error { return r.loc.release(r.req) }
+func (r *RawRequest) Release() error { return r.loc.release(r.current()) }
 
 // ReleaseAndReinsert atomically releases the grant and queues the next
 // iteration's request (the Handle2 step); the RawRequest then tracks
 // the new request.
 func (r *RawRequest) ReleaseAndReinsert() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	next, err := r.loc.releaseAndReinsert(r.req)
 	if err != nil {
 		return err
@@ -291,6 +354,12 @@ func (r *RawRequest) ReleaseAndReinsert() error {
 	r.req = next
 	return nil
 }
+
+// Cancel withdraws the request from the FIFO: granted requests are
+// released, ungranted ones removed and their Awaits unblocked. It is
+// idempotent and safe concurrently with the other methods — the path
+// a server takes when the owning client connection dies.
+func (r *RawRequest) Cancel() { r.loc.cancel(r.current()) }
 
 // queueLen returns the number of queued groups (for tests/diagnostics).
 func (l *Location) queueLen() int {

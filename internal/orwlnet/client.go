@@ -1,8 +1,10 @@
 package orwlnet
 
 import (
+	"context"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -13,7 +15,8 @@ import (
 // concurrent use: calls are tagged and multiplexed, so a blocked
 // Acquire does not stall other handles on the same connection.
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	version int // negotiated protocol version (protoLegacy for old servers)
 
 	callID  atomic.Uint64
 	writeMu sync.Mutex
@@ -24,9 +27,18 @@ type Client struct {
 	done    chan struct{}
 }
 
-// Dial connects to a server.
+// Dial connects to a server. It is DialContext without a deadline.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialContext connects to a server, honouring the context's deadline
+// and cancellation for both the TCP connect and the version handshake,
+// and negotiates the protocol version (servers predating the handshake
+// are detected and spoken to as protoLegacy).
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orwlnet: dial: %w", err)
 	}
@@ -36,8 +48,34 @@ func Dial(addr string) (*Client, error) {
 		done:    make(chan struct{}),
 	}
 	go c.readLoop()
+	if err := c.handshake(ctx); err != nil {
+		c.Close()
+		return nil, err
+	}
 	return c, nil
 }
+
+// handshake negotiates the protocol version. A server that rejects
+// opHello with an unknown-op error is a legacy build: the connection
+// stays usable for the location ops.
+func (c *Client) handshake(ctx context.Context) error {
+	resp, err := c.callCtx(ctx, opHello, []byte{protoLegacy, protoMax})
+	if err != nil {
+		if strings.Contains(err.Error(), errUnknownOp) {
+			c.version = protoLegacy
+			return nil
+		}
+		return fmt.Errorf("orwlnet: handshake: %w", err)
+	}
+	if len(resp) < 1 || int(resp[0]) > protoMax {
+		return fmt.Errorf("orwlnet: handshake: bad version reply %v", resp)
+	}
+	c.version = int(resp[0])
+	return nil
+}
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() int { return c.version }
 
 // Close terminates the connection; outstanding calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -68,6 +106,16 @@ func (c *Client) readLoop() {
 
 // call performs one request/response round trip.
 func (c *Client) call(op byte, payload []byte) ([]byte, error) {
+	return c.callCtx(context.Background(), op, payload)
+}
+
+// callCtx is call honouring context cancellation: an abandoned call's
+// response is discarded by the read loop (the reply channel is
+// buffered) and its pending slot reclaimed here.
+func (c *Client) callCtx(ctx context.Context, op byte, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	id := c.callID.Add(1)
 	ch := make(chan message, 1)
 	c.mu.Lock()
@@ -88,17 +136,24 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("orwlnet: send: %w", err)
 	}
-	resp, ok := <-ch
-	if !ok {
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			return nil, err
+		}
+		if resp.op == statusError {
+			return nil, fmt.Errorf("orwlnet: server: %s", string(resp.payload))
+		}
+		return resp.payload, nil
+	case <-ctx.Done():
 		c.mu.Lock()
-		err := c.err
+		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, err
+		return nil, ctx.Err()
 	}
-	if resp.op == statusError {
-		return nil, fmt.Errorf("orwlnet: server: %s", string(resp.payload))
-	}
-	return resp.payload, nil
 }
 
 // Scale resizes a remote location.

@@ -1,0 +1,363 @@
+package orwlnet
+
+import (
+	"fmt"
+	"math"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/treematch"
+)
+
+// Binary codecs for the placement RPCs. All integers are
+// little-endian; strings are uint16-length-prefixed (putString);
+// optional values carry a presence byte. The leading byte of a
+// request/response is its placement.ServiceVersion, so schema
+// evolution is detected before any field is decoded.
+
+func putFloat64(dst []byte, v float64) []byte {
+	return putUint64(dst, math.Float64bits(v))
+}
+
+func getFloat64(src []byte) (float64, []byte, error) {
+	u, rest, err := getUint64(src)
+	return math.Float64frombits(u), rest, err
+}
+
+func putBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func getBool(src []byte) (bool, []byte, error) {
+	if len(src) < 1 {
+		return false, nil, fmt.Errorf("orwlnet: truncated bool")
+	}
+	return src[0] != 0, src[1:], nil
+}
+
+// putIntSlice encodes a possibly-nil []int (values may be negative,
+// e.g. unbound control PUs). Nil and empty are distinguished: the
+// count field holds 0 for nil and len+1 otherwise.
+func putIntSlice(dst []byte, s []int) []byte {
+	if s == nil {
+		return putUint64(dst, 0)
+	}
+	dst = putUint64(dst, uint64(len(s)+1))
+	for _, v := range s {
+		dst = putUint64(dst, uint64(int64(v)))
+	}
+	return dst
+}
+
+func getIntSlice(src []byte) ([]int, []byte, error) {
+	n, rest, err := getUint64(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	count := int(n - 1)
+	if count < 0 || count > len(rest)/8 {
+		return nil, nil, fmt.Errorf("orwlnet: truncated int slice (%d entries)", count)
+	}
+	out := make([]int, count)
+	for i := range out {
+		var u uint64
+		u, rest, _ = getUint64(rest)
+		out[i] = int(int64(u))
+	}
+	return out, rest, nil
+}
+
+// putMatrix encodes a possibly-nil communication matrix: presence
+// byte, order, then the row-major float64 entries.
+func putMatrix(dst []byte, m *comm.Matrix) []byte {
+	if m == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	n := m.Order()
+	dst = putUint64(dst, uint64(n))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst = putFloat64(dst, m.At(i, j))
+		}
+	}
+	return dst
+}
+
+func getMatrix(src []byte) (*comm.Matrix, []byte, error) {
+	present, rest, err := getBool(src)
+	if err != nil || !present {
+		return nil, rest, err
+	}
+	n64, rest, err := getUint64(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := int(n64)
+	if n < 0 || n > maxMessage/8 || len(rest) < 8*n*n {
+		return nil, nil, fmt.Errorf("orwlnet: truncated matrix (order %d)", n)
+	}
+	m := comm.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v float64
+			v, rest, _ = getFloat64(rest)
+			m.Set(i, j, v)
+		}
+	}
+	return m, rest, nil
+}
+
+func putOptions(dst []byte, o placement.Options) []byte {
+	dst = putBool(dst, o.ControlThreads)
+	dst = putFloat64(dst, o.ControlVolumeFraction)
+	dst = putUint64(dst, uint64(int64(o.ExhaustiveLimit)))
+	return putUint64(dst, uint64(int64(o.RefineRounds)))
+}
+
+func getOptions(src []byte) (placement.Options, []byte, error) {
+	var o placement.Options
+	var err error
+	if o.ControlThreads, src, err = getBool(src); err != nil {
+		return o, nil, err
+	}
+	if o.ControlVolumeFraction, src, err = getFloat64(src); err != nil {
+		return o, nil, err
+	}
+	var u uint64
+	if u, src, err = getUint64(src); err != nil {
+		return o, nil, err
+	}
+	o.ExhaustiveLimit = int(int64(u))
+	if u, src, err = getUint64(src); err != nil {
+		return o, nil, err
+	}
+	o.RefineRounds = int(int64(u))
+	return o, src, nil
+}
+
+// assignment flag bits.
+const (
+	asgnUnbound        = 1 << 0
+	asgnOversubscribed = 1 << 1
+)
+
+func putAssignment(dst []byte, a *placement.Assignment) []byte {
+	if a == nil {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = putString(dst, a.Strategy)
+	var flags byte
+	if a.Unbound {
+		flags |= asgnUnbound
+	}
+	if a.Oversubscribed {
+		flags |= asgnOversubscribed
+	}
+	dst = append(dst, flags, byte(a.Mode))
+	dst = putIntSlice(dst, a.ComputePU)
+	dst = putIntSlice(dst, a.ControlPU)
+	return putIntSlice(dst, a.CoreOf)
+}
+
+func getAssignment(src []byte) (*placement.Assignment, []byte, error) {
+	present, rest, err := getBool(src)
+	if err != nil || !present {
+		return nil, rest, err
+	}
+	a := &placement.Assignment{}
+	if a.Strategy, rest, err = getString(rest); err != nil {
+		return nil, nil, err
+	}
+	if len(rest) < 2 {
+		return nil, nil, fmt.Errorf("orwlnet: truncated assignment")
+	}
+	flags := rest[0]
+	a.Unbound = flags&asgnUnbound != 0
+	a.Oversubscribed = flags&asgnOversubscribed != 0
+	a.Mode = treematch.ControlMode(rest[1])
+	rest = rest[2:]
+	if a.ComputePU, rest, err = getIntSlice(rest); err != nil {
+		return nil, nil, err
+	}
+	if a.ControlPU, rest, err = getIntSlice(rest); err != nil {
+		return nil, nil, err
+	}
+	if a.CoreOf, rest, err = getIntSlice(rest); err != nil {
+		return nil, nil, err
+	}
+	return a, rest, nil
+}
+
+func putCacheStats(dst []byte, st placement.CacheStats) []byte {
+	dst = putUint64(dst, st.Hits)
+	dst = putUint64(dst, st.Misses)
+	return putUint64(dst, uint64(int64(st.Entries)))
+}
+
+func getCacheStats(src []byte) (placement.CacheStats, []byte, error) {
+	var st placement.CacheStats
+	var err error
+	if st.Hits, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.Misses, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	var u uint64
+	if u, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	st.Entries = int(int64(u))
+	return st, src, nil
+}
+
+// checkWireVersion validates the leading schema-version byte.
+func checkWireVersion(src []byte) (int, []byte, error) {
+	if len(src) < 1 {
+		return 0, nil, fmt.Errorf("orwlnet: missing schema version")
+	}
+	v := int(src[0])
+	if v == 0 || v > placement.ServiceVersion {
+		return 0, nil, fmt.Errorf("orwlnet: unsupported placement schema version %d (speak <= %d)",
+			v, placement.ServiceVersion)
+	}
+	return v, src[1:], nil
+}
+
+func encodePlaceRequest(req *placement.PlaceRequest) []byte {
+	v := req.Version
+	if v == 0 {
+		v = placement.ServiceVersion
+	}
+	dst := []byte{byte(v)}
+	dst = putString(dst, req.Strategy)
+	dst = putUint64(dst, uint64(int64(req.Entities)))
+	dst = putOptions(dst, req.Options)
+	return putMatrix(dst, req.Matrix)
+}
+
+func decodePlaceRequest(src []byte) (*placement.PlaceRequest, error) {
+	v, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, err
+	}
+	req := &placement.PlaceRequest{Version: v}
+	if req.Strategy, rest, err = getString(rest); err != nil {
+		return nil, err
+	}
+	var u uint64
+	if u, rest, err = getUint64(rest); err != nil {
+		return nil, err
+	}
+	req.Entities = int(int64(u))
+	if req.Options, rest, err = getOptions(rest); err != nil {
+		return nil, err
+	}
+	if req.Matrix, _, err = getMatrix(rest); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+func encodePlaceResponse(resp *placement.PlaceResponse) []byte {
+	v := resp.Version
+	if v == 0 {
+		v = placement.ServiceVersion
+	}
+	dst := []byte{byte(v)}
+	dst = putBool(dst, resp.CacheHit)
+	dst = putFloat64(dst, resp.Cost)
+	dst = putFloat64(dst, resp.CrossNUMAVolume)
+	dst = putCacheStats(dst, resp.Cache)
+	dst = putUint64(dst, uint64(resp.ElapsedNS))
+	return putAssignment(dst, resp.Assignment)
+}
+
+func decodePlaceResponse(src []byte) (*placement.PlaceResponse, error) {
+	v, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, err
+	}
+	resp := &placement.PlaceResponse{Version: v}
+	if resp.CacheHit, rest, err = getBool(rest); err != nil {
+		return nil, err
+	}
+	if resp.Cost, rest, err = getFloat64(rest); err != nil {
+		return nil, err
+	}
+	if resp.CrossNUMAVolume, rest, err = getFloat64(rest); err != nil {
+		return nil, err
+	}
+	if resp.Cache, rest, err = getCacheStats(rest); err != nil {
+		return nil, err
+	}
+	var u uint64
+	if u, rest, err = getUint64(rest); err != nil {
+		return nil, err
+	}
+	resp.ElapsedNS = int64(u)
+	if resp.Assignment, _, err = getAssignment(rest); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func encodeServiceStats(st placement.ServiceStats) []byte {
+	dst := []byte{byte(placement.ServiceVersion)}
+	dst = putString(dst, st.TopologyName)
+	dst = putUint64(dst, st.TopologySignature)
+	dst = putUint64(dst, st.Places)
+	dst = putCacheStats(dst, st.Cache)
+	dst = putUint64(dst, uint64(len(st.Strategies)))
+	for _, s := range st.Strategies {
+		dst = putString(dst, s)
+	}
+	return dst
+}
+
+func decodeServiceStats(src []byte) (placement.ServiceStats, error) {
+	var st placement.ServiceStats
+	_, rest, err := checkWireVersion(src)
+	if err != nil {
+		return st, err
+	}
+	if st.TopologyName, rest, err = getString(rest); err != nil {
+		return st, err
+	}
+	if st.TopologySignature, rest, err = getUint64(rest); err != nil {
+		return st, err
+	}
+	if st.Places, rest, err = getUint64(rest); err != nil {
+		return st, err
+	}
+	if st.Cache, rest, err = getCacheStats(rest); err != nil {
+		return st, err
+	}
+	var n uint64
+	if n, rest, err = getUint64(rest); err != nil {
+		return st, err
+	}
+	// Each name needs at least its 2-byte length prefix; bounding by the
+	// remaining payload keeps a tiny hostile message from reserving a
+	// huge backing array.
+	if n > uint64(len(rest)/2) {
+		return st, fmt.Errorf("orwlnet: absurd strategy count %d", n)
+	}
+	st.Strategies = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s string
+		if s, rest, err = getString(rest); err != nil {
+			return st, err
+		}
+		st.Strategies = append(st.Strategies, s)
+	}
+	return st, nil
+}

@@ -1,0 +1,173 @@
+package orwlnet
+
+import (
+	"reflect"
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/treematch"
+)
+
+func chainMatrix(n int) *comm.Matrix {
+	m := comm.NewMatrix(n)
+	for i := 1; i < n; i++ {
+		m.AddSym(i-1, i, float64(i*1000))
+	}
+	return m
+}
+
+func TestPlaceRequestRoundTrip(t *testing.T) {
+	cases := []*placement.PlaceRequest{
+		{
+			Strategy: "treematch",
+			Matrix:   chainMatrix(5),
+			Options: placement.Options{
+				ControlThreads:        true,
+				ControlVolumeFraction: 0.25,
+				ExhaustiveLimit:       9,
+				RefineRounds:          3,
+			},
+		},
+		{Strategy: "scatter", Entities: 7}, // matrix-oblivious: nil matrix
+		{Version: placement.ServiceVersion, Strategy: "compact", Entities: 1},
+	}
+	for _, req := range cases {
+		got, err := decodePlaceRequest(encodePlaceRequest(req))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", req, err)
+		}
+		want := *req
+		if want.Version == 0 {
+			want.Version = placement.ServiceVersion
+		}
+		if got.Strategy != want.Strategy || got.Entities != want.Entities ||
+			got.Version != want.Version || got.Options != want.Options {
+			t.Errorf("round trip mangled scalars: got %+v, want %+v", got, want)
+		}
+		if (got.Matrix == nil) != (req.Matrix == nil) {
+			t.Fatalf("matrix presence lost: got %v, sent %v", got.Matrix, req.Matrix)
+		}
+		if req.Matrix != nil && got.Matrix.String() != req.Matrix.String() {
+			t.Errorf("matrix mangled:\ngot\n%s\nwant\n%s", got.Matrix, req.Matrix)
+		}
+	}
+}
+
+func TestPlaceResponseRoundTrip(t *testing.T) {
+	cases := []*placement.PlaceResponse{
+		{
+			CacheHit:        true,
+			Cost:            1234.5,
+			CrossNUMAVolume: 88,
+			Cache:           placement.CacheStats{Hits: 3, Misses: 2, Entries: 2},
+			ElapsedNS:       987654,
+			Assignment: &placement.Assignment{
+				Strategy:       "treematch",
+				ComputePU:      []int{0, 2, 4, 6},
+				ControlPU:      []int{1, 3, -1, -1},
+				Mode:           treematch.ControlMode(1),
+				Oversubscribed: true,
+				CoreOf:         []int{0, 1, 2, 3},
+			},
+		},
+		{
+			// Unbound baseline: no PU slices at all.
+			Assignment: &placement.Assignment{Strategy: "none", Unbound: true},
+		},
+		{
+			// Empty-but-non-nil slice must survive as empty, not nil.
+			Assignment: &placement.Assignment{Strategy: "x", ComputePU: []int{}},
+		},
+	}
+	for _, resp := range cases {
+		got, err := decodePlaceResponse(encodePlaceResponse(resp))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		want := *resp
+		if want.Version == 0 {
+			want.Version = placement.ServiceVersion
+		}
+		if got.CacheHit != want.CacheHit || got.Cost != want.Cost ||
+			got.CrossNUMAVolume != want.CrossNUMAVolume || got.Cache != want.Cache ||
+			got.ElapsedNS != want.ElapsedNS || got.Version != want.Version {
+			t.Errorf("scalars mangled: got %+v, want %+v", got, want)
+		}
+		if !reflect.DeepEqual(got.Assignment, resp.Assignment) {
+			t.Errorf("assignment mangled:\ngot  %+v\nwant %+v", got.Assignment, resp.Assignment)
+		}
+	}
+}
+
+func TestServiceStatsRoundTrip(t *testing.T) {
+	st := placement.ServiceStats{
+		TopologyName:      "TinyHT",
+		TopologySignature: 0xdeadbeefcafe,
+		Strategies:        []string{"treematch", "compact", "none"},
+		Places:            42,
+		Cache:             placement.CacheStats{Hits: 40, Misses: 2, Entries: 2},
+	}
+	got, err := decodeServiceStats(encodeServiceStats(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("round trip mangled stats:\ngot  %+v\nwant %+v", got, st)
+	}
+}
+
+func TestPlaceWireVersionRejected(t *testing.T) {
+	req := encodePlaceRequest(&placement.PlaceRequest{Strategy: "treematch", Entities: 2})
+	req[0] = placement.ServiceVersion + 1
+	if _, err := decodePlaceRequest(req); err == nil {
+		t.Error("future schema version decoded")
+	}
+	req[0] = 0
+	if _, err := decodePlaceRequest(req); err == nil {
+		t.Error("zero schema version decoded")
+	}
+	if _, err := decodePlaceRequest(nil); err == nil {
+		t.Error("empty payload decoded")
+	}
+}
+
+func TestPlaceWireTruncationRejected(t *testing.T) {
+	full := encodePlaceResponse(&placement.PlaceResponse{
+		Assignment: &placement.Assignment{Strategy: "treematch", ComputePU: []int{1, 2, 3}},
+	})
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := decodePlaceResponse(full[:cut]); err == nil {
+			// Some prefixes decode cleanly when the cut lands exactly on
+			// the optional assignment boundary; everything else must
+			// error rather than panic or fabricate fields.
+			if cut < len(full)-1 && full[cut-1] != 0 {
+				continue
+			}
+		}
+	}
+	reqFull := encodePlaceRequest(&placement.PlaceRequest{Strategy: "treematch", Matrix: chainMatrix(3)})
+	for cut := 1; cut < len(reqFull); cut++ {
+		// Must never panic; errors are expected for most cuts.
+		_, _ = decodePlaceRequest(reqFull[:cut])
+	}
+	statsFull := encodeServiceStats(placement.ServiceStats{TopologyName: "x", Strategies: []string{"a", "b"}})
+	for cut := 1; cut < len(statsFull); cut++ {
+		_, _ = decodeServiceStats(statsFull[:cut])
+	}
+}
+
+func TestIntSliceNilVsEmpty(t *testing.T) {
+	for _, s := range [][]int{nil, {}, {0}, {-1, 5, 1 << 40}} {
+		got, rest, err := getIntSlice(putIntSlice(nil, s))
+		if err != nil {
+			t.Fatalf("round trip of %v: %v", s, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("trailing bytes after %v", s)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("round trip of %v gave %v", s, got)
+		}
+	}
+}

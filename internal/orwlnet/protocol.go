@@ -19,7 +19,10 @@ import (
 	"io"
 )
 
-// Operation codes.
+// Operation codes. The location ops (opScale..opReleaseReinsert) are
+// the original protocol and work on any connection; the placement ops
+// require a version-negotiating opHello handshake first (see
+// DESIGN.md, PROTOCOL).
 const (
 	opScale = iota + 1
 	opSize
@@ -29,6 +32,34 @@ const (
 	opWrite
 	opRelease
 	opReleaseReinsert
+	// opHello negotiates the protocol version. Request payload: two
+	// bytes [min, max] — the version range the client speaks. Response
+	// payload: one byte, the version the server chose (the highest it
+	// shares with the client).
+	opHello
+	// opPlaceCompute runs a placement request (placewire.go codecs).
+	opPlaceCompute
+	// opTopology fetches the served machine as canonical topology JSON.
+	opTopology
+	// opPlaceStats fetches the placement service description/counters.
+	opPlaceStats
+)
+
+// errUnknownOp is the error text answered to unrecognised opcodes.
+// The wording is FROZEN: clients detect pre-handshake servers by this
+// substring when opHello is rejected, and servers built before the
+// handshake already reply with exactly this phrase.
+const errUnknownOp = "unknown op"
+
+// Protocol versions negotiated by opHello.
+const (
+	// protoLegacy is the pre-handshake protocol: location ops only.
+	// Clients talking to a server that rejects opHello assume it.
+	protoLegacy = 0
+	// protoPlacement adds the handshake and the placement RPCs.
+	protoPlacement = 1
+	// protoMax is the highest version this build speaks.
+	protoMax = protoPlacement
 )
 
 // Status codes.

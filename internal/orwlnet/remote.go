@@ -1,0 +1,67 @@
+package orwlnet
+
+import (
+	"context"
+	"fmt"
+
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// RemoteService is the client-side stub of a placement service served
+// by an orwlnet server: it implements placement.Service over the wire
+// protocol, so the affinity module (and any other consumer of the
+// Service interface) is oblivious to whether the engine runs in
+// process or in a remote daemon.
+type RemoteService struct {
+	c *Client
+}
+
+var _ placement.Service = (*RemoteService)(nil)
+
+// PlacementService returns the placement stub of this connection. It
+// errors when the negotiated protocol version predates the placement
+// RPCs, so callers fail at acquisition instead of per call.
+func (c *Client) PlacementService() (*RemoteService, error) {
+	if c.version < protoPlacement {
+		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, placement needs v%d", c.version, protoPlacement)
+	}
+	return &RemoteService{c: c}, nil
+}
+
+// Place implements placement.Service: the request is serialised,
+// computed by the remote engine, and the response decoded — including
+// the remote cache/latency diagnostics.
+func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) (*placement.PlaceResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("orwlnet: nil placement request")
+	}
+	payload, err := s.c.callCtx(ctx, opPlaceCompute, encodePlaceRequest(req))
+	if err != nil {
+		return nil, err
+	}
+	return decodePlaceResponse(payload)
+}
+
+// Topology implements placement.Service: the served machine is
+// transferred in its canonical JSON encoding, so the client-side tree
+// hashes (placement.Signature) identically to the server's.
+func (s *RemoteService) Topology(ctx context.Context) (*topology.Topology, error) {
+	payload, err := s.c.callCtx(ctx, opTopology, nil)
+	if err != nil {
+		return nil, err
+	}
+	return topology.FromJSON(payload)
+}
+
+// Stats implements placement.Service.
+func (s *RemoteService) Stats(ctx context.Context) (placement.ServiceStats, error) {
+	payload, err := s.c.callCtx(ctx, opPlaceStats, nil)
+	if err != nil {
+		return placement.ServiceStats{}, err
+	}
+	return decodeServiceStats(payload)
+}
+
+// Close closes the underlying connection.
+func (s *RemoteService) Close() error { return s.c.Close() }

@@ -1,6 +1,7 @@
 package orwlnet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -8,15 +9,24 @@ import (
 	"sync/atomic"
 
 	"orwlplace/internal/orwl"
+	"orwlplace/internal/placement"
 )
 
-// Server exports a set of named ORWL locations to remote clients. Each
+// Server exports a set of named ORWL locations — and, when configured
+// with WithPlacement, a placement service — to remote clients. Each
 // client connection is served independently; a blocking Await occupies
 // only its own goroutine, so one connection can multiplex many
 // outstanding requests.
 type Server struct {
-	lis  net.Listener
-	locs map[string]*orwl.Location
+	lis   net.Listener
+	locs  map[string]*orwl.Location
+	place placement.Service
+
+	// ctx is canceled by Close so placement calls arriving during
+	// shutdown fail fast (a strategy already computing runs to
+	// completion; Close waits for it).
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	closed   bool
@@ -25,20 +35,36 @@ type Server struct {
 	wg       sync.WaitGroup
 }
 
+// ServerOption customises a server.
+type ServerOption func(*Server)
+
+// WithPlacement exports a placement service alongside (or instead of)
+// the locations: clients that complete the opHello handshake may call
+// the placement RPCs against it.
+func WithPlacement(svc placement.Service) ServerOption {
+	return func(s *Server) { s.place = svc }
+}
+
 // NewServer wraps a listener and the locations to export (keyed by the
-// names clients use).
-func NewServer(lis net.Listener, locs map[string]*orwl.Location) (*Server, error) {
+// names clients use). Locations may be empty only for a pure placement
+// daemon (WithPlacement).
+func NewServer(lis net.Listener, locs map[string]*orwl.Location, opts ...ServerOption) (*Server, error) {
 	if lis == nil {
 		return nil, fmt.Errorf("orwlnet: nil listener")
 	}
-	if len(locs) == 0 {
-		return nil, fmt.Errorf("orwlnet: no locations to export")
-	}
-	return &Server{
+	s := &Server{
 		lis:   lis,
 		locs:  locs,
 		conns: make(map[net.Conn]struct{}),
-	}, nil
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if len(locs) == 0 && s.place == nil {
+		return nil, fmt.Errorf("orwlnet: nothing to export (no locations, no placement service)")
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	return s, nil
 }
 
 // Addr returns the listener address.
@@ -87,26 +113,39 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cancel()
 	err := s.lis.Close()
 	s.wg.Wait()
 	return err
 }
 
-// connState tracks the open requests of one client connection.
+// connState tracks the open requests of one client connection, plus
+// the protocol version its opHello negotiated (protoLegacy before the
+// handshake).
 type connState struct {
 	mu      sync.Mutex
 	writeMu sync.Mutex
 	reqs    map[uint64]*orwl.RawRequest
+	version int
 }
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
+	st := &connState{reqs: make(map[uint64]*orwl.RawRequest)}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		// A dead client's queued requests must not stall the FIFO (its
+		// grant would never be released) or a draining Close (a handler
+		// goroutine blocked in Await would never return): withdraw them.
+		st.mu.Lock()
+		for id, req := range st.reqs {
+			req.Cancel()
+			delete(st.reqs, id)
+		}
+		st.mu.Unlock()
 	}()
-	st := &connState{reqs: make(map[uint64]*orwl.RawRequest)}
 	for {
 		msg, err := readMessage(conn)
 		if err != nil {
@@ -243,9 +282,76 @@ func (s *Server) handle(st *connState, m message) ([]byte, error) {
 			return nil, err
 		}
 		return nil, req.ReleaseAndReinsert()
+	case opHello:
+		if len(m.payload) < 2 {
+			return nil, fmt.Errorf("orwlnet: malformed hello")
+		}
+		min, max := int(m.payload[0]), int(m.payload[1])
+		chosen := protoMax
+		if max < chosen {
+			chosen = max
+		}
+		if chosen < min {
+			return nil, fmt.Errorf("orwlnet: no common protocol version (client %d-%d, server <= %d)", min, max, protoMax)
+		}
+		st.mu.Lock()
+		st.version = chosen
+		st.mu.Unlock()
+		return []byte{byte(chosen)}, nil
+	case opPlaceCompute:
+		svc, err := s.placementFor(st)
+		if err != nil {
+			return nil, err
+		}
+		req, err := decodePlaceRequest(m.payload)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := svc.Place(s.ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return encodePlaceResponse(resp), nil
+	case opTopology:
+		svc, err := s.placementFor(st)
+		if err != nil {
+			return nil, err
+		}
+		top, err := svc.Topology(s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		return top.MarshalJSON()
+	case opPlaceStats:
+		svc, err := s.placementFor(st)
+		if err != nil {
+			return nil, err
+		}
+		stats, err := svc.Stats(s.ctx)
+		if err != nil {
+			return nil, err
+		}
+		return encodeServiceStats(stats), nil
 	default:
-		return nil, fmt.Errorf("orwlnet: unknown op %d", m.op)
+		return nil, fmt.Errorf("orwlnet: %s %d", errUnknownOp, m.op)
 	}
+}
+
+// placementFor gates the placement RPCs: the server must export a
+// service and the connection must have negotiated a version that
+// includes them. The location ops stay handshake-free for backward
+// compatibility.
+func (s *Server) placementFor(st *connState) (placement.Service, error) {
+	if s.place == nil {
+		return nil, fmt.Errorf("orwlnet: server exports no placement service")
+	}
+	st.mu.Lock()
+	v := st.version
+	st.mu.Unlock()
+	if v < protoPlacement {
+		return nil, fmt.Errorf("orwlnet: placement RPC before version handshake (negotiate >= v%d with opHello)", protoPlacement)
+	}
+	return s.place, nil
 }
 
 func (s *Server) location(name string) (*orwl.Location, error) {

@@ -82,9 +82,18 @@ func (e *Engine) ExtractMatrix(prog *orwl.Program) *comm.Matrix {
 // assignment is the caller's to keep: mutating it does not corrupt
 // the cache.
 func (e *Engine) Compute(strategy string, m *comm.Matrix, n int, opt Options) (*Assignment, error) {
+	a, _, err := e.ComputeWithInfo(strategy, m, n, opt)
+	return a, err
+}
+
+// ComputeWithInfo is Compute additionally reporting whether the
+// assignment was served from the mapping cache — the signal the
+// Service surface forwards to remote callers, who cannot read the
+// engine's counters between calls.
+func (e *Engine) ComputeWithInfo(strategy string, m *comm.Matrix, n int, opt Options) (*Assignment, bool, error) {
 	s, ok := Lookup(strategy)
 	if !ok {
-		return nil, fmt.Errorf("placement: unknown strategy %q (have %v)", strategy, Names())
+		return nil, false, fmt.Errorf("placement: unknown strategy %q (have %v)", strategy, Names())
 	}
 	if n == 0 && m != nil {
 		n = m.Order()
@@ -108,7 +117,7 @@ func (e *Engine) Compute(strategy string, m *comm.Matrix, n int, opt Options) (*
 	if a, ok := e.cache.get(key); ok {
 		e.stats.Hits++
 		e.mu.Unlock()
-		return a.Clone(), nil
+		return a.Clone(), true, nil
 	}
 	e.stats.Misses++
 	e.mu.Unlock()
@@ -119,18 +128,26 @@ func (e *Engine) Compute(strategy string, m *comm.Matrix, n int, opt Options) (*
 	// compute of the same key is benign (last write wins).
 	a, err := s.Map(e.top, m, n, opt)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.mu.Lock()
 	e.cache.put(key, a)
 	e.mu.Unlock()
-	return a.Clone(), nil
+	return a.Clone(), false, nil
 }
 
 // Bind commits an assignment to a program — step 3 of the pipeline
 // (orwl_affinity_set). Unbound assignments are a no-op: the program
 // simply keeps running under the OS scheduler.
 func (e *Engine) Bind(prog *orwl.Program, a *Assignment) error {
+	return Bind(prog, a)
+}
+
+// Bind commits an assignment to a program. It is a free function
+// because binding is purely local: a program that obtained its
+// assignment from a remote placement service applies it without an
+// engine of its own.
+func Bind(prog *orwl.Program, a *Assignment) error {
 	if prog == nil {
 		return fmt.Errorf("placement: bind to nil program")
 	}

@@ -1,0 +1,183 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/topology"
+	"orwlplace/internal/treematch"
+)
+
+// ServiceVersion is the current placement request/response schema
+// version. Requests carry the version they were built against so a
+// newer client talking to an older service (or the reverse, over the
+// wire) fails loudly instead of misdecoding fields.
+const ServiceVersion = 1
+
+// PlaceRequest asks a placement service for an assignment. It is the
+// transport-agnostic unit: the in-process service consumes it
+// directly, the orwlnet stub serialises it onto the wire.
+type PlaceRequest struct {
+	// Version is the schema version the request was built against.
+	// Zero means the caller's current ServiceVersion.
+	Version int
+	// Strategy names a registered strategy ("treematch", "compact", ...).
+	Strategy string
+	// Entities is the number of entities to place. May be zero when
+	// Matrix is set, in which case the matrix order is used.
+	Entities int
+	// Matrix is the communication matrix; nil for matrix-oblivious
+	// strategies.
+	Matrix *comm.Matrix
+	// Options tunes the mapping algorithm.
+	Options Options
+}
+
+// PlaceResponse carries the assignment plus the diagnostics a remote
+// caller cannot observe: whether the mapping cache served the call,
+// the modeled quality of the placement, and the service-side latency.
+type PlaceResponse struct {
+	// Version is the schema version of the response.
+	Version int
+	// Assignment is the computed placement.
+	Assignment *Assignment
+	// CacheHit is true when the assignment came from the mapping cache.
+	CacheHit bool
+	// Cost is the TreeMatch objective of the assignment (hop-weighted
+	// communication volume); zero when no matrix was given or the
+	// assignment is unbound.
+	Cost float64
+	// CrossNUMAVolume is the volume exchanged across NUMA nodes under
+	// the assignment; zero under the same conditions as Cost.
+	CrossNUMAVolume float64
+	// Cache is a snapshot of the engine's cache counters after the call.
+	Cache CacheStats
+	// ElapsedNS is the service-side time spent computing, in
+	// nanoseconds.
+	ElapsedNS int64
+}
+
+// ServiceStats describes a placement service: the machine it places
+// onto, the strategies it offers, and its traffic counters.
+type ServiceStats struct {
+	// TopologyName is the served machine's name.
+	TopologyName string
+	// TopologySignature fingerprints the served machine, so callers
+	// can compare machines without fetching the tree.
+	TopologySignature uint64
+	// Strategies lists the strategy names the service accepts.
+	Strategies []string
+	// Places counts the Place calls served.
+	Places uint64
+	// Cache is a snapshot of the mapping-cache counters.
+	Cache CacheStats
+}
+
+// Service is the placement-as-a-service surface: everything the
+// paper's in-process affinity module needs, shaped so the
+// implementation can live in another process or on another node. The
+// in-process implementation is LocalService; orwlnet provides the
+// remote stub.
+type Service interface {
+	// Place computes (or fetches from cache) an assignment for the
+	// request.
+	Place(ctx context.Context, req *PlaceRequest) (*PlaceResponse, error)
+	// Topology returns the machine the service places onto.
+	Topology(ctx context.Context) (*topology.Topology, error)
+	// Stats returns the service description and traffic counters.
+	Stats(ctx context.Context) (ServiceStats, error)
+}
+
+// checkVersion validates a request's schema version and returns the
+// effective one.
+func checkVersion(v int) (int, error) {
+	if v == 0 {
+		return ServiceVersion, nil
+	}
+	if v < 0 || v > ServiceVersion {
+		return 0, fmt.Errorf("placement: unsupported request version %d (service speaks <= %d)", v, ServiceVersion)
+	}
+	return v, nil
+}
+
+// LocalService implements Service directly on an Engine — the
+// in-process deployment, and the backend cmd/orwlnetd exports over the
+// wire.
+type LocalService struct {
+	eng    *Engine
+	places atomic.Uint64
+}
+
+// NewLocalService wraps an engine as a Service.
+func NewLocalService(e *Engine) (*LocalService, error) {
+	if e == nil {
+		return nil, fmt.Errorf("placement: nil engine")
+	}
+	return &LocalService{eng: e}, nil
+}
+
+// Engine exposes the wrapped engine (for binding and direct pipeline
+// access in the owning process).
+func (s *LocalService) Engine() *Engine { return s.eng }
+
+// Place implements Service.
+func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("placement: nil request")
+	}
+	if _, err := checkVersion(req.Version); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	a, hit, err := s.eng.ComputeWithInfo(req.Strategy, req.Matrix, req.Entities, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	s.places.Add(1)
+	resp := &PlaceResponse{
+		Version:    ServiceVersion,
+		Assignment: a,
+		CacheHit:   hit,
+		Cache:      s.eng.Stats(),
+		ElapsedNS:  time.Since(start).Nanoseconds(),
+	}
+	if req.Matrix != nil && !a.Unbound {
+		// Quality diagnostics need both a matrix and an actual binding;
+		// failures here are diagnostic-only and never fail the call.
+		if c, cerr := treematch.Cost(s.eng.top, req.Matrix, a.ComputePU); cerr == nil {
+			resp.Cost = c
+		}
+		if v, verr := treematch.CrossNUMAVolume(s.eng.top, req.Matrix, a.ComputePU); verr == nil {
+			resp.CrossNUMAVolume = v
+		}
+	}
+	return resp, nil
+}
+
+// Topology implements Service.
+func (s *LocalService) Topology(ctx context.Context) (*topology.Topology, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.eng.Topology(), nil
+}
+
+// Stats implements Service.
+func (s *LocalService) Stats(ctx context.Context) (ServiceStats, error) {
+	if err := ctx.Err(); err != nil {
+		return ServiceStats{}, err
+	}
+	return ServiceStats{
+		TopologyName:      s.eng.Topology().Attrs.Name,
+		TopologySignature: s.eng.TopologySignature(),
+		Strategies:        Names(),
+		Places:            s.places.Load(),
+		Cache:             s.eng.Stats(),
+	}, nil
+}

@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+)
+
+// Machine discovery: the synthetic testbeds are published under stable
+// names so every front end (lstopo, simulate, orwlnetd, the public
+// facade) resolves machines the same way instead of each keeping its
+// own flag-to-constructor table.
+
+// machineBuilders maps machine names to constructors. Every call
+// builds a fresh tree, so callers may mutate (restrict) their copy.
+var machineBuilders = map[string]func() *Topology{
+	"smp12e5":  SMP12E5,
+	"smp20e7":  SMP20E7,
+	"fig2":     Fig2Machine,
+	"tinyht":   TinyHT,
+	"tinyflat": TinyFlat,
+}
+
+// MachineNames lists the discoverable machine names, sorted.
+func MachineNames() []string {
+	names := make([]string, 0, len(machineBuilders))
+	for name := range machineBuilders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds the named machine, or errors listing the valid names.
+func ByName(name string) (*Topology, error) {
+	build, ok := machineBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("topology: unknown machine %q (have %v)", name, MachineNames())
+	}
+	return build(), nil
+}
+
+// Host approximates the machine the process runs on: a flat
+// single-socket tree with one core per available CPU. Go exposes no
+// portable cache/NUMA introspection, so this is the honest lower bound
+// of discovery — enough for a placement daemon to serve its own host
+// when no named testbed is requested.
+func Host() *Topology {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	return MustBuild(Spec{
+		Name:           "host",
+		Groups:         1,
+		NUMAPerGroup:   1,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: n,
+		PUsPerCore:     1,
+		Attrs:          Attrs{Name: "host"},
+	})
+}

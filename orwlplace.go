@@ -1,0 +1,127 @@
+package orwlplace
+
+import (
+	"context"
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/core"
+	"orwlplace/internal/orwlnet"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// This file is the public facade: the curated surface external
+// consumers import instead of reaching into internal/. It re-exports
+// the placement Service contract, the strategy registry, topology
+// discovery, and the two deployments of the service — in-process
+// (NewService) and remote (DialPlacement, speaking the orwlnetd wire
+// protocol).
+
+// Service is the placement-as-a-service contract: Place, Topology,
+// Stats — context-aware and transport-agnostic.
+type Service = placement.Service
+
+// PlaceRequest asks a Service for an assignment.
+type PlaceRequest = placement.PlaceRequest
+
+// PlaceResponse carries the assignment plus cache/cost/latency
+// diagnostics.
+type PlaceResponse = placement.PlaceResponse
+
+// ServiceStats describes a Service: machine, strategies, counters.
+type ServiceStats = placement.ServiceStats
+
+// Assignment is where every compute (and control) entity goes.
+type Assignment = placement.Assignment
+
+// Options tunes the mapping algorithms.
+type Options = placement.Options
+
+// CacheStats counts mapping-cache traffic.
+type CacheStats = placement.CacheStats
+
+// Matrix is a communication matrix: entry (i,j) is the volume
+// exchanged between entities i and j.
+type Matrix = comm.Matrix
+
+// Topology is a machine's hardware tree.
+type Topology = topology.Topology
+
+// Strategy names accepted by every Service built from this module's
+// registry.
+const (
+	// TreeMatch is the paper's topology-and-communication-aware
+	// strategy (Algorithm 1).
+	TreeMatch = placement.TreeMatch
+	// Unbound is the no-binding baseline: the OS scheduler decides.
+	Unbound = placement.None
+)
+
+// ServiceVersion is the current request/response schema version.
+const ServiceVersion = placement.ServiceVersion
+
+// NewMatrix returns an n x n zero communication matrix.
+func NewMatrix(n int) *Matrix { return comm.NewMatrix(n) }
+
+// Strategies lists the registered strategy names, registration-ordered.
+func Strategies() []string { return placement.Names() }
+
+// Machines lists the discoverable machine names.
+func Machines() []string { return topology.MachineNames() }
+
+// Machine builds the named machine ("smp12e5", "tinyht", ...).
+func Machine(name string) (*Topology, error) { return topology.ByName(name) }
+
+// HostTopology approximates the machine this process runs on.
+func HostTopology() *Topology { return topology.Host() }
+
+// NewService builds an in-process placement service for a machine: a
+// placement engine (strategy registry + mapping cache) behind the
+// Service interface.
+func NewService(top *Topology) (Service, error) {
+	eng, err := placement.NewEngine(top)
+	if err != nil {
+		return nil, err
+	}
+	return placement.NewLocalService(eng)
+}
+
+// RemotePlacement is a connection to a remote placement daemon
+// (cmd/orwlnetd). It implements Service; Close releases the
+// connection.
+type RemotePlacement = orwlnet.RemoteService
+
+// DialPlacement connects to a placement daemon, honouring the
+// context's deadline, and negotiates the wire protocol version.
+func DialPlacement(ctx context.Context, addr string) (*RemotePlacement, error) {
+	c, err := orwlnet.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	svc, err := c.PlacementService()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return svc, nil
+}
+
+// RenderAssignment renders an assignment on a machine like the paper's
+// Fig. 2: for every socket, the cores and the entities bound to them.
+// names may be nil, in which case entities are shown by index.
+func RenderAssignment(top *Topology, a *Assignment, names []string) string {
+	if a == nil {
+		return "(no assignment)\n"
+	}
+	return core.RenderMapping(a.Mapping(top), names)
+}
+
+// PlaceOn is the one-call convenience: place n entities communicating
+// per matrix on the service's machine with the named strategy.
+func PlaceOn(ctx context.Context, svc Service, strategy string, m *Matrix, n int) (*PlaceResponse, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("orwlplace: nil service")
+	}
+	return svc.Place(ctx, &PlaceRequest{Strategy: strategy, Matrix: m, Entities: n})
+}
