@@ -483,6 +483,7 @@ func BenchmarkTreeMatchMap(b *testing.B) {
 	} {
 		size := size
 		b.Run(size.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := treematch.Map(size.top, size.m, treematch.Options{ControlThreads: true}); err != nil {
 					b.Fatal(err)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"orwlplace/internal/apps/livermore"
 	"orwlplace/internal/perfsim"
@@ -47,28 +48,46 @@ func main() {
 		w.Name, len(w.Threads), w.Iterations, top.Attrs.Name)
 
 	fmt.Printf("%-22s %12s %14s %14s %10s\n", "strategy", "seconds", "L3 misses", "stalled cyc", "migrations")
+	// The strategy runs are independent: fan them out across goroutines
+	// (the engine is concurrency-safe) and print in registry order.
+	names := placement.Names()
+	type run struct {
+		r   *perfsim.Result
+		a   *placement.Assignment
+		err error
+	}
+	runs := make([]run, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			// The affinity module runs with the paper's control-thread
+			// accounting; the baselines have no options to tune.
+			opt := placement.Options{}
+			if name == placement.TreeMatch {
+				opt.ControlThreads = true
+			}
+			runs[i].r, runs[i].a, runs[i].err = eng.Simulate(name, w, opt, *seed)
+		}(i, name)
+	}
+	wg.Wait()
 	results := map[string]*perfsim.Result{}
 	var affinityMode fmt.Stringer
-	for _, name := range placement.Names() {
-		// The affinity module runs with the paper's control-thread
-		// accounting; the baselines have no options to tune.
-		opt := placement.Options{}
-		if name == placement.TreeMatch {
-			opt.ControlThreads = true
-		}
-		r, a, err := eng.Simulate(name, w, opt, *seed)
-		if err != nil {
-			fail(err)
+	for i, name := range names {
+		if runs[i].err != nil {
+			fail(runs[i].err)
 		}
 		label := name
 		if name == placement.None {
 			label = "none (os-scheduler)"
 		}
+		r := runs[i].r
 		fmt.Printf("%-22s %12.3f %14.3g %14.3g %10.0f\n",
 			label, r.Seconds, r.L3Misses, r.StalledCycles, r.CPUMigrations)
 		results[name] = r
 		if name == placement.TreeMatch {
-			affinityMode = a.Mode
+			affinityMode = runs[i].a.Mode
 		}
 	}
 

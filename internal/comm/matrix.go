@@ -73,20 +73,68 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
+// Reset returns the matrix to an n x n all-zero state, reusing the
+// existing backing storage when it is large enough. It is the
+// primitive behind the *Into variants: a matrix owned by a workspace
+// is Reset instead of reallocated, so a multi-level mapping pipeline
+// does O(1) matrix allocations.
+func (m *Matrix) Reset(n int) {
+	m.resize(n)
+	clear(m.data)
+}
+
+// resize sets the order to n reusing storage; the entries are left
+// unspecified (callers overwrite every cell or clear explicitly).
+func (m *Matrix) resize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.n = n
+	if cap(m.data) < n*n {
+		m.data = make([]float64, n*n)
+		return
+	}
+	m.data = m.data[:n*n]
+}
+
+// RowView returns row i without copying. The slice aliases the
+// matrix: it is invalidated by Reset/resize and writes through it
+// mutate the matrix. Hot loops (grouping affinity updates) use it to
+// stream a row sequentially instead of calling At per entry.
+func (m *Matrix) RowView(i int) []float64 {
+	return m.data[i*m.n : (i+1)*m.n]
+}
+
 // Symmetrized returns a new matrix S with S[i][j] = S[j][i] =
 // m[i][j]+m[j][i] for i != j and zero diagonal. Placement algorithms
 // work on symmetrized volumes.
 func (m *Matrix) Symmetrized() *Matrix {
-	s := NewMatrix(m.n)
-	for i := 0; i < m.n; i++ {
-		for j := 0; j < m.n; j++ {
-			if i == j {
-				continue
-			}
-			s.data[i*m.n+j] = m.data[i*m.n+j] + m.data[j*m.n+i]
-		}
+	return m.SymmetrizedInto(NewMatrix(0))
+}
+
+// SymmetrizedInto writes the symmetrized matrix into dst (resized and
+// fully overwritten) and returns dst. dst must not be m itself.
+func (m *Matrix) SymmetrizedInto(dst *Matrix) *Matrix {
+	if dst == m {
+		panic("comm: SymmetrizedInto aliases the receiver")
 	}
-	return s
+	n := m.n
+	dst.resize(n)
+	// Row-major writes with a constant-stride transposed read: stores
+	// stay sequential (a strided store costs an RFO per cache line) and
+	// the fixed-stride loads run ahead of the hardware prefetcher.
+	data := m.data
+	for i := 0; i < n; i++ {
+		row := data[i*n : (i+1)*n]
+		out := dst.data[i*n : (i+1)*n]
+		idx := i
+		for j, v := range row {
+			out[j] = v + data[idx]
+			idx += n
+		}
+		out[i] = 0
+	}
+	return dst
 }
 
 // IsSymmetric reports whether m equals its transpose.
@@ -136,14 +184,23 @@ func (m *Matrix) Row(i int) []float64 {
 // primitive used to add virtual entities (control threads, padding for
 // non-divisible group sizes).
 func (m *Matrix) Extend(newOrder int) *Matrix {
+	return m.ExtendInto(NewMatrix(0), newOrder)
+}
+
+// ExtendInto writes the extension into dst (resized and fully
+// overwritten) and returns dst. dst must not be m itself.
+func (m *Matrix) ExtendInto(dst *Matrix, newOrder int) *Matrix {
+	if dst == m {
+		panic("comm: ExtendInto aliases the receiver")
+	}
 	if newOrder < m.n {
 		newOrder = m.n
 	}
-	e := NewMatrix(newOrder)
+	dst.Reset(newOrder)
 	for i := 0; i < m.n; i++ {
-		copy(e.data[i*newOrder:i*newOrder+m.n], m.data[i*m.n:(i+1)*m.n])
+		copy(dst.data[i*newOrder:i*newOrder+m.n], m.data[i*m.n:(i+1)*m.n])
 	}
-	return e
+	return dst
 }
 
 // Permuted returns P, with P[i][j] = m[perm[i]][perm[j]]: the matrix
@@ -174,38 +231,82 @@ func (m *Matrix) Permuted(perm []int) (*Matrix, error) {
 // (diagonal excluded for a == b). This is AggregateComMatrix of
 // Algorithm 1.
 func (m *Matrix) Aggregate(groups [][]int) (*Matrix, error) {
-	k := len(groups)
-	out := NewMatrix(k)
-	seen := make([]bool, m.n)
-	for a, ga := range groups {
-		for _, i := range ga {
-			if i < 0 || i >= m.n {
-				return nil, fmt.Errorf("comm: aggregate: entity %d out of range", i)
-			}
-			if seen[i] {
-				return nil, fmt.Errorf("comm: aggregate: entity %d in two groups", i)
-			}
-			seen[i] = true
-		}
-		for b, gb := range groups {
-			var sum float64
-			for _, i := range ga {
-				for _, j := range gb {
-					if a == b && i == j {
-						continue
-					}
-					sum += m.At(i, j)
-				}
-			}
-			out.Set(a, b, sum)
-		}
-	}
-	for i, s := range seen {
-		if !s {
-			return nil, fmt.Errorf("comm: aggregate: entity %d not in any group", i)
-		}
+	out := NewMatrix(0)
+	if err := m.AggregateInto(out, groups, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// AggregateInto writes the aggregation into dst (resized and fully
+// overwritten). groupOf is optional scratch of length >= Order()
+// (allocated when nil), so a workspace-driven pipeline aggregates
+// without per-level allocations. dst must not be m itself.
+func (m *Matrix) AggregateInto(dst *Matrix, groups [][]int, groupOf []int) error {
+	if dst == m {
+		panic("comm: AggregateInto aliases the receiver")
+	}
+	n := m.n
+	if len(groupOf) < n {
+		groupOf = make([]int, n)
+	}
+	groupOf = groupOf[:n]
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for a, ga := range groups {
+		for _, i := range ga {
+			if i < 0 || i >= n {
+				return fmt.Errorf("comm: aggregate: entity %d out of range", i)
+			}
+			if groupOf[i] != -1 {
+				return fmt.Errorf("comm: aggregate: entity %d in two groups", i)
+			}
+			groupOf[i] = a
+		}
+	}
+	for i, g := range groupOf {
+		if g == -1 {
+			return fmt.Errorf("comm: aggregate: entity %d not in any group", i)
+		}
+	}
+	k := len(groups)
+	dst.Reset(k)
+	// Per-block accumulation into registers: summing a destination
+	// cell through memory serialises on the FP add latency (every
+	// add depends on the previous store), so each (row, group) partial
+	// sum is built in a register and committed once.
+	for a, ga := range groups {
+		drow := dst.data[a*k : (a+1)*k]
+		for _, i := range ga {
+			row := m.data[i*n : (i+1)*n]
+			for b, gb := range groups {
+				var s float64
+				if b == a {
+					for _, j := range gb {
+						if j != i {
+							s += row[j]
+						}
+					}
+				} else {
+					// Two accumulators hide the FP-add latency of the
+					// gather (a single running sum serialises on it).
+					var s1 float64
+					x := 0
+					for ; x+1 < len(gb); x += 2 {
+						s += row[gb[x]]
+						s1 += row[gb[x+1]]
+					}
+					if x < len(gb) {
+						s += row[gb[x]]
+					}
+					s += s1
+				}
+				drow[b] += s
+			}
+		}
+	}
+	return nil
 }
 
 // String renders the matrix compactly, one row per line.
@@ -293,11 +394,29 @@ func (m *Matrix) RenderPGM(scale int) []byte {
 // HeaviestPairs returns the entity pairs (i<j) sorted by decreasing
 // symmetrized volume, up to limit pairs (all if limit <= 0). Ties are
 // broken by (i,j) order so the result is deterministic.
+//
+// Contract: only pairs with a strictly positive symmetrized volume are
+// returned — zero (non-communicating) and negative pairs are skipped,
+// so on a sparse matrix the result holds the nonzero pairs only, never
+// all n² candidates. Callers that need every pair must enumerate the
+// matrix themselves; callers that only consume the heaviest few (the
+// greedy grouping engine seeds) should prefer a lazily-popped heap
+// over sorting the full list.
 func (m *Matrix) HeaviestPairs(limit int) []Pair {
-	var pairs []Pair
+	// Count first so the slice is allocated exactly once at the nonzero
+	// size instead of growing through the append doubling schedule.
+	nz := 0
 	for i := 0; i < m.n; i++ {
 		for j := i + 1; j < m.n; j++ {
-			v := m.At(i, j) + m.At(j, i)
+			if m.data[i*m.n+j]+m.data[j*m.n+i] > 0 {
+				nz++
+			}
+		}
+	}
+	pairs := make([]Pair, 0, nz)
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			v := m.data[i*m.n+j] + m.data[j*m.n+i]
 			if v > 0 {
 				pairs = append(pairs, Pair{I: i, J: j, Volume: v})
 			}

@@ -387,3 +387,102 @@ func TestAggregatePreservesVolume(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The *Into variants must agree with their allocating counterparts
+// while reusing the destination's storage across calls of different
+// orders.
+func TestIntoVariantsMatchAndReuseStorage(t *testing.T) {
+	dst := NewMatrix(0)
+	for _, n := range []int{6, 3, 6, 8} {
+		m := Random(n, 50, int64(n))
+		m.Set(1, 2, 7) // break symmetry so Symmetrized does work
+		m.SymmetrizedInto(dst)
+		want := m.Symmetrized()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if dst.At(i, j) != want.At(i, j) {
+					t.Fatalf("n=%d: SymmetrizedInto (%d,%d) = %g, want %g", n, i, j, dst.At(i, j), want.At(i, j))
+				}
+			}
+		}
+	}
+
+	m := Random(4, 10, 1)
+	ext := NewMatrix(1)
+	ext.Set(0, 0, 99) // stale state must be cleared
+	m.ExtendInto(ext, 6)
+	want := m.Extend(6)
+	if ext.Order() != 6 {
+		t.Fatalf("ExtendInto order = %d", ext.Order())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if ext.At(i, j) != want.At(i, j) {
+				t.Fatalf("ExtendInto (%d,%d) = %g, want %g", i, j, ext.At(i, j), want.At(i, j))
+			}
+		}
+	}
+
+	groups := [][]int{{0, 2}, {1, 3}}
+	agg := NewMatrix(0)
+	groupOf := make([]int, 4)
+	if err := m.AggregateInto(agg, groups, groupOf); err != nil {
+		t.Fatal(err)
+	}
+	wantAgg, err := m.Aggregate(groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(agg.At(i, j)-wantAgg.At(i, j)) > 1e-12 {
+				t.Fatalf("AggregateInto (%d,%d) = %g, want %g", i, j, agg.At(i, j), wantAgg.At(i, j))
+			}
+		}
+	}
+}
+
+func TestAggregateIntoValidation(t *testing.T) {
+	m := Random(4, 10, 2)
+	dst := NewMatrix(0)
+	if err := m.AggregateInto(dst, [][]int{{0, 9}, {1, 2}}, nil); err == nil {
+		t.Error("accepted out-of-range entity")
+	}
+	if err := m.AggregateInto(dst, [][]int{{0, 1}, {1, 2}}, nil); err == nil {
+		t.Error("accepted duplicated entity")
+	}
+	if err := m.AggregateInto(dst, [][]int{{0, 1}}, nil); err == nil {
+		t.Error("accepted uncovered entity")
+	}
+}
+
+func TestResetAndRowView(t *testing.T) {
+	m := NewMatrix(3)
+	m.Set(1, 1, 5)
+	m.Reset(2)
+	if m.Order() != 2 || m.Total() != 0 {
+		t.Errorf("Reset left order=%d total=%g", m.Order(), m.Total())
+	}
+	m.Set(1, 0, 4)
+	row := m.RowView(1)
+	if len(row) != 2 || row[0] != 4 {
+		t.Errorf("RowView = %v", row)
+	}
+	row[1] = 9
+	if m.At(1, 1) != 9 {
+		t.Error("RowView writes must alias the matrix")
+	}
+}
+
+func TestHeaviestPairsSkipsZeroVolumes(t *testing.T) {
+	m := NewMatrix(64) // sparse: two nonzero pairs out of 2016
+	m.AddSym(3, 9, 5)
+	m.AddSym(10, 11, 7)
+	pairs := m.HeaviestPairs(0)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want only the 2 nonzero ones", len(pairs))
+	}
+	if pairs[0].Volume != 14 || pairs[1].Volume != 10 {
+		t.Errorf("pairs = %v, want decreasing symmetrized volumes 14, 10", pairs)
+	}
+}

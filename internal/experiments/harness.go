@@ -67,23 +67,52 @@ func runStrategy(top *topology.Topology, w *perfsim.Workload, name string) (*per
 // strategy and returns the fastest run with its name — how the paper
 // reports "the best OpenMP/MKL environment binding found". New
 // strategies join the comparison by registering, without touching the
-// figures.
+// figures. The candidate runs are independent, so they fan out across
+// goroutines; the winner is picked from the collected results in
+// registry order, keeping the outcome deterministic.
 func bestOblivious(top *topology.Topology, w *perfsim.Workload) (*perfsim.Result, string, error) {
+	names := placement.ObliviousNames()
+	results, err := runStrategiesParallel(top, w, names, nil)
+	if err != nil {
+		return nil, "", err
+	}
 	var best *perfsim.Result
 	var bestName string
-	for _, name := range placement.ObliviousNames() {
-		res, err := runStrategy(top, w, name)
-		if err != nil {
-			return nil, "", err
-		}
+	for i, res := range results {
 		if best == nil || res.Seconds < best.Seconds {
-			best, bestName = res, name
+			best, bestName = res, names[i]
 		}
 	}
 	if best == nil {
 		return nil, "", fmt.Errorf("experiments: no oblivious strategies registered")
 	}
 	return best, bestName, nil
+}
+
+// runStrategiesParallel simulates one workload under several
+// strategies concurrently, returning the results in input order. opts
+// maps a strategy name to non-default options (nil for all-default).
+// The engine underneath is concurrency-safe and singleflights
+// duplicate keys, so the fan-out costs no duplicate computes.
+func runStrategiesParallel(top *topology.Topology, w *perfsim.Workload, names []string, opts map[string]placement.Options) ([]*perfsim.Result, error) {
+	eng := engineFor(top)
+	results := make([]*perfsim.Result, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			results[i], _, errs[i] = eng.Simulate(name, w, opts[name], dynamicSeed)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 // Machines returns the two simulated testbeds of Table I.

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"orwlplace/internal/apps/tracking"
+	"orwlplace/internal/perfsim"
 	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
 )
 
 // StrategyTable runs the full strategy registry — the paper's affinity
@@ -27,20 +30,34 @@ func StrategyTable() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, name := range placement.Names() {
-		// The affinity module accounts for the runtime's control
-		// threads, like the paper's configuration.
-		opt := placement.Options{}
-		if name == placement.TreeMatch {
-			opt.ControlThreads = true
+	names := placement.Names()
+	// The affinity module accounts for the runtime's control threads,
+	// like the paper's configuration.
+	opts := map[string]placement.Options{
+		placement.TreeMatch: {ControlThreads: true},
+	}
+	// Every (strategy, machine) cell is independent: fan the per-machine
+	// sweeps out in parallel and assemble rows in registry order.
+	perTop := make([][]*perfsim.Result, len(tops))
+	errs := make([]error, len(tops))
+	var wg sync.WaitGroup
+	for ti, top := range tops {
+		wg.Add(1)
+		go func(ti int, top *topology.Topology) {
+			defer wg.Done()
+			perTop[ti], errs[ti] = runStrategiesParallel(top, w, names, opts)
+		}(ti, top)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
+	}
+	for ni, name := range names {
 		row := []string{name}
-		for _, top := range tops {
-			res, _, err := engineFor(top).Simulate(name, w, opt, dynamicSeed)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", res.Seconds))
+		for ti := range tops {
+			row = append(row, fmt.Sprintf("%.2f", perTop[ti][ni].Seconds))
 		}
 		t.Rows = append(t.Rows, row)
 	}

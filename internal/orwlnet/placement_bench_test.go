@@ -1,0 +1,70 @@
+package orwlnet
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// One opPlaceCompute round trip over loopback TCP, engine cache warm,
+// so the measurement is the wire format, the pooled payload buffers
+// and the transport — the per-RPC overhead a placement daemon pays on
+// top of the strategy itself. Run with -benchmem: the codec pools keep
+// the request/response payload bodies out of the per-call allocation
+// count.
+func BenchmarkPlaceComputeRoundTrip(b *testing.B) {
+	top := topology.TinyFlat()
+	eng, err := placement.NewEngine(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := placement.NewLocalService(eng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := NewServer(lis, nil, WithPlacement(svc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	remote, err := c.PlacementService()
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	req := &placement.PlaceRequest{
+		Strategy: placement.TreeMatch,
+		Matrix:   comm.Ring(8, 1<<16, true),
+		Options:  placement.Options{ControlThreads: true},
+	}
+	ctx := context.Background()
+	if _, err := remote.Place(ctx, req); err != nil { // warm the mapping cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := remote.Place(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Assignment == nil {
+			b.Fatal("no assignment")
+		}
+	}
+}

@@ -185,7 +185,7 @@ func TestPlacementRequiresHandshake(t *testing.T) {
 		return resp
 	}
 
-	resp := send(1, opPlaceCompute, encodePlaceRequest(&placement.PlaceRequest{
+	resp := send(1, opPlaceCompute, encodePlaceRequest(nil, &placement.PlaceRequest{
 		Strategy: placement.TreeMatch, Matrix: chainMatrix(3),
 	}))
 	if resp.op != statusError {
@@ -197,7 +197,7 @@ func TestPlacementRequiresHandshake(t *testing.T) {
 	if resp3 := send(3, opHello, []byte{protoLegacy, protoMax}); resp3.op != statusOK || resp3.payload[0] != protoMax {
 		t.Fatalf("handshake failed: %v %s", resp3.op, resp3.payload)
 	}
-	if resp4 := send(4, opPlaceCompute, encodePlaceRequest(&placement.PlaceRequest{
+	if resp4 := send(4, opPlaceCompute, encodePlaceRequest(nil, &placement.PlaceRequest{
 		Strategy: placement.TreeMatch, Matrix: chainMatrix(3),
 	})); resp4.op != statusOK {
 		t.Fatalf("placement RPC after handshake rejected: %s", resp4.payload)

@@ -3,6 +3,7 @@ package orwlnet
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/placement"
@@ -14,6 +15,34 @@ import (
 // optional values carry a presence byte. The leading byte of a
 // request/response is its placement.ServiceVersion, so schema
 // evolution is detected before any field is decoded.
+//
+// The encoders are append-style (dst ...[]byte) so hot paths reuse a
+// pooled payload buffer: a placement request carries a full matrix
+// (8n² bytes) and the response three assignment slices, which used to
+// be reallocated for every RPC.
+
+// payloadPool recycles encode buffers between RPCs. A buffer is safe
+// to recycle once its message has been written to the connection —
+// neither writeMessage nor the codecs retain it. Put boxes the slice
+// header (one ~24-byte allocation); what it saves is the payload
+// body — up to 8n²+ bytes of matrix per request — so the trade is
+// heavily in the pool's favour and the buffer can travel from the
+// encoder to the writer as a plain []byte.
+var payloadPool = sync.Pool{
+	New: func() any { return make([]byte, 0, 4096) },
+}
+
+// getPayloadBuf returns an empty buffer with pooled capacity; encode
+// with the append-style codecs and recycle the result with
+// putPayloadBuf after the message hits the wire.
+func getPayloadBuf() []byte { return payloadPool.Get().([]byte)[:0] }
+
+// putPayloadBuf recycles a payload buffer for a later encode.
+func putPayloadBuf(b []byte) {
+	if cap(b) > 0 {
+		payloadPool.Put(b[:0])
+	}
+}
 
 func putFloat64(dst []byte, v float64) []byte {
 	return putUint64(dst, math.Float64bits(v))
@@ -232,12 +261,12 @@ func checkWireVersion(src []byte) (int, []byte, error) {
 	return v, src[1:], nil
 }
 
-func encodePlaceRequest(req *placement.PlaceRequest) []byte {
+func encodePlaceRequest(dst []byte, req *placement.PlaceRequest) []byte {
 	v := req.Version
 	if v == 0 {
 		v = placement.ServiceVersion
 	}
-	dst := []byte{byte(v)}
+	dst = append(dst, byte(v))
 	dst = putString(dst, req.Strategy)
 	dst = putUint64(dst, uint64(int64(req.Entities)))
 	dst = putOptions(dst, req.Options)
@@ -267,12 +296,12 @@ func decodePlaceRequest(src []byte) (*placement.PlaceRequest, error) {
 	return req, nil
 }
 
-func encodePlaceResponse(resp *placement.PlaceResponse) []byte {
+func encodePlaceResponse(dst []byte, resp *placement.PlaceResponse) []byte {
 	v := resp.Version
 	if v == 0 {
 		v = placement.ServiceVersion
 	}
-	dst := []byte{byte(v)}
+	dst = append(dst, byte(v))
 	dst = putBool(dst, resp.CacheHit)
 	dst = putFloat64(dst, resp.Cost)
 	dst = putFloat64(dst, resp.CrossNUMAVolume)
@@ -310,8 +339,8 @@ func decodePlaceResponse(src []byte) (*placement.PlaceResponse, error) {
 	return resp, nil
 }
 
-func encodeServiceStats(st placement.ServiceStats) []byte {
-	dst := []byte{byte(placement.ServiceVersion)}
+func encodeServiceStats(dst []byte, st placement.ServiceStats) []byte {
+	dst = append(dst, byte(placement.ServiceVersion))
 	dst = putString(dst, st.TopologyName)
 	dst = putUint64(dst, st.TopologySignature)
 	dst = putUint64(dst, st.Places)

@@ -33,7 +33,7 @@ func TestPlaceRequestRoundTrip(t *testing.T) {
 		{Version: placement.ServiceVersion, Strategy: "compact", Entities: 1},
 	}
 	for _, req := range cases {
-		got, err := decodePlaceRequest(encodePlaceRequest(req))
+		got, err := decodePlaceRequest(encodePlaceRequest(nil, req))
 		if err != nil {
 			t.Fatalf("decode(%+v): %v", req, err)
 		}
@@ -81,7 +81,7 @@ func TestPlaceResponseRoundTrip(t *testing.T) {
 		},
 	}
 	for _, resp := range cases {
-		got, err := decodePlaceResponse(encodePlaceResponse(resp))
+		got, err := decodePlaceResponse(encodePlaceResponse(nil, resp))
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
@@ -108,7 +108,7 @@ func TestServiceStatsRoundTrip(t *testing.T) {
 		Places:            42,
 		Cache:             placement.CacheStats{Hits: 40, Misses: 2, Entries: 2},
 	}
-	got, err := decodeServiceStats(encodeServiceStats(st))
+	got, err := decodeServiceStats(encodeServiceStats(nil, st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestServiceStatsRoundTrip(t *testing.T) {
 }
 
 func TestPlaceWireVersionRejected(t *testing.T) {
-	req := encodePlaceRequest(&placement.PlaceRequest{Strategy: "treematch", Entities: 2})
+	req := encodePlaceRequest(nil, &placement.PlaceRequest{Strategy: "treematch", Entities: 2})
 	req[0] = placement.ServiceVersion + 1
 	if _, err := decodePlaceRequest(req); err == nil {
 		t.Error("future schema version decoded")
@@ -133,7 +133,7 @@ func TestPlaceWireVersionRejected(t *testing.T) {
 }
 
 func TestPlaceWireTruncationRejected(t *testing.T) {
-	full := encodePlaceResponse(&placement.PlaceResponse{
+	full := encodePlaceResponse(nil, &placement.PlaceResponse{
 		Assignment: &placement.Assignment{Strategy: "treematch", ComputePU: []int{1, 2, 3}},
 	})
 	for cut := 1; cut < len(full); cut++ {
@@ -146,12 +146,12 @@ func TestPlaceWireTruncationRejected(t *testing.T) {
 			}
 		}
 	}
-	reqFull := encodePlaceRequest(&placement.PlaceRequest{Strategy: "treematch", Matrix: chainMatrix(3)})
+	reqFull := encodePlaceRequest(nil, &placement.PlaceRequest{Strategy: "treematch", Matrix: chainMatrix(3)})
 	for cut := 1; cut < len(reqFull); cut++ {
 		// Must never panic; errors are expected for most cuts.
 		_, _ = decodePlaceRequest(reqFull[:cut])
 	}
-	statsFull := encodeServiceStats(placement.ServiceStats{TopologyName: "x", Strategies: []string{"a", "b"}})
+	statsFull := encodeServiceStats(nil, placement.ServiceStats{TopologyName: "x", Strategies: []string{"a", "b"}})
 	for cut := 1; cut < len(statsFull); cut++ {
 		_, _ = decodeServiceStats(statsFull[:cut])
 	}

@@ -36,7 +36,12 @@ func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) 
 	if req == nil {
 		return nil, fmt.Errorf("orwlnet: nil placement request")
 	}
-	payload, err := s.c.callCtx(ctx, opPlaceCompute, encodePlaceRequest(req))
+	// The request payload (strategy + options + full matrix) is encoded
+	// into a pooled buffer: callCtx does not retain it past the write,
+	// so it recycles as soon as the call returns.
+	buf := encodePlaceRequest(getPayloadBuf(), req)
+	payload, err := s.c.callCtx(ctx, opPlaceCompute, buf)
+	putPayloadBuf(buf)
 	if err != nil {
 		return nil, err
 	}

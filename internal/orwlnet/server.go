@@ -154,7 +154,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.wg.Add(1)
 		go func(m message) {
 			defer s.wg.Done()
-			payload, err := s.handle(st, m)
+			payload, pooled, err := s.handle(st, m)
 			resp := message{callID: m.callID, op: statusOK, payload: payload}
 			if err != nil {
 				resp.op = statusError
@@ -163,6 +163,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			st.writeMu.Lock()
 			werr := writeMessage(conn, resp)
 			st.writeMu.Unlock()
+			if pooled {
+				// The payload came from the encode pool and is dead now
+				// that it has been written (or dropped on error).
+				putPayloadBuf(payload)
+			}
 			if werr != nil {
 				conn.Close()
 			}
@@ -172,7 +177,46 @@ func (s *Server) serveConn(conn net.Conn) {
 
 var errUnknownHandle = errors.New("orwlnet: unknown handle")
 
-func (s *Server) handle(st *connState, m message) ([]byte, error) {
+// handle dispatches one request. The bool reports whether the payload
+// was drawn from the encode pool and must be recycled after the write;
+// the placement responses are, since they carry the big assignment and
+// stats payloads the pool exists for.
+func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
+	switch m.op {
+	case opPlaceCompute:
+		svc, err := s.placementFor(st)
+		if err != nil {
+			return nil, false, err
+		}
+		req, err := decodePlaceRequest(m.payload)
+		if err != nil {
+			return nil, false, err
+		}
+		resp, err := svc.Place(s.ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		return encodePlaceResponse(getPayloadBuf(), resp), true, nil
+	case opPlaceStats:
+		svc, err := s.placementFor(st)
+		if err != nil {
+			return nil, false, err
+		}
+		stats, err := svc.Stats(s.ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		return encodeServiceStats(getPayloadBuf(), stats), true, nil
+	default:
+		payload, err := s.handleLocation(st, m)
+		return payload, false, err
+	}
+}
+
+// handleLocation serves the location ops, the handshake and the
+// topology fetch — the payloads small or caller-owned enough that
+// pooling buys nothing.
+func (s *Server) handleLocation(st *connState, m message) ([]byte, error) {
 	switch m.op {
 	case opScale:
 		name, rest, err := getString(m.payload)
@@ -298,20 +342,6 @@ func (s *Server) handle(st *connState, m message) ([]byte, error) {
 		st.version = chosen
 		st.mu.Unlock()
 		return []byte{byte(chosen)}, nil
-	case opPlaceCompute:
-		svc, err := s.placementFor(st)
-		if err != nil {
-			return nil, err
-		}
-		req, err := decodePlaceRequest(m.payload)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := svc.Place(s.ctx, req)
-		if err != nil {
-			return nil, err
-		}
-		return encodePlaceResponse(resp), nil
 	case opTopology:
 		svc, err := s.placementFor(st)
 		if err != nil {
@@ -322,16 +352,6 @@ func (s *Server) handle(st *connState, m message) ([]byte, error) {
 			return nil, err
 		}
 		return top.MarshalJSON()
-	case opPlaceStats:
-		svc, err := s.placementFor(st)
-		if err != nil {
-			return nil, err
-		}
-		stats, err := svc.Stats(s.ctx)
-		if err != nil {
-			return nil, err
-		}
-		return encodeServiceStats(stats), nil
 	default:
 		return nil, fmt.Errorf("orwlnet: %s %d", errUnknownOp, m.op)
 	}

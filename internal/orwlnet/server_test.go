@@ -27,7 +27,7 @@ func testServer(t *testing.T) (*Server, *connState) {
 
 func TestHandleUnknownOp(t *testing.T) {
 	srv, st := testServer(t)
-	if _, err := srv.handle(st, message{op: 99}); err == nil {
+	if _, _, err := srv.handle(st, message{op: 99}); err == nil {
 		t.Error("unknown op accepted")
 	}
 }
@@ -47,7 +47,7 @@ func TestHandleTruncatedPayloads(t *testing.T) {
 		{op: opReleaseReinsert, payload: []byte{1}},
 	}
 	for i, m := range cases {
-		if _, err := srv.handle(st, m); err == nil {
+		if _, _, err := srv.handle(st, m); err == nil {
 			t.Errorf("case %d (op %d): truncated payload accepted", i, m.op)
 		}
 	}
@@ -55,13 +55,13 @@ func TestHandleTruncatedPayloads(t *testing.T) {
 
 func TestHandleUnknownLocationAndHandle(t *testing.T) {
 	srv, st := testServer(t)
-	if _, err := srv.handle(st, message{op: opInsert, payload: append(putString(nil, "nope"), byte(orwl.Read))}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opInsert, payload: append(putString(nil, "nope"), byte(orwl.Read))}); err == nil {
 		t.Error("insert on unknown location accepted")
 	}
-	if _, err := srv.handle(st, message{op: opAwait, payload: putUint64(nil, 12345)}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opAwait, payload: putUint64(nil, 12345)}); err == nil {
 		t.Error("await on unknown handle accepted")
 	}
-	if _, err := srv.handle(st, message{op: opRelease, payload: putUint64(nil, 12345)}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opRelease, payload: putUint64(nil, 12345)}); err == nil {
 		t.Error("release on unknown handle accepted")
 	}
 }
@@ -70,36 +70,36 @@ func TestHandleReadWriteWithoutGrant(t *testing.T) {
 	srv, st := testServer(t)
 	// Queue a writer that holds the grant, then a reader that is not
 	// yet granted.
-	resp, err := srv.handle(st, message{op: opInsert, payload: append(putString(nil, "data"), byte(orwl.Write))})
+	resp, _, err := srv.handle(st, message{op: opInsert, payload: append(putString(nil, "data"), byte(orwl.Write))})
 	if err != nil {
 		t.Fatal(err)
 	}
 	wID, _, _ := getUint64(resp)
-	resp, err = srv.handle(st, message{op: opInsert, payload: append(putString(nil, "data"), byte(orwl.Read))})
+	resp, _, err = srv.handle(st, message{op: opInsert, payload: append(putString(nil, "data"), byte(orwl.Read))})
 	if err != nil {
 		t.Fatal(err)
 	}
 	rID, _, _ := getUint64(resp)
 	// The reader has no grant yet: read must fail rather than block.
-	if _, err := srv.handle(st, message{op: opRead, payload: putUint64(nil, rID)}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opRead, payload: putUint64(nil, rID)}); err == nil {
 		t.Error("read without grant accepted")
 	}
-	if _, err := srv.handle(st, message{op: opWrite, payload: putUint64(nil, rID)}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opWrite, payload: putUint64(nil, rID)}); err == nil {
 		t.Error("write without grant accepted")
 	}
 	// Writer: write works, oversized write fails.
-	if _, err := srv.handle(st, message{op: opWrite, payload: append(putUint64(nil, wID), 1, 2)}); err != nil {
+	if _, _, err := srv.handle(st, message{op: opWrite, payload: append(putUint64(nil, wID), 1, 2)}); err != nil {
 		t.Errorf("writer write failed: %v", err)
 	}
 	big := append(putUint64(nil, wID), make([]byte, 100)...)
-	if _, err := srv.handle(st, message{op: opWrite, payload: big}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opWrite, payload: big}); err == nil {
 		t.Error("oversized write accepted")
 	}
 	// Release the writer; reader becomes granted and read succeeds.
-	if _, err := srv.handle(st, message{op: opRelease, payload: putUint64(nil, wID)}); err != nil {
+	if _, _, err := srv.handle(st, message{op: opRelease, payload: putUint64(nil, wID)}); err != nil {
 		t.Fatal(err)
 	}
-	data, err := srv.handle(st, message{op: opRead, payload: putUint64(nil, rID)})
+	data, _, err := srv.handle(st, message{op: opRead, payload: putUint64(nil, rID)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestHandleReadWriteWithoutGrant(t *testing.T) {
 		t.Errorf("read = %v", data)
 	}
 	// Write on a read handle fails even with the grant.
-	if _, err := srv.handle(st, message{op: opWrite, payload: append(putUint64(nil, rID), 9)}); err == nil {
+	if _, _, err := srv.handle(st, message{op: opWrite, payload: append(putUint64(nil, rID), 9)}); err == nil {
 		t.Error("write on read handle accepted")
 	}
 }

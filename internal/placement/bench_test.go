@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"sync"
 	"testing"
 
 	"orwlplace/internal/comm"
@@ -24,6 +25,7 @@ func BenchmarkTreeMatchCold(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
@@ -42,10 +44,39 @@ func BenchmarkTreeMatchCached(b *testing.B) {
 	if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// A burst of concurrent Compute calls per distinct key: with
+// singleflight the strategy runs once per key per burst regardless of
+// the burst width, so per-call cost approaches a cache hit.
+func BenchmarkTreeMatchConcurrentBurst(b *testing.B) {
+	top := topology.SMP12E5()
+	m := benchMatrix()
+	eng, err := NewEngine(top)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const width = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for g := 0; g < width; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if _, err := eng.Compute(TreeMatch, m, 0, Options{ControlThreads: true}); err != nil {
+					b.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }

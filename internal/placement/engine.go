@@ -22,9 +22,23 @@ type Engine struct {
 	top     *topology.Topology
 	topoSig uint64
 
-	mu    sync.Mutex
-	cache *mappingCache
-	stats CacheStats
+	mu     sync.Mutex
+	cache  *mappingCache
+	stats  CacheStats
+	flight map[cacheKey]*flightCall
+}
+
+// flightCall is one in-progress strategy computation. Concurrent
+// Compute calls for the same uncached key coalesce onto it
+// (singleflight): the first caller runs the strategy, the others wait
+// on done and clone the shared result. Without this, a busy daemon
+// receiving a burst of identical requests would run the same expensive
+// TreeMatch once per request — a thundering herd the cache alone
+// cannot stop, since entries only appear after a compute finishes.
+type flightCall struct {
+	done chan struct{}
+	a    *Assignment // immutable once done is closed (the cache's copy)
+	err  error
 }
 
 // CacheStats counts mapping-cache traffic.
@@ -54,6 +68,7 @@ func NewEngine(top *topology.Topology, opts ...EngineOption) (*Engine, error) {
 		top:     top,
 		topoSig: Signature(top),
 		cache:   newMappingCache(defaultCacheEntries),
+		flight:  make(map[cacheKey]*flightCall),
 	}
 	for _, o := range opts {
 		o(e)
@@ -119,21 +134,64 @@ func (e *Engine) ComputeWithInfo(strategy string, m *comm.Matrix, n int, opt Opt
 		e.mu.Unlock()
 		return a.Clone(), true, nil
 	}
+	if c, ok := e.flight[key]; ok {
+		// Singleflight: another goroutine is already computing this
+		// key. Wait for it and share its result instead of running the
+		// strategy again. Counted as a hit: the call was served without
+		// a compute.
+		e.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, false, c.err
+		}
+		e.mu.Lock()
+		e.stats.Hits++
+		e.mu.Unlock()
+		return c.a.Clone(), true, nil
+	}
+	c := &flightCall{done: make(chan struct{})}
+	e.flight[key] = c
 	e.stats.Misses++
 	e.mu.Unlock()
 
+	// complete publishes the flight's outcome exactly once: clears the
+	// entry, fills the cache on success, and unblocks the waiters.
+	completed := false
+	complete := func(stored *Assignment, err error) {
+		completed = true
+		e.mu.Lock()
+		delete(e.flight, key)
+		if stored != nil {
+			e.cache.put(key, stored)
+		}
+		e.mu.Unlock()
+		c.a = stored
+		c.err = err
+		close(c.done)
+	}
+	// A panicking strategy must not strand the flight entry: waiters
+	// parked on done (and every future Compute of this key) would
+	// deadlock. Resolve the flight with an error and let the panic
+	// propagate to the leader's caller.
+	defer func() {
+		if !completed {
+			complete(nil, fmt.Errorf("placement: strategy %q panicked", strategy))
+		}
+	}()
+
 	// The strategy runs outside the lock: TreeMatch on a large matrix
 	// is the expensive path the cache exists for, and concurrent
-	// computes of different keys should not serialise. A rare duplicate
-	// compute of the same key is benign (last write wins).
+	// computes of different keys must not serialise.
 	a, err := s.Map(e.top, m, n, opt)
 	if err != nil {
+		complete(nil, err)
 		return nil, false, err
 	}
-	e.mu.Lock()
-	e.cache.put(key, a)
-	e.mu.Unlock()
-	return a.Clone(), false, nil
+	// Ownership: the cache (and any waiting followers, via c.a) own one
+	// private copy; the strategy's original goes back to the leader
+	// uncloned, free for the caller to mutate.
+	complete(a.Clone(), nil)
+	return a, false, nil
 }
 
 // Bind commits an assignment to a program — step 3 of the pipeline

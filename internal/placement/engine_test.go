@@ -2,7 +2,10 @@ package placement
 
 import (
 	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/orwl"
@@ -339,5 +342,204 @@ func TestPlaceFullPipeline(t *testing.T) {
 	}
 	if a.Strategy != TreeMatch {
 		t.Errorf("strategy = %q", a.Strategy)
+	}
+}
+
+// gateStrategy counts its Map invocations and blocks each one until
+// release is closed, so a test can pile up concurrent Compute calls on
+// one uncached key.
+type gateStrategy struct {
+	name    string
+	calls   atomic.Int64
+	started chan struct{} // receives one token per Map entry
+	release chan struct{}
+}
+
+func (g *gateStrategy) Name() string    { return g.name }
+func (g *gateStrategy) CommAware() bool { return false }
+
+func (g *gateStrategy) Map(top *topology.Topology, _ *comm.Matrix, n int, _ Options) (*Assignment, error) {
+	g.calls.Add(1)
+	select {
+	case g.started <- struct{}{}:
+	default:
+	}
+	<-g.release
+	pus := make([]int, n)
+	for i := range pus {
+		pus[i] = i % top.NumPUs()
+	}
+	return &Assignment{Strategy: g.name, ComputePU: pus}, nil
+}
+
+// Concurrent Compute calls for the same uncached key must run the
+// strategy exactly once: the first caller computes, the rest coalesce
+// onto the in-flight call (singleflight). Run with -race.
+func TestComputeSingleflight(t *testing.T) {
+	gate := &gateStrategy{
+		name:    "test-singleflight",
+		started: make(chan struct{}, 1),
+		release: make(chan struct{}),
+	}
+	MustRegister(gate)
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const callers = 16
+	results := make([]*Assignment, callers)
+	hits := make([]bool, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a, hit, err := eng.ComputeWithInfo(gate.name, nil, 4, Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = a
+			hits[i] = hit
+		}(i)
+	}
+	<-gate.started // the leader is inside Map
+	// Give the other goroutines a moment to park on the flight call;
+	// any that arrive after completion hit the cache instead — either
+	// way the strategy must not run again.
+	time.Sleep(20 * time.Millisecond)
+	close(gate.release)
+	wg.Wait()
+
+	if got := gate.calls.Load(); got != 1 {
+		t.Fatalf("strategy ran %d times for one key, want exactly 1", got)
+	}
+	leaders := 0
+	for i, a := range results {
+		if a == nil {
+			t.Fatal("missing result")
+		}
+		if !hits[i] {
+			leaders++
+		}
+		if !reflect.DeepEqual(a.ComputePU, results[0].ComputePU) {
+			t.Fatalf("caller %d got a different assignment", i)
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers reported a miss, want exactly the leader", leaders)
+	}
+	// Results are private clones: mutating one must not corrupt another
+	// caller's copy or the cache.
+	results[0].ComputePU[0] = 99
+	if results[1].ComputePU[0] == 99 {
+		t.Error("followers share the leader's slice")
+	}
+	a, hit, err := eng.ComputeWithInfo(gate.name, nil, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Error("expected a cache hit after the flight completed")
+	}
+	if a.ComputePU[0] == 99 {
+		t.Error("cache entry was corrupted by a caller mutation")
+	}
+}
+
+// A failing in-flight compute must propagate its error to every waiter
+// and leave nothing cached.
+func TestComputeSingleflightError(t *testing.T) {
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// n = 0 entities: every strategy rejects the request.
+			_, _, err := eng.ComputeWithInfo("compact", nil, 0, Options{})
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("caller %d: expected an error", i)
+		}
+	}
+	if st := eng.Stats(); st.Entries != 0 {
+		t.Errorf("failed computes left %d cache entries", st.Entries)
+	}
+}
+
+// panicStrategy panics inside Map after signalling entry, so the test
+// can park a follower on the in-flight call first.
+type panicStrategy struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (p *panicStrategy) Name() string    { return "test-panic" }
+func (p *panicStrategy) CommAware() bool { return false }
+
+func (p *panicStrategy) Map(*topology.Topology, *comm.Matrix, int, Options) (*Assignment, error) {
+	select {
+	case p.started <- struct{}{}:
+	default:
+	}
+	<-p.release
+	panic("strategy exploded")
+}
+
+// A panicking strategy must resolve the in-flight call: parked
+// followers get an error instead of deadlocking, the panic propagates
+// to the leader, and the key recomputes on the next call.
+func TestComputeSingleflightPanic(t *testing.T) {
+	ps := &panicStrategy{started: make(chan struct{}, 1), release: make(chan struct{})}
+	MustRegister(ps)
+	eng, err := NewEngine(topology.TinyFlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	leaderPanicked := make(chan bool, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() != nil }()
+		eng.Compute(ps.Name(), nil, 2, Options{})
+	}()
+	<-ps.started
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := eng.ComputeWithInfo(ps.Name(), nil, 2, Options{})
+		followerErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the follower park on the flight
+	close(ps.release)
+
+	if !<-leaderPanicked {
+		t.Error("leader should observe the strategy panic")
+	}
+	select {
+	case err := <-followerErr:
+		if err == nil {
+			t.Error("follower should get an error from the panicked flight")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower deadlocked on a panicked flight")
+	}
+	// The key is not poisoned: a later call runs the strategy again
+	// (and panics again, proving the flight entry was cleared).
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		eng.Compute(ps.Name(), nil, 2, Options{})
+		return
+	}()
+	if !panicked {
+		t.Error("flight entry not cleared: second call did not reach the strategy")
 	}
 }

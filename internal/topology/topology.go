@@ -289,13 +289,19 @@ func (t *Topology) ObjectsAtDepth(depth int) []*Object {
 // reported.
 func (t *Topology) Arities() []int {
 	ar := make([]int, t.depth)
-	for d := 0; d < t.depth; d++ {
-		for _, o := range t.ObjectsAtDepth(d) {
-			if o.Arity() > ar[d] {
-				ar[d] = o.Arity()
-			}
+	// A single walk touching every object once, instead of one
+	// ObjectsAtDepth materialization per level: Arities sits on the
+	// mapping hot path (coreArities runs per treematch.Map call).
+	var walk func(*Object)
+	walk = func(o *Object) {
+		if o.depth < len(ar) && o.Arity() > ar[o.depth] {
+			ar[o.depth] = o.Arity()
+		}
+		for _, c := range o.Children {
+			walk(c)
 		}
 	}
+	walk(t.Root)
 	return ar
 }
 

@@ -18,8 +18,22 @@ import (
 // algorithm to a greedy one").
 //
 // Groups are returned with members in increasing order and the group
-// list sorted by smallest member, so results are deterministic.
+// list sorted by smallest member, so results are deterministic. The
+// returned slices are freshly allocated and the caller's to keep.
 func GroupProcesses(m *comm.Matrix, arity, exhaustiveLimit int) ([][]int, error) {
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+	return groupProcesses(m, arity, exhaustiveLimit, ws, false)
+}
+
+// groupProcesses is GroupProcesses running on a caller-provided
+// workspace, so the per-level calls inside Map share one scratch set.
+// isSym declares the input already symmetric: the engines then read
+// its rows directly instead of building a symmetrized copy per level.
+// (Symmetrizing a symmetric matrix doubles every entry — a uniform
+// positive scaling that cannot change any greedy or DP selection, so
+// both paths pick identical groups.)
+func groupProcesses(m *comm.Matrix, arity, exhaustiveLimit int, ws *mapWorkspace, isSym bool) ([][]int, error) {
 	n := m.Order()
 	if arity < 1 {
 		return nil, fmt.Errorf("treematch: arity %d < 1", arity)
@@ -30,9 +44,11 @@ func GroupProcesses(m *comm.Matrix, arity, exhaustiveLimit int) ([][]int, error)
 	var groups [][]int
 	switch {
 	case arity == 1:
+		flat := make([]int, n)
 		groups = make([][]int, n)
 		for i := range groups {
-			groups[i] = []int{i}
+			flat[i] = i
+			groups[i] = flat[i : i+1]
 		}
 	case arity == n:
 		g := make([]int, n)
@@ -41,9 +57,9 @@ func GroupProcesses(m *comm.Matrix, arity, exhaustiveLimit int) ([][]int, error)
 		}
 		groups = [][]int{g}
 	case n <= exhaustiveLimit && n <= 20:
-		groups = groupExhaustive(m, arity)
+		groups = groupExhaustive(m, arity, ws, isSym)
 	default:
-		groups = groupGreedy(m, arity)
+		groups = groupGreedy(m, arity, ws, isSym)
 	}
 	normalizeGroups(groups)
 	return groups, nil
@@ -75,79 +91,116 @@ func IntraGroupVolume(m *comm.Matrix, groups [][]int) float64 {
 // groupExhaustive finds the optimal partition by dynamic programming
 // over subsets: dp[mask] is the best intra-group volume achievable when
 // partitioning exactly the entities in mask into groups of size arity.
-func groupExhaustive(m *comm.Matrix, arity int) [][]int {
-	n := m.Order()
-	full := (1 << uint(n)) - 1
-	dp := make([]float64, full+1)
-	choice := make([]int, full+1) // the group removed from mask
+//
+// The candidate-group weights are memoised up front: weight[mask] is
+// the symmetrized intra-volume of mask, built incrementally as
+// weight(sub|low) = weight(sub) + one row of pair weights — O(2^n * n)
+// once, instead of an O(n^2) rescan per DP candidate. The subset
+// enumeration walks combinations in workspace buffers and allocates
+// nothing per call.
+func groupExhaustive(m *comm.Matrix, arity int, ws *mapWorkspace, isSym bool) [][]int {
+	n := m.Order() // caller guarantees n <= 20
+	sym := m
+	if !isSym {
+		sym = m.SymmetrizedInto(ws.sym)
+	}
+	full := 1<<uint(n) - 1
+
+	weight := growFloats(&ws.weight, full+1)
+	weight[0] = 0
+	for mask := 1; mask <= full; mask++ {
+		low := mask & -mask
+		rest := mask &^ low
+		row := sym.RowView(bits.TrailingZeros(uint(mask)))
+		w := weight[rest]
+		for t := rest; t != 0; t &= t - 1 {
+			w += row[bits.TrailingZeros(uint(t))]
+		}
+		weight[mask] = w
+	}
+
+	dp := growFloats(&ws.dp, full+1)
+	choice := growInts(&ws.choice, full+1)
 	for i := range dp {
 		dp[i] = math.Inf(-1)
 	}
 	dp[0] = 0
 
-	groupWeight := func(mask int) float64 {
-		var w float64
-		for i := 0; i < n; i++ {
-			if mask&(1<<uint(i)) == 0 {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if mask&(1<<uint(j)) != 0 {
-					w += m.At(i, j) + m.At(j, i)
-				}
-			}
-		}
-		return w
-	}
+	size := arity - 1 // caller guarantees 1 < arity < n, so size >= 1
+	pos := growInts(&ws.pos, n)
+	idx := growInts(&ws.idx, size)
 
 	// Enumerate masks in increasing order; only masks whose popcount is
-	// a multiple of arity are reachable.
+	// a multiple of arity are reachable. Each mask anchors on its lowest
+	// set bit so no group arrangement is enumerated twice.
 	for mask := 1; mask <= full; mask++ {
 		if bits.OnesCount(uint(mask))%arity != 0 {
 			continue
 		}
-		// Anchor on the lowest set bit to avoid enumerating each group
-		// arrangement more than once.
 		low := mask & -mask
 		rest := mask &^ low
-		// Enumerate (arity-1)-subsets of rest.
-		forEachSubsetOfSize(rest, arity-1, func(sub int) {
+		np := 0
+		for t := rest; t != 0; t &= t - 1 {
+			pos[np] = bits.TrailingZeros(uint(t))
+			np++
+		}
+		if np < size {
+			continue
+		}
+		// Walk the size-combinations of pos in place.
+		for i := 0; i < size; i++ {
+			idx[i] = i
+		}
+		for {
+			sub := 0
+			for _, k := range idx[:size] {
+				sub |= 1 << uint(pos[k])
+			}
 			g := sub | low
-			prev := dp[mask&^g]
-			if math.IsInf(prev, -1) {
-				return
+			if prev := dp[mask&^g]; !math.IsInf(prev, -1) {
+				if cand := prev + weight[g]; cand > dp[mask] {
+					dp[mask] = cand
+					choice[mask] = g
+				}
 			}
-			cand := prev + groupWeight(g)
-			if cand > dp[mask] {
-				dp[mask] = cand
-				choice[mask] = g
+			// Next combination.
+			i := size - 1
+			for i >= 0 && idx[i] == np-size+i {
+				i--
 			}
-		})
-	}
-
-	var groups [][]int
-	for mask := full; mask != 0; {
-		g := choice[mask]
-		var members []int
-		for i := 0; i < n; i++ {
-			if g&(1<<uint(i)) != 0 {
-				members = append(members, i)
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
 			}
 		}
-		groups = append(groups, members)
+	}
+
+	flat := make([]int, 0, n)
+	groups := make([][]int, 0, n/arity)
+	for mask := full; mask != 0; {
+		g := choice[mask]
+		start := len(flat)
+		for t := g; t != 0; t &= t - 1 {
+			flat = append(flat, bits.TrailingZeros(uint(t)))
+		}
+		groups = append(groups, flat[start:])
 		mask &^= g
 	}
 	return groups
 }
 
 // forEachSubsetOfSize calls fn with every subset of mask having exactly
-// size bits set.
+// size bits set. It is the reference form of the combination walk that
+// groupExhaustive inlines over workspace buffers (the inline copy
+// avoids the per-call position/index allocations and the closure).
 func forEachSubsetOfSize(mask, size int, fn func(int)) {
 	if size == 0 {
 		fn(0)
 		return
 	}
-	// Collect the set bit positions once, then walk combinations.
 	var pos []int
 	for i := mask; i != 0; i &= i - 1 {
 		pos = append(pos, bits.TrailingZeros(uint(i)))
@@ -165,7 +218,6 @@ func forEachSubsetOfSize(mask, size int, fn func(int)) {
 			sub |= 1 << uint(pos[k])
 		}
 		fn(sub)
-		// Next combination.
 		i := size - 1
 		for i >= 0 && idx[i] == len(pos)-size+i {
 			i--
@@ -183,52 +235,101 @@ func forEachSubsetOfSize(mask, size int, fn func(int)) {
 // groupGreedy builds groups around the heaviest communicating pairs and
 // grows each group by repeatedly adding the unassigned entity with the
 // strongest connection to the group.
-func groupGreedy(m *comm.Matrix, arity int) [][]int {
+//
+// The engine is incremental: affinity[k] holds the volume between k and
+// the current group's members, updated in O(n) per admitted member
+// instead of rescanning every candidate against every member. Seeds
+// come from a lazily-popped max-heap of the nonzero pairs — heapify is
+// O(#nonzero) and only the pairs actually consumed pay the log cost,
+// against sorting the full pair list up front.
+func groupGreedy(m *comm.Matrix, arity int, ws *mapWorkspace, isSym bool) [][]int {
 	n := m.Order()
-	assigned := make([]bool, n)
-	pairs := m.HeaviestPairs(0)
-	var groups [][]int
-	pairIdx := 0
+	sym := m
+	if !isSym {
+		sym = m.SymmetrizedInto(ws.sym)
+	}
+	assigned := growBools(&ws.assigned, n)
+	clear(assigned)
+	aff := growFloats(&ws.affinity, n)
+	// cand lists the still-unassigned entities in increasing order; the
+	// selection pass compacts it in place, so late groups scan only the
+	// remaining candidates instead of all n entities every time.
+	cand := growInts(&ws.cand, n)
+	for i := range cand {
+		cand[i] = i
+	}
+
+	heap := ws.pairs[:0]
+	for i := 0; i < n; i++ {
+		row := sym.RowView(i)
+		for j := i + 1; j < n; j++ {
+			if v := row[j]; v > 0 {
+				heap = append(heap, comm.Pair{I: i, J: j, Volume: v})
+			}
+		}
+	}
+	ws.pairs = heap // keep the grown backing array for the next call
+	heapifyPairs(heap)
+
+	flat := make([]int, 0, n)
+	groups := make([][]int, 0, n/arity)
 	remaining := n
 	for remaining > 0 {
+		start := len(flat)
 		// Seed with the heaviest fully-unassigned pair.
-		var g []int
-		for ; pairIdx < len(pairs); pairIdx++ {
-			pr := pairs[pairIdx]
+		for len(heap) > 0 {
+			var pr comm.Pair
+			pr, heap = popPair(heap)
 			if !assigned[pr.I] && !assigned[pr.J] {
-				g = append(g, pr.I, pr.J)
+				flat = append(flat, pr.I, pr.J)
 				assigned[pr.I], assigned[pr.J] = true, true
 				break
 			}
 		}
-		if len(g) == 0 {
+		if len(flat) == start {
 			// No communicating pair left: seed with the lowest
 			// unassigned entity.
 			for i := 0; i < n; i++ {
 				if !assigned[i] {
-					g = append(g, i)
+					flat = append(flat, i)
 					assigned[i] = true
 					break
 				}
 			}
 		}
-		// Grow to the target size.
+		g := flat[start:]
+		clear(aff)
+		for _, e := range g {
+			row := sym.RowView(e)
+			for k, v := range row {
+				aff[k] += v
+			}
+		}
+		// Grow to the target size. Each selection pass compacts cand,
+		// dropping entities assigned since the last pass; the ascending
+		// scan keeps the lowest index as tie-winner, like the full scan
+		// it replaces.
 		for len(g) < arity {
 			best, bestVol := -1, math.Inf(-1)
-			for k := 0; k < n; k++ {
+			w := 0
+			for _, k := range cand {
 				if assigned[k] {
 					continue
 				}
-				var vol float64
-				for _, e := range g {
-					vol += m.At(k, e) + m.At(e, k)
-				}
-				if vol > bestVol {
-					best, bestVol = k, vol
+				cand[w] = k
+				w++
+				if aff[k] > bestVol {
+					best, bestVol = k, aff[k]
 				}
 			}
-			g = append(g, best)
+			cand = cand[:w]
+			flat = append(flat, best)
+			g = flat[start:]
 			assigned[best] = true
+			row := sym.RowView(best)
+			for k, v := range row {
+				aff[k] += v
+			}
 		}
 		remaining -= len(g)
 		groups = append(groups, g)

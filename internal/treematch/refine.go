@@ -13,7 +13,14 @@ import "orwlplace/internal/comm"
 // The input groups are not modified; the refined grouping is returned
 // normalized (sorted members, groups ordered by smallest member).
 func RefineSwap(m *comm.Matrix, groups [][]int, maxRounds int) [][]int {
-	sym := m.Symmetrized()
+	return refineSwapSym(m.Symmetrized(), groups, maxRounds)
+}
+
+// refineSwapSym is RefineSwap on an already-symmetric matrix, read
+// directly — the pipeline in Map calls it on the level matrix without
+// paying a per-level O(n²) symmetrized copy (a uniform scaling of the
+// volumes changes no swap decision).
+func refineSwapSym(sym *comm.Matrix, groups [][]int, maxRounds int) [][]int {
 	out := make([][]int, len(groups))
 	for i, g := range groups {
 		out[i] = append([]int(nil), g...)

@@ -125,6 +125,14 @@ func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) 
 	cores := top.NumCores()
 	pusPerCore := top.NumPUs() / cores
 
+	// All transient state — the symmetrize/extend/aggregate matrix
+	// chain and the grouping engines' scratch — lives in a pooled
+	// workspace, so a full multi-level Map does O(1) matrix
+	// allocations. Only one pipeline matrix is live at a time; each
+	// transformation writes into the other (ws.other) and swaps.
+	ws := getWorkspace()
+	defer putWorkspace(ws)
+
 	// The mapping tree has the physical cores as leaves: one compute
 	// entity per core ("we map only one compute intensive task per
 	// physical core"). Arity-1 levels (single socket per NUMA node,
@@ -134,7 +142,7 @@ func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) 
 	// --- Step 1: extend m to manage control threads. ---
 	mode := ControlNone
 	controlOwner := []int(nil) // extended-entity index -> owning task
-	work := m.Symmetrized()
+	work := m.SymmetrizedInto(ws.mA)
 	switch {
 	case !opt.ControlThreads:
 		// Nothing to do.
@@ -151,7 +159,7 @@ func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) 
 			spare = p
 		}
 		owners := heaviestTasks(work, spare)
-		ext := work.Extend(p + spare)
+		ext := work.ExtendInto(ws.other(work), p+spare)
 		for ci, task := range owners {
 			vol := rowSum(work, task) * opt.ControlVolumeFraction
 			if vol == 0 {
@@ -176,7 +184,7 @@ func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) 
 		oversub = true
 		mode = ControlNone
 		controlOwner = nil
-		work = m.Symmetrized() // drop any control extension
+		work = m.SymmetrizedInto(work) // drop any control extension
 		order = work.Order()
 	}
 	leaves := 1
@@ -184,32 +192,36 @@ func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) 
 		leaves *= a
 	}
 	if order < leaves {
-		work = work.Extend(leaves)
+		work = work.ExtendInto(ws.other(work), leaves)
 	}
 
 	// --- Steps 3-7: group bottom-up, aggregating the matrix. ---
 	// partitions[k] is the grouping performed at loop iteration k, from
 	// the leaf-parent level upwards.
-	var partitions [][][]int
+	partitions := make([][][]int, 0, len(arities))
 	cur := work
 	for lvl := len(arities) - 1; lvl >= 0; lvl-- {
 		a := arities[lvl]
-		groups, err := GroupProcesses(cur, a, opt.ExhaustiveLimit)
+		// cur is symmetric by construction (symmetrize, then
+		// symmetry-preserving extend/AddSym/aggregate steps), so the
+		// engines read its rows directly.
+		groups, err := groupProcesses(cur, a, opt.ExhaustiveLimit, ws, true)
 		if err != nil {
 			return nil, fmt.Errorf("treematch: level %d: %w", lvl, err)
 		}
 		if opt.RefineRounds > 0 && a > 1 && a < cur.Order() {
-			groups = RefineSwap(cur, groups, opt.RefineRounds)
+			groups = refineSwapSym(cur, groups, opt.RefineRounds)
 		}
 		partitions = append(partitions, groups)
-		cur, err = cur.Aggregate(groups)
-		if err != nil {
+		next := ws.other(cur)
+		if err := cur.AggregateInto(next, groups, growInts(&ws.groupOf, cur.Order())); err != nil {
 			return nil, fmt.Errorf("treematch: aggregate level %d: %w", lvl, err)
 		}
+		cur = next
 	}
 
 	// --- Step 8: MapGroups — expand the hierarchy into a leaf order. ---
-	leafOrder := mapGroups(partitions)
+	leafOrder := mapGroups(partitions, ws)
 	if len(leafOrder) != leaves {
 		return nil, fmt.Errorf("treematch: internal: %d leaves ordered, want %d", len(leafOrder), leaves)
 	}
@@ -226,7 +238,8 @@ func Map(top *topology.Topology, m *comm.Matrix, opt Options) (*Mapping, error) 
 	for i := range res.ControlPU {
 		res.ControlPU[i] = -1
 	}
-	slotOf := make(map[int]int, p) // per-core next PU slot for oversubscription
+	slotOf := growInts(&ws.slots, cores) // per-core next PU slot for oversubscription
+	clear(slotOf)
 	coreObjs := top.Cores()
 	for pos, ent := range leafOrder {
 		if ent < 0 || ent >= order {
@@ -316,23 +329,34 @@ func rowSum(m *comm.Matrix, i int) float64 {
 // mapGroups expands the bottom-up grouping hierarchy into the final
 // leaf order: element k of the result is the entity assigned to leaf k.
 // partitions[0] is the leaf-parent grouping, the last element the
-// top-level grouping.
-func mapGroups(partitions [][][]int) []int {
+// top-level grouping. The expansion ping-pongs between two workspace
+// buffers; the returned slice aliases the workspace and is only valid
+// until the next use of ws.
+func mapGroups(partitions [][][]int, ws *mapWorkspace) []int {
 	// Start from the top: the final aggregation has one entity per
 	// top-level group, in group order.
 	top := partitions[len(partitions)-1]
-	seq := make([]int, len(top))
+	seq := growInts(&ws.seqA, len(top))
 	for i := range seq {
 		seq[i] = i
 	}
+	next := ws.seqB
 	// Walk back down, expanding each super-entity into its members.
 	for lvl := len(partitions) - 1; lvl >= 0; lvl-- {
 		groups := partitions[lvl]
-		var next []int
+		total := 0
+		for _, e := range seq {
+			total += len(groups[e])
+		}
+		next = next[:0]
+		if cap(next) < total {
+			next = make([]int, 0, total)
+		}
 		for _, e := range seq {
 			next = append(next, groups[e]...)
 		}
-		seq = next
+		seq, next = next, seq[:0]
 	}
+	ws.seqA, ws.seqB = seq, next // keep the grown buffers pooled
 	return seq
 }

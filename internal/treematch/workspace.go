@@ -1,0 +1,136 @@
+package treematch
+
+import (
+	"sync"
+
+	"orwlplace/internal/comm"
+)
+
+// mapWorkspace holds every scratch buffer the mapping pipeline needs:
+// the ping-pong matrices of the symmetrize/extend/aggregate chain, the
+// grouping engines' affinity and heap state, and the exhaustive DP
+// tables. Map and GroupProcesses draw one from a pool per call, so a
+// full multi-level mapping performs O(1) matrix allocations in steady
+// state and the engines allocate only the group slices they return.
+type mapWorkspace struct {
+	// mA/mB back the matrix pipeline (work matrix and aggregate
+	// destination, swapped level by level); sym holds the symmetrized
+	// copy the grouping engines read rows from.
+	mA, mB, sym *comm.Matrix
+
+	// Greedy engine scratch.
+	assigned []bool
+	affinity []float64
+	pairs    []comm.Pair
+	cand     []int
+
+	// Exhaustive engine scratch.
+	dp, weight []float64
+	choice     []int
+	pos, idx   []int
+
+	// Pipeline scratch: aggregate group index, oversubscription slot
+	// counters, and the two mapGroups expansion buffers.
+	groupOf    []int
+	slots      []int
+	seqA, seqB []int
+}
+
+var wsPool = sync.Pool{
+	New: func() any {
+		return &mapWorkspace{
+			mA:  comm.NewMatrix(0),
+			mB:  comm.NewMatrix(0),
+			sym: comm.NewMatrix(0),
+		}
+	},
+}
+
+func getWorkspace() *mapWorkspace   { return wsPool.Get().(*mapWorkspace) }
+func putWorkspace(ws *mapWorkspace) { wsPool.Put(ws) }
+
+// other returns the pipeline matrix that is not cur, for ping-pong use.
+func (ws *mapWorkspace) other(cur *comm.Matrix) *comm.Matrix {
+	if cur == ws.mA {
+		return ws.mB
+	}
+	return ws.mA
+}
+
+// Buffer growth helpers: reslice when capacity suffices, reallocate
+// otherwise. Contents are unspecified unless the caller clears them.
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growFloats(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growBools(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// pairBefore reports whether a pops before b: heavier symmetrized
+// volume first, ties by (I,J) ascending — exactly the order
+// comm.HeaviestPairs sorts by, so heap-based seeding consumes pairs in
+// the same sequence as the old sorted-slice seeding.
+func pairBefore(a, b comm.Pair) bool {
+	if a.Volume != b.Volume {
+		return a.Volume > b.Volume
+	}
+	if a.I != b.I {
+		return a.I < b.I
+	}
+	return a.J < b.J
+}
+
+// heapifyPairs establishes the max-heap property in O(len(h)).
+func heapifyPairs(h []comm.Pair) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDownPair(h, i)
+	}
+}
+
+func siftDownPair(h []comm.Pair, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < len(h) && pairBefore(h[l], h[best]) {
+			best = l
+		}
+		if r < len(h) && pairBefore(h[r], h[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// popPair removes and returns the heap top.
+func popPair(h []comm.Pair) (comm.Pair, []comm.Pair) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if len(h) > 1 {
+		siftDownPair(h, 0)
+	}
+	return top, h
+}

@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench.sh — regenerate BENCH_PR3.json: run the placement hot-path
+# benchmarks (go test -bench -benchmem across the root, placement,
+# treematch, comm and orwlnet packages) and record ns/op + allocs/op
+# as JSON next to the pre-PR baseline in
+# scripts/bench_baseline_pr3.json.
+#
+#   scripts/bench.sh                  # full run, writes BENCH_PR3.json
+#   scripts/bench.sh -benchtime 0.3s  # quicker CI pass, same schema
+#
+# Extra flags are handed through to cmd/benchjson.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchjson -baseline scripts/bench_baseline_pr3.json "$@"
