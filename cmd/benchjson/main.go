@@ -63,7 +63,7 @@ type File struct {
 // pipeline, and the placement RPC round trip.
 const defaultBench = "TreeMatchMap|TreeMatchCold|TreeMatchCached|TreeMatchConcurrentBurst|" +
 	"GroupGreedy|GroupExhaustive|MapRing160|SymmetrizedInto|ExtendInto|AggregateInto|" +
-	"HeaviestPairsSparse|PlaceComputeRoundTrip"
+	"HeaviestPairsSparse|PlaceComputeRoundTrip|PlaceBatchRoundTrip|PlaceSequentialRoundTrip"
 
 func defaultPkgs() []string {
 	return []string{".", "./internal/placement", "./internal/treematch", "./internal/comm", "./internal/orwlnet"}

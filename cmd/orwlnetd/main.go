@@ -1,16 +1,21 @@
 // Command orwlnetd serves ORWL locations — and, with -place, a
-// placement service for a machine topology — over TCP, so separate
-// processes can share locations with the ordered read-write-lock FIFO
-// discipline and obtain topology-aware mappings from a central daemon
-// (the distributed deployment of the ORWL model).
+// placement service for a fleet of machine topologies — over TCP, so
+// separate processes can share locations with the ordered
+// read-write-lock FIFO discipline and obtain topology-aware mappings
+// from a central daemon (the distributed deployment of the ORWL
+// model).
 //
 // Usage:
 //
-//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name]
+//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...]
 //
-// At least one of -loc or -place is required. -machine picks the
-// topology the placement service maps onto: a named testbed (see
-// lstopo) or "host" for the machine the daemon runs on.
+// At least one of -loc or -place is required. -machine is repeatable
+// and picks the topologies the placement service maps onto: named
+// testbeds (see lstopo) and/or "host" for the machine the daemon runs
+// on. The first -machine is the fleet's default — where requests that
+// name no machine (including every pre-fleet v1 request) are routed;
+// `PlaceRequest.Machine` selects any other, and PlaceBatch fans one
+// request slice across the fleet in a single RPC.
 //
 // The daemon traps SIGINT/SIGTERM and drains in-flight calls before
 // exiting.
@@ -53,10 +58,27 @@ func (l locFlags) Set(v string) error {
 	return nil
 }
 
+// machineFlags collects repeated -machine flags, rejecting duplicates
+// (fleet names are routing keys).
+type machineFlags []string
+
+func (m *machineFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *machineFlags) Set(v string) error {
+	for _, have := range *m {
+		if have == v {
+			return fmt.Errorf("duplicate machine %q", v)
+		}
+	}
+	*m = append(*m, v)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
 	place := flag.Bool("place", false, "export a placement service")
-	machine := flag.String("machine", "host", "machine the placement service maps onto: host, "+strings.Join(topology.MachineNames(), ", "))
+	machines := machineFlags{}
+	flag.Var(&machines, "machine", "machine the placement service maps onto (repeatable; the first is the fleet default): host, "+strings.Join(topology.MachineNames(), ", "))
 	locSpec := locFlags{}
 	flag.Var(locSpec, "loc", "location to export as name:size (repeatable)")
 	flag.Parse()
@@ -67,24 +89,27 @@ func main() {
 
 	var opts []orwlnet.ServerOption
 	if *place {
-		top, err := pickMachine(*machine)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
-			os.Exit(2)
+		if len(machines) == 0 {
+			machines = machineFlags{"host"}
 		}
-		eng, err := placement.NewEngine(top)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
-			os.Exit(1)
+		fleet := placement.NewMultiService()
+		pus := 0
+		for _, name := range machines {
+			top, err := pickMachine(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+				os.Exit(2)
+			}
+			if err := fleet.AddMachine(name, top); err != nil {
+				fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+				os.Exit(1)
+			}
+			pus += top.NumPUs()
 		}
-		svc, err := placement.NewLocalService(eng)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
-			os.Exit(1)
-		}
-		opts = append(opts, orwlnet.WithPlacement(svc))
-		fmt.Printf("orwlnetd: placement service on %s (%d PUs, strategies: %s)\n",
-			top.Attrs.Name, top.NumPUs(), strings.Join(placement.Names(), ", "))
+		opts = append(opts, orwlnet.WithPlacement(fleet))
+		fmt.Printf("orwlnetd: placement fleet of %d machine(s) [%s], default %s (%d PUs total, strategies: %s)\n",
+			len(machines), strings.Join(fleet.Machines(), ", "), fleet.DefaultMachine(),
+			pus, strings.Join(placement.Names(), ", "))
 	}
 
 	locs := make(map[string]*orwl.Location, len(locSpec))

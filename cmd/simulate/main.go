@@ -6,20 +6,35 @@
 // describe your application's threads and communication, and see what
 // automatic placement would buy.
 //
+// With -fleet the workload is instead batch-placed across every
+// registered testbed in a single PlaceBatch RPC against a placement
+// daemon — the paper's cross-machine comparison (Table I: where would
+// this communication pattern land, and at what modeled cost, on each
+// machine?), served remotely. -daemon points at a running `orwlnetd
+// -place -machine ...`; without it a loopback fleet daemon over all
+// testbeds is started in-process, so the RPC path is exercised either
+// way.
+//
 // Usage:
 //
 //	simulate -w workload.json [-m machine] [-seed n]
 //	simulate -demo            # built-in demo workload (K23, 64 cores)
+//	simulate -demo -fleet [-daemon host:port]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strings"
 	"sync"
+	"time"
 
+	"orwlplace"
 	"orwlplace/internal/apps/livermore"
+	"orwlplace/internal/orwlnet"
 	"orwlplace/internal/perfsim"
 	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
@@ -30,13 +45,22 @@ func main() {
 	path := flag.String("w", "", "workload JSON file")
 	demo := flag.Bool("demo", false, "use the built-in demo workload instead of -w")
 	seed := flag.Int64("seed", 42, "seed for the simulated OS scheduler")
+	fleet := flag.Bool("fleet", false, "batch-place the workload across every testbed in one RPC instead of simulating on -m")
+	daemon := flag.String("daemon", "", "with -fleet: address of a running fleet daemon (orwlnetd -place); empty starts one in-process")
 	flag.Parse()
 
-	top, err := topology.ByName(*machine)
+	w, err := loadWorkload(*path, *demo)
 	if err != nil {
 		fail(err)
 	}
-	w, err := loadWorkload(*path, *demo)
+	if *fleet {
+		if err := runFleet(w, *daemon); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	top, err := topology.ByName(*machine)
 	if err != nil {
 		fail(err)
 	}
@@ -96,6 +120,84 @@ func main() {
 		fmt.Printf("\naffinity speedup over the OS scheduler: %.2fx (control mode: %s)\n",
 			dyn.Seconds/aff.Seconds, affinityMode)
 	}
+}
+
+// runFleet batch-places the workload's communication matrix onto
+// every machine of a fleet daemon in a single RPC and prints the
+// cross-machine comparison. With no daemon address, a loopback fleet
+// over all registered testbeds is served in-process.
+func runFleet(w *perfsim.Workload, daemonAddr string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	if daemonAddr == "" {
+		fleet, err := orwlplace.NewFleet(topology.MachineNames()...)
+		if err != nil {
+			return err
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv, err := orwlnet.NewServer(lis, nil, orwlnet.WithPlacement(fleet))
+		if err != nil {
+			return err
+		}
+		go srv.Serve()
+		defer srv.Close()
+		daemonAddr = lis.Addr().String()
+		fmt.Printf("in-process fleet daemon on %s\n", daemonAddr)
+	}
+
+	c, err := orwlnet.DialContext(ctx, daemonAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	remote, err := c.PlacementService()
+	if err != nil {
+		return err
+	}
+	stats, err := remote.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	if len(stats.Machines) == 0 {
+		return fmt.Errorf("simulate: daemon at %s serves no fleet machines", daemonAddr)
+	}
+
+	reqs := make([]*placement.PlaceRequest, len(stats.Machines))
+	for i, m := range stats.Machines {
+		reqs[i] = &placement.PlaceRequest{
+			Machine:  m,
+			Strategy: placement.TreeMatch,
+			Matrix:   w.Comm,
+			Options:  placement.Options{ControlThreads: true},
+		}
+	}
+	start := time.Now()
+	resps, err := remote.PlaceBatch(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	rtt := time.Since(start)
+
+	fmt.Printf("workload %q: %d threads batch-placed across %d machines in one RPC (%.2fms round trip)\n\n",
+		w.Name, len(w.Threads), len(stats.Machines), float64(rtt.Nanoseconds())/1e6)
+	fmt.Printf("%-12s %14s %16s %10s %12s\n", "machine", "cost", "cross-NUMA", "cache", "daemon ms")
+	for i, resp := range resps {
+		if resp.Err != "" {
+			fmt.Printf("%-12s %s\n", stats.Machines[i], resp.Err)
+			continue
+		}
+		hit := "miss"
+		if resp.CacheHit {
+			hit = "hit"
+		}
+		fmt.Printf("%-12s %14.3g %16.3g %10s %12.2f\n",
+			resp.Machine, resp.Cost, resp.CrossNUMAVolume, hit, float64(resp.ElapsedNS)/1e6)
+	}
+	return nil
 }
 
 func loadWorkload(path string, demo bool) (*perfsim.Workload, error) {

@@ -2,11 +2,18 @@
 // (the distributed face of the ORWL model — the paper evaluates a
 // single SMP, but the runtime's resource abstraction is
 // network-transparent). A daemon process exports a chain of locations
-// plus a placement service for its machine; worker "processes"
-// (separate client connections here) first obtain a topology-aware
-// mapping for the pipeline from the remote daemon through the public
-// orwlplace facade, then run an iterative pipeline over the shared
-// locations with exactly the ORWL FIFO discipline.
+// plus a placement fleet; worker "processes" (separate client
+// connections here) first obtain a topology-aware mapping for the
+// pipeline from the remote daemon through the public orwlplace
+// facade — batch-comparing every fleet machine in one RPC on the way
+// — then run an iterative pipeline over the shared locations with
+// exactly the ORWL FIFO discipline.
+//
+// By default the daemon is started in-process, so the example is
+// self-contained. With -daemon host:port it runs against an external
+// `orwlnetd -place -machine ... -loc stage0:8 -loc stage1:8 ...`
+// fleet daemon instead — the end-to-end smoke CI exercises exactly
+// that.
 package main
 
 import (
@@ -21,61 +28,65 @@ import (
 	"orwlplace"
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/orwlnet"
-	"orwlplace/internal/placement"
 )
 
 func main() {
 	stages := flag.Int("stages", 4, "pipeline stages")
 	rounds := flag.Int("rounds", 5, "iterations per stage")
-	machine := flag.String("machine", "tinyht", "daemon-side machine for placement")
+	machine := flag.String("machine", "tinyht", "daemon-side default machine for placement (in-process daemon only)")
+	daemonAddr := flag.String("daemon", "", "address of an external orwlnetd fleet daemon exporting stage0..stageN locations and -place; empty starts one in-process")
 	flag.Parse()
 
-	// --- Daemon side: the owning process holds the locations, exports
-	// them, and serves placement for its machine (what `orwlnetd -place
-	// -machine ...` does as a standalone daemon).
 	names := make([]string, *stages)
-	owner := orwl.MustProgram(1, names[:0]...)
-	locs := make(map[string]*orwl.Location, *stages)
 	for i := range names {
 		names[i] = fmt.Sprintf("stage%d", i)
-		loc, err := owner.AddLocation(orwl.Loc(0, names[i]))
+	}
+
+	// --- Daemon side (in-process mode): the owning process holds the
+	// locations, exports them, and serves a placement fleet (what
+	// `orwlnetd -place -machine ... -loc ...` does as a standalone
+	// daemon). With -daemon, this whole block is someone else's
+	// process.
+	var owner *orwl.Program
+	addr := *daemonAddr
+	if addr == "" {
+		owner = orwl.MustProgram(1)
+		locs := make(map[string]*orwl.Location, *stages)
+		for i := range names {
+			loc, err := owner.AddLocation(orwl.Loc(0, names[i]))
+			if err != nil {
+				log.Fatal(err)
+			}
+			loc.Scale(8)
+			locs[names[i]] = loc
+		}
+		fleet, err := orwlplace.NewFleet(*machine)
 		if err != nil {
 			log.Fatal(err)
 		}
-		loc.Scale(8)
-		locs[names[i]] = loc
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := orwlnet.NewServer(lis, locs, orwlnet.WithPlacement(fleet))
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve()
+		defer srv.Close()
+		addr = lis.Addr().String()
+		fmt.Printf("daemon on %s: %d locations + placement fleet %v\n",
+			addr, len(locs), fleet.Machines())
+	} else {
+		fmt.Printf("using external daemon at %s\n", addr)
 	}
-	top, err := orwlplace.Machine(*machine)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := placement.NewEngine(top)
-	if err != nil {
-		log.Fatal(err)
-	}
-	daemonSvc, err := placement.NewLocalService(eng)
-	if err != nil {
-		log.Fatal(err)
-	}
-	lis, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := orwlnet.NewServer(lis, locs, orwlnet.WithPlacement(daemonSvc))
-	if err != nil {
-		log.Fatal(err)
-	}
-	go srv.Serve()
-	defer srv.Close()
-	fmt.Printf("daemon on %s: %d locations + placement for %s\n",
-		lis.Addr(), len(locs), top.Attrs.Name)
 
 	// --- Program side: before running, ask the remote daemon where the
 	// pipeline should go. Everything below uses only the public facade:
 	// dial, describe the communication pattern, get the assignment.
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	remote, err := orwlplace.DialPlacement(ctx, lis.Addr().String())
+	remote, err := orwlplace.DialPlacement(ctx, addr)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,8 +96,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("remote placement daemon: machine %s, strategies %v\n",
-		stats.TopologyName, stats.Strategies)
+	fmt.Printf("remote placement daemon: fleet %v (default %s), strategies %v\n",
+		stats.Machines, stats.TopologyName, stats.Strategies)
 
 	// Each stage exchanges one 8-byte record with its neighbour every
 	// round: the chain structure is exactly what TreeMatch exploits.
@@ -94,12 +105,30 @@ func main() {
 	for s := 1; s < *stages; s++ {
 		mat.AddSym(s-1, s, float64(8**rounds))
 	}
+
+	// Cross-machine comparison, one RPC: where would this pipeline land
+	// on every machine the daemon serves?
+	across, err := orwlplace.PlaceAcross(ctx, remote, orwlplace.TreeMatch, mat, *stages, stats.Machines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fleet comparison (%d machines, one PlaceBatch RPC):\n", len(across))
+	for i, resp := range across {
+		if resp.Err != "" {
+			fmt.Printf("  %-10s %s\n", stats.Machines[i], resp.Err)
+			continue
+		}
+		fmt.Printf("  %-10s cost %8.0f, cross-NUMA %8.0f bytes, pus %v\n",
+			resp.Machine, resp.Cost, resp.CrossNUMAVolume, resp.Assignment.ComputePU)
+	}
+
+	// The pipeline itself runs under the default machine's mapping.
 	resp, err := orwlplace.PlaceOn(ctx, remote, orwlplace.TreeMatch, mat, *stages)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("remote mapping: strategy %s, cost %.0f, cross-NUMA %.0f bytes, cache hit %v, %.2fms on daemon\n",
-		resp.Assignment.Strategy, resp.Cost, resp.CrossNUMAVolume, resp.CacheHit,
+	fmt.Printf("remote mapping on %s: strategy %s, cost %.0f, cache hit %v, %.2fms on daemon\n",
+		resp.Machine, resp.Assignment.Strategy, resp.Cost, resp.CacheHit,
 		float64(resp.ElapsedNS)/1e6)
 	remoteTop, err := remote.Topology(ctx)
 	if err != nil {
@@ -107,7 +136,8 @@ func main() {
 	}
 	fmt.Print(orwlplace.RenderAssignment(remoteTop, resp.Assignment, names))
 
-	// A recurring phase is served from the daemon's mapping cache.
+	// A recurring phase is served from the daemon's mapping cache (the
+	// batch above already warmed this key on the default machine).
 	again, err := orwlplace.PlaceOn(ctx, remote, orwlplace.TreeMatch, mat, *stages)
 	if err != nil {
 		log.Fatal(err)
@@ -128,11 +158,16 @@ func main() {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			c, err := orwlnet.Dial(lis.Addr().String())
+			c, err := orwlnet.Dial(addr)
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer c.Close()
+			// Against an external daemon the locations exist with
+			// whatever size its -loc flags said; make sure ours fit.
+			if err := c.Scale(names[s], 8); err != nil {
+				log.Fatal(err)
+			}
 			write, err := c.Insert(names[s], orwl.Write)
 			if err != nil {
 				log.Fatal(err)
@@ -173,6 +208,8 @@ func main() {
 		}(s)
 	}
 	wg.Wait()
-	ins, grants, rels := owner.ControlStats()
-	fmt.Printf("server control events: %d inserts, %d grants, %d releases\n", ins, grants, rels)
+	if owner != nil {
+		ins, grants, rels := owner.ControlStats()
+		fmt.Printf("server control events: %d inserts, %d grants, %d releases\n", ins, grants, rels)
+	}
 }

@@ -144,6 +144,77 @@ func TestFacadeRemoteDaemon(t *testing.T) {
 	}
 }
 
+func TestFacadeFleet(t *testing.T) {
+	fleet, err := orwlplace.NewFleet("tinyht", "tinyflat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var _ orwlplace.Service = fleet // the fleet satisfies the facade contract
+	if got := fleet.Machines(); len(got) != 2 || got[0] != "tinyht" {
+		t.Fatalf("fleet machines = %v", got)
+	}
+	if _, err := orwlplace.NewFleet(); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := orwlplace.NewFleet("betz-IV"); err == nil {
+		t.Error("fictional fleet machine accepted")
+	}
+
+	// Serve the fleet like `orwlnetd -place -machine tinyht -machine
+	// tinyflat` and compare machines through the facade in one RPC.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := orwlnet.NewServer(lis, nil, orwlnet.WithPlacement(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	remote, err := orwlplace.DialPlacement(ctx, lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	stats, err := remote.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Machines) != 2 {
+		t.Fatalf("remote fleet machines = %v", stats.Machines)
+	}
+	mat := orwlplace.NewMatrix(4)
+	for i := 1; i < 4; i++ {
+		mat.AddSym(i-1, i, 100)
+	}
+	resps, err := orwlplace.PlaceAcross(ctx, remote, orwlplace.TreeMatch, mat, 0, stats.Machines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("PlaceAcross answered %d slots", len(resps))
+	}
+	for i, resp := range resps {
+		if resp.Err != "" || resp.Assignment == nil || resp.Machine != stats.Machines[i] {
+			t.Errorf("slot %d = %+v, want assignment from %q", i, resp, stats.Machines[i])
+		}
+	}
+
+	// An unnamed request lands on the default machine.
+	def, err := orwlplace.PlaceOn(ctx, remote, orwlplace.TreeMatch, mat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Machine != "tinyht" || !def.CacheHit {
+		t.Errorf("default place = machine %q cache hit %v, want a tinyht hit", def.Machine, def.CacheHit)
+	}
+}
+
 func TestDialPlacementRefused(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()

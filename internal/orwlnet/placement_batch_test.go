@@ -1,0 +1,275 @@
+package orwlnet
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// startFleetServer runs a pure placement daemon serving two named
+// machines — what `orwlnetd -place -machine tinyht -machine tinyflat`
+// exports.
+func startFleetServer(t *testing.T) (*placement.MultiService, string) {
+	t.Helper()
+	fleet := placement.NewMultiService()
+	if err := fleet.AddMachine("tinyht", topology.TinyHT()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.AddMachine("tinyflat", topology.TinyFlat()); err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis, nil, WithPlacement(fleet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return fleet, lis.Addr().String()
+}
+
+func TestRemoteFleetEndToEnd(t *testing.T) {
+	_, addr := startFleetServer(t)
+	ctx := context.Background()
+	c, err := DialContext(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote, err := c.PlacementService()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := remote.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Machines) != 2 || stats.Machines[0] != "tinyht" {
+		t.Fatalf("fleet stats machines = %v", stats.Machines)
+	}
+
+	// One RPC, one slot per machine, plus a bad slot that must fail
+	// positionally without voiding its siblings.
+	mat := chainMatrix(4)
+	resps, err := remote.PlaceBatch(ctx, []*placement.PlaceRequest{
+		{Machine: "tinyht", Strategy: placement.TreeMatch, Matrix: mat},
+		{Machine: "tinyflat", Strategy: placement.TreeMatch, Matrix: mat},
+		{Machine: "smp99", Strategy: placement.TreeMatch, Matrix: mat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("batch answered %d slots", len(resps))
+	}
+	for i, want := range []string{"tinyht", "tinyflat"} {
+		if resps[i].Err != "" || resps[i].Assignment == nil || resps[i].Machine != want {
+			t.Errorf("slot %d = %+v, want assignment from %q", i, resps[i], want)
+		}
+	}
+	if resps[2].Err == "" || !strings.Contains(resps[2].Err, "unknown machine") {
+		t.Errorf("bad slot = %+v, want an unknown-machine error", resps[2])
+	}
+
+	// Single Place with a machine selector routes too.
+	resp, err := remote.Place(ctx, &placement.PlaceRequest{Machine: "tinyflat", Strategy: placement.TreeMatch, Matrix: mat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Machine != "tinyflat" || !resp.CacheHit {
+		t.Errorf("routed place = %+v, want a tinyflat cache hit from the batch's compute", resp)
+	}
+}
+
+// TestRemoteFleetConcurrentBatches drives mixed-machine, mixed
+// hit/miss batches over one connection from many goroutines — the
+// -race shape of the full stack (client mux, server fan-out, engine
+// singleflight).
+func TestRemoteFleetConcurrentBatches(t *testing.T) {
+	fleet, addr := startFleetServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	remote, err := c.PlacementService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	shared := chainMatrix(4)
+
+	const workers = 6
+	const batches = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				resps, err := remote.PlaceBatch(ctx, []*placement.PlaceRequest{
+					{Machine: "tinyht", Strategy: placement.TreeMatch, Matrix: shared},
+					{Machine: "tinyflat", Strategy: placement.TreeMatch, Matrix: shared},
+					{Machine: "tinyht", Strategy: placement.TreeMatch, Matrix: chainMatrix(3 + (w+i)%4)},
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for s, resp := range resps {
+					if resp.Err != "" || resp.Assignment == nil {
+						t.Errorf("worker %d batch %d slot %d: %+v", w, i, s, resp)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := fleet.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := uint64(workers * batches * 3)
+	if st.Places != total {
+		t.Errorf("places = %d, want %d", st.Places, total)
+	}
+	if st.Cache.Hits+st.Cache.Misses != total {
+		t.Errorf("hits(%d)+misses(%d) != %d", st.Cache.Hits, st.Cache.Misses, total)
+	}
+}
+
+// TestFleetV1RequestCompat talks raw protocol: a v1-encoded request —
+// what a pre-fleet client sends — must decode on a fleet server, route
+// to the default machine, and come back v1-encoded so the old client
+// can decode the response.
+func TestFleetV1RequestCompat(t *testing.T) {
+	_, addr := startFleetServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	send := func(id uint64, op byte, payload []byte) message {
+		t.Helper()
+		if err := writeMessage(conn, message{callID: id, op: op, payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// An old client negotiates protocol v1...
+	if resp := send(1, opHello, []byte{protoLegacy, protoPlacement}); resp.op != statusOK || resp.payload[0] != protoPlacement {
+		t.Fatalf("v1 handshake failed: %v %s", resp.op, resp.payload)
+	}
+	// ...and sends a v1-shaped request (no machine field).
+	resp := send(2, opPlaceCompute, mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{
+		Version: 1, Strategy: placement.TreeMatch, Matrix: chainMatrix(4),
+	})))
+	if resp.op != statusError {
+		decoded, err := decodePlaceResponse(resp.payload)
+		if err != nil {
+			t.Fatalf("v1 client cannot decode the fleet server's response: %v", err)
+		}
+		if decoded.Version != 1 {
+			t.Errorf("fleet server answered a v1 request with schema v%d", decoded.Version)
+		}
+		if decoded.Assignment == nil || decoded.Assignment.Entities() != 4 {
+			t.Errorf("v1 request not placed: %+v", decoded)
+		}
+	} else {
+		t.Fatalf("fleet server rejected a v1 request: %s", resp.payload)
+	}
+
+	// The stats payload is also downgraded to what the connection's
+	// protocol implies.
+	sresp := send(3, opPlaceStats, nil)
+	if sresp.op != statusOK {
+		t.Fatalf("stats rejected: %s", sresp.payload)
+	}
+	if got := int(sresp.payload[0]); got != 1 {
+		t.Errorf("stats for a v1 connection encoded at schema %d", got)
+	}
+
+	// opPlaceBatch is a protoBatch-level op: a v1 connection sending it
+	// anyway is refused instead of answered with an undecodable v2
+	// payload.
+	bresp := send(4, opPlaceBatch, mustEncode(encodePlaceBatchRequest(nil, []*placement.PlaceRequest{
+		{Strategy: placement.TreeMatch, Entities: 2},
+	})))
+	if bresp.op != statusError || !strings.Contains(string(bresp.payload), "protocol v1") {
+		t.Errorf("v1 connection's batch answered %v %q, want a protocol refusal", bresp.op, bresp.payload)
+	}
+}
+
+// TestBatchAgainstOldServer fakes a pre-batch (protocol v1) server:
+// the new client's PlaceBatch and default-schema Place must fail
+// loudly client-side instead of sending bytes the server would
+// misread.
+func TestBatchAgainstOldServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			msg, err := readMessage(conn)
+			if err != nil {
+				return
+			}
+			if msg.op == opHello {
+				// A v1 build negotiates at most protoPlacement.
+				writeMessage(conn, message{callID: msg.callID, op: statusOK, payload: []byte{protoPlacement}})
+				continue
+			}
+			writeMessage(conn, message{callID: msg.callID, op: statusError, payload: []byte("unexpected op")})
+		}
+	}()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != protoPlacement {
+		t.Fatalf("negotiated %d, want the old server's %d", c.Version(), protoPlacement)
+	}
+	remote, err := c.PlacementService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := remote.PlaceBatch(ctx, []*placement.PlaceRequest{{Strategy: placement.TreeMatch, Entities: 2}}); err == nil ||
+		!strings.Contains(err.Error(), "batch placement needs") {
+		t.Errorf("PlaceBatch against an old server did not fail loudly: %v", err)
+	}
+	if _, err := remote.Place(ctx, &placement.PlaceRequest{Machine: "tinyht", Strategy: placement.TreeMatch, Entities: 2}); err == nil ||
+		!strings.Contains(err.Error(), "protocol") {
+		t.Errorf("v2 Place against an old server did not fail loudly: %v", err)
+	}
+}

@@ -51,8 +51,8 @@ func TestRemotePlacementEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if c.Version() != protoPlacement {
-		t.Fatalf("negotiated version %d, want %d", c.Version(), protoPlacement)
+	if c.Version() != protoMax {
+		t.Fatalf("negotiated version %d, want %d", c.Version(), protoMax)
 	}
 	remote, err := c.PlacementService()
 	if err != nil {
@@ -185,9 +185,9 @@ func TestPlacementRequiresHandshake(t *testing.T) {
 		return resp
 	}
 
-	resp := send(1, opPlaceCompute, encodePlaceRequest(nil, &placement.PlaceRequest{
+	resp := send(1, opPlaceCompute, mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{
 		Strategy: placement.TreeMatch, Matrix: chainMatrix(3),
-	}))
+	})))
 	if resp.op != statusError {
 		t.Fatal("placement RPC before handshake succeeded")
 	}
@@ -197,9 +197,9 @@ func TestPlacementRequiresHandshake(t *testing.T) {
 	if resp3 := send(3, opHello, []byte{protoLegacy, protoMax}); resp3.op != statusOK || resp3.payload[0] != protoMax {
 		t.Fatalf("handshake failed: %v %s", resp3.op, resp3.payload)
 	}
-	if resp4 := send(4, opPlaceCompute, encodePlaceRequest(nil, &placement.PlaceRequest{
+	if resp4 := send(4, opPlaceCompute, mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{
 		Strategy: placement.TreeMatch, Matrix: chainMatrix(3),
-	})); resp4.op != statusOK {
+	}))); resp4.op != statusOK {
 		t.Fatalf("placement RPC after handshake rejected: %s", resp4.payload)
 	}
 }

@@ -248,99 +248,268 @@ func getCacheStats(src []byte) (placement.CacheStats, []byte, error) {
 	return st, src, nil
 }
 
-// checkWireVersion validates the leading schema-version byte.
+// putWireVersion resolves and appends the leading schema-version byte.
+// Zero resolves to the current placement.ServiceVersion; versions that
+// do not fit the wire's single byte (or predate schema 1) are an
+// explicit error instead of a silent truncation — byte(256) would
+// encode as schema 0 and misdecode on every peer.
+func putWireVersion(dst []byte, v int) ([]byte, int, error) {
+	if v == 0 {
+		v = placement.ServiceVersion
+	}
+	if v < 1 || v > 255 {
+		return nil, 0, fmt.Errorf("orwlnet: placement schema version %d does not fit the wire's version byte (want 1..255)", v)
+	}
+	return append(dst, byte(v)), v, nil
+}
+
+// checkWireVersion validates the leading schema-version byte against
+// what this build speaks.
 func checkWireVersion(src []byte) (int, []byte, error) {
+	return checkWireVersionMax(src, placement.ServiceVersion)
+}
+
+// checkWireVersionMax is checkWireVersion against an explicit ceiling
+// — the decode path of a server that speaks at most max. Split out so
+// cross-version tests can replay how an older build answers newer
+// payloads.
+func checkWireVersionMax(src []byte, max int) (int, []byte, error) {
 	if len(src) < 1 {
 		return 0, nil, fmt.Errorf("orwlnet: missing schema version")
 	}
 	v := int(src[0])
-	if v == 0 || v > placement.ServiceVersion {
+	if v == 0 || v > max {
 		return 0, nil, fmt.Errorf("orwlnet: unsupported placement schema version %d (speak <= %d)",
-			v, placement.ServiceVersion)
+			v, max)
 	}
 	return v, src[1:], nil
 }
 
-func encodePlaceRequest(dst []byte, req *placement.PlaceRequest) []byte {
-	v := req.Version
-	if v == 0 {
-		v = placement.ServiceVersion
-	}
-	dst = append(dst, byte(v))
-	dst = putString(dst, req.Strategy)
-	dst = putUint64(dst, uint64(int64(req.Entities)))
-	dst = putOptions(dst, req.Options)
-	return putMatrix(dst, req.Matrix)
-}
-
-func decodePlaceRequest(src []byte) (*placement.PlaceRequest, error) {
-	v, rest, err := checkWireVersion(src)
+func encodePlaceRequest(dst []byte, req *placement.PlaceRequest) ([]byte, error) {
+	dst, v, err := putWireVersion(dst, req.Version)
 	if err != nil {
 		return nil, err
 	}
+	if v >= 2 {
+		dst = putString(dst, req.Machine)
+	} else if req.Machine != "" {
+		return nil, fmt.Errorf("orwlnet: machine selector %q needs schema v2, request pinned to v%d", req.Machine, v)
+	}
+	dst = putString(dst, req.Strategy)
+	dst = putUint64(dst, uint64(int64(req.Entities)))
+	dst = putOptions(dst, req.Options)
+	return putMatrix(dst, req.Matrix), nil
+}
+
+func decodePlaceRequest(src []byte) (*placement.PlaceRequest, error) {
+	req, _, err := decodePlaceRequestRest(src)
+	return req, err
+}
+
+// decodePlaceRequestRest decodes one request and returns the
+// remaining bytes, so the batch codec can walk a request list.
+func decodePlaceRequestRest(src []byte) (*placement.PlaceRequest, []byte, error) {
+	v, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, nil, err
+	}
 	req := &placement.PlaceRequest{Version: v}
+	if v >= 2 {
+		if req.Machine, rest, err = getString(rest); err != nil {
+			return nil, nil, err
+		}
+	}
 	if req.Strategy, rest, err = getString(rest); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var u uint64
 	if u, rest, err = getUint64(rest); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	req.Entities = int(int64(u))
 	if req.Options, rest, err = getOptions(rest); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if req.Matrix, _, err = getMatrix(rest); err != nil {
-		return nil, err
+	if req.Matrix, rest, err = getMatrix(rest); err != nil {
+		return nil, nil, err
 	}
-	return req, nil
+	return req, rest, nil
 }
 
-func encodePlaceResponse(dst []byte, resp *placement.PlaceResponse) []byte {
-	v := resp.Version
-	if v == 0 {
-		v = placement.ServiceVersion
+func encodePlaceResponse(dst []byte, resp *placement.PlaceResponse) ([]byte, error) {
+	dst, v, err := putWireVersion(dst, resp.Version)
+	if err != nil {
+		return nil, err
 	}
-	dst = append(dst, byte(v))
+	if v >= 2 {
+		dst = putString(dst, resp.Machine)
+		dst = putString(dst, resp.Err)
+	} else if resp.Err != "" {
+		// A v1 response has no error slot; dropping it would turn a
+		// failed batch slot into a silent empty success.
+		return nil, fmt.Errorf("orwlnet: per-slot error needs schema v2, response pinned to v%d", v)
+	}
 	dst = putBool(dst, resp.CacheHit)
 	dst = putFloat64(dst, resp.Cost)
 	dst = putFloat64(dst, resp.CrossNUMAVolume)
 	dst = putCacheStats(dst, resp.Cache)
 	dst = putUint64(dst, uint64(resp.ElapsedNS))
-	return putAssignment(dst, resp.Assignment)
+	return putAssignment(dst, resp.Assignment), nil
 }
 
 func decodePlaceResponse(src []byte) (*placement.PlaceResponse, error) {
+	resp, _, err := decodePlaceResponseRest(src)
+	return resp, err
+}
+
+func decodePlaceResponseRest(src []byte) (*placement.PlaceResponse, []byte, error) {
+	v, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp := &placement.PlaceResponse{Version: v}
+	if v >= 2 {
+		if resp.Machine, rest, err = getString(rest); err != nil {
+			return nil, nil, err
+		}
+		if resp.Err, rest, err = getString(rest); err != nil {
+			return nil, nil, err
+		}
+	}
+	if resp.CacheHit, rest, err = getBool(rest); err != nil {
+		return nil, nil, err
+	}
+	if resp.Cost, rest, err = getFloat64(rest); err != nil {
+		return nil, nil, err
+	}
+	if resp.CrossNUMAVolume, rest, err = getFloat64(rest); err != nil {
+		return nil, nil, err
+	}
+	if resp.Cache, rest, err = getCacheStats(rest); err != nil {
+		return nil, nil, err
+	}
+	var u uint64
+	if u, rest, err = getUint64(rest); err != nil {
+		return nil, nil, err
+	}
+	resp.ElapsedNS = int64(u)
+	if resp.Assignment, rest, err = getAssignment(rest); err != nil {
+		return nil, nil, err
+	}
+	return resp, rest, nil
+}
+
+// minBatchSlotBytes bounds the slot count of a batch frame against
+// its remaining payload. The smallest legal request slot (v1: version
+// byte, empty strategy, entities, options, absent matrix) is 37
+// bytes and the smallest response slot is larger; each reserved slot
+// pointer costs 8 bytes, so any divisor comfortably above 8 keeps a
+// hostile count field from amplifying a small frame into a huge
+// backing-array allocation.
+const minBatchSlotBytes = 32
+
+// encodePlaceBatchRequest frames a request slice for opPlaceBatch:
+// leading batch schema version, slot count, then every slot encoded
+// exactly like a single request (own version byte included, so mixed
+// v1/v2 slots route like their single-call counterparts).
+func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, placement.ServiceVersion)
+	if err != nil {
+		return nil, err
+	}
+	dst = putUint64(dst, uint64(len(reqs)))
+	for i, req := range reqs {
+		if req == nil {
+			return nil, fmt.Errorf("orwlnet: nil request in batch slot %d", i)
+		}
+		if dst, err = encodePlaceRequest(dst, req); err != nil {
+			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+func decodePlaceBatchRequest(src []byte) ([]*placement.PlaceRequest, error) {
 	v, rest, err := checkWireVersion(src)
 	if err != nil {
 		return nil, err
 	}
-	resp := &placement.PlaceResponse{Version: v}
-	if resp.CacheHit, rest, err = getBool(rest); err != nil {
+	if v < 2 {
+		return nil, fmt.Errorf("orwlnet: batch placement needs schema >= 2, got %d", v)
+	}
+	n, rest, err := getUint64(rest)
+	if err != nil {
 		return nil, err
 	}
-	if resp.Cost, rest, err = getFloat64(rest); err != nil {
-		return nil, err
+	if n > uint64(len(rest)/minBatchSlotBytes) {
+		return nil, fmt.Errorf("orwlnet: absurd batch slot count %d", n)
 	}
-	if resp.CrossNUMAVolume, rest, err = getFloat64(rest); err != nil {
-		return nil, err
+	reqs := make([]*placement.PlaceRequest, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var req *placement.PlaceRequest
+		if req, rest, err = decodePlaceRequestRest(rest); err != nil {
+			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
+		}
+		reqs = append(reqs, req)
 	}
-	if resp.Cache, rest, err = getCacheStats(rest); err != nil {
-		return nil, err
-	}
-	var u uint64
-	if u, rest, err = getUint64(rest); err != nil {
-		return nil, err
-	}
-	resp.ElapsedNS = int64(u)
-	if resp.Assignment, _, err = getAssignment(rest); err != nil {
-		return nil, err
-	}
-	return resp, nil
+	return reqs, nil
 }
 
-func encodeServiceStats(dst []byte, st placement.ServiceStats) []byte {
-	dst = append(dst, byte(placement.ServiceVersion))
+func encodePlaceBatchResponse(dst []byte, resps []*placement.PlaceResponse) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, placement.ServiceVersion)
+	if err != nil {
+		return nil, err
+	}
+	dst = putUint64(dst, uint64(len(resps)))
+	for i, resp := range resps {
+		if resp == nil {
+			return nil, fmt.Errorf("orwlnet: nil response in batch slot %d", i)
+		}
+		// Batch slots always speak the batch schema: per-slot errors
+		// and machine names only exist from v2 on.
+		v2 := *resp
+		v2.Version = placement.ServiceVersion
+		if dst, err = encodePlaceResponse(dst, &v2); err != nil {
+			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
+		}
+	}
+	return dst, nil
+}
+
+func decodePlaceBatchResponse(src []byte) ([]*placement.PlaceResponse, error) {
+	v, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, err
+	}
+	if v < 2 {
+		return nil, fmt.Errorf("orwlnet: batch placement needs schema >= 2, got %d", v)
+	}
+	n, rest, err := getUint64(rest)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(rest)/minBatchSlotBytes) {
+		return nil, fmt.Errorf("orwlnet: absurd batch slot count %d", n)
+	}
+	resps := make([]*placement.PlaceResponse, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var resp *placement.PlaceResponse
+		if resp, rest, err = decodePlaceResponseRest(rest); err != nil {
+			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil
+}
+
+// encodeServiceStats encodes a stats payload at the given schema
+// version — the server answers with the schema the connection's
+// negotiated protocol implies, so pre-fleet clients decode it.
+func encodeServiceStats(dst []byte, st placement.ServiceStats, version int) ([]byte, error) {
+	dst, v, err := putWireVersion(dst, version)
+	if err != nil {
+		return nil, err
+	}
 	dst = putString(dst, st.TopologyName)
 	dst = putUint64(dst, st.TopologySignature)
 	dst = putUint64(dst, st.Places)
@@ -349,12 +518,18 @@ func encodeServiceStats(dst []byte, st placement.ServiceStats) []byte {
 	for _, s := range st.Strategies {
 		dst = putString(dst, s)
 	}
-	return dst
+	if v >= 2 {
+		dst = putUint64(dst, uint64(len(st.Machines)))
+		for _, m := range st.Machines {
+			dst = putString(dst, m)
+		}
+	}
+	return dst, nil
 }
 
 func decodeServiceStats(src []byte) (placement.ServiceStats, error) {
 	var st placement.ServiceStats
-	_, rest, err := checkWireVersion(src)
+	v, rest, err := checkWireVersion(src)
 	if err != nil {
 		return st, err
 	}
@@ -370,23 +545,36 @@ func decodeServiceStats(src []byte) (placement.ServiceStats, error) {
 	if st.Cache, rest, err = getCacheStats(rest); err != nil {
 		return st, err
 	}
-	var n uint64
-	if n, rest, err = getUint64(rest); err != nil {
+	if st.Strategies, rest, err = getStringList(rest); err != nil {
 		return st, err
 	}
-	// Each name needs at least its 2-byte length prefix; bounding by the
-	// remaining payload keeps a tiny hostile message from reserving a
-	// huge backing array.
-	if n > uint64(len(rest)/2) {
-		return st, fmt.Errorf("orwlnet: absurd strategy count %d", n)
+	if v >= 2 {
+		if st.Machines, rest, err = getStringList(rest); err != nil {
+			return st, err
+		}
 	}
-	st.Strategies = make([]string, 0, n)
+	return st, nil
+}
+
+// getStringList decodes a uint64-count-prefixed string list. Each name
+// needs at least its 2-byte length prefix; bounding by the remaining
+// payload keeps a tiny hostile message from reserving a huge backing
+// array.
+func getStringList(src []byte) ([]string, []byte, error) {
+	n, rest, err := getUint64(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)/2) {
+		return nil, nil, fmt.Errorf("orwlnet: absurd string count %d", n)
+	}
+	out := make([]string, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var s string
 		if s, rest, err = getString(rest); err != nil {
-			return st, err
+			return nil, nil, err
 		}
-		st.Strategies = append(st.Strategies, s)
+		out = append(out, s)
 	}
-	return st, nil
+	return out, rest, nil
 }

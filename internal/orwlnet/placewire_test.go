@@ -17,6 +17,15 @@ func chainMatrix(n int) *comm.Matrix {
 	return m
 }
 
+// mustEncode unwraps an error-returning codec in tests that feed it
+// well-formed values.
+func mustEncode(b []byte, err error) []byte {
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
 func TestPlaceRequestRoundTrip(t *testing.T) {
 	cases := []*placement.PlaceRequest{
 		{
@@ -31,9 +40,10 @@ func TestPlaceRequestRoundTrip(t *testing.T) {
 		},
 		{Strategy: "scatter", Entities: 7}, // matrix-oblivious: nil matrix
 		{Version: placement.ServiceVersion, Strategy: "compact", Entities: 1},
+		{Machine: "smp20e7", Strategy: "treematch", Matrix: chainMatrix(3)},
 	}
 	for _, req := range cases {
-		got, err := decodePlaceRequest(encodePlaceRequest(nil, req))
+		got, err := decodePlaceRequest(mustEncode(encodePlaceRequest(nil, req)))
 		if err != nil {
 			t.Fatalf("decode(%+v): %v", req, err)
 		}
@@ -42,7 +52,8 @@ func TestPlaceRequestRoundTrip(t *testing.T) {
 			want.Version = placement.ServiceVersion
 		}
 		if got.Strategy != want.Strategy || got.Entities != want.Entities ||
-			got.Version != want.Version || got.Options != want.Options {
+			got.Version != want.Version || got.Options != want.Options ||
+			got.Machine != want.Machine {
 			t.Errorf("round trip mangled scalars: got %+v, want %+v", got, want)
 		}
 		if (got.Matrix == nil) != (req.Matrix == nil) {
@@ -79,9 +90,14 @@ func TestPlaceResponseRoundTrip(t *testing.T) {
 			// Empty-but-non-nil slice must survive as empty, not nil.
 			Assignment: &placement.Assignment{Strategy: "x", ComputePU: []int{}},
 		},
+		{
+			// A failed batch slot: machine + error, no assignment.
+			Machine: "tinyht",
+			Err:     "placement: unknown strategy \"nope\"",
+		},
 	}
 	for _, resp := range cases {
-		got, err := decodePlaceResponse(encodePlaceResponse(nil, resp))
+		got, err := decodePlaceResponse(mustEncode(encodePlaceResponse(nil, resp)))
 		if err != nil {
 			t.Fatalf("decode: %v", err)
 		}
@@ -91,7 +107,8 @@ func TestPlaceResponseRoundTrip(t *testing.T) {
 		}
 		if got.CacheHit != want.CacheHit || got.Cost != want.Cost ||
 			got.CrossNUMAVolume != want.CrossNUMAVolume || got.Cache != want.Cache ||
-			got.ElapsedNS != want.ElapsedNS || got.Version != want.Version {
+			got.ElapsedNS != want.ElapsedNS || got.Version != want.Version ||
+			got.Machine != want.Machine || got.Err != want.Err {
 			t.Errorf("scalars mangled: got %+v, want %+v", got, want)
 		}
 		if !reflect.DeepEqual(got.Assignment, resp.Assignment) {
@@ -105,20 +122,69 @@ func TestServiceStatsRoundTrip(t *testing.T) {
 		TopologyName:      "TinyHT",
 		TopologySignature: 0xdeadbeefcafe,
 		Strategies:        []string{"treematch", "compact", "none"},
+		Machines:          []string{"tinyht", "smp20e7"},
 		Places:            42,
 		Cache:             placement.CacheStats{Hits: 40, Misses: 2, Entries: 2},
 	}
-	got, err := decodeServiceStats(encodeServiceStats(nil, st))
+	got, err := decodeServiceStats(mustEncode(encodeServiceStats(nil, st, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, st) {
 		t.Errorf("round trip mangled stats:\ngot  %+v\nwant %+v", got, st)
 	}
+
+	// A v1 encoding is what pre-fleet clients receive: same scalars,
+	// no machine listing.
+	gotV1, err := decodeServiceStats(mustEncode(encodeServiceStats(nil, st, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV1.Machines != nil {
+		t.Errorf("v1 stats carried a machine listing: %v", gotV1.Machines)
+	}
+	if gotV1.TopologyName != st.TopologyName || gotV1.Places != st.Places || !reflect.DeepEqual(gotV1.Strategies, st.Strategies) {
+		t.Errorf("v1 stats mangled: %+v", gotV1)
+	}
+}
+
+func TestPlaceBatchRoundTrip(t *testing.T) {
+	reqs := []*placement.PlaceRequest{
+		{Machine: "a", Strategy: "treematch", Matrix: chainMatrix(4)},
+		{Strategy: "scatter", Entities: 3},
+		{Version: 1, Strategy: "compact", Entities: 2}, // a v1 slot inside a batch
+	}
+	gotReqs, err := decodePlaceBatchRequest(mustEncode(encodePlaceBatchRequest(nil, reqs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotReqs) != len(reqs) {
+		t.Fatalf("decoded %d slots, want %d", len(gotReqs), len(reqs))
+	}
+	if gotReqs[0].Machine != "a" || gotReqs[1].Machine != "" || gotReqs[2].Version != 1 {
+		t.Errorf("batch slots mangled: %+v %+v %+v", gotReqs[0], gotReqs[1], gotReqs[2])
+	}
+
+	resps := []*placement.PlaceResponse{
+		{Machine: "a", Assignment: &placement.Assignment{Strategy: "treematch", ComputePU: []int{0, 1}}},
+		{Machine: "b", Err: "boom"},
+	}
+	gotResps, err := decodePlaceBatchResponse(mustEncode(encodePlaceBatchResponse(nil, resps)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotResps) != 2 || gotResps[0].Machine != "a" || gotResps[1].Err != "boom" || gotResps[1].Assignment != nil {
+		t.Errorf("batch responses mangled: %+v", gotResps)
+	}
+
+	// Slot errors must not void the frame: slot counts are positional.
+	if _, err := encodePlaceBatchRequest(nil, []*placement.PlaceRequest{nil}); err == nil {
+		t.Error("nil batch slot encoded")
+	}
 }
 
 func TestPlaceWireVersionRejected(t *testing.T) {
-	req := encodePlaceRequest(nil, &placement.PlaceRequest{Strategy: "treematch", Entities: 2})
+	req := mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{Strategy: "treematch", Entities: 2}))
 	req[0] = placement.ServiceVersion + 1
 	if _, err := decodePlaceRequest(req); err == nil {
 		t.Error("future schema version decoded")
@@ -132,10 +198,67 @@ func TestPlaceWireVersionRejected(t *testing.T) {
 	}
 }
 
+// TestPlaceWireVersionByteGuard: schema versions are one wire byte;
+// encoding a version that does not fit (or predates schema 1) must be
+// an explicit error, not a silent byte(v) truncation that would
+// misdecode as an unrelated version.
+func TestPlaceWireVersionByteGuard(t *testing.T) {
+	for _, v := range []int{-1, 256, 300, 1 << 20} {
+		if _, err := encodePlaceRequest(nil, &placement.PlaceRequest{Version: v, Strategy: "treematch"}); err == nil {
+			t.Errorf("request version %d encoded despite not fitting the version byte", v)
+		}
+		if _, err := encodePlaceResponse(nil, &placement.PlaceResponse{Version: v}); err == nil {
+			t.Errorf("response version %d encoded despite not fitting the version byte", v)
+		}
+		if _, err := encodeServiceStats(nil, placement.ServiceStats{}, v); err == nil {
+			t.Errorf("stats version %d encoded despite not fitting the version byte", v)
+		}
+	}
+	// A v1-pinned request cannot carry v2-only fields silently.
+	if _, err := encodePlaceRequest(nil, &placement.PlaceRequest{Version: 1, Machine: "tinyht", Strategy: "treematch"}); err == nil {
+		t.Error("machine selector encoded into a v1 request")
+	}
+	if _, err := encodePlaceResponse(nil, &placement.PlaceResponse{Version: 1, Err: "boom"}); err == nil {
+		t.Error("slot error encoded into a v1 response")
+	}
+}
+
+// TestCrossVersionRequests replays both directions of the v1↔v2 skew:
+// an old client's v1 request decodes on this build and routes to the
+// default machine, and a new client's v2 request is refused by a
+// server that speaks at most schema v1 — loudly, at the version byte,
+// before any field is misread.
+func TestCrossVersionRequests(t *testing.T) {
+	// Old client → new server: the v1 encoding (no machine field) must
+	// decode and leave Machine empty, which routes to the default.
+	v1 := mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{Version: 1, Strategy: "treematch", Matrix: chainMatrix(3)}))
+	req, err := decodePlaceRequest(v1)
+	if err != nil {
+		t.Fatalf("v1 request refused by the v2 decoder: %v", err)
+	}
+	if req.Version != 1 || req.Machine != "" {
+		t.Errorf("v1 request decoded as %+v, want version 1 with empty machine", req)
+	}
+
+	// New client → old server: replay an old build's decode (schema
+	// ceiling 1) against a v2 payload.
+	v2 := mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{Machine: "smp20e7", Strategy: "treematch", Entities: 4}))
+	if _, _, err := checkWireVersionMax(v2, 1); err == nil {
+		t.Error("old server accepted a v2 payload")
+	}
+
+	// And the v1 response an old server would send decodes here.
+	v1resp := mustEncode(encodePlaceResponse(nil, &placement.PlaceResponse{Version: 1, CacheHit: true}))
+	resp, err := decodePlaceResponse(v1resp)
+	if err != nil || resp.Version != 1 || !resp.CacheHit {
+		t.Errorf("v1 response decode: %+v, %v", resp, err)
+	}
+}
+
 func TestPlaceWireTruncationRejected(t *testing.T) {
-	full := encodePlaceResponse(nil, &placement.PlaceResponse{
+	full := mustEncode(encodePlaceResponse(nil, &placement.PlaceResponse{
 		Assignment: &placement.Assignment{Strategy: "treematch", ComputePU: []int{1, 2, 3}},
-	})
+	}))
 	for cut := 1; cut < len(full); cut++ {
 		if _, err := decodePlaceResponse(full[:cut]); err == nil {
 			// Some prefixes decode cleanly when the cut lands exactly on
@@ -146,14 +269,21 @@ func TestPlaceWireTruncationRejected(t *testing.T) {
 			}
 		}
 	}
-	reqFull := encodePlaceRequest(nil, &placement.PlaceRequest{Strategy: "treematch", Matrix: chainMatrix(3)})
+	reqFull := mustEncode(encodePlaceRequest(nil, &placement.PlaceRequest{Strategy: "treematch", Matrix: chainMatrix(3)}))
 	for cut := 1; cut < len(reqFull); cut++ {
 		// Must never panic; errors are expected for most cuts.
 		_, _ = decodePlaceRequest(reqFull[:cut])
 	}
-	statsFull := encodeServiceStats(nil, placement.ServiceStats{TopologyName: "x", Strategies: []string{"a", "b"}})
+	statsFull := mustEncode(encodeServiceStats(nil, placement.ServiceStats{TopologyName: "x", Strategies: []string{"a", "b"}, Machines: []string{"m"}}, 0))
 	for cut := 1; cut < len(statsFull); cut++ {
 		_, _ = decodeServiceStats(statsFull[:cut])
+	}
+	batchFull := mustEncode(encodePlaceBatchRequest(nil, []*placement.PlaceRequest{
+		{Strategy: "treematch", Matrix: chainMatrix(3)},
+		{Machine: "m", Strategy: "scatter", Entities: 2},
+	}))
+	for cut := 1; cut < len(batchFull); cut++ {
+		_, _ = decodePlaceBatchRequest(batchFull[:cut])
 	}
 }
 

@@ -43,6 +43,9 @@ const (
 	opTopology
 	// opPlaceStats fetches the placement service description/counters.
 	opPlaceStats
+	// opPlaceBatch runs a slice of placement requests in one round
+	// trip, fanned across the server's fleet machines (protoBatch).
+	opPlaceBatch
 )
 
 // errUnknownOp is the error text answered to unrecognised opcodes.
@@ -58,8 +61,11 @@ const (
 	protoLegacy = 0
 	// protoPlacement adds the handshake and the placement RPCs.
 	protoPlacement = 1
+	// protoBatch adds opPlaceBatch and the fleet (schema v2) payload
+	// fields: machine selectors, per-slot errors, fleet listings.
+	protoBatch = 2
 	// protoMax is the highest version this build speaks.
-	protoMax = protoPlacement
+	protoMax = protoBatch
 )
 
 // Status codes.

@@ -36,16 +36,70 @@ func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) 
 	if req == nil {
 		return nil, fmt.Errorf("orwlnet: nil placement request")
 	}
+	if err := s.checkSchema(req.Version); err != nil {
+		return nil, err
+	}
 	// The request payload (strategy + options + full matrix) is encoded
 	// into a pooled buffer: callCtx does not retain it past the write,
-	// so it recycles as soon as the call returns.
-	buf := encodePlaceRequest(getPayloadBuf(), req)
-	payload, err := s.c.callCtx(ctx, opPlaceCompute, buf)
-	putPayloadBuf(buf)
+	// so it recycles as soon as the call returns. On encode error the
+	// pristine buffer goes back to the pool (the failed encoder's
+	// partial output is discarded).
+	buf := getPayloadBuf()
+	enc, err := encodePlaceRequest(buf, req)
+	if err != nil {
+		putPayloadBuf(buf)
+		return nil, err
+	}
+	payload, err := s.c.callCtx(ctx, opPlaceCompute, enc)
+	putPayloadBuf(enc)
 	if err != nil {
 		return nil, err
 	}
 	return decodePlaceResponse(payload)
+}
+
+// PlaceBatch implements placement.Service: the whole request slice
+// crosses the wire in one opPlaceBatch round trip and fans out across
+// the daemon's fleet engines, so a cross-machine comparison pays one
+// RPC instead of one per machine.
+func (s *RemoteService) PlaceBatch(ctx context.Context, reqs []*placement.PlaceRequest) ([]*placement.PlaceResponse, error) {
+	if s.c.version < protoBatch {
+		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, batch placement needs v%d", s.c.version, protoBatch)
+	}
+	buf := getPayloadBuf()
+	enc, err := encodePlaceBatchRequest(buf, reqs)
+	if err != nil {
+		putPayloadBuf(buf)
+		return nil, err
+	}
+	payload, err := s.c.callCtx(ctx, opPlaceBatch, enc)
+	putPayloadBuf(enc)
+	if err != nil {
+		return nil, err
+	}
+	resps, err := decodePlaceBatchResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(resps) != len(reqs) {
+		return nil, fmt.Errorf("orwlnet: batch answered %d slots for %d requests", len(resps), len(reqs))
+	}
+	return resps, nil
+}
+
+// checkSchema fails a call whose request schema the connected server
+// cannot decode — loudly and client-side, instead of as an opaque
+// server decode error. A request pinned to Version 1 still reaches a
+// pre-fleet server.
+func (s *RemoteService) checkSchema(v int) error {
+	if v == 0 {
+		v = placement.ServiceVersion
+	}
+	if v >= 2 && s.c.version < protoBatch {
+		return fmt.Errorf("orwlnet: server speaks protocol v%d: schema v%d request needs protocol v%d (pin PlaceRequest.Version to 1 for a legacy server)",
+			s.c.version, v, protoBatch)
+	}
+	return nil
 }
 
 // Topology implements placement.Service: the served machine is

@@ -196,7 +196,42 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return encodePlaceResponse(getPayloadBuf(), resp), true, nil
+		// Answer in the schema the request spoke: a v1 client must be
+		// able to decode the response to its routed-to-default call.
+		resp.Version = req.Version
+		buf := getPayloadBuf()
+		payload, err := encodePlaceResponse(buf, resp)
+		if err != nil {
+			putPayloadBuf(buf)
+			return nil, false, err
+		}
+		return payload, true, nil
+	case opPlaceBatch:
+		svc, err := s.placementFor(st)
+		if err != nil {
+			return nil, false, err
+		}
+		// Batch is a protoBatch-level op and its response is always
+		// schema v2: a connection that only negotiated v1 could not
+		// decode the answer, so refuse up front.
+		if v := s.connVersion(st); v < protoBatch {
+			return nil, false, fmt.Errorf("orwlnet: opPlaceBatch on a protocol v%d connection (needs >= v%d)", v, protoBatch)
+		}
+		reqs, err := decodePlaceBatchRequest(m.payload)
+		if err != nil {
+			return nil, false, err
+		}
+		resps, err := svc.PlaceBatch(s.ctx, reqs)
+		if err != nil {
+			return nil, false, err
+		}
+		buf := getPayloadBuf()
+		payload, err := encodePlaceBatchResponse(buf, resps)
+		if err != nil {
+			putPayloadBuf(buf)
+			return nil, false, err
+		}
+		return payload, true, nil
 	case opPlaceStats:
 		svc, err := s.placementFor(st)
 		if err != nil {
@@ -206,7 +241,20 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		return encodeServiceStats(getPayloadBuf(), stats), true, nil
+		// The stats op carries no request schema version, so the
+		// connection's negotiated protocol decides the payload shape:
+		// pre-fleet clients get the v1 encoding they can decode.
+		schema := placement.ServiceVersion
+		if s.connVersion(st) < protoBatch {
+			schema = 1
+		}
+		buf := getPayloadBuf()
+		payload, err := encodeServiceStats(buf, stats, schema)
+		if err != nil {
+			putPayloadBuf(buf)
+			return nil, false, err
+		}
+		return payload, true, nil
 	default:
 		payload, err := s.handleLocation(st, m)
 		return payload, false, err
@@ -365,13 +413,17 @@ func (s *Server) placementFor(st *connState) (placement.Service, error) {
 	if s.place == nil {
 		return nil, fmt.Errorf("orwlnet: server exports no placement service")
 	}
-	st.mu.Lock()
-	v := st.version
-	st.mu.Unlock()
-	if v < protoPlacement {
+	if s.connVersion(st) < protoPlacement {
 		return nil, fmt.Errorf("orwlnet: placement RPC before version handshake (negotiate >= v%d with opHello)", protoPlacement)
 	}
 	return s.place, nil
+}
+
+// connVersion reads the connection's negotiated protocol version.
+func (s *Server) connVersion(st *connState) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.version
 }
 
 func (s *Server) location(name string) (*orwl.Location, error) {

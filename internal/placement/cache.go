@@ -25,12 +25,44 @@ type cacheKey struct {
 // plus its name, so structurally identical machines (every call of
 // topology.SMP12E5 builds a fresh tree) hash alike and a restricted
 // machine hashes apart from its parent.
+//
+// A topology whose encoding fails (e.g. a NaN attribute) must not
+// degrade to a name-only hash: two differently-broken machines with
+// the same name would alias in the mapping cache and serve each
+// other's assignments. The error is mixed into the hash behind a
+// separator no healthy JSON encoding starts with — and because
+// encoding/json's error text names the value, not where it sits, the
+// tree structure is hashed too, so same-error machines with different
+// shapes still fingerprint apart.
 func Signature(top *topology.Topology) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(top.Attrs.Name))
-	if data, err := top.MarshalJSON(); err == nil {
-		h.Write(data)
+	data, err := top.MarshalJSON()
+	if err != nil {
+		h.Write([]byte("\x00marshal-error\x00"))
+		h.Write([]byte(err.Error()))
+		var buf [8]byte
+		put := func(v uint64) {
+			for i := range buf {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		var walk func(o *topology.Object)
+		walk = func(o *topology.Object) {
+			put(uint64(o.Type))
+			put(uint64(int64(o.OSIndex)))
+			put(uint64(int64(o.CacheSize)))
+			put(uint64(int64(o.Memory)))
+			put(uint64(len(o.Children)))
+			for _, c := range o.Children {
+				walk(c)
+			}
+		}
+		walk(top.Root)
+		return h.Sum64()
 	}
+	h.Write(data)
 	return h.Sum64()
 }
 

@@ -1,0 +1,53 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"orwlplace/internal/topology"
+)
+
+func TestSignatureStructural(t *testing.T) {
+	if Signature(topology.TinyHT()) != Signature(topology.TinyHT()) {
+		t.Error("two builds of the same machine hash apart")
+	}
+	if Signature(topology.TinyHT()) == Signature(topology.TinyFlat()) {
+		t.Error("distinct machines hash alike")
+	}
+}
+
+// TestSignatureBrokenTopologiesDoNotAlias is the regression test for
+// the silent-marshal-error bug: Signature used to drop a failed
+// MarshalJSON on the floor and hash the name alone, so two
+// differently-broken topologies with the same name hashed identically
+// and could alias in the mapping cache.
+func TestSignatureBrokenTopologiesDoNotAlias(t *testing.T) {
+	// encoding/json refuses NaN and Inf, so a NaN attribute is the
+	// smallest honestly-broken topology.
+	nan := topology.TinyHT()
+	nan.Attrs.ClockMHz = math.NaN()
+	if _, err := nan.MarshalJSON(); err == nil {
+		t.Fatal("NaN topology marshalled; the test needs a failing encoding")
+	}
+	inf := topology.TinyHT()
+	inf.Attrs.ClockMHz = math.Inf(1)
+
+	if Signature(nan) == Signature(inf) {
+		t.Error("differently-broken same-named topologies alias")
+	}
+	// Same error text, different tree shape: encoding/json's error
+	// names the value ("json: unsupported value: NaN") but not where
+	// it sits, so the structure must be fingerprinted too.
+	nanFlat := topology.TinyFlat()
+	nanFlat.Attrs.Name = nan.Attrs.Name
+	nanFlat.Attrs.ClockMHz = math.NaN()
+	if Signature(nan) == Signature(nanFlat) {
+		t.Error("same-error, differently-shaped topologies alias")
+	}
+	if Signature(nan) == Signature(topology.TinyHT()) {
+		t.Error("a broken topology aliases with its healthy twin")
+	}
+	if Signature(nan) != Signature(nan) {
+		t.Error("signature of a broken topology is unstable")
+	}
+}

@@ -3,6 +3,9 @@ package placement
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -15,7 +18,16 @@ import (
 // version. Requests carry the version they were built against so a
 // newer client talking to an older service (or the reverse, over the
 // wire) fails loudly instead of misdecoding fields.
-const ServiceVersion = 1
+//
+// Version history:
+//
+//	1 — Place/Topology/Stats against a single machine.
+//	2 — fleet placement: PlaceRequest.Machine selects a named machine,
+//	    PlaceBatch fans a request slice across machines, responses
+//	    carry the serving machine and per-slot errors, stats list the
+//	    fleet. A v1 request still decodes and routes to the default
+//	    machine.
+const ServiceVersion = 2
 
 // PlaceRequest asks a placement service for an assignment. It is the
 // transport-agnostic unit: the in-process service consumes it
@@ -24,6 +36,11 @@ type PlaceRequest struct {
 	// Version is the schema version the request was built against.
 	// Zero means the caller's current ServiceVersion.
 	Version int
+	// Machine names the fleet machine to place onto (schema v2).
+	// Empty selects the service's default machine — which is also how
+	// every v1 request arrives, so old clients keep working against a
+	// fleet server.
+	Machine string
 	// Strategy names a registered strategy ("treematch", "compact", ...).
 	Strategy string
 	// Entities is the number of entities to place. May be zero when
@@ -42,6 +59,16 @@ type PlaceRequest struct {
 type PlaceResponse struct {
 	// Version is the schema version of the response.
 	Version int
+	// Machine is the fleet machine that served the request (schema
+	// v2): the name the request selected, or the default machine's
+	// name when the request left it empty.
+	Machine string
+	// Err carries a batch slot's failure (schema v2): PlaceBatch
+	// answers every request positionally, so a failed slot is a
+	// response with Err set and no Assignment instead of an error that
+	// would void its siblings. Single Place calls return a Go error
+	// and leave Err empty.
+	Err string
 	// Assignment is the computed placement.
 	Assignment *Assignment
 	// CacheHit is true when the assignment came from the mapping cache.
@@ -70,7 +97,11 @@ type ServiceStats struct {
 	TopologySignature uint64
 	// Strategies lists the strategy names the service accepts.
 	Strategies []string
-	// Places counts the Place calls served.
+	// Machines lists the fleet machine names the service routes to
+	// (schema v2), default machine first. A single-machine service
+	// lists just its own machine.
+	Machines []string
+	// Places counts the Place calls served (batch slots included).
 	Places uint64
 	// Cache is a snapshot of the mapping-cache counters.
 	Cache CacheStats
@@ -85,7 +116,14 @@ type Service interface {
 	// Place computes (or fetches from cache) an assignment for the
 	// request.
 	Place(ctx context.Context, req *PlaceRequest) (*PlaceResponse, error)
-	// Topology returns the machine the service places onto.
+	// PlaceBatch answers a request slice positionally, fanning the
+	// slots across the fleet's per-machine engines concurrently. A
+	// failing slot reports through its response's Err field; the call
+	// error is reserved for whole-batch failures (transport, context).
+	PlaceBatch(ctx context.Context, reqs []*PlaceRequest) ([]*PlaceResponse, error)
+	// Topology returns the default machine the service places onto.
+	// The returned tree is the caller's to keep: mutating it does not
+	// reach the service's own topology.
 	Topology(ctx context.Context) (*topology.Topology, error)
 	// Stats returns the service description and traffic counters.
 	Stats(ctx context.Context) (ServiceStats, error)
@@ -131,6 +169,10 @@ func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResp
 	if _, err := checkVersion(req.Version); err != nil {
 		return nil, err
 	}
+	name := s.eng.Topology().Attrs.Name
+	if req.Machine != "" && !strings.EqualFold(req.Machine, name) {
+		return nil, fmt.Errorf("placement: unknown machine %q (service places onto %q)", req.Machine, name)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -142,6 +184,7 @@ func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResp
 	s.places.Add(1)
 	resp := &PlaceResponse{
 		Version:    ServiceVersion,
+		Machine:    name,
 		Assignment: a,
 		CacheHit:   hit,
 		Cache:      s.eng.Stats(),
@@ -160,12 +203,23 @@ func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResp
 	return resp, nil
 }
 
-// Topology implements Service.
+// PlaceBatch implements Service: the slots fan out concurrently onto
+// the engine, whose singleflight collapses identical slots into one
+// compute.
+func (s *LocalService) PlaceBatch(ctx context.Context, reqs []*PlaceRequest) ([]*PlaceResponse, error) {
+	return fanOutBatch(ctx, s.Place, reqs)
+}
+
+// Topology implements Service. The engine's tree is returned as a deep
+// copy (the same serialisation round trip a remote caller gets): an
+// in-process caller mutating the result cannot desynchronise the
+// engine's cached topology signature from its tree, which would
+// corrupt cache keying.
 func (s *LocalService) Topology(ctx context.Context) (*topology.Topology, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return s.eng.Topology(), nil
+	return s.eng.Topology().Clone()
 }
 
 // Stats implements Service.
@@ -177,7 +231,57 @@ func (s *LocalService) Stats(ctx context.Context) (ServiceStats, error) {
 		TopologyName:      s.eng.Topology().Attrs.Name,
 		TopologySignature: s.eng.TopologySignature(),
 		Strategies:        Names(),
+		Machines:          []string{s.eng.Topology().Attrs.Name},
 		Places:            s.places.Load(),
 		Cache:             s.eng.Stats(),
 	}, nil
+}
+
+// batchParallelism bounds the goroutines one PlaceBatch fans out. A
+// remote batch frame can decode to tens of thousands of slots (the
+// wire only bounds the count by payload size), and each slot may run
+// a full TreeMatch — an unbounded fan-out would let one RPC blow up
+// the daemon's memory and scheduler. Slots beyond the bound queue on
+// the semaphore; cross-machine comparisons (a handful of slots) are
+// unaffected.
+var batchParallelism = max(4, 2*runtime.GOMAXPROCS(0))
+
+// fanOutBatch answers every request concurrently through place,
+// positionally, at most batchParallelism slots in flight. Slot
+// failures become responses with Err set, so one bad request cannot
+// void its siblings; the call itself only fails on whole-batch
+// conditions (context cancellation).
+func fanOutBatch(ctx context.Context, place func(context.Context, *PlaceRequest) (*PlaceResponse, error), reqs []*PlaceRequest) ([]*PlaceResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]*PlaceResponse, len(reqs))
+	sem := make(chan struct{}, batchParallelism)
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, req *PlaceRequest) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := place(ctx, req)
+			if err != nil {
+				resp = &PlaceResponse{Version: ServiceVersion, Err: err.Error()}
+				if req != nil {
+					resp.Machine = req.Machine
+				}
+			}
+			out[i] = resp
+		}(i, req)
+	}
+	wg.Wait()
+	// Cancellation mid-batch is a whole-batch condition, per the
+	// Service contract: without this, every in-flight slot would
+	// report "context canceled" in its Err field and the batch itself
+	// would look successful, indistinguishable from genuine
+	// per-machine failures.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

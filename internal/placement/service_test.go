@@ -130,6 +130,48 @@ func TestLocalServiceErrors(t *testing.T) {
 	}
 }
 
+// TestLocalServiceTopologyIsACopy is the regression test for the
+// live-pointer bug: Topology used to hand out the engine's own tree,
+// so an in-process caller mutating it desynchronised the cached
+// topology signature from the tree and corrupted cache keying.
+func TestLocalServiceTopologyIsACopy(t *testing.T) {
+	svc := newTestService(t)
+	ctx := context.Background()
+	before, err := svc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	top, err := svc.Topology(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Signature(top) != before.TopologySignature {
+		t.Fatal("returned topology does not fingerprint like the engine's")
+	}
+	// Maul the returned tree: rename it, inflate a cache, drop a child.
+	top.Attrs.Name = "mutated"
+	top.Root.CacheSize = 1 << 40
+	top.Root.Children = top.Root.Children[:1]
+
+	after, err := svc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.TopologySignature != before.TopologySignature {
+		t.Error("mutating the returned topology changed the service's signature")
+	}
+	if after.TopologyName != before.TopologyName {
+		t.Errorf("mutating the returned topology renamed the service's machine to %q", after.TopologyName)
+	}
+	if fresh, err := svc.Topology(ctx); err != nil || fresh.Attrs.Name != "TinyHT" || len(fresh.Root.Children) != 2 {
+		t.Errorf("engine's own tree was reached through the copy: %+v, %v", fresh.Attrs, err)
+	}
+	if Signature(svc.Engine().Topology()) != before.TopologySignature {
+		t.Error("engine tree no longer matches its cached signature")
+	}
+}
+
 // TestServiceConcurrentPlace hammers one service from many goroutines
 // alternating two distinct requests. The cache must stay consistent:
 // every call is either a hit or a miss, at most a benign handful of

@@ -88,6 +88,19 @@ func (t *Topology) MarshalJSON() ([]byte, error) {
 	return json.Marshal(jsonTopology{Attrs: t.Attrs, Root: conv(t.Root)})
 }
 
+// Clone returns a deep copy of the topology by round-tripping its
+// canonical JSON encoding — exactly the copy a remote caller receives
+// over the wire, so a clone fingerprints (placement.Signature)
+// identically to the original and mutating it cannot reach the
+// original's tree.
+func (t *Topology) Clone() (*Topology, error) {
+	data, err := t.MarshalJSON()
+	if err != nil {
+		return nil, fmt.Errorf("topology: clone: %w", err)
+	}
+	return FromJSON(data)
+}
+
 // FromJSON decodes a topology previously produced by MarshalJSON.
 func FromJSON(data []byte) (*Topology, error) {
 	var jt jsonTopology

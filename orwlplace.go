@@ -61,6 +61,33 @@ const (
 // ServiceVersion is the current request/response schema version.
 const ServiceVersion = placement.ServiceVersion
 
+// Fleet is a placement service routing across a set of named machines
+// — one engine (strategy registry + mapping cache) per topology, a
+// default machine for requests that name none, and PlaceBatch to fan
+// one request slice across the fleet in a single call. It implements
+// Service, so everything that consumes a single-machine service
+// (core.Module, the daemon, the RPC layer) serves a fleet unchanged.
+type Fleet = placement.MultiService
+
+// NewFleet builds an in-process fleet service over the named machines
+// (resolved like Machine); the first name is the default machine.
+func NewFleet(machines ...string) (*Fleet, error) {
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("orwlplace: fleet needs at least one machine")
+	}
+	fleet := placement.NewMultiService()
+	for _, name := range machines {
+		top, err := Machine(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := fleet.AddMachine(name, top); err != nil {
+			return nil, err
+		}
+	}
+	return fleet, nil
+}
+
 // NewMatrix returns an n x n zero communication matrix.
 func NewMatrix(n int) *Matrix { return comm.NewMatrix(n) }
 
@@ -118,10 +145,26 @@ func RenderAssignment(top *Topology, a *Assignment, names []string) string {
 }
 
 // PlaceOn is the one-call convenience: place n entities communicating
-// per matrix on the service's machine with the named strategy.
+// per matrix on the service's default machine with the named strategy.
 func PlaceOn(ctx context.Context, svc Service, strategy string, m *Matrix, n int) (*PlaceResponse, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("orwlplace: nil service")
 	}
 	return svc.Place(ctx, &PlaceRequest{Strategy: strategy, Matrix: m, Entities: n})
+}
+
+// PlaceAcross batch-places one workload onto every named machine of a
+// fleet service in a single call (one RPC when svc is remote): the
+// paper's cross-machine comparison, as a service primitive. Responses
+// are positional per machine; a machine's failure is reported in its
+// response's Err field.
+func PlaceAcross(ctx context.Context, svc Service, strategy string, m *Matrix, n int, machines []string) ([]*PlaceResponse, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("orwlplace: nil service")
+	}
+	reqs := make([]*PlaceRequest, len(machines))
+	for i, machine := range machines {
+		reqs[i] = &PlaceRequest{Machine: machine, Strategy: strategy, Matrix: m, Entities: n}
+	}
+	return svc.PlaceBatch(ctx, reqs)
 }
