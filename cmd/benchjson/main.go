@@ -4,10 +4,14 @@
 // baseline file (see scripts/bench_baseline_pr3.json) each benchmark
 // carries its "before" next to the fresh "after" plus the derived
 // speedup ratios — the format of the BENCH_*.json trajectory files.
+// Benchmarks without a baseline entry (the observed-traffic and
+// adaptive-epoch additions of PR 5) record an "after" only; the
+// instrumented/uninstrumented orwl pairs document the runtime
+// counters' overhead.
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR3.json] [-bench regex] [-pkgs p1,p2] \
+//	benchjson [-o BENCH_PR5.json] [-bench regex] [-pkgs p1,p2] \
 //	          [-benchtime 1s] [-baseline scripts/bench_baseline_pr3.json]
 //
 // scripts/bench.sh wraps it with the repo defaults; CI uploads the
@@ -60,17 +64,20 @@ type File struct {
 
 // defaultBench targets the placement hot-path benches across the
 // layers: full Map, engine cold/cached/burst, grouping engines, matrix
-// pipeline, and the placement RPC round trip.
+// pipeline, the placement RPC round trip, the runtime traffic
+// counters (instrumented vs uninstrumented pairs) and the adaptive
+// reconciliation epoch.
 const defaultBench = "TreeMatchMap|TreeMatchCold|TreeMatchCached|TreeMatchConcurrentBurst|" +
 	"GroupGreedy|GroupExhaustive|MapRing160|SymmetrizedInto|ExtendInto|AggregateInto|" +
-	"HeaviestPairsSparse|PlaceComputeRoundTrip|PlaceBatchRoundTrip|PlaceSequentialRoundTrip"
+	"HeaviestPairsSparse|PlaceComputeRoundTrip|PlaceBatchRoundTrip|PlaceSequentialRoundTrip|" +
+	"TrafficRecord|RawAcquireRelease|FifoPushPop|ObservedWindow|AdaptiveEpoch"
 
 func defaultPkgs() []string {
-	return []string{".", "./internal/placement", "./internal/treematch", "./internal/comm", "./internal/orwlnet"}
+	return []string{".", "./internal/placement", "./internal/treematch", "./internal/comm", "./internal/orwlnet", "./internal/orwl"}
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR5.json", "output JSON path")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	pkgs := flag.String("pkgs", strings.Join(defaultPkgs(), ","), "comma-separated packages to bench")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")

@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...]
+//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...] [-cache-entries n]
 //
 // At least one of -loc or -place is required. -machine is repeatable
 // and picks the topologies the placement service maps onto: named
@@ -15,7 +15,8 @@
 // on. The first -machine is the fleet's default — where requests that
 // name no machine (including every pre-fleet v1 request) are routed;
 // `PlaceRequest.Machine` selects any other, and PlaceBatch fans one
-// request slice across the fleet in a single RPC.
+// request slice across the fleet in a single RPC. -cache-entries
+// bounds each machine engine's mapping cache (0 disables caching).
 //
 // The daemon traps SIGINT/SIGTERM and drains in-flight calls before
 // exiting.
@@ -77,6 +78,7 @@ func (m *machineFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
 	place := flag.Bool("place", false, "export a placement service")
+	cacheEntries := flag.Int("cache-entries", -1, "mapping-cache capacity per machine engine (0 disables caching, -1 keeps the built-in default)")
 	machines := machineFlags{}
 	flag.Var(&machines, "machine", "machine the placement service maps onto (repeatable; the first is the fleet default): host, "+strings.Join(topology.MachineNames(), ", "))
 	locSpec := locFlags{}
@@ -92,6 +94,10 @@ func main() {
 		if len(machines) == 0 {
 			machines = machineFlags{"host"}
 		}
+		var engOpts []placement.EngineOption
+		if *cacheEntries >= 0 {
+			engOpts = append(engOpts, placement.WithCacheEntries(*cacheEntries))
+		}
 		fleet := placement.NewMultiService()
 		pus := 0
 		for _, name := range machines {
@@ -100,7 +106,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 				os.Exit(2)
 			}
-			if err := fleet.AddMachine(name, top); err != nil {
+			if err := fleet.AddMachine(name, top, engOpts...); err != nil {
 				fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 				os.Exit(1)
 			}

@@ -15,11 +15,21 @@
 // testbeds is started in-process, so the RPC path is exercised either
 // way.
 //
+// With -adaptive the workload is replayed as a phase-shifting trace
+// through the closed placement loop: the declared pattern runs for
+// -shift-1 epochs, then the traffic permutes into a structure the
+// initial mapping is wrong for. Each epoch the reconciler measures
+// drift against the matrix backing the current mapping and re-places
+// when the perfsim-modeled gain beats the modeled migration cost. The
+// table compares the modeled seconds of keeping the initial static
+// mapping against letting the loop react.
+//
 // Usage:
 //
 //	simulate -w workload.json [-m machine] [-seed n]
 //	simulate -demo            # built-in demo workload (K23, 64 cores)
 //	simulate -demo -fleet [-daemon host:port]
+//	simulate -demo -adaptive [-epochs n] [-shift k]
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 
 	"orwlplace"
 	"orwlplace/internal/apps/livermore"
+	"orwlplace/internal/comm"
 	"orwlplace/internal/orwlnet"
 	"orwlplace/internal/perfsim"
 	"orwlplace/internal/placement"
@@ -47,6 +58,9 @@ func main() {
 	seed := flag.Int64("seed", 42, "seed for the simulated OS scheduler")
 	fleet := flag.Bool("fleet", false, "batch-place the workload across every testbed in one RPC instead of simulating on -m")
 	daemon := flag.String("daemon", "", "with -fleet: address of a running fleet daemon (orwlnetd -place); empty starts one in-process")
+	adaptive := flag.Bool("adaptive", false, "replay the workload as a phase-shifting trace through the adaptive re-placement loop")
+	epochs := flag.Int("epochs", 8, "with -adaptive: epochs to replay")
+	shift := flag.Int("shift", 4, "with -adaptive: epoch at which the communication pattern shifts")
 	flag.Parse()
 
 	w, err := loadWorkload(*path, *demo)
@@ -55,6 +69,12 @@ func main() {
 	}
 	if *fleet {
 		if err := runFleet(w, *daemon); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *adaptive {
+		if err := runAdaptive(w, *machine, *epochs, *shift, *seed); err != nil {
 			fail(err)
 		}
 		return
@@ -131,7 +151,7 @@ func runFleet(w *perfsim.Workload, daemonAddr string) error {
 	defer cancel()
 
 	if daemonAddr == "" {
-		fleet, err := orwlplace.NewFleet(topology.MachineNames()...)
+		fleet, err := orwlplace.NewFleet(topology.MachineNames())
 		if err != nil {
 			return err
 		}
@@ -196,6 +216,209 @@ func runFleet(w *perfsim.Workload, daemonAddr string) error {
 		}
 		fmt.Printf("%-12s %14.3g %16.3g %10s %12.2f\n",
 			resp.Machine, resp.Cost, resp.CrossNUMAVolume, hit, float64(resp.ElapsedNS)/1e6)
+	}
+	return nil
+}
+
+// phaseScript feeds the reconciler one matrix per epoch.
+type phaseScript struct {
+	matrices []*comm.Matrix
+	next     int
+}
+
+func (s *phaseScript) Name() string { return "replay" }
+
+func (s *phaseScript) Matrix() (*comm.Matrix, error) {
+	if s.next >= len(s.matrices) {
+		return s.matrices[len(s.matrices)-1], nil
+	}
+	m := s.matrices[s.next]
+	s.next++
+	return m, nil
+}
+
+// shufflePerm is the block-transpose permutation that turns neighbour
+// affinity into stride-k affinity: the shifted phase keeps the
+// workload's volume profile but lands its heavy pairs on entities the
+// initial mapping scattered across the machine.
+func shufflePerm(n int) []int {
+	k := 4
+	for ; k > 1; k-- {
+		if n%k == 0 {
+			break
+		}
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i%k)*(n/k) + i/k
+	}
+	return perm
+}
+
+// homogenize flattens the workload's thread profile to its average:
+// the adaptive replay studies communication-structure drift, and with
+// heterogeneous threads a permuted pattern also reshuffles which
+// compute profile pairs with which traffic — noise that would swamp
+// the placement signal the replay demonstrates.
+func homogenize(w *perfsim.Workload) *perfsim.Workload {
+	out := *w
+	var cc, ws, mt float64
+	for _, th := range w.Threads {
+		cc += th.ComputeCycles
+		ws += th.WorkingSet
+		mt += th.MemoryTraffic
+	}
+	n := float64(len(w.Threads))
+	avg := perfsim.Thread{ComputeCycles: cc / n, WorkingSet: ws / n, MemoryTraffic: mt / n}
+	out.Threads = make([]perfsim.Thread, len(w.Threads))
+	for i := range out.Threads {
+		out.Threads[i] = avg
+	}
+	return &out
+}
+
+// runAdaptive replays the workload as a phase-shifting trace through
+// the closed placement loop and prints the static-vs-adaptive
+// comparison.
+func runAdaptive(w *perfsim.Workload, machine string, epochs, shift int, seed int64) error {
+	if epochs < 1 {
+		return fmt.Errorf("simulate: -epochs must be positive")
+	}
+	if shift < 2 || shift > epochs {
+		return fmt.Errorf("simulate: -shift must fall inside 2..epochs (%d)", epochs)
+	}
+	top, err := topology.ByName(machine)
+	if err != nil {
+		return err
+	}
+	eng, err := placement.NewEngine(top)
+	if err != nil {
+		return err
+	}
+	w = homogenize(w)
+	n := len(w.Threads)
+	phaseA := w.Comm
+	phaseB, err := phaseA.Permuted(shufflePerm(n))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %q: %d threads on %s, %d epochs, pattern shift at epoch %d (drift %.2f)\n\n",
+		w.Name, n, top.Attrs.Name, epochs, shift, placement.Drift(phaseA, phaseB))
+
+	script := &phaseScript{}
+	patterns := make([]*comm.Matrix, epochs)
+	for e := 0; e < epochs; e++ {
+		if e+1 < shift {
+			patterns[e] = phaseA
+		} else {
+			patterns[e] = phaseB
+		}
+	}
+	script.matrices = patterns
+
+	horizon := w.Iterations
+	if horizon < 1 {
+		horizon = 1
+	}
+	// A remap adopted at the end of the shift epoch serves the epochs
+	// after it (the shift epoch itself already ran under the old
+	// mapping — reaction lags by one epoch): that is the window the
+	// migration cost amortizes over.
+	remaining := (epochs - shift) * horizon
+	if remaining < 1 {
+		remaining = 1
+	}
+	rec, err := placement.NewReconciler(eng, script, nil, placement.AdaptiveConfig{
+		// The paper's affinity module binds control threads; the loop
+		// and the oracle below use the same options so the comparison
+		// isolates the communication shift.
+		Options:  placement.Options{ControlThreads: true},
+		Workload: w,
+		Horizon:  remaining,
+		Seed:     seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := rec.Prime(placement.Fixed("declared", phaseA)); err != nil {
+		return err
+	}
+	static := rec.Current()
+
+	model := func(pattern *comm.Matrix, a *placement.Assignment) (float64, error) {
+		epochW := *w
+		epochW.Comm = pattern
+		epochW.Iterations = horizon
+		res, err := perfsim.Simulate(top, &epochW, eng.SimPlacement(a, seed))
+		if err != nil {
+			return 0, err
+		}
+		return res.Seconds, nil
+	}
+
+	fmt.Printf("%-6s %-9s %8s %-8s %12s %12s %12s\n",
+		"epoch", "pattern", "drift", "action", "static s", "adaptive s", "remap cost s")
+	var staticTotal, adaptiveTotal float64
+	for e := 0; e < epochs; e++ {
+		// The mapping in force during the epoch is whatever the loop
+		// decided at the end of the previous one: reaction lags the
+		// shift by one epoch, as it would against live counters.
+		inForce := rec.Current()
+		sSec, err := model(patterns[e], static)
+		if err != nil {
+			return err
+		}
+		aSec, err := model(patterns[e], inForce)
+		if err != nil {
+			return err
+		}
+		staticTotal += sSec
+		adaptiveTotal += aSec
+
+		rep, err := rec.Epoch()
+		if err != nil {
+			return err
+		}
+		action := "keep"
+		switch {
+		case rep.Adopted:
+			action = "REMAP"
+			// The switch itself is not free: charge the modeled
+			// migration cost to the adaptive trajectory.
+			adaptiveTotal += rep.CostSeconds
+		case rep.Recomputed:
+			action = "reject"
+		}
+		name := "declared"
+		if patterns[e] == phaseB {
+			name = "shifted"
+		}
+		fmt.Printf("%-6d %-9s %8.3f %-8s %12.4f %12.4f %12.6f\n",
+			e+1, name, rep.Drift, action, sSec, aSec, rep.CostSeconds)
+	}
+
+	st := rec.Stats()
+	fmt.Printf("\nloop: %d epochs, %d drift alarms, %d remaps, %d rejected\n",
+		st.Epochs, st.DriftEpochs, st.Remaps, st.Rejected)
+
+	oracleSec := 0.0
+	for e := 0; e < epochs; e++ {
+		oracle, err := eng.Compute(placement.TreeMatch, patterns[e], n, placement.Options{ControlThreads: true})
+		if err != nil {
+			return err
+		}
+		sec, err := model(patterns[e], oracle)
+		if err != nil {
+			return err
+		}
+		oracleSec += sec
+	}
+	fmt.Printf("modeled totals: static %.4fs, adaptive %.4fs, oracle %.4fs\n", staticTotal, adaptiveTotal, oracleSec)
+	if gap := staticTotal - oracleSec; gap > 0 {
+		fmt.Printf("adaptive placement recovered %.0f%% of the modeled cost gap over the static mapping\n",
+			100*(staticTotal-adaptiveTotal)/gap)
+	} else {
+		fmt.Println("no modeled gap between static and oracle mappings on this trace")
 	}
 	return nil
 }

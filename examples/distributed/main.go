@@ -60,7 +60,7 @@ func main() {
 			loc.Scale(8)
 			locs[names[i]] = loc
 		}
-		fleet, err := orwlplace.NewFleet(*machine)
+		fleet, err := orwlplace.NewFleet([]string{*machine})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,160 @@
+package orwlplace_test
+
+// Facade tests for the adaptive-placement surface and the cache-entry
+// option threading.
+
+import (
+	"context"
+	"testing"
+
+	"orwlplace"
+)
+
+// clusterShiftMatrices builds the two phases of a pattern shift: a
+// pipeline and stride-4 cliques over n entities.
+func clusterShiftMatrices(n int) (pipeline, clusters *orwlplace.Matrix) {
+	pipeline = orwlplace.NewMatrix(n)
+	for i := 0; i+1 < n; i++ {
+		pipeline.AddSym(i, i+1, 1<<20)
+	}
+	clusters = orwlplace.NewMatrix(n)
+	for base := 0; base < 4; base++ {
+		for i := base; i < n; i += 4 {
+			for j := i + 4; j < n; j += 4 {
+				clusters.AddSym(i, j, 1<<20)
+			}
+		}
+	}
+	return pipeline, clusters
+}
+
+func TestFacadeAdaptiveLoop(t *testing.T) {
+	top, err := orwlplace.Machine("smp12e5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := orwlplace.NewService(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	pipeline, clusters := clusterShiftMatrices(n)
+	if d := orwlplace.Drift(pipeline, clusters); d < 0.5 {
+		t.Fatalf("Drift(pipeline, clusters) = %.3f, want substantial", d)
+	}
+
+	src := orwlplace.FixedSource("trace", pipeline)
+	rec, err := orwlplace.NewAdaptive(svc, src, nil, orwlplace.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Prime(orwlplace.FixedSource("declared", pipeline)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := rec.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recomputed || rep.Drift != 0 {
+		t.Fatalf("drift-free epoch = %+v", rep)
+	}
+
+	// The loop's counters surface through the facade Service stats.
+	st, err := svc.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Adaptive.Epochs != 1 {
+		t.Errorf("service adaptive epochs = %d, want 1", st.Adaptive.Epochs)
+	}
+
+	// Remote services cannot host the loop.
+	if _, err := orwlplace.NewAdaptive(remoteStub{}, src, nil, orwlplace.AdaptiveConfig{}); err == nil {
+		t.Error("NewAdaptive accepted a non-local service")
+	}
+}
+
+// remoteStub is a non-LocalService Service implementation.
+type remoteStub struct{ orwlplace.Service }
+
+func TestFacadeCacheEntriesOption(t *testing.T) {
+	top, err := orwlplace.Machine("tinyht")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache disabled: identical placements never hit.
+	svc, err := orwlplace.NewService(top, orwlplace.WithCacheEntries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := orwlplace.NewMatrix(4)
+	m.AddSym(0, 1, 100)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		resp, err := orwlplace.PlaceOn(ctx, svc, orwlplace.TreeMatch, m, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.CacheHit {
+			t.Fatalf("call %d hit a disabled cache", i)
+		}
+	}
+	st, err := svc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cache.Entries != 0 || st.Cache.Hits != 0 {
+		t.Errorf("disabled cache stats = %+v", st.Cache)
+	}
+
+	// The option threads through fleets too: a one-entry cache keeps at
+	// most one assignment per machine.
+	fleet, err := orwlplace.NewFleet([]string{"tinyht", "tinyflat"}, orwlplace.WithCacheEntries(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := orwlplace.NewMatrix(4)
+	m2.AddSym(2, 3, 50)
+	for _, mat := range []*orwlplace.Matrix{m, m2, m} {
+		if _, err := orwlplace.PlaceOn(ctx, fleet, orwlplace.TreeMatch, mat, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fst, err := fleet.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fst.Cache.Entries > 2 { // one per machine at most
+		t.Errorf("one-entry fleet caches hold %d entries", fst.Cache.Entries)
+	}
+	if fst.Cache.Hits != 0 {
+		t.Errorf("expected evictions to prevent hits, got %d", fst.Cache.Hits)
+	}
+}
+
+// TestFacadeAdaptiveOnFleet: passing a fleet attaches the loop to its
+// default machine instead of failing the in-process type check.
+func TestFacadeAdaptiveOnFleet(t *testing.T) {
+	fleet, err := orwlplace.NewFleet([]string{"tinyht", "tinyflat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipeline, _ := clusterShiftMatrices(8)
+	rec, err := orwlplace.NewAdaptive(fleet, orwlplace.FixedSource("trace", pipeline), nil, orwlplace.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Prime(orwlplace.FixedSource("declared", pipeline)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Epoch(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := fleet.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Adaptive.Epochs != 1 {
+		t.Errorf("fleet aggregate adaptive epochs = %d, want 1", st.Adaptive.Epochs)
+	}
+}

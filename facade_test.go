@@ -145,7 +145,7 @@ func TestFacadeRemoteDaemon(t *testing.T) {
 }
 
 func TestFacadeFleet(t *testing.T) {
-	fleet, err := orwlplace.NewFleet("tinyht", "tinyflat")
+	fleet, err := orwlplace.NewFleet([]string{"tinyht", "tinyflat"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,10 +153,10 @@ func TestFacadeFleet(t *testing.T) {
 	if got := fleet.Machines(); len(got) != 2 || got[0] != "tinyht" {
 		t.Fatalf("fleet machines = %v", got)
 	}
-	if _, err := orwlplace.NewFleet(); err == nil {
+	if _, err := orwlplace.NewFleet(nil); err == nil {
 		t.Error("empty fleet accepted")
 	}
-	if _, err := orwlplace.NewFleet("betz-IV"); err == nil {
+	if _, err := orwlplace.NewFleet([]string{"betz-IV"}); err == nil {
 		t.Error("fictional fleet machine accepted")
 	}
 

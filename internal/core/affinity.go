@@ -52,9 +52,11 @@ type Module struct {
 	mu       sync.Mutex
 	prog     *orwl.Program
 	svc      placement.Service
-	eng      *placement.Engine  // non-nil only when svc is in-process
-	top      *topology.Topology // the service's machine, fetched once at Attach
-	ctx      context.Context    // base context for service calls
+	eng      *placement.Engine      // non-nil only when svc is in-process
+	top      *topology.Topology     // the service's machine, fetched once at Attach
+	ctx      context.Context        // base context for service calls
+	src      placement.MatrixSource // step-1 seam; defaults to Declared(prog)
+	observed bool                   // WithObservedAffinity: resolve src at Attach
 	strategy string
 	opt      placement.Options
 
@@ -103,6 +105,22 @@ func WithContext(ctx context.Context) Option {
 	return func(m *Module) { m.ctx = ctx }
 }
 
+// WithSource selects where DependencyGet draws the communication
+// matrix from. The default is the program's declared handle graph
+// (placement.Declared); an adaptive deployment passes
+// placement.Observed/ObservedWindow so the module places on what the
+// runtime measured instead of what the program announced.
+func WithSource(src placement.MatrixSource) Option {
+	return func(m *Module) { m.src = src }
+}
+
+// WithObservedAffinity is WithSource over the program's windowed
+// observed traffic: each DependencyGet consumes the epoch since the
+// previous one.
+func WithObservedAffinity() Option {
+	return func(m *Module) { m.observed = true }
+}
+
 // Attach creates the affinity module for a program on a machine. It
 // does not install the automatic hook; call EnableAutomatic for the
 // paper's transparent mode, or drive the three-step API manually.
@@ -120,6 +138,15 @@ func Attach(prog *orwl.Program, top *topology.Topology, opts ...Option) (*Module
 	}
 	if m.ctx == nil {
 		m.ctx = context.Background()
+	}
+	if m.observed {
+		if m.src != nil {
+			return nil, fmt.Errorf("core: WithSource and WithObservedAffinity are mutually exclusive")
+		}
+		m.src = placement.ObservedWindow(prog)
+	}
+	if m.src == nil {
+		m.src = placement.Declared(prog)
 	}
 	if m.svc != nil && m.eng != nil {
 		return nil, fmt.Errorf("core: WithEngine and WithService are mutually exclusive")
@@ -201,7 +228,9 @@ func EnableAutomatic(prog *orwl.Program, top *topology.Topology, force bool, opt
 	prog.SetScheduleHook(func(p *orwl.Program) {
 		// Failures must not break the application: affinity is an
 		// optimisation. The program simply runs unbound.
-		m.DependencyGet()
+		if err := m.DependencyGet(); err != nil {
+			return
+		}
 		if err := m.AffinityCompute(); err != nil {
 			return
 		}
@@ -218,17 +247,41 @@ func (m *Module) Engine() *placement.Engine { return m.eng }
 // Service exposes the placement service the module computes through.
 func (m *Module) Service() placement.Service { return m.svc }
 
-// DependencyGet recomputes the task dependency graph and the resulting
-// communication matrix from the runtime state (orwl_dependency_get). It
-// only mutates module state, like its C counterpart. Extraction is
-// always local: the runtime state lives in this process.
-func (m *Module) DependencyGet() {
-	mat := m.prog.DependencyMatrix()
+// DependencyGet re-extracts the communication matrix from the
+// module's matrix source (orwl_dependency_get): the declared handle
+// graph by default, the runtime-observed traffic under
+// WithObservedAffinity/WithSource. Extraction is always local: the
+// runtime state lives in this process. The previously computed
+// assignment is invalidated either way.
+func (m *Module) DependencyGet() error {
+	m.mu.Lock()
+	src := m.src
+	m.mu.Unlock()
+	mat, err := src.Matrix()
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, observed := src.(*placement.ObservedSource); observed && mat.Total() == 0 {
+		// An idle window carries no affinity signal: computing on an
+		// all-zero matrix would silently rebind the program to an
+		// arbitrary mapping (the reconciler guards the same condition
+		// with MinWindowBytes). The module keeps its previous matrix
+		// and assignment.
+		return fmt.Errorf("core: observed source %q saw no traffic — keeping the current mapping", src.Name())
+	}
 	m.mu.Lock()
 	m.matrix = mat
 	m.asgn = nil
 	m.lastResp = nil
 	m.mu.Unlock()
+	return nil
+}
+
+// Source returns the module's matrix source.
+func (m *Module) Source() placement.MatrixSource {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.src
 }
 
 // AffinityCompute runs the configured strategy on the current

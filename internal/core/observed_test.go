@@ -1,0 +1,119 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// TestModuleObservedAffinity drives a program whose actual traffic
+// (steady-state raw requests) diverges from its declared handle graph
+// and checks the module places on the measured matrix when attached
+// with WithObservedAffinity.
+func TestModuleObservedAffinity(t *testing.T) {
+	prog := orwl.MustProgram(4, "data")
+	err := prog.Run(func(ctx *orwl.TaskContext) error {
+		if err := ctx.Scale("data", 1<<10); err != nil {
+			return err
+		}
+		w := orwl.NewHandle()
+		if err := ctx.WriteInsert(w, orwl.Loc(ctx.TID(), "data"), 0); err != nil {
+			return err
+		}
+		// Declared: a pipeline.
+		if ctx.TID() > 0 {
+			r := orwl.NewHandle()
+			if err := ctx.ReadInsert(r, orwl.Loc(ctx.TID()-1, "data"), 1); err != nil {
+				return err
+			}
+		}
+		if err := ctx.Schedule(); err != nil {
+			return err
+		}
+		if err := w.Section(func([]byte) error { return nil }); err != nil {
+			return err
+		}
+		// Observed: everyone actually reads task 0.
+		if ctx.TID() != 0 {
+			req, err := ctx.Request(orwl.Loc(0, "data"), orwl.Read)
+			if err != nil {
+				return err
+			}
+			req.Await()
+			if err := req.Release(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mod, err := Attach(prog, topology.Fig2Machine(), WithObservedAffinity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name := mod.Source().Name(); name != "observed-window" {
+		t.Fatalf("source = %q, want observed-window", name)
+	}
+	if err := mod.DependencyGet(); err != nil {
+		t.Fatal(err)
+	}
+	obs := mod.Matrix()
+	if obs.At(0, 3) == 0 {
+		t.Error("observed matrix misses the measured 0->3 flow")
+	}
+	decl := prog.DependencyMatrix()
+	if decl.At(0, 3) != 0 {
+		t.Error("declared matrix unexpectedly contains 0->3")
+	}
+	if err := mod.AffinityCompute(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.AffinitySet(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Binding()) != 4 {
+		t.Errorf("binding = %v, want all 4 tasks bound", prog.Binding())
+	}
+}
+
+func TestModuleSourceExclusive(t *testing.T) {
+	prog := orwl.MustProgram(2, "x")
+	_, err := Attach(prog, topology.Fig2Machine(),
+		WithObservedAffinity(), WithSource(placement.Declared(prog)))
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("err = %v, want mutual-exclusion error", err)
+	}
+}
+
+// TestDependencyGetErrorPath: a custom failing source must surface
+// through DependencyGet, not crash the automatic hook.
+func TestDependencyGetErrorPath(t *testing.T) {
+	prog := orwl.MustProgram(2, "x")
+	mod, err := Attach(prog, topology.Fig2Machine(),
+		WithSource(placement.Fixed("broken", nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.DependencyGet(); err == nil {
+		t.Error("DependencyGet over a broken source succeeded")
+	}
+}
+
+// TestObservedAffinityEmptyWindowRejected: an idle window must not
+// silently rebind the program to an arbitrary mapping.
+func TestObservedAffinityEmptyWindowRejected(t *testing.T) {
+	prog := orwl.MustProgram(4, "data")
+	mod, err := Attach(prog, topology.Fig2Machine(), WithObservedAffinity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.DependencyGet(); err == nil || !strings.Contains(err.Error(), "no traffic") {
+		t.Errorf("DependencyGet over an idle window = %v, want no-traffic error", err)
+	}
+}

@@ -16,6 +16,12 @@ type Fifo struct {
 	buf      [][]byte
 	capacity int
 	closed   bool
+
+	// Observed-traffic instrumentation (see Instrument): nil/negative
+	// means uninstrumented, which keeps Push/Pop at their old cost.
+	traffic  *Traffic
+	producer int
+	consumer int
 }
 
 // NewFifo creates a FIFO holding at most capacity versions.
@@ -23,10 +29,24 @@ func NewFifo(capacity int) (*Fifo, error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("orwl: fifo capacity must be positive, got %d", capacity)
 	}
-	f := &Fifo{capacity: capacity}
+	f := &Fifo{capacity: capacity, producer: -1, consumer: -1}
 	f.notEmpty = sync.NewCond(&f.mu)
 	f.notFull = sync.NewCond(&f.mu)
 	return f, nil
+}
+
+// Instrument wires the FIFO into a program's observed-traffic
+// recorder (typically prog.Traffic()): every popped version is
+// recorded as producer -> consumer volume. FIFOs are point-to-point
+// in the DFG applications, so one task pair per FIFO suffices; leave
+// a FIFO uninstrumented (the default) and its Push/Pop paths skip the
+// counters entirely.
+func (f *Fifo) Instrument(t *Traffic, producer, consumer int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.traffic = t
+	f.producer = producer
+	f.consumer = consumer
 }
 
 // Push copies data into the FIFO, blocking while it is full. Pushing to
@@ -61,6 +81,7 @@ func (f *Fifo) Pop() (data []byte, ok bool) {
 	data = f.buf[0]
 	f.buf = f.buf[1:]
 	f.notFull.Signal()
+	f.observePopLocked(len(data))
 	return data, true
 }
 
@@ -74,7 +95,18 @@ func (f *Fifo) TryPop() (data []byte, ok bool) {
 	data = f.buf[0]
 	f.buf = f.buf[1:]
 	f.notFull.Signal()
+	f.observePopLocked(len(data))
 	return data, true
+}
+
+// observePopLocked records one consumed version on the instrumented
+// task pair. A pop is the point where the data demonstrably moved
+// producer -> consumer (a pushed version may still be dropped by
+// Close), so the pair is counted once per version, here.
+func (f *Fifo) observePopLocked(bytes int) {
+	if f.traffic != nil {
+		f.traffic.Record(f.producer, f.consumer, bytes)
+	}
 }
 
 // Len returns the number of buffered versions.

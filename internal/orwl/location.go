@@ -58,6 +58,22 @@ type Location struct {
 	grants   atomic.Uint64
 	inserts  atomic.Uint64
 	releases atomic.Uint64
+
+	// traffic is the program-wide observed-communication recorder
+	// (nil for locations created outside a program, e.g. in low-level
+	// tests). lastWriter is the task id of the most recent released
+	// writer, or -1: a read release records lastWriter -> reader
+	// traffic of the location's current size.
+	traffic    *Traffic
+	lastWriter atomic.Int64
+}
+
+// newLocation builds a location owned by a task and wired to the
+// program's traffic recorder.
+func newLocation(name string, owner int, traffic *Traffic) *Location {
+	l := &Location{name: name, owner: owner, traffic: traffic}
+	l.lastWriter.Store(-1)
+	return l
 }
 
 // group is one FIFO entry: either a single writer or a set of readers
@@ -75,6 +91,10 @@ type request struct {
 	ready chan struct{}
 	loc   *Location
 	done  bool
+	// task is the task the request acts for, or -1 when unattributed
+	// (raw requests from remote peers). Attributed requests feed the
+	// observed-traffic counters on release.
+	task int
 }
 
 // Name returns the location name.
@@ -127,9 +147,15 @@ func (l *Location) Stats() (inserts, grants, releases uint64) {
 	return l.inserts.Load(), l.grants.Load(), l.releases.Load()
 }
 
-// insert queues a request; callers wait on req.ready.
+// insert queues an unattributed request; callers wait on req.ready.
 func (l *Location) insert(mode Mode) *request {
-	req := &request{mode: mode, ready: make(chan struct{}), loc: l}
+	return l.insertFor(-1, mode)
+}
+
+// insertFor queues a request acting for a task (-1 when unattributed);
+// callers wait on req.ready.
+func (l *Location) insertFor(task int, mode Mode) *request {
+	req := &request{mode: mode, ready: make(chan struct{}), loc: l, task: task}
 	l.mu.Lock()
 	l.enqueueLocked(req)
 	l.mu.Unlock()
@@ -170,6 +196,27 @@ func (l *Location) grantLocked(g *group) {
 	}
 }
 
+// observeReleaseLocked feeds the observed-traffic counters at the end
+// of a critical section, the one point where a transfer demonstrably
+// happened: a releasing writer becomes the location's last writer, a
+// releasing reader has consumed the last writer's data, so the
+// location's current size is recorded as lastWriter -> reader volume.
+// Unattributed requests (task < 0: remote raw requests) and locations
+// outside a program (nil recorder) record nothing, keeping the legacy
+// paths at their old cost.
+func (l *Location) observeReleaseLocked(req *request) {
+	if req.task < 0 {
+		return
+	}
+	if req.mode == Write {
+		l.lastWriter.Store(int64(req.task))
+		return
+	}
+	if w := l.lastWriter.Load(); w >= 0 && int(w) != req.task {
+		l.traffic.Record(int(w), req.task, len(l.data))
+	}
+}
+
 // release marks one request of the head group as done; when the whole
 // group is done the next group is granted.
 func (l *Location) release(req *request) error {
@@ -181,6 +228,7 @@ func (l *Location) release(req *request) error {
 	if len(l.queue) == 0 || !contains(l.queue[0], req) {
 		return fmt.Errorf("orwl: release of non-granted request on location %q", l.name)
 	}
+	l.observeReleaseLocked(req)
 	req.done = true
 	head := l.queue[0]
 	head.pending--
@@ -200,7 +248,7 @@ func (l *Location) release(req *request) error {
 // task requests the resource for its next iteration, which guarantees
 // that every task gets exactly one turn per round.
 func (l *Location) releaseAndReinsert(req *request) (*request, error) {
-	next := &request{mode: req.mode, ready: make(chan struct{}), loc: l}
+	next := &request{mode: req.mode, ready: make(chan struct{}), loc: l, task: req.task}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if req.done {
@@ -209,6 +257,7 @@ func (l *Location) releaseAndReinsert(req *request) (*request, error) {
 	if len(l.queue) == 0 || !contains(l.queue[0], req) {
 		return nil, fmt.Errorf("orwl: release of non-granted request on location %q", l.name)
 	}
+	l.observeReleaseLocked(req)
 	// Insert the next-iteration request first so it lands behind every
 	// request already queued, then release the current one.
 	l.enqueueLocked(next)
@@ -303,11 +352,20 @@ type RawRequest struct {
 	req *request
 }
 
-// NewRequest queues a request at the FIFO tail and returns it. Unlike
-// Handle insertion, this path is not ordered by the schedule barrier:
-// it is the steady-state insertion used by remote peers.
+// NewRequest queues an unattributed request at the FIFO tail and
+// returns it. Unlike Handle insertion, this path is not ordered by the
+// schedule barrier: it is the steady-state insertion used by remote
+// peers. Unattributed requests bypass the observed-traffic counters.
 func (l *Location) NewRequest(mode Mode) *RawRequest {
-	return &RawRequest{loc: l, req: l.insert(mode)}
+	return l.NewRequestFor(-1, mode)
+}
+
+// NewRequestFor is NewRequest acting for a task: releases of the
+// request feed the program's observed-traffic counters, so
+// steady-state (post-schedule) accesses — the dynamic traffic a
+// declared dependency graph cannot see — appear in ObservedMatrix.
+func (l *Location) NewRequestFor(task int, mode Mode) *RawRequest {
+	return &RawRequest{loc: l, req: l.insertFor(task, mode)}
 }
 
 // current reads the tracked request under the lock (ReleaseAndReinsert

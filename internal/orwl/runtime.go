@@ -47,6 +47,10 @@ type Program struct {
 	schedDone   chan struct{}
 	scheduleErr error
 
+	// traffic records the observed inter-task communication (see
+	// traffic.go); every location of the program shares it.
+	traffic *Traffic
+
 	// scheduleHook runs exactly once, when the last task reaches
 	// Schedule and after all initial requests are ordered — the point
 	// where the paper's affinity module computes and applies the thread
@@ -72,11 +76,12 @@ func NewProgram(numTasks int, locNames ...string) (*Program, error) {
 		locs:      make(map[LocationID]*Location),
 		schedDone: make(chan struct{}),
 		binding:   make(map[int]int),
+		traffic:   newTraffic(numTasks),
 	}
 	for t := 0; t < numTasks; t++ {
 		for _, name := range locNames {
 			id := LocationID{Task: t, Name: name}
-			p.locs[id] = &Location{name: fmt.Sprintf("%d/%s", t, name), owner: t}
+			p.locs[id] = newLocation(fmt.Sprintf("%d/%s", t, name), t, p.traffic)
 		}
 	}
 	return p, nil
@@ -116,7 +121,7 @@ func (p *Program) AddLocation(id LocationID) (*Location, error) {
 	if p.scheduled {
 		return nil, fmt.Errorf("orwl: cannot add location %v after schedule", id)
 	}
-	l := &Location{name: fmt.Sprintf("%d/%s", id.Task, id.Name), owner: id.Task}
+	l := newLocation(fmt.Sprintf("%d/%s", id.Task, id.Name), id.Task, p.traffic)
 	p.locs[id] = l
 	return l, nil
 }
@@ -225,7 +230,7 @@ func (p *Program) scheduleArrive() error {
 		return recs[a].seq < recs[b].seq
 	})
 	for _, r := range recs {
-		r.handle.cur = r.loc.insert(r.mode)
+		r.handle.cur = r.loc.insertFor(r.task, r.mode)
 	}
 	p.scheduled = true
 	hook := p.scheduleHook
@@ -236,6 +241,16 @@ func (p *Program) scheduleArrive() error {
 	}
 	close(p.schedDone)
 	return nil
+}
+
+// InsertCount reports the number of handle insertions recorded so far
+// — the dependency information the declared matrix derives from.
+// Placement front ends use it to reject extraction from a program
+// that has announced no handles yet.
+func (p *Program) InsertCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inserts)
 }
 
 // Scheduled reports whether the schedule barrier has completed.
@@ -297,6 +312,20 @@ func (c *TaskContext) ReadInsert(h *Handle, id LocationID, priority int) error {
 // initial requests (orwl_schedule). Every task must call it exactly
 // once, after performing all its insertions.
 func (c *TaskContext) Schedule() error { return c.prog.scheduleArrive() }
+
+// Request queues a steady-state access on a location for this task —
+// the post-schedule insertion path dynamic programs use when their
+// communication pattern drifts away from the declared handle graph.
+// Unlike handles, these requests are attributed but unordered: they
+// land at the FIFO tail in call order. Releases feed the program's
+// observed-traffic counters.
+func (c *TaskContext) Request(id LocationID, mode Mode) (*RawRequest, error) {
+	loc := c.prog.Location(id)
+	if loc == nil {
+		return nil, fmt.Errorf("orwl: unknown location %v", id)
+	}
+	return loc.NewRequestFor(c.tid, mode), nil
+}
 
 // BindSelf applies the affinity module's placement to the calling task
 // goroutine: it locks the goroutine to its OS thread and restricts the

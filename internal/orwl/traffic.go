@@ -1,0 +1,153 @@
+package orwl
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"orwlplace/internal/comm"
+)
+
+// Traffic accumulates the observed inter-task communication of a
+// running program: for every (from, to) task pair, the bytes that
+// actually moved and the number of transfer operations. It is the
+// runtime-measured counterpart of the declared dependency matrix —
+// what the tasks really exchange, not what their handle graph
+// announces at the schedule barrier.
+//
+// The counters are plain atomics over a flat n×n array, so recording
+// on the acquire-release and push/pop hot paths costs two uncontended
+// atomic adds and no allocation. Snapshots (Matrix, Window) walk the
+// array without stopping the writers: each cell is read atomically,
+// the snapshot as a whole is only approximately instantaneous, which
+// is fine for a drift signal.
+type Traffic struct {
+	n     int
+	bytes []atomic.Uint64
+	ops   []atomic.Uint64
+
+	// win is the program's default window (see Window); independent
+	// consumers create their own with NewWindow.
+	win *TrafficWindow
+}
+
+// newTraffic sizes a recorder for n tasks.
+func newTraffic(n int) *Traffic {
+	t := &Traffic{
+		n:     n,
+		bytes: make([]atomic.Uint64, n*n),
+		ops:   make([]atomic.Uint64, n*n),
+	}
+	t.win = t.NewWindow()
+	return t
+}
+
+// Tasks returns the number of tasks the recorder covers.
+func (t *Traffic) Tasks() int { return t.n }
+
+// Record accumulates one transfer of b bytes from task `from` to task
+// `to`. Out-of-range or self pairs and unattributed endpoints
+// (negative ids, e.g. remote peers without a task identity) are
+// dropped — the recorder measures inter-task traffic only.
+func (t *Traffic) Record(from, to, b int) {
+	if t == nil || from == to || from < 0 || to < 0 || from >= t.n || to >= t.n {
+		return
+	}
+	i := from*t.n + to
+	t.bytes[i].Add(uint64(b))
+	t.ops[i].Add(1)
+}
+
+// Matrix returns the cumulative observed communication matrix: entry
+// (i, j) holds the bytes moved from task i to task j since the
+// program started.
+func (t *Traffic) Matrix() *comm.Matrix {
+	m := comm.NewMatrix(t.n)
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if v := t.bytes[i*t.n+j].Load(); v != 0 {
+				m.Set(i, j, float64(v))
+			}
+		}
+	}
+	return m
+}
+
+// TrafficWindow carves the recorder's cumulative counters into
+// disjoint epochs for one consumer: each Next call returns the
+// traffic since that window's previous call. Every consumer that
+// snapshots independently (an adaptive reconciler, a module with
+// observed affinity, a monitoring scraper) must own its own window —
+// sharing one would silently steal epochs from the other readers.
+type TrafficWindow struct {
+	t *Traffic
+
+	mu   sync.Mutex
+	base []uint64 // cumulative byte counts at the previous Next call
+}
+
+// NewWindow returns an independent epoch window over the recorder
+// with an empty baseline: the first Next returns everything recorded
+// since the program started.
+func (t *Traffic) NewWindow() *TrafficWindow {
+	return &TrafficWindow{t: t, base: make([]uint64, t.n*t.n)}
+}
+
+// Next returns the observed matrix of the epoch since the previous
+// Next call (or since the start, on the first call) and advances the
+// window baseline.
+func (w *TrafficWindow) Next() *comm.Matrix {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	t := w.t
+	m := comm.NewMatrix(t.n)
+	for i := range w.base {
+		cur := t.bytes[i].Load()
+		if d := cur - w.base[i]; d != 0 {
+			m.Set(i/t.n, i%t.n, float64(d))
+		}
+		w.base[i] = cur
+	}
+	return m
+}
+
+// Window advances the recorder's default window — a convenience for
+// single-consumer programs. Independent consumers must use NewWindow:
+// this shared window hands each epoch to whichever caller asks first.
+func (t *Traffic) Window() *comm.Matrix {
+	return t.win.Next()
+}
+
+// Totals returns the cumulative byte and operation counts over all
+// pairs.
+func (t *Traffic) Totals() (bytes, ops uint64) {
+	for i := range t.bytes {
+		bytes += t.bytes[i].Load()
+		ops += t.ops[i].Load()
+	}
+	return
+}
+
+// Ops returns the cumulative transfer-operation count for the (from,
+// to) pair.
+func (t *Traffic) Ops(from, to int) uint64 {
+	if from < 0 || to < 0 || from >= t.n || to >= t.n {
+		return 0
+	}
+	return t.ops[from*t.n+to].Load()
+}
+
+// Traffic exposes the program's traffic recorder, so DFG primitives
+// that live outside the location grid (Fifo) can be wired into the
+// same observed matrix.
+func (p *Program) Traffic() *Traffic { return p.traffic }
+
+// ObservedMatrix returns the cumulative runtime-observed communication
+// matrix — the measured counterpart of DependencyMatrix. Entry (i, j)
+// is the bytes that actually flowed from task i to task j through
+// location grants, raw requests and instrumented FIFOs.
+func (p *Program) ObservedMatrix() *comm.Matrix { return p.traffic.Matrix() }
+
+// ObservedWindow returns the observed matrix since the previous
+// ObservedWindow call and starts a new window — the epoch snapshots an
+// adaptive placement loop consumes.
+func (p *Program) ObservedWindow() *comm.Matrix { return p.traffic.Window() }

@@ -1,0 +1,88 @@
+package orwl
+
+import "testing"
+
+// The observed-traffic counters sit on the runtime's hottest paths
+// (grant release, FIFO pop). These benches pair each instrumented
+// path with its uninstrumented twin so BENCH_PR5.json records that
+// the overhead stays within noise.
+
+func BenchmarkTrafficRecord(b *testing.B) {
+	tr := newTraffic(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(1, 2, 4096)
+	}
+}
+
+func benchRawAcquireRelease(b *testing.B, task int) {
+	prog := MustProgram(2, "data")
+	loc := prog.Location(Loc(0, "data"))
+	loc.Scale(1 << 12)
+	// Seed a last writer so the attributed variant pays the full
+	// recording cost on every read release.
+	w := loc.NewRequestFor(0, Write)
+	w.Await()
+	if err := w.Release(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := loc.NewRequestFor(task, Read)
+		r.Await()
+		if err := r.Release(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRawAcquireRelease is the uninstrumented acquire-release
+// cycle (unattributed request, counters skipped).
+func BenchmarkRawAcquireRelease(b *testing.B) { benchRawAcquireRelease(b, -1) }
+
+// BenchmarkRawAcquireReleaseObserved is the same cycle with the
+// observed-traffic recording active on every release.
+func BenchmarkRawAcquireReleaseObserved(b *testing.B) { benchRawAcquireRelease(b, 1) }
+
+func benchFifoPushPop(b *testing.B, instrument bool) {
+	f, err := NewFifo(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if instrument {
+		f.Instrument(newTraffic(8), 0, 1)
+	}
+	payload := make([]byte, 1<<10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Push(payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := f.Pop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+// BenchmarkFifoPushPop is the uninstrumented push/pop hot path.
+func BenchmarkFifoPushPop(b *testing.B) { benchFifoPushPop(b, false) }
+
+// BenchmarkFifoPushPopObserved is the same path with per-version
+// traffic recording.
+func BenchmarkFifoPushPopObserved(b *testing.B) { benchFifoPushPop(b, true) }
+
+// BenchmarkObservedWindow snapshots a 64-task window — the per-epoch
+// cost the adaptive loop pays.
+func BenchmarkObservedWindow(b *testing.B) {
+	tr := newTraffic(64)
+	for i := 0; i < 64; i++ {
+		tr.Record(i, (i+1)%64, 1<<16)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Window()
+	}
+}

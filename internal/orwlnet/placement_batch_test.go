@@ -215,7 +215,7 @@ func TestFleetV1RequestCompat(t *testing.T) {
 	// payload.
 	bresp := send(4, opPlaceBatch, mustEncode(encodePlaceBatchRequest(nil, []*placement.PlaceRequest{
 		{Strategy: placement.TreeMatch, Entities: 2},
-	})))
+	}, 0)))
 	if bresp.op != statusError || !strings.Contains(string(bresp.payload), "protocol v1") {
 		t.Errorf("v1 connection's batch answered %v %q, want a protocol refusal", bresp.op, bresp.payload)
 	}

@@ -248,6 +248,35 @@ func getCacheStats(src []byte) (placement.CacheStats, []byte, error) {
 	return st, src, nil
 }
 
+func putAdaptiveStats(dst []byte, st placement.AdaptiveStats) []byte {
+	dst = putUint64(dst, st.Epochs)
+	dst = putUint64(dst, st.DriftEpochs)
+	dst = putUint64(dst, st.Remaps)
+	dst = putUint64(dst, st.Rejected)
+	return putFloat64(dst, st.LastDrift)
+}
+
+func getAdaptiveStats(src []byte) (placement.AdaptiveStats, []byte, error) {
+	var st placement.AdaptiveStats
+	var err error
+	if st.Epochs, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.DriftEpochs, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.Remaps, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.Rejected, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.LastDrift, src, err = getFloat64(src); err != nil {
+		return st, nil, err
+	}
+	return st, src, nil
+}
+
 // putWireVersion resolves and appends the leading schema-version byte.
 // Zero resolves to the current placement.ServiceVersion; versions that
 // do not fit the wire's single byte (or predate schema 1) are an
@@ -411,9 +440,12 @@ const minBatchSlotBytes = 32
 // encodePlaceBatchRequest frames a request slice for opPlaceBatch:
 // leading batch schema version, slot count, then every slot encoded
 // exactly like a single request (own version byte included, so mixed
-// v1/v2 slots route like their single-call counterparts).
-func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest) ([]byte, error) {
-	dst, _, err := putWireVersion(dst, placement.ServiceVersion)
+// v1/v2 slots route like their single-call counterparts). schema is
+// the version the connected peer negotiated (0 = current): unpinned
+// slots encode at it, so a newer client still frames payloads an
+// older server decodes.
+func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest, schema int) ([]byte, error) {
+	dst, v, err := putWireVersion(dst, schema)
 	if err != nil {
 		return nil, err
 	}
@@ -421,6 +453,11 @@ func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest) ([]byte
 	for i, req := range reqs {
 		if req == nil {
 			return nil, fmt.Errorf("orwlnet: nil request in batch slot %d", i)
+		}
+		if req.Version == 0 && v != placement.ServiceVersion {
+			pinned := *req
+			pinned.Version = v
+			req = &pinned
 		}
 		if dst, err = encodePlaceRequest(dst, req); err != nil {
 			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
@@ -455,21 +492,27 @@ func decodePlaceBatchRequest(src []byte) ([]*placement.PlaceRequest, error) {
 	return reqs, nil
 }
 
-func encodePlaceBatchResponse(dst []byte, resps []*placement.PlaceResponse) ([]byte, error) {
-	dst, _, err := putWireVersion(dst, placement.ServiceVersion)
+// encodePlaceBatchResponse frames a response slice at the connection's
+// negotiated schema (0 = current, >= 2 always: batch needs per-slot
+// errors and machine names), so a v2 client decodes a v3 server's
+// answer.
+func encodePlaceBatchResponse(dst []byte, resps []*placement.PlaceResponse, schema int) ([]byte, error) {
+	dst, v, err := putWireVersion(dst, schema)
 	if err != nil {
 		return nil, err
+	}
+	if v < 2 {
+		return nil, fmt.Errorf("orwlnet: batch placement needs schema >= 2, got %d", v)
 	}
 	dst = putUint64(dst, uint64(len(resps)))
 	for i, resp := range resps {
 		if resp == nil {
 			return nil, fmt.Errorf("orwlnet: nil response in batch slot %d", i)
 		}
-		// Batch slots always speak the batch schema: per-slot errors
-		// and machine names only exist from v2 on.
-		v2 := *resp
-		v2.Version = placement.ServiceVersion
-		if dst, err = encodePlaceResponse(dst, &v2); err != nil {
+		// Batch slots always speak the negotiated batch schema.
+		slot := *resp
+		slot.Version = v
+		if dst, err = encodePlaceResponse(dst, &slot); err != nil {
 			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
 		}
 	}
@@ -524,6 +567,9 @@ func encodeServiceStats(dst []byte, st placement.ServiceStats, version int) ([]b
 			dst = putString(dst, m)
 		}
 	}
+	if v >= 3 {
+		dst = putAdaptiveStats(dst, st.Adaptive)
+	}
 	return dst, nil
 }
 
@@ -550,6 +596,11 @@ func decodeServiceStats(src []byte) (placement.ServiceStats, error) {
 	}
 	if v >= 2 {
 		if st.Machines, rest, err = getStringList(rest); err != nil {
+			return st, err
+		}
+	}
+	if v >= 3 {
+		if st.Adaptive, rest, err = getAdaptiveStats(rest); err != nil {
 			return st, err
 		}
 	}

@@ -154,7 +154,7 @@ func TestPlaceBatchRoundTrip(t *testing.T) {
 		{Strategy: "scatter", Entities: 3},
 		{Version: 1, Strategy: "compact", Entities: 2}, // a v1 slot inside a batch
 	}
-	gotReqs, err := decodePlaceBatchRequest(mustEncode(encodePlaceBatchRequest(nil, reqs)))
+	gotReqs, err := decodePlaceBatchRequest(mustEncode(encodePlaceBatchRequest(nil, reqs, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestPlaceBatchRoundTrip(t *testing.T) {
 		{Machine: "a", Assignment: &placement.Assignment{Strategy: "treematch", ComputePU: []int{0, 1}}},
 		{Machine: "b", Err: "boom"},
 	}
-	gotResps, err := decodePlaceBatchResponse(mustEncode(encodePlaceBatchResponse(nil, resps)))
+	gotResps, err := decodePlaceBatchResponse(mustEncode(encodePlaceBatchResponse(nil, resps, 0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestPlaceBatchRoundTrip(t *testing.T) {
 	}
 
 	// Slot errors must not void the frame: slot counts are positional.
-	if _, err := encodePlaceBatchRequest(nil, []*placement.PlaceRequest{nil}); err == nil {
+	if _, err := encodePlaceBatchRequest(nil, []*placement.PlaceRequest{nil}, 0); err == nil {
 		t.Error("nil batch slot encoded")
 	}
 }
@@ -281,7 +281,7 @@ func TestPlaceWireTruncationRejected(t *testing.T) {
 	batchFull := mustEncode(encodePlaceBatchRequest(nil, []*placement.PlaceRequest{
 		{Strategy: "treematch", Matrix: chainMatrix(3)},
 		{Machine: "m", Strategy: "scatter", Entities: 2},
-	}))
+	}, 0))
 	for cut := 1; cut < len(batchFull); cut++ {
 		_, _ = decodePlaceBatchRequest(batchFull[:cut])
 	}

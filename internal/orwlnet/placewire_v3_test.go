@@ -1,0 +1,224 @@
+package orwlnet
+
+import (
+	"context"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// Schema v3 carries the adaptive reconciler counters in the stats
+// payload; requests and responses are otherwise identical to v2.
+// These tests cover the v3 round trip and both cross-version
+// directions.
+
+func adaptiveServiceStats() placement.ServiceStats {
+	return placement.ServiceStats{
+		TopologyName:      "TinyHT",
+		TopologySignature: 0xfeed,
+		Strategies:        []string{"treematch", "none"},
+		Machines:          []string{"tinyht"},
+		Places:            7,
+		Cache:             placement.CacheStats{Hits: 5, Misses: 2, Entries: 2},
+		Adaptive: placement.AdaptiveStats{
+			Epochs:      12,
+			DriftEpochs: 3,
+			Remaps:      2,
+			Rejected:    1,
+			LastDrift:   0.42,
+		},
+	}
+}
+
+func TestServiceStatsV3RoundTrip(t *testing.T) {
+	st := adaptiveServiceStats()
+	got, err := decodeServiceStats(mustEncode(encodeServiceStats(nil, st, 0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Errorf("v3 round trip mangled stats:\ngot  %+v\nwant %+v", got, st)
+	}
+}
+
+func TestServiceStatsV2Downgrade(t *testing.T) {
+	// What a pre-adaptive fleet client receives: the v2 encoding, no
+	// adaptive counters, everything else intact.
+	st := adaptiveServiceStats()
+	got, err := decodeServiceStats(mustEncode(encodeServiceStats(nil, st, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Adaptive != (placement.AdaptiveStats{}) {
+		t.Errorf("v2 stats carried adaptive counters: %+v", got.Adaptive)
+	}
+	if got.TopologyName != st.TopologyName || !reflect.DeepEqual(got.Machines, st.Machines) {
+		t.Errorf("v2 stats mangled: %+v", got)
+	}
+	// An old build (schema ceiling 2) must refuse the v3 payload
+	// instead of misdecoding the trailing counters.
+	v3 := mustEncode(encodeServiceStats(nil, st, 3))
+	if _, _, err := checkWireVersionMax(v3, 2); err == nil {
+		t.Error("old decoder accepted a v3 stats payload")
+	}
+}
+
+func TestBatchCodecsHonourNegotiatedSchema(t *testing.T) {
+	reqs := []*placement.PlaceRequest{{Strategy: "treematch", Entities: 2}}
+	// A client on a protoBatch connection frames the batch at schema 2;
+	// an old server's decode ceiling accepts it.
+	enc := mustEncode(encodePlaceBatchRequest(nil, reqs, 2))
+	if v, _, err := checkWireVersionMax(enc, 2); err != nil || v != 2 {
+		t.Fatalf("schema-2 batch header = v%d, %v", v, err)
+	}
+	got, err := decodePlaceBatchRequest(enc)
+	if err != nil || got[0].Version != 2 {
+		t.Fatalf("schema-2 batch slots decoded as %+v, %v (want slot pinned to v2)", got[0], err)
+	}
+	// A server answering a protoBatch client frames slots at schema 2.
+	resps := []*placement.PlaceResponse{{Machine: "m", CacheHit: true}}
+	rEnc := mustEncode(encodePlaceBatchResponse(nil, resps, 2))
+	rGot, err := decodePlaceBatchResponse(rEnc)
+	if err != nil || rGot[0].Version != 2 {
+		t.Fatalf("schema-2 batch responses decoded as %+v, %v", rGot[0], err)
+	}
+	// Batch framing below v2 is impossible: there is no v1 slot-error
+	// field to report per-machine failures with.
+	if _, err := encodePlaceBatchResponse(nil, resps, 1); err == nil {
+		t.Error("schema-1 batch response accepted")
+	}
+}
+
+// TestAdaptiveStatsOverRPC runs a live server and checks the adaptive
+// counters cross the wire end to end at the negotiated v3.
+func TestAdaptiveStatsOverRPC(t *testing.T) {
+	top, err := topology.ByName("tinyht")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := placement.NewEngine(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := placement.NewLocalService(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := placement.Fixed("trace", chainMatrix(4))
+	rec, err := placement.NewReconciler(eng, m, nil, placement.AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.AttachReconciler(rec)
+	if err := rec.Prime(m); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := rec.Epoch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis, nil, WithPlacement(svc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != protoAdaptive {
+		t.Fatalf("negotiated protocol v%d, want v%d", c.Version(), protoAdaptive)
+	}
+	remote, err := c.PlacementService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := remote.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Adaptive.Epochs != 4 {
+		t.Errorf("remote adaptive epochs = %d, want 4", st.Adaptive.Epochs)
+	}
+}
+
+// TestV3ClientAgainstBatchServer replays a protoBatch-era server and
+// checks the current client downgrades its unpinned requests to
+// schema 2 instead of sending v3 bytes the server would refuse.
+func TestV3ClientAgainstBatchServer(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			msg, err := readMessage(conn)
+			if err != nil {
+				return
+			}
+			switch msg.op {
+			case opHello:
+				writeMessage(conn, message{callID: msg.callID, op: statusOK, payload: []byte{protoBatch}})
+			case opPlaceCompute:
+				// Replay the old build's decode ceiling, then answer a
+				// v2 response like a real protoBatch server.
+				if _, _, err := checkWireVersionMax(msg.payload, 2); err != nil {
+					writeMessage(conn, message{callID: msg.callID, op: statusError, payload: []byte(err.Error())})
+					continue
+				}
+				payload, err := encodePlaceResponse(nil, &placement.PlaceResponse{Version: 2, Machine: "m", CacheHit: true})
+				if err != nil {
+					writeMessage(conn, message{callID: msg.callID, op: statusError, payload: []byte(err.Error())})
+					continue
+				}
+				writeMessage(conn, message{callID: msg.callID, op: statusOK, payload: payload})
+			default:
+				writeMessage(conn, message{callID: msg.callID, op: statusError, payload: []byte("unexpected op")})
+			}
+		}
+	}()
+
+	c, err := Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != protoBatch {
+		t.Fatalf("negotiated v%d, want the old server's v%d", c.Version(), protoBatch)
+	}
+	remote, err := c.PlacementService()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := remote.Place(context.Background(), &placement.PlaceRequest{Strategy: "treematch", Entities: 2})
+	if err != nil {
+		t.Fatalf("unpinned request against a v2 server failed: %v", err)
+	}
+	if !resp.CacheHit || resp.Machine != "m" {
+		t.Errorf("response = %+v", resp)
+	}
+	// An explicit pin above the server's schema still fails loudly.
+	if _, err := remote.Place(context.Background(), &placement.PlaceRequest{Version: 3, Strategy: "treematch", Entities: 2}); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Errorf("explicit v3 pin against a v2 server: %v, want loud schema error", err)
+	}
+}

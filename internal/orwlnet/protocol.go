@@ -64,9 +64,28 @@ const (
 	// protoBatch adds opPlaceBatch and the fleet (schema v2) payload
 	// fields: machine selectors, per-slot errors, fleet listings.
 	protoBatch = 2
+	// protoAdaptive adds the schema v3 stats payload: the adaptive
+	// reconciler counters (epochs, drift alarms, remaps) next to the
+	// cache counters. Requests and responses are unchanged from v2.
+	protoAdaptive = 3
 	// protoMax is the highest version this build speaks.
-	protoMax = protoBatch
+	protoMax = protoAdaptive
 )
+
+// schemaForProto maps a negotiated protocol version to the highest
+// placement payload schema the peer can decode: the two version spaces
+// moved together from protoBatch on (proto 2 ↔ schema 2, proto 3 ↔
+// schema 3), with proto 1 pinned to the original schema 1 payloads.
+func schemaForProto(proto int) int {
+	switch {
+	case proto >= protoAdaptive:
+		return 3
+	case proto >= protoBatch:
+		return 2
+	default:
+		return 1
+	}
+}
 
 // Status codes.
 const (

@@ -36,8 +36,18 @@ func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) 
 	if req == nil {
 		return nil, fmt.Errorf("orwlnet: nil placement request")
 	}
-	if err := s.checkSchema(req.Version); err != nil {
+	effective, err := s.resolveSchema(req)
+	if err != nil {
 		return nil, err
+	}
+	if req.Version == 0 && effective != placement.ServiceVersion {
+		// An unpinned request speaks the highest schema the connected
+		// server negotiated, so a newer client downgrades transparently
+		// (schema v3 only adds stats fields to v2; nothing a request
+		// carries is lost).
+		pinned := *req
+		pinned.Version = effective
+		req = &pinned
 	}
 	// The request payload (strategy + options + full matrix) is encoded
 	// into a pooled buffer: callCtx does not retain it past the write,
@@ -67,7 +77,7 @@ func (s *RemoteService) PlaceBatch(ctx context.Context, reqs []*placement.PlaceR
 		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, batch placement needs v%d", s.c.version, protoBatch)
 	}
 	buf := getPayloadBuf()
-	enc, err := encodePlaceBatchRequest(buf, reqs)
+	enc, err := encodePlaceBatchRequest(buf, reqs, schemaForProto(s.c.version))
 	if err != nil {
 		putPayloadBuf(buf)
 		return nil, err
@@ -87,19 +97,30 @@ func (s *RemoteService) PlaceBatch(ctx context.Context, reqs []*placement.PlaceR
 	return resps, nil
 }
 
-// checkSchema fails a call whose request schema the connected server
-// cannot decode — loudly and client-side, instead of as an opaque
-// server decode error. A request pinned to Version 1 still reaches a
-// pre-fleet server.
-func (s *RemoteService) checkSchema(v int) error {
-	if v == 0 {
-		v = placement.ServiceVersion
+// resolveSchema picks the schema version a request crosses the wire
+// at, failing loudly and client-side — instead of as an opaque server
+// decode error — when the connected server cannot serve it: an
+// explicit pin above the negotiated schema, or an unpinned request
+// whose features (the fleet machine selector, schema v2) predate the
+// server. Unpinned requests otherwise downgrade to the negotiated
+// schema, so a v3 client talks to a v2 fleet daemon transparently.
+func (s *RemoteService) resolveSchema(req *placement.PlaceRequest) (int, error) {
+	max := schemaForProto(s.c.version)
+	if v := req.Version; v != 0 {
+		if v > max {
+			return 0, fmt.Errorf("orwlnet: server speaks protocol v%d: schema v%d request needs schema <= %d (pin PlaceRequest.Version lower for a legacy server)",
+				s.c.version, v, max)
+		}
+		return v, nil
 	}
-	if v >= 2 && s.c.version < protoBatch {
-		return fmt.Errorf("orwlnet: server speaks protocol v%d: schema v%d request needs protocol v%d (pin PlaceRequest.Version to 1 for a legacy server)",
-			s.c.version, v, protoBatch)
+	if req.Machine != "" && max < 2 {
+		return 0, fmt.Errorf("orwlnet: server speaks protocol v%d: machine selector %q needs protocol v%d",
+			s.c.version, req.Machine, protoBatch)
 	}
-	return nil
+	if max > placement.ServiceVersion {
+		max = placement.ServiceVersion
+	}
+	return max, nil
 }
 
 // Topology implements placement.Service: the served machine is

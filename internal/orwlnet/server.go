@@ -226,7 +226,7 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 			return nil, false, err
 		}
 		buf := getPayloadBuf()
-		payload, err := encodePlaceBatchResponse(buf, resps)
+		payload, err := encodePlaceBatchResponse(buf, resps, schemaForProto(s.connVersion(st)))
 		if err != nil {
 			putPayloadBuf(buf)
 			return nil, false, err
@@ -243,11 +243,9 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		}
 		// The stats op carries no request schema version, so the
 		// connection's negotiated protocol decides the payload shape:
-		// pre-fleet clients get the v1 encoding they can decode.
-		schema := placement.ServiceVersion
-		if s.connVersion(st) < protoBatch {
-			schema = 1
-		}
+		// pre-fleet clients get the v1 encoding, pre-adaptive fleet
+		// clients the v2 one.
+		schema := schemaForProto(s.connVersion(st))
 		buf := getPayloadBuf()
 		payload, err := encodeServiceStats(buf, stats, schema)
 		if err != nil {

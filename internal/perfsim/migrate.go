@@ -1,0 +1,71 @@
+package perfsim
+
+import (
+	"fmt"
+
+	"orwlplace/internal/topology"
+)
+
+// MigrationCost models the one-time price of moving a placed workload
+// from one binding to another — the toll an adaptive re-placement
+// loop must recoup before a remap pays off. It uses the same
+// quantities as the dynamic-scheduling model (dynsched.go): a moved
+// thread refills its working set through the per-core streaming
+// channel (remote-inflated when the move crosses NUMA nodes), pays a
+// scheduler wake-up, and stalls a pipelined execution while it warms
+// up — so threads that merely swap hyperthreads are almost free and
+// cross-socket moves dominate.
+//
+// The result is in modeled seconds, directly comparable with
+// Result.Seconds of a Simulate run.
+func MigrationCost(top *topology.Topology, w *Workload, from, to []int) (float64, error) {
+	n := len(w.Threads)
+	if len(from) != n || len(to) != n {
+		return 0, fmt.Errorf("perfsim: migration cost for %d threads, got bindings %d -> %d", n, len(from), len(to))
+	}
+	pus := top.PUs()
+	attrs := top.Attrs
+	var cost float64
+	for i, th := range w.Threads {
+		if from[i] == to[i] {
+			continue
+		}
+		if from[i] < 0 || from[i] >= len(pus) || to[i] < 0 || to[i] >= len(pus) {
+			return 0, fmt.Errorf("perfsim: thread %d migrates across invalid PUs %d -> %d", i, from[i], to[i])
+		}
+		src, dst := pus[from[i]], pus[to[i]]
+		switch topology.LocalityOf(src, dst) {
+		case topology.SamePU:
+			// Logical relabeling, no state moves.
+			continue
+		case topology.SameCore, topology.SameL2, topology.SameL3:
+			// The shared cache keeps most of the working set warm; only
+			// the private-cache fraction refills. A small fixed fraction
+			// stands in for L1/L2 residency.
+			cost += 0.1 * th.WorkingSet / (l3StreamGBps * 1e9)
+		case topology.SameNUMA:
+			cost += th.WorkingSet / (perCoreStreamGBps * 1e9)
+		default:
+			// Crossing a NUMA node (or group) refills through the
+			// interconnect at remote latency: the same refill, inflated
+			// by the remote-access factor, plus first-touch pages left
+			// behind on the old node that keep costing until re-touched
+			// — folded into the same factor.
+			factor := attrs.RemoteNUMAFactor
+			if factor < 1 {
+				factor = 1
+			}
+			cost += th.WorkingSet * factor / (perCoreStreamGBps * 1e9)
+		}
+		// Every migration is a deschedule/reschedule pair.
+		cost += unboundWakeupSeconds
+	}
+	if cost > 0 && w.Stages == nil {
+		// A pipelined steady state drains and refills around the moved
+		// stages: approximate the bubble as one extra wake-up per
+		// remaining thread, matching the per-handoff penalty the
+		// simulator charges unbound control threads.
+		cost += float64(n) * unboundWakeupSeconds
+	}
+	return cost, nil
+}

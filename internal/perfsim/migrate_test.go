@@ -1,0 +1,59 @@
+package perfsim
+
+import (
+	"testing"
+
+	"orwlplace/internal/topology"
+)
+
+func migrationWorkload(n int) *Workload {
+	threads := make([]Thread, n)
+	for i := range threads {
+		threads[i] = Thread{ComputeCycles: 1e5, WorkingSet: 1 << 20, MemoryTraffic: 1 << 14}
+	}
+	return &Workload{Name: "mig", Threads: threads, Iterations: 1}
+}
+
+func TestMigrationCost(t *testing.T) {
+	top := topology.Fig2Machine()
+	w := migrationWorkload(4)
+
+	same := []int{0, 1, 2, 3}
+	if c, err := MigrationCost(top, w, same, same); err != nil || c != 0 {
+		t.Errorf("no-move cost = %g, %v, want 0, nil", c, err)
+	}
+
+	// A local move (within the socket) must cost less than a
+	// cross-socket one.
+	local, err := MigrationCost(top, w, []int{0, 1, 2, 3}, []int{4, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pus := top.NumPUs()
+	cross, err := MigrationCost(top, w, []int{0, 1, 2, 3}, []int{pus - 1, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local <= 0 || cross <= 0 {
+		t.Fatalf("costs local %g, cross %g, want both positive", local, cross)
+	}
+	if cross <= local {
+		t.Errorf("cross-socket move (%g s) not more expensive than local move (%g s)", cross, local)
+	}
+
+	// Moving everything costs more than moving one thread.
+	all, err := MigrationCost(top, w, []int{0, 1, 2, 3}, []int{pus - 1, pus - 2, pus - 3, pus - 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all <= cross {
+		t.Errorf("full remap (%g s) not more expensive than single move (%g s)", all, cross)
+	}
+
+	if _, err := MigrationCost(top, w, []int{0}, []int{0, 1}); err == nil {
+		t.Error("mismatched binding lengths accepted")
+	}
+	if _, err := MigrationCost(top, w, []int{0, 1, 2, 3}, []int{0, 1, 2, 1 << 20}); err == nil {
+		t.Error("invalid destination PU accepted")
+	}
+}

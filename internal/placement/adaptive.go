@@ -1,0 +1,415 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/orwl"
+	"orwlplace/internal/perfsim"
+)
+
+// This file closes the placement loop. The paper computes a mapping
+// once, at the schedule barrier, from the declared dependency graph —
+// and its own evaluation shows dynamic traffic drifting away from
+// that graph is exactly where bound placement loses ground. The
+// Reconciler turns the one-shot pipeline into a feedback loop: every
+// epoch it samples an observed-traffic window, measures how far the
+// traffic has drifted from the matrix backing the current assignment,
+// recomputes through the same strategy registry when the drift
+// crosses a threshold, and adopts the new mapping only when the
+// perfsim-modeled gain over the remaining horizon beats the modeled
+// migration cost.
+
+// AdaptiveStats counts a reconciler's activity. It is embedded in
+// ServiceStats so the service surface (and the wire protocol, schema
+// v3) reports the feedback loop next to the cache counters.
+type AdaptiveStats struct {
+	// Epochs is the number of reconciliation epochs run.
+	Epochs uint64
+	// DriftEpochs is the number of epochs whose drift exceeded the
+	// threshold (each triggered a recompute).
+	DriftEpochs uint64
+	// Remaps is the number of adopted re-placements.
+	Remaps uint64
+	// Rejected is the number of recomputed mappings discarded because
+	// the modeled gain did not cover the modeled migration cost.
+	Rejected uint64
+	// LastDrift is the drift measured by the most recent epoch, in
+	// [0, 1]. Aggregated stats (a service with several reconcilers, a
+	// fleet) report the maximum across contributors with activity —
+	// the alarm view: "how bad is the worst drift anyone measured
+	// last" — which is deterministic regardless of iteration order.
+	LastDrift float64
+}
+
+// merge accumulates other into st (fleet aggregation): counters sum,
+// LastDrift takes the maximum over contributors that have run at
+// least one epoch, so an idle machine does not zero out a busy one
+// and map-iteration order cannot flap the result. st.Epochs == 0
+// before accumulation means no active contributor has merged yet.
+func (st *AdaptiveStats) merge(other AdaptiveStats) {
+	if other.Epochs > 0 && (st.Epochs == 0 || other.LastDrift > st.LastDrift) {
+		st.LastDrift = other.LastDrift
+	}
+	st.Epochs += other.Epochs
+	st.DriftEpochs += other.DriftEpochs
+	st.Remaps += other.Remaps
+	st.Rejected += other.Rejected
+}
+
+// Drift measures how far communication matrix b has moved from a, as
+// half the L1 distance between the two symmetrized, volume-normalized
+// matrices: 0 means identical structure (scaling the same pattern up
+// or down is not drift), 1 means the traffic now flows entirely
+// between different pairs. One all-zero matrix against a non-zero one
+// is full drift; two all-zero matrices agree.
+func Drift(a, b *comm.Matrix) float64 {
+	if a == nil || b == nil || a.Order() != b.Order() {
+		return 1
+	}
+	sa, sb := a.Symmetrized(), b.Symmetrized()
+	ta, tb := sa.Total(), sb.Total()
+	if ta == 0 && tb == 0 {
+		return 0
+	}
+	if ta == 0 || tb == 0 {
+		return 1
+	}
+	n := a.Order()
+	var dist float64
+	for i := 0; i < n; i++ {
+		ra, rb := sa.RowView(i), sb.RowView(i)
+		for j := range ra {
+			dist += math.Abs(ra[j]/ta - rb[j]/tb)
+		}
+	}
+	return dist / 2
+}
+
+// AdaptiveConfig tunes a Reconciler.
+type AdaptiveConfig struct {
+	// Strategy names the registered strategy re-placements run through
+	// (default TreeMatch).
+	Strategy string
+	// Options tunes the strategy.
+	Options Options
+	// DriftThreshold is the drift above which an epoch recomputes the
+	// mapping (default 0.25).
+	DriftThreshold float64
+	// Horizon is the number of iterations a newly adopted mapping is
+	// expected to serve — the window over which the modeled gain must
+	// amortize the migration cost (default 50).
+	Horizon int
+	// WindowIterations is how many workload iterations one observed
+	// window spans, used to scale the window down to per-iteration
+	// volumes for the performance model (default 1).
+	WindowIterations int
+	// MinWindowBytes skips reconciliation for windows below this
+	// volume — an idle program should neither count as drifted nor
+	// trigger remaps (default 1, i.e. skip only empty windows).
+	MinWindowBytes float64
+	// Workload is the performance-model template for gain/cost
+	// modeling; its Comm and Iterations are overridden per epoch. Nil
+	// synthesizes a communication-dominated template with a modest
+	// per-thread working set.
+	Workload *perfsim.Workload
+	// Seed seeds the simulated OS scheduler when modeling unbound
+	// assignments.
+	Seed int64
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Strategy == "" {
+		c.Strategy = TreeMatch
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.25
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 50
+	}
+	if c.WindowIterations == 0 {
+		c.WindowIterations = 1
+	}
+	if c.MinWindowBytes == 0 {
+		c.MinWindowBytes = 1
+	}
+	return c
+}
+
+// EpochReport describes one reconciliation epoch.
+type EpochReport struct {
+	// Epoch is the 1-based epoch index.
+	Epoch uint64
+	// WindowBytes is the total volume of the observed window.
+	WindowBytes float64
+	// Drift is the measured drift against the matrix backing the
+	// current assignment.
+	Drift float64
+	// Recomputed is true when the drift crossed the threshold and a
+	// candidate mapping was computed.
+	Recomputed bool
+	// Adopted is true when the candidate was bound.
+	Adopted bool
+	// GainSeconds is the modeled time saved over the horizon by the
+	// candidate (meaningful when Recomputed).
+	GainSeconds float64
+	// CostSeconds is the modeled one-time migration cost of switching.
+	CostSeconds float64
+	// Assignment is the mapping in force after the epoch.
+	Assignment *Assignment
+}
+
+// Reconciler is the epoch-driven adaptive re-placement engine for one
+// program on one machine. Drive it by calling Epoch at whatever cadence
+// suits the application (or Run for a ticker-driven loop). It is safe
+// for concurrent use with the program it re-binds.
+type Reconciler struct {
+	eng  *Engine
+	src  MatrixSource
+	prog *orwl.Program // nil: model-only, no binding commits
+	cfg  AdaptiveConfig
+
+	mu    sync.Mutex
+	cur   *Assignment
+	base  *comm.Matrix // matrix backing cur — what drift is measured against
+	stats AdaptiveStats
+}
+
+// NewReconciler builds a reconciler re-placing prog (may be nil for
+// model-only use) on eng's machine, fed by src — typically
+// ObservedWindow(prog). Prime it with an initial mapping before the
+// first Epoch.
+func NewReconciler(eng *Engine, src MatrixSource, prog *orwl.Program, cfg AdaptiveConfig) (*Reconciler, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("placement: adaptive: nil engine")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("placement: adaptive: nil matrix source")
+	}
+	cfg = cfg.withDefaults()
+	if _, ok := Lookup(cfg.Strategy); !ok {
+		return nil, fmt.Errorf("placement: adaptive: unknown strategy %q", cfg.Strategy)
+	}
+	return &Reconciler{eng: eng, src: src, prog: prog, cfg: cfg}, nil
+}
+
+// Prime computes and commits the initial assignment from a source —
+// typically Declared(prog), the paper's schedule-barrier mapping —
+// and records its matrix as the drift baseline.
+func (r *Reconciler) Prime(src MatrixSource) error {
+	m, err := r.eng.Extract(src)
+	if err != nil {
+		return err
+	}
+	a, err := r.eng.Compute(r.cfg.Strategy, m, 0, r.cfg.Options)
+	if err != nil {
+		return err
+	}
+	if r.prog != nil {
+		if err := Bind(r.prog, a); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.cur = a
+	r.base = m.Clone()
+	r.mu.Unlock()
+	return nil
+}
+
+// SetCurrent adopts an externally computed assignment (and the matrix
+// it was computed from) as the reconciler's baseline — for programs
+// placed by the automatic schedule hook before the loop starts.
+func (r *Reconciler) SetCurrent(a *Assignment, m *comm.Matrix) error {
+	if a == nil || m == nil {
+		return fmt.Errorf("placement: adaptive: SetCurrent needs an assignment and its matrix")
+	}
+	r.mu.Lock()
+	r.cur = a.Clone()
+	r.base = m.Clone()
+	r.mu.Unlock()
+	return nil
+}
+
+// Current returns the assignment in force (the caller's copy).
+func (r *Reconciler) Current() *Assignment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur.Clone()
+}
+
+// Stats returns a snapshot of the reconciler's counters.
+func (r *Reconciler) Stats() AdaptiveStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// Epoch runs one reconciliation step: sample the source's next
+// window, measure drift, and — when it crosses the threshold —
+// recompute and adopt if the modeled gain over the horizon beats the
+// modeled migration cost.
+func (r *Reconciler) Epoch() (*EpochReport, error) {
+	r.mu.Lock()
+	cur, base := r.cur, r.base
+	r.mu.Unlock()
+	if cur == nil || base == nil {
+		return nil, fmt.Errorf("placement: adaptive: epoch before Prime/SetCurrent")
+	}
+
+	window, err := r.eng.Extract(r.src)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &EpochReport{WindowBytes: window.Total()}
+	finish := func() (*EpochReport, error) {
+		r.mu.Lock()
+		r.stats.Epochs++
+		rep.Epoch = r.stats.Epochs
+		if rep.WindowBytes >= r.cfg.MinWindowBytes {
+			r.stats.LastDrift = rep.Drift
+		}
+		if rep.Recomputed {
+			r.stats.DriftEpochs++
+			if rep.Adopted {
+				r.stats.Remaps++
+			} else {
+				r.stats.Rejected++
+			}
+		}
+		rep.Assignment = r.cur.Clone()
+		r.mu.Unlock()
+		return rep, nil
+	}
+
+	if rep.WindowBytes < r.cfg.MinWindowBytes {
+		// Idle epoch: nothing flowed, nothing to react to.
+		return finish()
+	}
+	rep.Drift = Drift(base, window)
+	if rep.Drift <= r.cfg.DriftThreshold {
+		return finish()
+	}
+
+	// Drift alarm: recompute through the registry (the mapping cache
+	// makes oscillation back to a known pattern cheap).
+	candidate, err := r.eng.Compute(r.cfg.Strategy, window, 0, r.cfg.Options)
+	if err != nil {
+		return nil, err
+	}
+	rep.Recomputed = true
+
+	gain, cost, err := r.model(window, cur, candidate)
+	if err != nil {
+		return nil, err
+	}
+	rep.GainSeconds, rep.CostSeconds = gain, cost
+	if gain <= cost {
+		return finish()
+	}
+
+	if r.prog != nil {
+		if err := Bind(r.prog, candidate); err != nil {
+			return nil, err
+		}
+	}
+	rep.Adopted = true
+	r.mu.Lock()
+	r.cur = candidate
+	r.base = window.Clone()
+	r.mu.Unlock()
+	return finish()
+}
+
+// model compares cur and candidate under the windowed traffic: the
+// modeled seconds each spends serving Horizon iterations of the
+// observed pattern, and the one-time migration cost of switching.
+func (r *Reconciler) model(window *comm.Matrix, cur, candidate *Assignment) (gain, cost float64, err error) {
+	w := r.modelWorkload(window)
+	oldRes, err := perfsim.Simulate(r.eng.Topology(), w, r.eng.SimPlacement(cur, r.cfg.Seed))
+	if err != nil {
+		return 0, 0, fmt.Errorf("placement: adaptive: modeling current mapping: %w", err)
+	}
+	newRes, err := perfsim.Simulate(r.eng.Topology(), w, r.eng.SimPlacement(candidate, r.cfg.Seed))
+	if err != nil {
+		return 0, 0, fmt.Errorf("placement: adaptive: modeling candidate mapping: %w", err)
+	}
+	gain = oldRes.Seconds - newRes.Seconds
+	if cur.Unbound || candidate.Unbound {
+		// No pinned state to move: adopting away from (or to) the OS
+		// scheduler only pays the modeling delta.
+		return gain, 0, nil
+	}
+	cost, err = perfsim.MigrationCost(r.eng.Topology(), w, cur.ComputePU, candidate.ComputePU)
+	if err != nil {
+		return 0, 0, fmt.Errorf("placement: adaptive: migration cost: %w", err)
+	}
+	return gain, cost, nil
+}
+
+// modelWorkload builds the per-epoch performance-model input: the
+// configured template (or a synthesized communication-dominated one)
+// carrying the window's per-iteration traffic over the horizon.
+func (r *Reconciler) modelWorkload(window *comm.Matrix) *perfsim.Workload {
+	n := window.Order()
+	var w perfsim.Workload
+	if r.cfg.Workload != nil {
+		w = *r.cfg.Workload
+	} else {
+		w.Name = "adaptive-epoch"
+		threads := make([]perfsim.Thread, n)
+		for i := range threads {
+			threads[i] = perfsim.Thread{
+				ComputeCycles: 5e5,
+				WorkingSet:    1 << 20,
+				MemoryTraffic: 1 << 16,
+			}
+		}
+		w.Threads = threads
+	}
+	perIter := window
+	if r.cfg.WindowIterations > 1 {
+		perIter = window.Clone()
+		scale := 1 / float64(r.cfg.WindowIterations)
+		for i := 0; i < n; i++ {
+			row := perIter.RowView(i)
+			for j := range row {
+				row[j] *= scale
+			}
+		}
+	}
+	w.Comm = perIter
+	w.Iterations = r.cfg.Horizon
+	return &w
+}
+
+// Run drives Epoch on a ticker until the context is cancelled,
+// reporting each epoch to report (which may be nil). Errors stop the
+// loop and are returned.
+func (r *Reconciler) Run(ctx context.Context, every time.Duration, report func(*EpochReport)) error {
+	if every <= 0 {
+		return fmt.Errorf("placement: adaptive: non-positive epoch interval %v", every)
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			rep, err := r.Epoch()
+			if err != nil {
+				return err
+			}
+			if report != nil {
+				report(rep)
+			}
+		}
+	}
+}

@@ -84,11 +84,30 @@ func (e *Engine) Topology() *topology.Topology { return e.top }
 // tree.
 func (e *Engine) TopologySignature() uint64 { return e.topoSig }
 
-// ExtractMatrix derives the communication matrix from the runtime
-// state of a scheduled program — step 1 of the pipeline
-// (orwl_dependency_get).
-func (e *Engine) ExtractMatrix(prog *orwl.Program) *comm.Matrix {
-	return prog.DependencyMatrix()
+// Extract produces the communication matrix from a source — step 1 of
+// the pipeline (orwl_dependency_get), behind the MatrixSource seam:
+// the declared handle graph, the runtime-observed traffic, or a fixed
+// trace all enter the pipeline here.
+func (e *Engine) Extract(src MatrixSource) (*comm.Matrix, error) {
+	if src == nil {
+		return nil, fmt.Errorf("placement: extract from nil source")
+	}
+	m, err := src.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("placement: source %q produced a nil matrix", src.Name())
+	}
+	return m, nil
+}
+
+// ExtractMatrix derives the communication matrix from the declared
+// runtime state of a program — Extract over a DeclaredSource. A nil
+// program, or one that has not announced any handles, is a
+// descriptive error instead of a panic.
+func (e *Engine) ExtractMatrix(prog *orwl.Program) (*comm.Matrix, error) {
+	return e.Extract(Declared(prog))
 }
 
 // Compute runs the named strategy — step 2 of the pipeline
@@ -226,13 +245,35 @@ func Bind(prog *orwl.Program, a *Assignment) error {
 	return nil
 }
 
-// Place runs the full pipeline on a scheduled program: extract the
-// matrix, compute the named strategy's assignment, commit it.
-func (e *Engine) Place(prog *orwl.Program, strategy string, opt Options) (*Assignment, error) {
+// PlaceProgram runs the full pipeline on a scheduled program: extract
+// the declared matrix, compute the named strategy's assignment, commit
+// it. Nil or handle-less programs return a descriptive error.
+func (e *Engine) PlaceProgram(prog *orwl.Program, strategy string, opt Options) (*Assignment, error) {
 	if prog == nil {
 		return nil, fmt.Errorf("placement: place nil program")
 	}
-	a, err := e.Compute(strategy, e.ExtractMatrix(prog), 0, opt)
+	return e.PlaceSource(prog, Declared(prog), strategy, opt)
+}
+
+// PlaceSource runs the pipeline with an explicit matrix source:
+// extract from src, compute, commit onto prog. It is how a feedback
+// loop re-places a program from its observed traffic while the
+// declared graph stays untouched.
+func (e *Engine) PlaceSource(prog *orwl.Program, src MatrixSource, strategy string, opt Options) (*Assignment, error) {
+	if prog == nil {
+		return nil, fmt.Errorf("placement: place nil program")
+	}
+	m, err := e.Extract(src)
+	if err != nil {
+		return nil, err
+	}
+	n := m.Order()
+	if tasks := prog.NumTasks(); n < tasks {
+		// A source narrower than the program (e.g. an empty observed
+		// window) must not silently place a task subset.
+		return nil, fmt.Errorf("placement: source %q covers %d entities, program has %d tasks", src.Name(), n, tasks)
+	}
+	a, err := e.Compute(strategy, m, 0, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -333,7 +333,7 @@ func TestPlaceFullPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := eng.Place(prog, TreeMatch, Options{})
+	a, err := eng.PlaceProgram(prog, TreeMatch, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -131,6 +131,15 @@ func (m *MultiService) service(name string) (*LocalService, string, error) {
 	return svc, name, nil
 }
 
+// MachineService returns the named machine's in-process service (""
+// selects the default) — the handle an adaptive reconciler attaches
+// to when the program places through a fleet rather than a
+// single-machine service.
+func (m *MultiService) MachineService(name string) (*LocalService, error) {
+	svc, _, err := m.service(name)
+	return svc, err
+}
+
 // Place implements Service: the request routes to the machine it
 // names, or to the default machine when it names none (every v1
 // request does).
@@ -201,6 +210,7 @@ func (m *MultiService) Stats(ctx context.Context) (ServiceStats, error) {
 		st.Cache.Hits += cs.Hits
 		st.Cache.Misses += cs.Misses
 		st.Cache.Entries += cs.Entries
+		st.Adaptive.merge(svc.adaptiveStats())
 	}
 	return st, nil
 }

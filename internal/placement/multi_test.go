@@ -2,10 +2,12 @@ package placement
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
 
+	"orwlplace/internal/comm"
 	"orwlplace/internal/topology"
 )
 
@@ -239,4 +241,105 @@ func TestMultiServicePlaceBatchConcurrent(t *testing.T) {
 	if st.Cache.Misses < 6 {
 		t.Errorf("misses = %d, want >= 6 distinct keys", st.Cache.Misses)
 	}
+}
+
+// TestMultiServiceConcurrentAddMachine hammers a growing fleet:
+// machines are registered while placements, batch placements and both
+// stats views run against it — the shape of a daemon whose operator
+// adds machines at runtime. Run under -race this guards the router's
+// locking.
+func TestMultiServiceConcurrentAddMachine(t *testing.T) {
+	fleet := NewMultiService()
+	if err := fleet.AddMachine("seed", topology.TinyHT()); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	m := chainMatrixMulti(4)
+
+	const adders = 4
+	const machinesPerAdder = 8
+	const readers = 4
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < machinesPerAdder; i++ {
+				name := fmt.Sprintf("m-%d-%d", a, i)
+				top := topology.TinyFlat()
+				if err := fleet.AddMachine(name, top); err != nil {
+					t.Errorf("AddMachine(%s): %v", name, err)
+					return
+				}
+				// Immediately exercise the new machine.
+				if _, err := fleet.Place(ctx, &PlaceRequest{Machine: name, Strategy: TreeMatch, Matrix: m}); err != nil {
+					t.Errorf("Place on %s: %v", name, err)
+					return
+				}
+			}
+		}(a)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 40; i++ {
+				if _, err := fleet.Place(ctx, &PlaceRequest{Strategy: TreeMatch, Matrix: m}); err != nil {
+					t.Errorf("default Place: %v", err)
+					return
+				}
+				if _, err := fleet.PlaceBatch(ctx, []*PlaceRequest{
+					{Strategy: TreeMatch, Matrix: m},
+					{Machine: "seed", Strategy: None},
+				}); err != nil {
+					t.Errorf("PlaceBatch: %v", err)
+					return
+				}
+				if _, err := fleet.Stats(ctx); err != nil {
+					t.Errorf("Stats: %v", err)
+					return
+				}
+				ms, err := fleet.MachineStats(ctx)
+				if err != nil {
+					t.Errorf("MachineStats: %v", err)
+					return
+				}
+				if _, ok := ms["seed"]; !ok {
+					t.Error("MachineStats lost the seed machine")
+					return
+				}
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	want := 1 + adders*machinesPerAdder
+	if got := len(fleet.Machines()); got != want {
+		t.Errorf("fleet has %d machines, want %d", got, want)
+	}
+	if def := fleet.DefaultMachine(); def != "seed" {
+		t.Errorf("default machine = %q, want seed", def)
+	}
+	ms, err := fleet.MachineStats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != want {
+		t.Errorf("MachineStats lists %d machines, want %d", len(ms), want)
+	}
+}
+
+// chainMatrixMulti is a local pipeline matrix helper (the name avoids
+// colliding with other test helpers in the package).
+func chainMatrixMulti(n int) *comm.Matrix {
+	m := comm.NewMatrix(n)
+	for i := 0; i+1 < n; i++ {
+		m.AddSym(i, i+1, float64(1+i)*100)
+	}
+	return m
 }

@@ -27,7 +27,10 @@ import (
 //	    carry the serving machine and per-slot errors, stats list the
 //	    fleet. A v1 request still decodes and routes to the default
 //	    machine.
-const ServiceVersion = 2
+//	3 — adaptive placement: ServiceStats carries the AdaptiveStats
+//	    counters of attached reconcilers (epochs, drift alarms,
+//	    remaps). Requests and responses are unchanged from v2.
+const ServiceVersion = 3
 
 // PlaceRequest asks a placement service for an assignment. It is the
 // transport-agnostic unit: the in-process service consumes it
@@ -105,6 +108,10 @@ type ServiceStats struct {
 	Places uint64
 	// Cache is a snapshot of the mapping-cache counters.
 	Cache CacheStats
+	// Adaptive counts the activity of reconcilers attached to the
+	// service (schema v3): epochs run, drift alarms, adopted and
+	// rejected remaps. Zero when no feedback loop is attached.
+	Adaptive AdaptiveStats
 }
 
 // Service is the placement-as-a-service surface: everything the
@@ -147,6 +154,9 @@ func checkVersion(v int) (int, error) {
 type LocalService struct {
 	eng    *Engine
 	places atomic.Uint64
+
+	recMu sync.Mutex
+	recs  []*Reconciler
 }
 
 // NewLocalService wraps an engine as a Service.
@@ -203,6 +213,23 @@ func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResp
 	return resp, nil
 }
 
+// PlaceFrom is Place with the request's matrix drawn from a source at
+// call time — the service-level face of the MatrixSource seam. The
+// caller's request is not mutated; its Matrix field, if set, is
+// overridden by the source.
+func (s *LocalService) PlaceFrom(ctx context.Context, src MatrixSource, req *PlaceRequest) (*PlaceResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("placement: nil request")
+	}
+	m, err := s.eng.Extract(src)
+	if err != nil {
+		return nil, err
+	}
+	sourced := *req
+	sourced.Matrix = m
+	return s.Place(ctx, &sourced)
+}
+
 // PlaceBatch implements Service: the slots fan out concurrently onto
 // the engine, whose singleflight collapses identical slots into one
 // compute.
@@ -222,6 +249,29 @@ func (s *LocalService) Topology(ctx context.Context) (*topology.Topology, error)
 	return s.eng.Topology().Clone()
 }
 
+// AttachReconciler registers a feedback loop with the service, so its
+// epoch/drift/remap counters surface through Stats (and, remotely,
+// through the schema-v3 stats payload).
+func (s *LocalService) AttachReconciler(r *Reconciler) {
+	if r == nil {
+		return
+	}
+	s.recMu.Lock()
+	s.recs = append(s.recs, r)
+	s.recMu.Unlock()
+}
+
+// adaptiveStats merges the counters of every attached reconciler.
+func (s *LocalService) adaptiveStats() AdaptiveStats {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	var st AdaptiveStats
+	for _, r := range s.recs {
+		st.merge(r.Stats())
+	}
+	return st
+}
+
 // Stats implements Service.
 func (s *LocalService) Stats(ctx context.Context) (ServiceStats, error) {
 	if err := ctx.Err(); err != nil {
@@ -234,6 +284,7 @@ func (s *LocalService) Stats(ctx context.Context) (ServiceStats, error) {
 		Machines:          []string{s.eng.Topology().Attrs.Name},
 		Places:            s.places.Load(),
 		Cache:             s.eng.Stats(),
+		Adaptive:          s.adaptiveStats(),
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/core"
+	"orwlplace/internal/orwl"
 	"orwlplace/internal/orwlnet"
 	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
@@ -69,9 +70,19 @@ const ServiceVersion = placement.ServiceVersion
 // (core.Module, the daemon, the RPC layer) serves a fleet unchanged.
 type Fleet = placement.MultiService
 
+// ServiceOption tunes the engines behind NewService/NewFleet.
+type ServiceOption = placement.EngineOption
+
+// WithCacheEntries bounds each engine's mapping cache (0 disables
+// caching) — the facade face of the engine option, threaded through
+// NewService and NewFleet so external deployments size the cache from
+// the outside.
+func WithCacheEntries(n int) ServiceOption { return placement.WithCacheEntries(n) }
+
 // NewFleet builds an in-process fleet service over the named machines
 // (resolved like Machine); the first name is the default machine.
-func NewFleet(machines ...string) (*Fleet, error) {
+// Options apply to every machine's engine.
+func NewFleet(machines []string, opts ...ServiceOption) (*Fleet, error) {
 	if len(machines) == 0 {
 		return nil, fmt.Errorf("orwlplace: fleet needs at least one machine")
 	}
@@ -81,7 +92,7 @@ func NewFleet(machines ...string) (*Fleet, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := fleet.AddMachine(name, top); err != nil {
+		if err := fleet.AddMachine(name, top, opts...); err != nil {
 			return nil, err
 		}
 	}
@@ -106,8 +117,8 @@ func HostTopology() *Topology { return topology.Host() }
 // NewService builds an in-process placement service for a machine: a
 // placement engine (strategy registry + mapping cache) behind the
 // Service interface.
-func NewService(top *Topology) (Service, error) {
-	eng, err := placement.NewEngine(top)
+func NewService(top *Topology, opts ...ServiceOption) (Service, error) {
+	eng, err := placement.NewEngine(top, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -151,6 +162,76 @@ func PlaceOn(ctx context.Context, svc Service, strategy string, m *Matrix, n int
 		return nil, fmt.Errorf("orwlplace: nil service")
 	}
 	return svc.Place(ctx, &PlaceRequest{Strategy: strategy, Matrix: m, Entities: n})
+}
+
+// Program is the ORWL runtime instance adaptive placement re-binds.
+type Program = orwl.Program
+
+// MatrixSource is the seam for step 1 of the pipeline: where the
+// communication matrix comes from — the declared handle graph, the
+// runtime-observed traffic, or a fixed trace.
+type MatrixSource = placement.MatrixSource
+
+// DeclaredSource wraps a program's declared dependency graph (the
+// paper's schedule-barrier extraction) as a source.
+func DeclaredSource(prog *Program) MatrixSource { return placement.Declared(prog) }
+
+// ObservedSource wraps a program's runtime-measured traffic as a
+// windowed source: every extraction consumes the epoch since the
+// previous one — the adaptive loop's diet.
+func ObservedSource(prog *Program) MatrixSource { return placement.ObservedWindow(prog) }
+
+// FixedSource wraps a constant matrix (a replayed trace) as a source.
+func FixedSource(label string, m *Matrix) MatrixSource { return placement.Fixed(label, m) }
+
+// Adaptive is the epoch-driven re-placement reconciler: it samples an
+// observed-traffic source, measures drift against the matrix backing
+// the current mapping, and re-places through the strategy registry
+// when the modeled gain beats the modeled migration cost.
+type Adaptive = placement.Reconciler
+
+// AdaptiveConfig tunes an Adaptive reconciler.
+type AdaptiveConfig = placement.AdaptiveConfig
+
+// AdaptiveStats counts a reconciler's epochs, drift alarms and remaps;
+// ServiceStats carries the aggregate for a service's attached loops.
+type AdaptiveStats = placement.AdaptiveStats
+
+// EpochReport describes one reconciliation epoch.
+type EpochReport = placement.EpochReport
+
+// Drift measures structural change between two communication matrices
+// in [0, 1]: 0 for the same pattern (at any volume), 1 for disjoint
+// flows.
+func Drift(a, b *Matrix) float64 { return placement.Drift(a, b) }
+
+// NewAdaptive builds a re-placement loop for prog on an in-process
+// service — NewService's result, or one machine of an in-process
+// Fleet (the fleet itself routes across machines; pick the one the
+// program runs on with fleet.MachineService(name) or pass the fleet
+// to place on its default machine). The source is typically
+// ObservedSource(prog). The reconciler registers with the service, so
+// its epoch/drift/remap counters surface through Stats (and the
+// fleet's aggregate). Remote services are rejected: re-binding needs
+// the program's runtime state, which lives in this process.
+func NewAdaptive(svc Service, src MatrixSource, prog *Program, cfg AdaptiveConfig) (*Adaptive, error) {
+	if fleet, ok := svc.(*Fleet); ok {
+		machine, err := fleet.MachineService("")
+		if err != nil {
+			return nil, err
+		}
+		svc = machine
+	}
+	local, ok := svc.(*placement.LocalService)
+	if !ok {
+		return nil, fmt.Errorf("orwlplace: adaptive placement needs an in-process service (got %T): the loop re-binds local runtime state", svc)
+	}
+	rec, err := placement.NewReconciler(local.Engine(), src, prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	local.AttachReconciler(rec)
+	return rec, nil
 }
 
 // PlaceAcross batch-places one workload onto every named machine of a

@@ -1,11 +1,12 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR3.json: run the placement hot-path
+# bench.sh — regenerate BENCH_PR5.json: run the placement hot-path
 # benchmarks (go test -bench -benchmem across the root, placement,
-# treematch, comm and orwlnet packages) and record ns/op + allocs/op
-# as JSON next to the pre-PR baseline in
-# scripts/bench_baseline_pr3.json.
+# treematch, comm, orwlnet and orwl packages) and record ns/op +
+# allocs/op as JSON. Benches that existed before PR 3 carry their
+# recorded baseline from scripts/bench_baseline_pr3.json; the PR 5
+# additions (observed-traffic counters, adaptive epochs) record fresh.
 #
-#   scripts/bench.sh                  # full run, writes BENCH_PR3.json
+#   scripts/bench.sh                  # full run, writes BENCH_PR5.json
 #   scripts/bench.sh -benchtime 0.3s  # quicker CI pass, same schema
 #
 # Extra flags are handed through to cmd/benchjson.
