@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...] [-cache-entries n]
+//	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...] [-cache-entries n] [-conn-idle d]
 //
 // At least one of -loc or -place is required. -machine is repeatable
 // and picks the topologies the placement service maps onto: named
@@ -17,6 +17,11 @@
 // `PlaceRequest.Machine` selects any other, and PlaceBatch fans one
 // request slice across the fleet in a single RPC. -cache-entries
 // bounds each machine engine's mapping cache (0 disables caching).
+//
+// -conn-idle reaps connections that stay byte-silent for the duration
+// with nothing in flight (e.g. "-conn-idle 5m"); a connection waiting
+// on a parked Await or a computing placement is never reaped. The
+// default 0 keeps connections forever, the historical behaviour.
 //
 // The daemon traps SIGINT/SIGTERM and drains in-flight calls before
 // exiting.
@@ -78,6 +83,7 @@ func (m *machineFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
 	place := flag.Bool("place", false, "export a placement service")
+	connIdle := flag.Duration("conn-idle", 0, "close connections idle (byte-silent with nothing in flight) for this long; 0 keeps them forever")
 	cacheEntries := flag.Int("cache-entries", -1, "mapping-cache capacity per machine engine (0 disables caching, -1 keeps the built-in default)")
 	machines := machineFlags{}
 	flag.Var(&machines, "machine", "machine the placement service maps onto (repeatable; the first is the fleet default): host, "+strings.Join(topology.MachineNames(), ", "))
@@ -90,6 +96,9 @@ func main() {
 	}
 
 	var opts []orwlnet.ServerOption
+	if *connIdle > 0 {
+		opts = append(opts, orwlnet.WithIdleTimeout(*connIdle))
+	}
 	if *place {
 		if len(machines) == 0 {
 			machines = machineFlags{"host"}

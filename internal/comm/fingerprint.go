@@ -1,0 +1,42 @@
+package comm
+
+import "math"
+
+// FNV-1a 64-bit parameters, applied word-wise below.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Fingerprint hashes the order and every entry of the matrix (bit
+// pattern, not numeric value, so NaNs and signed zeros distinguish).
+// It is the identity the placement mapping cache keys on and the wire
+// protocol's "fingerprint-only" request handle: a client that has
+// already shipped a matrix body refers to it by this hash, and the
+// serving daemon resolves it from its recently-seen table. Both sides
+// must therefore hash the exact same value stream — order, then
+// entries row-major as raw float64 bits.
+//
+// The mix is FNV-1a applied per 64-bit word rather than per byte: one
+// xor-multiply per entry instead of eight keeps the hash out of the
+// warm placement profile (it runs on every request on both sides of
+// the wire). Position still matters — each entry is folded under a
+// different number of multiplies — so permuted matrices hash apart.
+// The hash is an in-memory identity, never persisted, so its value may
+// change between builds. A client and server that happen to disagree
+// (mixed builds) stay correct — every fingerprint reference misses and
+// the body is resent — they just lose the compact-request optimisation.
+func Fingerprint(m *Matrix) uint64 {
+	if m == nil {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	n := m.Order()
+	h = (h ^ uint64(n)) * fnvPrime64
+	for i := 0; i < n; i++ {
+		for _, v := range m.RowView(i) {
+			h = (h ^ math.Float64bits(v)) * fnvPrime64
+		}
+	}
+	return h
+}

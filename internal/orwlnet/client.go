@@ -1,6 +1,7 @@
 package orwlnet
 
 import (
+	"bufio"
 	"context"
 	"fmt"
 	"net"
@@ -13,13 +14,26 @@ import (
 
 // Client is one connection to a location server. It is safe for
 // concurrent use: calls are tagged and multiplexed, so a blocked
-// Acquire does not stall other handles on the same connection.
+// Acquire does not stall other handles on the same connection. Frames
+// are handed to a single writer goroutine, so a caller never blocks on
+// another caller's socket write — the transport pipelines as deep as
+// the send queue.
 type Client struct {
-	conn    net.Conn
-	version int // negotiated protocol version (protoLegacy for old servers)
+	conn     net.Conn
+	version  int // negotiated protocol version (protoLegacy for old servers)
+	maxProto int // ceiling offered in the handshake (WithMaxProtocol)
 
-	callID  atomic.Uint64
-	writeMu sync.Mutex
+	callID atomic.Uint64
+	sendCh chan outFrame
+
+	// turnMu lock-steps placement RPCs on pre-pipeline connections
+	// (held by RemoteService.placeCall, never by location ops).
+	turnMu sync.Mutex
+
+	// Wire byte counters (frames in/out including headers), read by
+	// WireStats for throughput accounting.
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
 
 	mu      sync.Mutex
 	pending map[uint64]chan message
@@ -27,27 +41,84 @@ type Client struct {
 	done    chan struct{}
 }
 
+// outFrame is one queued request frame. pooled marks a payload drawn
+// from payloadPool: ownership transfers to the writer goroutine at
+// enqueue, which recycles it after the bytes hit the wire — the caller
+// must not touch it again, even if its context is canceled while the
+// frame is still queued.
+type outFrame struct {
+	msg    message
+	pooled bool
+}
+
+// sendQueueDepth bounds frames queued to the writer. Deep enough that
+// a pipelining caller fleet never stalls on the queue itself, shallow
+// enough to apply back-pressure when the socket is the bottleneck.
+const sendQueueDepth = 256
+
+// DialOption customises a Dial/DialContext connection.
+type DialOption func(*dialConfig)
+
+type dialConfig struct {
+	maxProto int
+	poolSize int
+}
+
+// WithMaxProtocol caps the protocol version offered in the handshake.
+// A client pinned below ProtoPipeline speaks the pre-pipeline
+// transport even to a new server — placement calls run lock-step and
+// matrices cross dense, which is what cmd/placeload measures as its
+// baseline.
+func WithMaxProtocol(v int) DialOption {
+	return func(cfg *dialConfig) { cfg.maxProto = v }
+}
+
+// WithPoolSize sets how many connections a pooled dialer
+// (DialPlacement / NewRemoteService) opens. The plain Dial/DialContext
+// single-connection client ignores it.
+func WithPoolSize(n int) DialOption {
+	return func(cfg *dialConfig) { cfg.poolSize = n }
+}
+
+func applyDialOptions(opts []DialOption) dialConfig {
+	cfg := dialConfig{maxProto: protoMax, poolSize: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.maxProto < protoLegacy || cfg.maxProto > protoMax {
+		cfg.maxProto = protoMax
+	}
+	if cfg.poolSize < 1 {
+		cfg.poolSize = 1
+	}
+	return cfg
+}
+
 // Dial connects to a server. It is DialContext without a deadline.
-func Dial(addr string) (*Client, error) {
-	return DialContext(context.Background(), addr)
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	return DialContext(context.Background(), addr, opts...)
 }
 
 // DialContext connects to a server, honouring the context's deadline
 // and cancellation for both the TCP connect and the version handshake,
 // and negotiates the protocol version (servers predating the handshake
 // are detected and spoken to as protoLegacy).
-func DialContext(ctx context.Context, addr string) (*Client, error) {
+func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
+	cfg := applyDialOptions(opts)
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orwlnet: dial: %w", err)
 	}
 	c := &Client{
-		conn:    conn,
-		pending: make(map[uint64]chan message),
-		done:    make(chan struct{}),
+		conn:     conn,
+		maxProto: cfg.maxProto,
+		sendCh:   make(chan outFrame, sendQueueDepth),
+		pending:  make(map[uint64]chan message),
+		done:     make(chan struct{}),
 	}
 	go c.readLoop()
+	go c.writeLoop()
 	if err := c.handshake(ctx); err != nil {
 		c.Close()
 		return nil, err
@@ -59,7 +130,7 @@ func DialContext(ctx context.Context, addr string) (*Client, error) {
 // opHello with an unknown-op error is a legacy build: the connection
 // stays usable for the location ops.
 func (c *Client) handshake(ctx context.Context) error {
-	resp, err := c.callCtx(ctx, opHello, []byte{protoLegacy, protoMax})
+	resp, err := c.callCtx(ctx, opHello, []byte{protoLegacy, byte(c.maxProto)})
 	if err != nil {
 		if strings.Contains(err.Error(), errUnknownOp) {
 			c.version = protoLegacy
@@ -67,7 +138,7 @@ func (c *Client) handshake(ctx context.Context) error {
 		}
 		return fmt.Errorf("orwlnet: handshake: %w", err)
 	}
-	if len(resp) < 1 || int(resp[0]) > protoMax {
+	if len(resp) < 1 || int(resp[0]) > c.maxProto {
 		return fmt.Errorf("orwlnet: handshake: bad version reply %v", resp)
 	}
 	c.version = int(resp[0])
@@ -77,12 +148,22 @@ func (c *Client) handshake(ctx context.Context) error {
 // Version returns the negotiated protocol version.
 func (c *Client) Version() int { return c.version }
 
+// WireStats returns the bytes this connection has read and written,
+// frame headers included.
+func (c *Client) WireStats() (bytesIn, bytesOut uint64) {
+	return c.bytesIn.Load(), c.bytesOut.Load()
+}
+
 // Close terminates the connection; outstanding calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) readLoop() {
+	// Buffered reads: a pipelining server answers in bursts, and the
+	// buffer turns per-frame header+body read pairs into one syscall
+	// per burst.
+	br := bufio.NewReaderSize(c.conn, 32<<10)
 	for {
-		msg, err := readMessage(c.conn)
+		msg, err := readMessage(br)
 		if err != nil {
 			c.mu.Lock()
 			c.err = fmt.Errorf("orwlnet: connection lost: %w", err)
@@ -94,12 +175,79 @@ func (c *Client) readLoop() {
 			close(c.done)
 			return
 		}
+		c.bytesIn.Add(13 + uint64(len(msg.payload)))
 		c.mu.Lock()
 		ch := c.pending[msg.callID]
 		delete(c.pending, msg.callID)
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- msg
+		}
+	}
+}
+
+// writeLoop is the connection's only socket writer: callers enqueue
+// frames and return to waiting on their reply channel, so N callers
+// pipeline N frames without serialising on each other's syscalls. On
+// a write error it closes the connection — the read loop then fails
+// every pending call — and keeps draining the queue so enqueued
+// pooled buffers are still recycled.
+func (c *Client) writeLoop() {
+	// Writes go through a buffer that is flushed only when the send
+	// queue runs dry: a burst of pipelined frames crosses in one
+	// syscall instead of one per frame.
+	bw := bufio.NewWriterSize(c.conn, 32<<10)
+	var dead bool
+	write := func(f outFrame) {
+		if !dead {
+			if err := writeMessage(bw, f.msg); err != nil {
+				dead = true
+				c.conn.Close()
+			} else {
+				c.bytesOut.Add(13 + uint64(len(f.msg.payload)))
+			}
+		}
+		if f.pooled {
+			putPayloadBuf(f.msg.payload)
+		}
+	}
+	for {
+		select {
+		case f := <-c.sendCh:
+			write(f)
+			// Batch whatever else is already queued before paying the
+			// flush.
+		drain:
+			for {
+				select {
+				case f := <-c.sendCh:
+					write(f)
+				default:
+					break drain
+				}
+			}
+			if !dead {
+				if err := bw.Flush(); err != nil {
+					dead = true
+					c.conn.Close()
+				}
+			}
+		case <-c.done:
+			// Connection dead and no more replies will come: discard
+			// whatever is still queued, recycling its buffers. A frame
+			// enqueued after this drain is dropped unrecycled — the pool
+			// tolerates that, and its caller is already being failed via
+			// the closed pending channels.
+			for {
+				select {
+				case f := <-c.sendCh:
+					if f.pooled {
+						putPayloadBuf(f.msg.payload)
+					}
+				default:
+					return
+				}
+			}
 		}
 	}
 }
@@ -113,7 +261,22 @@ func (c *Client) call(op byte, payload []byte) ([]byte, error) {
 // response is discarded by the read loop (the reply channel is
 // buffered) and its pending slot reclaimed here.
 func (c *Client) callCtx(ctx context.Context, op byte, payload []byte) ([]byte, error) {
+	return c.callPooled(ctx, op, payload, false)
+}
+
+// callPooled is callCtx for payloads drawn from payloadPool: the
+// buffer's ownership transfers to the writer goroutine once the frame
+// is enqueued (the writer recycles it after the write), and is
+// recycled here when enqueueing fails. Either way the caller must not
+// reuse the buffer after this call.
+func (c *Client) callPooled(ctx context.Context, op byte, payload []byte, pooled bool) ([]byte, error) {
+	recycle := func() {
+		if pooled {
+			putPayloadBuf(payload)
+		}
+	}
 	if err := ctx.Err(); err != nil {
+		recycle()
 		return nil, err
 	}
 	id := c.callID.Add(1)
@@ -122,19 +285,28 @@ func (c *Client) callCtx(ctx context.Context, op byte, payload []byte) ([]byte, 
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
+		recycle()
 		return nil, err
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	c.writeMu.Lock()
-	err := writeMessage(c.conn, message{callID: id, op: op, payload: payload})
-	c.writeMu.Unlock()
-	if err != nil {
+	select {
+	case c.sendCh <- outFrame{msg: message{callID: id, op: op, payload: payload}, pooled: pooled}:
+		// Ownership of the payload is the writer's now.
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		delete(c.pending, id)
+		c.mu.Unlock()
+		recycle()
+		return nil, err
+	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("orwlnet: send: %w", err)
+		recycle()
+		return nil, ctx.Err()
 	}
 	select {
 	case resp, ok := <-ch:

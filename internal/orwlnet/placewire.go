@@ -102,13 +102,23 @@ func getIntSlice(src []byte) ([]int, []byte, error) {
 	return out, rest, nil
 }
 
-// putMatrix encodes a possibly-nil communication matrix: presence
-// byte, order, then the row-major float64 entries.
+// putMatrix encodes a possibly-nil communication matrix in the
+// schema v1-v3 layout: presence byte, order, then the row-major
+// float64 entries. Schema v4 payloads use putMatrixCompact /
+// putMatrixFingerprint instead (placewire_v4.go), which replace the
+// presence byte with a mode byte.
 func putMatrix(dst []byte, m *comm.Matrix) []byte {
 	if m == nil {
 		return append(dst, 0)
 	}
 	dst = append(dst, 1)
+	return putMatrixDenseBody(dst, m)
+}
+
+// putMatrixDenseBody appends the dense matrix body (order, row-major
+// float64 entries) without any presence/mode prefix — shared between
+// the v1-v3 presence-byte layout and the v4 matDense mode.
+func putMatrixDenseBody(dst []byte, m *comm.Matrix) []byte {
 	n := m.Order()
 	dst = putUint64(dst, uint64(n))
 	for i := 0; i < n; i++ {
@@ -124,6 +134,10 @@ func getMatrix(src []byte) (*comm.Matrix, []byte, error) {
 	if err != nil || !present {
 		return nil, rest, err
 	}
+	return getMatrixDenseBody(rest)
+}
+
+func getMatrixDenseBody(rest []byte) (*comm.Matrix, []byte, error) {
 	n64, rest, err := getUint64(rest)
 	if err != nil {
 		return nil, nil, err
@@ -315,6 +329,16 @@ func checkWireVersionMax(src []byte, max int) (int, []byte, error) {
 }
 
 func encodePlaceRequest(dst []byte, req *placement.PlaceRequest) ([]byte, error) {
+	return encodePlaceRequestOpt(dst, req, false)
+}
+
+// encodePlaceRequestOpt is encodePlaceRequest with the schema v4
+// fingerprint-only option: when fpOnly is set (and the request
+// resolves to schema >= 4 and carries a matrix), the matrix field is
+// encoded as its comm.Fingerprint reference instead of a body — the
+// caller asserts the serving peer has already seen the body and is
+// prepared to resend it on an errUnknownMatrix answer.
+func encodePlaceRequestOpt(dst []byte, req *placement.PlaceRequest, fpOnly bool) ([]byte, error) {
 	dst, v, err := putWireVersion(dst, req.Version)
 	if err != nil {
 		return nil, err
@@ -327,17 +351,37 @@ func encodePlaceRequest(dst []byte, req *placement.PlaceRequest) ([]byte, error)
 	dst = putString(dst, req.Strategy)
 	dst = putUint64(dst, uint64(int64(req.Entities)))
 	dst = putOptions(dst, req.Options)
+	if v >= 4 {
+		if fpOnly && req.Matrix != nil {
+			fp := req.MatrixFP
+			if fp == 0 {
+				fp = comm.Fingerprint(req.Matrix)
+			}
+			return putMatrixFingerprint(dst, fp, req.Matrix.Order()), nil
+		}
+		return putMatrixCompact(dst, req.Matrix), nil
+	}
 	return putMatrix(dst, req.Matrix), nil
 }
 
 func decodePlaceRequest(src []byte) (*placement.PlaceRequest, error) {
-	req, _, err := decodePlaceRequestRest(src)
+	req, _, err := decodePlaceRequestRest(src, nil)
+	return req, err
+}
+
+// decodePlaceRequestCached is decodePlaceRequest on the serving side:
+// decoded matrix bodies are remembered in mc and fingerprint-only
+// references resolved from it.
+func decodePlaceRequestCached(src []byte, mc *matrixCache) (*placement.PlaceRequest, error) {
+	req, _, err := decodePlaceRequestRest(src, mc)
 	return req, err
 }
 
 // decodePlaceRequestRest decodes one request and returns the
-// remaining bytes, so the batch codec can walk a request list.
-func decodePlaceRequestRest(src []byte) (*placement.PlaceRequest, []byte, error) {
+// remaining bytes, so the batch codec can walk a request list. mc is
+// the serving side's seen-matrix table (nil on the client and in
+// codec tests: bodies decode, fingerprint references error).
+func decodePlaceRequestRest(src []byte, mc *matrixCache) (*placement.PlaceRequest, []byte, error) {
 	v, rest, err := checkWireVersion(src)
 	if err != nil {
 		return nil, nil, err
@@ -359,7 +403,11 @@ func decodePlaceRequestRest(src []byte) (*placement.PlaceRequest, []byte, error)
 	if req.Options, rest, err = getOptions(rest); err != nil {
 		return nil, nil, err
 	}
-	if req.Matrix, rest, err = getMatrix(rest); err != nil {
+	if v >= 4 {
+		if req.Matrix, req.MatrixFP, rest, err = getMatrixV4(rest, mc); err != nil {
+			return nil, nil, err
+		}
+	} else if req.Matrix, rest, err = getMatrix(rest); err != nil {
 		return nil, nil, err
 	}
 	return req, rest, nil
@@ -383,6 +431,9 @@ func encodePlaceResponse(dst []byte, resp *placement.PlaceResponse) ([]byte, err
 	dst = putFloat64(dst, resp.CrossNUMAVolume)
 	dst = putCacheStats(dst, resp.Cache)
 	dst = putUint64(dst, uint64(resp.ElapsedNS))
+	if v >= 4 {
+		return putAssignmentV4(dst, resp.Assignment), nil
+	}
 	return putAssignment(dst, resp.Assignment), nil
 }
 
@@ -422,7 +473,11 @@ func decodePlaceResponseRest(src []byte) (*placement.PlaceResponse, []byte, erro
 		return nil, nil, err
 	}
 	resp.ElapsedNS = int64(u)
-	if resp.Assignment, rest, err = getAssignment(rest); err != nil {
+	if v >= 4 {
+		if resp.Assignment, rest, err = getAssignmentV4(rest); err != nil {
+			return nil, nil, err
+		}
+	} else if resp.Assignment, rest, err = getAssignment(rest); err != nil {
 		return nil, nil, err
 	}
 	return resp, rest, nil
@@ -445,6 +500,14 @@ const minBatchSlotBytes = 32
 // slots encode at it, so a newer client still frames payloads an
 // older server decodes.
 func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest, schema int) ([]byte, error) {
+	return encodePlaceBatchRequestOpt(dst, reqs, schema, nil)
+}
+
+// encodePlaceBatchRequestOpt is encodePlaceBatchRequest with a
+// per-slot fingerprint-only decision (nil = always send bodies): the
+// pooled client sends references for matrices the server has seen and
+// bodies for the rest, within one batch frame.
+func encodePlaceBatchRequestOpt(dst []byte, reqs []*placement.PlaceRequest, schema int, fpOnly func(i int, req *placement.PlaceRequest) bool) ([]byte, error) {
 	dst, v, err := putWireVersion(dst, schema)
 	if err != nil {
 		return nil, err
@@ -459,7 +522,7 @@ func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest, schema 
 			pinned.Version = v
 			req = &pinned
 		}
-		if dst, err = encodePlaceRequest(dst, req); err != nil {
+		if dst, err = encodePlaceRequestOpt(dst, req, fpOnly != nil && fpOnly(i, req)); err != nil {
 			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
 		}
 	}
@@ -467,6 +530,15 @@ func encodePlaceBatchRequest(dst []byte, reqs []*placement.PlaceRequest, schema 
 }
 
 func decodePlaceBatchRequest(src []byte) ([]*placement.PlaceRequest, error) {
+	return decodePlaceBatchRequestCached(src, nil)
+}
+
+// decodePlaceBatchRequestCached is the serving side's batch decode:
+// matrix bodies are remembered in mc and fingerprint references
+// resolved from it. One unknown fingerprint fails the whole frame
+// (the error keeps the errUnknownMatrix substring), and the client
+// answers by resending every slot with its body.
+func decodePlaceBatchRequestCached(src []byte, mc *matrixCache) ([]*placement.PlaceRequest, error) {
 	v, rest, err := checkWireVersion(src)
 	if err != nil {
 		return nil, err
@@ -484,7 +556,7 @@ func decodePlaceBatchRequest(src []byte) ([]*placement.PlaceRequest, error) {
 	reqs := make([]*placement.PlaceRequest, 0, n)
 	for i := uint64(0); i < n; i++ {
 		var req *placement.PlaceRequest
-		if req, rest, err = decodePlaceRequestRest(rest); err != nil {
+		if req, rest, err = decodePlaceRequestRest(rest, mc); err != nil {
 			return nil, fmt.Errorf("orwlnet: batch slot %d: %w", i, err)
 		}
 		reqs = append(reqs, req)
@@ -570,6 +642,9 @@ func encodeServiceStats(dst []byte, st placement.ServiceStats, version int) ([]b
 	if v >= 3 {
 		dst = putAdaptiveStats(dst, st.Adaptive)
 	}
+	if v >= 4 {
+		dst = putNetStats(dst, st.Net)
+	}
 	return dst, nil
 }
 
@@ -601,6 +676,11 @@ func decodeServiceStats(src []byte) (placement.ServiceStats, error) {
 	}
 	if v >= 3 {
 		if st.Adaptive, rest, err = getAdaptiveStats(rest); err != nil {
+			return st, err
+		}
+	}
+	if v >= 4 {
+		if st.Net, rest, err = getNetStats(rest); err != nil {
 			return st, err
 		}
 	}

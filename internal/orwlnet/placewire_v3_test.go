@@ -139,8 +139,8 @@ func TestAdaptiveStatsOverRPC(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if c.Version() != protoAdaptive {
-		t.Fatalf("negotiated protocol v%d, want v%d", c.Version(), protoAdaptive)
+	if c.Version() != protoMax {
+		t.Fatalf("negotiated protocol v%d, want v%d", c.Version(), protoMax)
 	}
 	remote, err := c.PlacementService()
 	if err != nil {

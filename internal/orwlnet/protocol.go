@@ -68,8 +68,27 @@ const (
 	// reconciler counters (epochs, drift alarms, remaps) next to the
 	// cache counters. Requests and responses are unchanged from v2.
 	protoAdaptive = 3
+	// protoPipeline is the high-throughput transport (schema v4):
+	// clients may pipeline many placement frames on one connection
+	// (responses return out of order, demuxed by call id), matrices may
+	// cross in the sparse run-length encoding or as a fingerprint-only
+	// reference resolved from the server's seen-matrix table, and the
+	// stats payload carries the daemon's transport counters. A client
+	// on a <= v3 connection falls back to lock-step placement calls and
+	// dense matrices.
+	protoPipeline = 4
 	// protoMax is the highest version this build speaks.
-	protoMax = protoAdaptive
+	protoMax = protoPipeline
+)
+
+// Exported protocol version aliases for out-of-package dial knobs
+// (WithMaxProtocol): cmd/placeload pins a connection to the pre-
+// pipeline transport to measure the lock-step baseline.
+const (
+	// ProtoAdaptive is the last pre-pipeline protocol version.
+	ProtoAdaptive = protoAdaptive
+	// ProtoPipeline is the pipelined/pooled/compact-payload version.
+	ProtoPipeline = protoPipeline
 )
 
 // schemaForProto maps a negotiated protocol version to the highest
@@ -78,6 +97,8 @@ const (
 // schema 3), with proto 1 pinned to the original schema 1 payloads.
 func schemaForProto(proto int) int {
 	switch {
+	case proto >= protoPipeline:
+		return 4
 	case proto >= protoAdaptive:
 		return 3
 	case proto >= protoBatch:
@@ -104,16 +125,32 @@ type message struct {
 	payload []byte
 }
 
+// writeCoalesceLimit is the payload size up to which a frame's header
+// and payload are copied into one buffer and written with a single
+// Write call. The compact schema v4 frames (fingerprint requests,
+// varint responses) are far below it, so the warm path costs one
+// syscall per frame instead of two; big dense payloads keep the
+// two-write shape rather than paying a copy.
+const writeCoalesceLimit = 16 << 10
+
 // writeMessage frames and writes m.
 func writeMessage(w io.Writer, m message) error {
 	if len(m.payload) > maxMessage {
 		return fmt.Errorf("orwlnet: message payload %d exceeds limit", len(m.payload))
 	}
-	head := make([]byte, 4+8+1)
-	binary.LittleEndian.PutUint32(head, uint32(8+1+len(m.payload)))
+	var head [4 + 8 + 1]byte
+	binary.LittleEndian.PutUint32(head[:], uint32(8+1+len(m.payload)))
 	binary.LittleEndian.PutUint64(head[4:], m.callID)
 	head[12] = m.op
-	if _, err := w.Write(head); err != nil {
+	if n := len(m.payload); n > 0 && n <= writeCoalesceLimit {
+		frame := getPayloadBuf()
+		frame = append(frame, head[:]...)
+		frame = append(frame, m.payload...)
+		_, err := w.Write(frame)
+		putPayloadBuf(frame)
+		return err
+	}
+	if _, err := w.Write(head[:]); err != nil {
 		return err
 	}
 	if len(m.payload) > 0 {
@@ -176,4 +213,30 @@ func getUint64(src []byte) (uint64, []byte, error) {
 		return 0, nil, fmt.Errorf("orwlnet: truncated integer")
 	}
 	return binary.LittleEndian.Uint64(src), src[8:], nil
+}
+
+// putUvarint appends v in the unsigned LEB128 varint encoding — the
+// compact integer of the schema v4 sparse-matrix payload (gaps, run
+// lengths and byte-reversed float bits are all small or trailing-zero
+// heavy, so most encode in 1-3 bytes instead of 8).
+func putUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func getUvarint(src []byte) (uint64, []byte, error) {
+	v, n, ok := decodeUvarint(src)
+	if !ok {
+		return 0, nil, fmt.Errorf("orwlnet: truncated or overlong varint")
+	}
+	return v, src[n:], nil
+}
+
+// decodeUvarint is binary.Uvarint with the two failure modes (buffer
+// exhausted, 64-bit overflow) collapsed into ok=false.
+func decodeUvarint(src []byte) (uint64, int, bool) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, false
+	}
+	return v, n, true
 }

@@ -1,9 +1,14 @@
 package orwlnet
 
 import (
+	"container/list"
 	"context"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 
+	"orwlplace/internal/comm"
 	"orwlplace/internal/placement"
 	"orwlplace/internal/topology"
 )
@@ -13,8 +18,21 @@ import (
 // protocol, so the affinity module (and any other consumer of the
 // Service interface) is oblivious to whether the engine runs in
 // process or in a remote daemon.
+//
+// A stub may hold a pool of connections to the same daemon
+// (DialPlacementService with WithPoolSize): placement calls spread
+// round-robin across the pool, and on protoPipeline connections many
+// calls pipeline on each connection besides. Topology/Stats ride the
+// primary connection.
 type RemoteService struct {
-	c *Client
+	c    *Client
+	pool []*Client
+	next atomic.Uint64
+
+	// known tracks matrix fingerprints this stub believes the daemon's
+	// seen-matrix table holds — the basis for sending fingerprint-only
+	// requests. Shared across the pool, because the server table is.
+	known *fpSet
 }
 
 var _ placement.Service = (*RemoteService)(nil)
@@ -26,17 +44,122 @@ func (c *Client) PlacementService() (*RemoteService, error) {
 	if c.version < protoPlacement {
 		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, placement needs v%d", c.version, protoPlacement)
 	}
-	return &RemoteService{c: c}, nil
+	return &RemoteService{c: c, pool: []*Client{c}, known: newFPSet(knownFingerprints)}, nil
+}
+
+// DialPlacementService dials a placement daemon with the given
+// options — notably WithPoolSize(n), which opens n connections and
+// spreads placement calls across them. Closing the returned stub
+// closes every pooled connection.
+func DialPlacementService(ctx context.Context, addr string, opts ...DialOption) (*RemoteService, error) {
+	cfg := applyDialOptions(opts)
+	pool := make([]*Client, 0, cfg.poolSize)
+	for i := 0; i < cfg.poolSize; i++ {
+		c, err := DialContext(ctx, addr, opts...)
+		if err != nil {
+			for _, p := range pool {
+				p.Close()
+			}
+			return nil, err
+		}
+		if c.version < protoPlacement {
+			v := c.version
+			c.Close()
+			for _, p := range pool {
+				p.Close()
+			}
+			return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, placement needs v%d", v, protoPlacement)
+		}
+		pool = append(pool, c)
+	}
+	return &RemoteService{c: pool[0], pool: pool, known: newFPSet(knownFingerprints)}, nil
+}
+
+// WirePoolStats sums the wire byte counters across the stub's
+// connection pool.
+func (s *RemoteService) WirePoolStats() (bytesIn, bytesOut uint64) {
+	for _, c := range s.pool {
+		in, out := c.WireStats()
+		bytesIn += in
+		bytesOut += out
+	}
+	return bytesIn, bytesOut
+}
+
+// pick selects the connection for the next placement call.
+func (s *RemoteService) pick() *Client {
+	if len(s.pool) == 1 {
+		return s.pool[0]
+	}
+	return s.pool[s.next.Add(1)%uint64(len(s.pool))]
+}
+
+// knownFingerprints bounds the client-side believed-known set. Kept
+// larger than the server's table so the client rarely believes more
+// than the server holds; a stale belief only costs one errUnknownMatrix
+// round trip before the body is resent.
+const knownFingerprints = 256
+
+// fpSet is a small mutex-guarded LRU set of matrix fingerprints.
+type fpSet struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently confirmed; values are uint64
+	m     map[uint64]*list.Element
+}
+
+func newFPSet(max int) *fpSet {
+	return &fpSet{max: max, order: list.New(), m: make(map[uint64]*list.Element)}
+}
+
+func (s *fpSet) has(fp uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.m[fp]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	return ok
+}
+
+func (s *fpSet) remember(fp uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[fp]; ok {
+		s.order.MoveToFront(el)
+		return
+	}
+	s.m[fp] = s.order.PushFront(fp)
+	for s.order.Len() > s.max {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.m, oldest.Value.(uint64))
+	}
+}
+
+func (s *fpSet) forget(fp uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.m[fp]; ok {
+		s.order.Remove(el)
+		delete(s.m, fp)
+	}
 }
 
 // Place implements placement.Service: the request is serialised,
 // computed by the remote engine, and the response decoded — including
 // the remote cache/latency diagnostics.
+//
+// On schema v4 connections a matrix the daemon has already seen is
+// sent as its fingerprint reference; an errUnknownMatrix answer
+// (evicted, daemon restarted) triggers one transparent retry with the
+// full body.
 func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) (*placement.PlaceResponse, error) {
 	if req == nil {
 		return nil, fmt.Errorf("orwlnet: nil placement request")
 	}
-	effective, err := s.resolveSchema(req)
+	c := s.pick()
+	effective, err := s.resolveSchema(c, req)
 	if err != nil {
 		return nil, err
 	}
@@ -49,43 +172,130 @@ func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) 
 		pinned.Version = effective
 		req = &pinned
 	}
-	// The request payload (strategy + options + full matrix) is encoded
-	// into a pooled buffer: callCtx does not retain it past the write,
-	// so it recycles as soon as the call returns. On encode error the
-	// pristine buffer goes back to the pool (the failed encoder's
-	// partial output is discarded).
+	var fp uint64
+	fpOnly := false
+	if effective >= 4 && req.Matrix != nil {
+		// Take the caller's precomputed identity when offered; a steady
+		// workload (one matrix, many calls) then never re-hashes on the
+		// client side either.
+		if fp = req.MatrixFP; fp == 0 {
+			fp = comm.Fingerprint(req.Matrix)
+		}
+		fpOnly = s.known.has(fp)
+		if req.MatrixFP == 0 {
+			// Forward the hash we just paid for: the encoder (fingerprint
+			// reference) and, on the far side, the daemon's engine both
+			// reuse it instead of re-hashing.
+			hinted := *req
+			hinted.MatrixFP = fp
+			req = &hinted
+		}
+	}
+	payload, err := s.placeCall(ctx, c, opPlaceCompute, func(dst []byte) ([]byte, error) {
+		return encodePlaceRequestOpt(dst, req, fpOnly)
+	})
+	if err != nil && fpOnly && strings.Contains(err.Error(), errUnknownMatrix) {
+		// The daemon no longer holds the body this reference named:
+		// drop the belief and resend the request with the body inline.
+		s.known.forget(fp)
+		fpOnly = false
+		payload, err = s.placeCall(ctx, c, opPlaceCompute, func(dst []byte) ([]byte, error) {
+			return encodePlaceRequestOpt(dst, req, false)
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if effective >= 4 && req.Matrix != nil {
+		// The daemon decoded the body (or confirmed the reference): the
+		// next request for this matrix can go fingerprint-only.
+		s.known.remember(fp)
+	}
+	return decodePlaceResponse(payload)
+}
+
+// reqFP returns the request matrix's fingerprint, trusting the
+// caller's precomputed MatrixFP hint when set.
+func reqFP(req *placement.PlaceRequest) uint64 {
+	if req.MatrixFP != 0 {
+		return req.MatrixFP
+	}
+	return comm.Fingerprint(req.Matrix)
+}
+
+// placeCall encodes a placement payload into a pooled buffer (whose
+// ownership passes to the connection's writer goroutine) and performs
+// the RPC. On pre-pipeline connections the call is lock-stepped — one
+// placement RPC in flight per connection, the discipline every client
+// before protoPipeline observed — while location ops stay multiplexed
+// (serialising an Await against the Release that unblocks it would
+// deadlock).
+func (s *RemoteService) placeCall(ctx context.Context, c *Client, op byte, enc func([]byte) ([]byte, error)) ([]byte, error) {
 	buf := getPayloadBuf()
-	enc, err := encodePlaceRequest(buf, req)
+	payload, err := enc(buf)
 	if err != nil {
 		putPayloadBuf(buf)
 		return nil, err
 	}
-	payload, err := s.c.callCtx(ctx, opPlaceCompute, enc)
-	putPayloadBuf(enc)
-	if err != nil {
-		return nil, err
+	if c.version < protoPipeline {
+		c.turnMu.Lock()
+		defer c.turnMu.Unlock()
 	}
-	return decodePlaceResponse(payload)
+	return c.callPooled(ctx, op, payload, true)
 }
 
 // PlaceBatch implements placement.Service: the whole request slice
 // crosses the wire in one opPlaceBatch round trip and fans out across
 // the daemon's fleet engines, so a cross-machine comparison pays one
-// RPC instead of one per machine.
+// RPC instead of one per machine. On schema v4 connections, slots
+// whose matrices the daemon has seen carry fingerprint references; an
+// errUnknownMatrix answer retries the batch with every body inline.
 func (s *RemoteService) PlaceBatch(ctx context.Context, reqs []*placement.PlaceRequest) ([]*placement.PlaceResponse, error) {
-	if s.c.version < protoBatch {
-		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, batch placement needs v%d", s.c.version, protoBatch)
+	c := s.pick()
+	if c.version < protoBatch {
+		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, batch placement needs v%d", c.version, protoBatch)
 	}
-	buf := getPayloadBuf()
-	enc, err := encodePlaceBatchRequest(buf, reqs, schemaForProto(s.c.version))
+	schema := schemaForProto(c.version)
+	// slotSchema is the schema one slot encodes at: its pin, or the
+	// negotiated batch schema when unpinned. Only v4-encoded slots may
+	// carry (or install) fingerprint references.
+	slotSchema := func(req *placement.PlaceRequest) int {
+		if req != nil && req.Version != 0 {
+			return req.Version
+		}
+		return schema
+	}
+	var fpOnlyFn func(i int, req *placement.PlaceRequest) bool
+	if schema >= 4 {
+		fpOnlyFn = func(i int, req *placement.PlaceRequest) bool {
+			return req.Matrix != nil && slotSchema(req) >= 4 && s.known.has(reqFP(req))
+		}
+	}
+	payload, err := s.placeCall(ctx, c, opPlaceBatch, func(dst []byte) ([]byte, error) {
+		return encodePlaceBatchRequestOpt(dst, reqs, schema, fpOnlyFn)
+	})
+	if err != nil && fpOnlyFn != nil && strings.Contains(err.Error(), errUnknownMatrix) {
+		// At least one reference missed; the daemon rejected the whole
+		// frame. Forget every belief the batch relied on and resend with
+		// bodies inline.
+		for _, req := range reqs {
+			if req != nil && req.Matrix != nil {
+				s.known.forget(reqFP(req))
+			}
+		}
+		payload, err = s.placeCall(ctx, c, opPlaceBatch, func(dst []byte) ([]byte, error) {
+			return encodePlaceBatchRequestOpt(dst, reqs, schema, nil)
+		})
+	}
 	if err != nil {
-		putPayloadBuf(buf)
 		return nil, err
 	}
-	payload, err := s.c.callCtx(ctx, opPlaceBatch, enc)
-	putPayloadBuf(enc)
-	if err != nil {
-		return nil, err
+	if schema >= 4 {
+		for _, req := range reqs {
+			if req != nil && req.Matrix != nil && slotSchema(req) >= 4 {
+				s.known.remember(reqFP(req))
+			}
+		}
 	}
 	resps, err := decodePlaceBatchResponse(payload)
 	if err != nil {
@@ -104,18 +314,18 @@ func (s *RemoteService) PlaceBatch(ctx context.Context, reqs []*placement.PlaceR
 // whose features (the fleet machine selector, schema v2) predate the
 // server. Unpinned requests otherwise downgrade to the negotiated
 // schema, so a v3 client talks to a v2 fleet daemon transparently.
-func (s *RemoteService) resolveSchema(req *placement.PlaceRequest) (int, error) {
-	max := schemaForProto(s.c.version)
+func (s *RemoteService) resolveSchema(c *Client, req *placement.PlaceRequest) (int, error) {
+	max := schemaForProto(c.version)
 	if v := req.Version; v != 0 {
 		if v > max {
 			return 0, fmt.Errorf("orwlnet: server speaks protocol v%d: schema v%d request needs schema <= %d (pin PlaceRequest.Version lower for a legacy server)",
-				s.c.version, v, max)
+				c.version, v, max)
 		}
 		return v, nil
 	}
 	if req.Machine != "" && max < 2 {
 		return 0, fmt.Errorf("orwlnet: server speaks protocol v%d: machine selector %q needs protocol v%d",
-			s.c.version, req.Machine, protoBatch)
+			c.version, req.Machine, protoBatch)
 	}
 	if max > placement.ServiceVersion {
 		max = placement.ServiceVersion
@@ -143,5 +353,13 @@ func (s *RemoteService) Stats(ctx context.Context) (placement.ServiceStats, erro
 	return decodeServiceStats(payload)
 }
 
-// Close closes the underlying connection.
-func (s *RemoteService) Close() error { return s.c.Close() }
+// Close closes every pooled connection, reporting the first error.
+func (s *RemoteService) Close() error {
+	var first error
+	for _, c := range s.pool {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

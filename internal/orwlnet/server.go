@@ -1,12 +1,16 @@
 package orwlnet
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/placement"
@@ -28,6 +32,31 @@ type Server struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// matrices is the seen-matrix table fingerprint-only requests
+	// resolve against (schema v4). Shared across connections: a pooled
+	// client ships a matrix body once on any of its connections and
+	// references it from all of them.
+	matrices *matrixCache
+
+	// idleTimeout, when positive, closes a connection that has sent no
+	// bytes for the duration while nothing is in flight on it. Zero
+	// (the default) keeps the historical wait-forever behaviour.
+	idleTimeout time.Duration
+
+	// placeSem bounds concurrently *dispatched* placement ops across
+	// all connections, so a pipelining client cannot fan one connection
+	// out into unbounded compute goroutines. Location ops are exempt:
+	// a Release must be able to overtake the blocked Awaits it unblocks,
+	// and parking it behind a full semaphore would deadlock the FIFO.
+	placeSem chan struct{}
+
+	// Transport counters surfaced as placement.NetStats on schema v4
+	// stats payloads.
+	bytesIn       atomic.Uint64
+	bytesOut      atomic.Uint64
+	placeInFlight atomic.Int64
+	peakInFlight  atomic.Uint64
+
 	mu       sync.Mutex
 	closed   bool
 	conns    map[net.Conn]struct{}
@@ -45,6 +74,20 @@ func WithPlacement(svc placement.Service) ServerOption {
 	return func(s *Server) { s.place = svc }
 }
 
+// WithIdleTimeout closes connections that stay byte-silent for d with
+// nothing in flight. A connection mid-request (an Await parked in the
+// FIFO, a placement computing) is never reaped — only one that is
+// both silent and empty. d <= 0 disables the timeout (the default).
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// placeDispatchParallelism bounds concurrently dispatched placement
+// ops per server — the same sizing the placement engine uses for its
+// batch fan-out: enough to saturate the machine, bounded so a
+// pipelining client cannot balloon goroutines.
+var placeDispatchParallelism = max(4, 2*runtime.GOMAXPROCS(0))
+
 // NewServer wraps a listener and the locations to export (keyed by the
 // names clients use). Locations may be empty only for a pure placement
 // daemon (WithPlacement).
@@ -53,9 +96,11 @@ func NewServer(lis net.Listener, locs map[string]*orwl.Location, opts ...ServerO
 		return nil, fmt.Errorf("orwlnet: nil listener")
 	}
 	s := &Server{
-		lis:   lis,
-		locs:  locs,
-		conns: make(map[net.Conn]struct{}),
+		lis:      lis,
+		locs:     locs,
+		conns:    make(map[net.Conn]struct{}),
+		matrices: newMatrixCache(defaultMatrixCacheEntries),
+		placeSem: make(chan struct{}, placeDispatchParallelism),
 	}
 	for _, o := range opts {
 		o(s)
@@ -121,12 +166,34 @@ func (s *Server) Close() error {
 
 // connState tracks the open requests of one client connection, plus
 // the protocol version its opHello negotiated (protoLegacy before the
-// handshake).
+// handshake) and how many requests are mid-dispatch (the pipeline
+// depth — the idle reaper must not close a silent connection that is
+// merely waiting for its parked Awaits).
 type connState struct {
-	mu      sync.Mutex
-	writeMu sync.Mutex
-	reqs    map[uint64]*orwl.RawRequest
-	version int
+	mu       sync.Mutex
+	writeMu  sync.Mutex
+	reqs     map[uint64]*orwl.RawRequest
+	version  int
+	inflight atomic.Int64
+}
+
+// countingReader counts the bytes readMessage has consumed, so the
+// idle-timeout logic can tell "silent" (deadline fired, zero bytes
+// consumed — the frame boundary is intact, maybe idle) from "stalled
+// mid-frame" (a partial frame was consumed, then silence — the framing
+// is unrecoverable, drop the connection). It sits ON TOP of the
+// connection's bufio layer: read-ahead the buffer holds but
+// readMessage has not consumed must not count, or an idle connection
+// whose next frame was half-buffered would look mid-frame.
+type countingReader struct {
+	r io.Reader
+	n atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -146,14 +213,53 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 		st.mu.Unlock()
 	}()
+	// Buffered reads turn a pipelined burst of small frames into one
+	// read syscall; the counting layer above the buffer keeps the
+	// idle-timeout bookkeeping in consumed-byte terms.
+	cr := &countingReader{r: bufio.NewReaderSize(conn, 32<<10)}
 	for {
-		msg, err := readMessage(conn)
-		if err != nil {
-			return // client gone or protocol error: drop the connection
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
 		}
+		before := cr.n.Load()
+		msg, err := readMessage(cr)
+		if err != nil {
+			var nerr net.Error
+			if s.idleTimeout > 0 && errors.As(err, &nerr) && nerr.Timeout() && cr.n.Load() == before {
+				// Byte-silent for a full idle period. With requests in
+				// flight the client is legitimately waiting on us (a
+				// parked Await, a long placement): keep listening.
+				// With nothing in flight, reap the connection.
+				if st.inflight.Load() > 0 {
+					continue
+				}
+			}
+			// Client gone, protocol error, or a timeout that struck
+			// mid-frame (partial header/body read): the stream cannot be
+			// re-synchronised, drop the connection.
+			return
+		}
+		s.bytesIn.Add(13 + uint64(len(msg.payload)))
+		st.inflight.Add(1)
 		s.wg.Add(1)
 		go func(m message) {
 			defer s.wg.Done()
+			defer st.inflight.Add(-1)
+			if placementOp(m.op) {
+				// Bound placement dispatch: a pipelining client may have
+				// hundreds of frames in flight, but only this many compute
+				// concurrently; the rest queue here in FIFO-ish order.
+				s.placeSem <- struct{}{}
+				defer func() { <-s.placeSem }()
+				depth := s.placeInFlight.Add(1)
+				defer s.placeInFlight.Add(-1)
+				for {
+					peak := s.peakInFlight.Load()
+					if uint64(depth) <= peak || s.peakInFlight.CompareAndSwap(peak, uint64(depth)) {
+						break
+					}
+				}
+			}
 			payload, pooled, err := s.handle(st, m)
 			resp := message{callID: m.callID, op: statusOK, payload: payload}
 			if err != nil {
@@ -163,6 +269,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			st.writeMu.Lock()
 			werr := writeMessage(conn, resp)
 			st.writeMu.Unlock()
+			s.bytesOut.Add(13 + uint64(len(resp.payload)))
 			if pooled {
 				// The payload came from the encode pool and is dead now
 				// that it has been written (or dropped on error).
@@ -173,6 +280,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 		}(msg)
 	}
+}
+
+// placementOp reports whether op is a placement RPC — the ops whose
+// dispatch the server bounds. opPlaceStats rides along: it touches the
+// same service and is cheap, so bounding it costs nothing and keeps a
+// stats stampede from bypassing the limiter.
+func placementOp(op byte) bool {
+	return op == opPlaceCompute || op == opPlaceBatch || op == opPlaceStats
 }
 
 var errUnknownHandle = errors.New("orwlnet: unknown handle")
@@ -188,7 +303,7 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		req, err := decodePlaceRequest(m.payload)
+		req, err := decodePlaceRequestCached(m.payload, s.matrices)
 		if err != nil {
 			return nil, false, err
 		}
@@ -217,7 +332,7 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		if v := s.connVersion(st); v < protoBatch {
 			return nil, false, fmt.Errorf("orwlnet: opPlaceBatch on a protocol v%d connection (needs >= v%d)", v, protoBatch)
 		}
-		reqs, err := decodePlaceBatchRequest(m.payload)
+		reqs, err := decodePlaceBatchRequestCached(m.payload, s.matrices)
 		if err != nil {
 			return nil, false, err
 		}
@@ -246,6 +361,20 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		// pre-fleet clients get the v1 encoding, pre-adaptive fleet
 		// clients the v2 one.
 		schema := schemaForProto(s.connVersion(st))
+		if schema >= 4 {
+			// The serving daemon owns the transport, so it (not the
+			// placement service) fills in the NetStats tail.
+			stats.Net = placement.NetStats{
+				InFlight:           uint64(s.placeInFlight.Load()),
+				PeakInFlight:       s.peakInFlight.Load(),
+				BytesIn:            s.bytesIn.Load(),
+				BytesOut:           s.bytesOut.Load(),
+				SparseMatrices:     s.matrices.sparseSeen.Load(),
+				FingerprintHits:    s.matrices.fpHits.Load(),
+				FingerprintMisses:  s.matrices.fpMisses.Load(),
+				MatrixCacheEntries: s.matrices.len(),
+			}
+		}
 		buf := getPayloadBuf()
 		payload, err := encodeServiceStats(buf, stats, schema)
 		if err != nil {

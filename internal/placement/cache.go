@@ -67,26 +67,11 @@ func Signature(top *topology.Topology) uint64 {
 }
 
 // matrixFingerprint hashes the order and every entry of the matrix.
+// The hash is comm.Fingerprint — the same identity the wire protocol's
+// fingerprint-only requests resolve matrices by, so a matrix cached
+// here and one resolved from the daemon's seen-matrix table key alike.
 func matrixFingerprint(m *comm.Matrix) uint64 {
-	if m == nil {
-		return 0
-	}
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
-	n := m.Order()
-	put(uint64(n))
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			put(math.Float64bits(m.At(i, j)))
-		}
-	}
-	return h.Sum64()
+	return comm.Fingerprint(m)
 }
 
 // optionsFingerprint hashes the mapping options that change the

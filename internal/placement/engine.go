@@ -125,6 +125,16 @@ func (e *Engine) Compute(strategy string, m *comm.Matrix, n int, opt Options) (*
 // Service surface forwards to remote callers, who cannot read the
 // engine's counters between calls.
 func (e *Engine) ComputeWithInfo(strategy string, m *comm.Matrix, n int, opt Options) (*Assignment, bool, error) {
+	return e.ComputeHinted(strategy, m, 0, n, opt)
+}
+
+// ComputeHinted is ComputeWithInfo with an optional precomputed matrix
+// fingerprint (PlaceRequest.MatrixFP): hashing the matrix is the
+// dominant cost of a warm cache hit, and callers that already know the
+// identity — the wire layer resolved the matrix BY fingerprint, or the
+// service hashed it once for its own caches — pass it here instead of
+// paying it again. fp zero means unknown.
+func (e *Engine) ComputeHinted(strategy string, m *comm.Matrix, fp uint64, n int, opt Options) (*Assignment, bool, error) {
 	s, ok := Lookup(strategy)
 	if !ok {
 		return nil, false, fmt.Errorf("placement: unknown strategy %q (have %v)", strategy, Names())
@@ -138,7 +148,12 @@ func (e *Engine) ComputeWithInfo(strategy string, m *comm.Matrix, n int, opt Opt
 		strategy: strategy,
 	}
 	if s.CommAware() {
-		key.matrix = matrixFingerprint(m)
+		// Comm-oblivious strategies keep key.matrix zero so identical
+		// requests share one entry across matrices — the hint must not
+		// split them.
+		if key.matrix = fp; key.matrix == 0 {
+			key.matrix = matrixFingerprint(m)
+		}
 	}
 	if usesOptions(s) {
 		// Strategies declaring options-insensitivity share one entry

@@ -30,7 +30,12 @@ import (
 //	3 — adaptive placement: ServiceStats carries the AdaptiveStats
 //	    counters of attached reconcilers (epochs, drift alarms,
 //	    remaps). Requests and responses are unchanged from v2.
-const ServiceVersion = 3
+//	4 — high-throughput transport: request matrices may cross the wire
+//	    in a sparse run-length encoding or as a fingerprint-only
+//	    reference, and ServiceStats carries the serving daemon's
+//	    transport counters (NetStats). Request/response semantics are
+//	    unchanged from v3 — v4 only compacts how payloads are framed.
+const ServiceVersion = 4
 
 // PlaceRequest asks a placement service for an assignment. It is the
 // transport-agnostic unit: the in-process service consumes it
@@ -52,6 +57,15 @@ type PlaceRequest struct {
 	// Matrix is the communication matrix; nil for matrix-oblivious
 	// strategies.
 	Matrix *comm.Matrix
+	// MatrixFP is an optional precomputed comm.Fingerprint(Matrix) —
+	// a performance hint that spares the service re-hashing the matrix
+	// on every call (hashing a large matrix dominates the warm cache
+	// path). Zero means unknown: the service hashes as needed. If set,
+	// it MUST equal comm.Fingerprint(Matrix); a stale value (matrix
+	// mutated after hashing) aliases the request to the wrong cache
+	// identity and can return the wrong cached assignment. The wire
+	// layer fills it in on the serving side of schema v4 requests.
+	MatrixFP uint64
 	// Options tunes the mapping algorithm.
 	Options Options
 }
@@ -112,6 +126,39 @@ type ServiceStats struct {
 	// service (schema v3): epochs run, drift alarms, adopted and
 	// rejected remaps. Zero when no feedback loop is attached.
 	Adaptive AdaptiveStats
+	// Net carries the serving daemon's transport counters (schema v4):
+	// pipeline depth, wire volume and compact-payload traffic. It is
+	// filled by the wire layer when stats are served over a pipelined
+	// connection; an in-process service reports zeros (there is no
+	// wire).
+	Net NetStats
+}
+
+// NetStats counts a placement daemon's transport-layer traffic — the
+// observability face of the pipelined wire protocol (schema v4). All
+// counters are process-lifetime totals except InFlight (instantaneous)
+// and MatrixCacheEntries (current table size).
+type NetStats struct {
+	// InFlight is the number of placement frames being served at the
+	// moment of the snapshot, across every connection.
+	InFlight uint64
+	// PeakInFlight is the largest InFlight ever observed — the pipeline
+	// depth the daemon has actually been driven to.
+	PeakInFlight uint64
+	// BytesIn / BytesOut count wire bytes received from and written to
+	// placement clients (frame headers included).
+	BytesIn  uint64
+	BytesOut uint64
+	// SparseMatrices counts request matrices that arrived in the sparse
+	// run-length encoding rather than the dense row-major one.
+	SparseMatrices uint64
+	// FingerprintHits / FingerprintMisses count fingerprint-only
+	// matrix references resolved from (or missing in) the daemon's
+	// seen-matrix table. A miss makes the client resend the body.
+	FingerprintHits   uint64
+	FingerprintMisses uint64
+	// MatrixCacheEntries is the current size of the seen-matrix table.
+	MatrixCacheEntries int
 }
 
 // Service is the placement-as-a-service surface: everything the
@@ -157,6 +204,78 @@ type LocalService struct {
 
 	recMu sync.Mutex
 	recs  []*Reconciler
+
+	// diag memoises the quality diagnostics (TreeMatch cost and
+	// cross-NUMA volume) per (matrix, binding) pair. Both walk the full
+	// matrix, which on a warm cache hit would otherwise dominate the
+	// call: the assignment comes back memoised in microseconds and the
+	// diagnostics recompute it from scratch every time.
+	diagMu sync.Mutex
+	diag   map[diagKey]diagVal
+}
+
+// diagKey identifies a diagnostics result: the diagnostics depend only
+// on the matrix contents and the compute binding, whatever strategy or
+// options produced the binding.
+type diagKey struct {
+	matrix uint64 // comm.Fingerprint of the request matrix
+	pus    uint64 // puFingerprint of the assignment's ComputePU
+}
+
+type diagVal struct {
+	cost, crossNUMA float64
+}
+
+// diagCacheEntries bounds the diagnostics memo. Overflow clears the
+// map outright: recomputing a handful of diagnostics after a workload
+// shift is cheaper than maintaining LRU order on the hot path.
+const diagCacheEntries = 256
+
+// puFingerprint hashes a compute binding the same word-wise FNV-1a way
+// comm.Fingerprint hashes a matrix.
+func puFingerprint(pus []int) uint64 {
+	h := uint64(fnvOffset64)
+	h = (h ^ uint64(len(pus))) * fnvPrime64
+	for _, pu := range pus {
+		h = (h ^ uint64(uint(pu))) * fnvPrime64
+	}
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// diagnostics returns the memoised (cost, cross-NUMA volume) for the
+// assignment over the matrix, computing and caching on miss. fp is the
+// matrix fingerprint the caller already holds.
+func (s *LocalService) diagnostics(fp uint64, m *comm.Matrix, a *Assignment) (float64, float64) {
+	key := diagKey{matrix: fp, pus: puFingerprint(a.ComputePU)}
+	s.diagMu.Lock()
+	if v, ok := s.diag[key]; ok {
+		s.diagMu.Unlock()
+		return v.cost, v.crossNUMA
+	}
+	s.diagMu.Unlock()
+
+	// Compute outside the lock: concurrent misses may duplicate work
+	// once, but never serialise distinct placements.
+	var v diagVal
+	if c, err := treematch.Cost(s.eng.top, m, a.ComputePU); err == nil {
+		v.cost = c
+	}
+	if x, err := treematch.CrossNUMAVolume(s.eng.top, m, a.ComputePU); err == nil {
+		v.crossNUMA = x
+	}
+
+	s.diagMu.Lock()
+	if s.diag == nil || len(s.diag) >= diagCacheEntries {
+		s.diag = make(map[diagKey]diagVal, 16)
+	}
+	s.diag[key] = v
+	s.diagMu.Unlock()
+	return v.cost, v.crossNUMA
 }
 
 // NewLocalService wraps an engine as a Service.
@@ -187,7 +306,14 @@ func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResp
 		return nil, err
 	}
 	start := time.Now()
-	a, hit, err := s.eng.ComputeWithInfo(req.Strategy, req.Matrix, req.Entities, req.Options)
+	// Hash the matrix once (or take the caller's precomputed identity)
+	// and reuse it for both the mapping-cache key and the diagnostics
+	// memo — on a warm hit the hash IS the dominant cost.
+	fp := req.MatrixFP
+	if fp == 0 && req.Matrix != nil {
+		fp = comm.Fingerprint(req.Matrix)
+	}
+	a, hit, err := s.eng.ComputeHinted(req.Strategy, req.Matrix, fp, req.Entities, req.Options)
 	if err != nil {
 		return nil, err
 	}
@@ -203,12 +329,7 @@ func (s *LocalService) Place(ctx context.Context, req *PlaceRequest) (*PlaceResp
 	if req.Matrix != nil && !a.Unbound {
 		// Quality diagnostics need both a matrix and an actual binding;
 		// failures here are diagnostic-only and never fail the call.
-		if c, cerr := treematch.Cost(s.eng.top, req.Matrix, a.ComputePU); cerr == nil {
-			resp.Cost = c
-		}
-		if v, verr := treematch.CrossNUMAVolume(s.eng.top, req.Matrix, a.ComputePU); verr == nil {
-			resp.CrossNUMAVolume = v
-		}
+		resp.Cost, resp.CrossNUMAVolume = s.diagnostics(fp, req.Matrix, a)
 	}
 	return resp, nil
 }

@@ -125,24 +125,36 @@ func NewService(top *Topology, opts ...ServiceOption) (Service, error) {
 	return placement.NewLocalService(eng)
 }
 
-// RemotePlacement is a connection to a remote placement daemon
-// (cmd/orwlnetd). It implements Service; Close releases the
-// connection.
+// RemotePlacement is a connection (or connection pool) to a remote
+// placement daemon (cmd/orwlnetd). It implements Service; Close
+// releases every connection.
 type RemotePlacement = orwlnet.RemoteService
+
+// DialOption tunes DialPlacement: pool size, protocol ceiling.
+type DialOption = orwlnet.DialOption
+
+// WithPoolSize opens n connections to the daemon and spreads placement
+// calls across them — combined with the pipelined transport, the knob
+// for driving a daemon at high placements/sec from one process.
+func WithPoolSize(n int) DialOption { return orwlnet.WithPoolSize(n) }
+
+// WithMaxProtocol caps the wire protocol version offered to the
+// daemon, forcing the downgraded behaviour (lock-step placement calls,
+// dense matrices below ProtoPipeline) a genuinely old peer would get.
+func WithMaxProtocol(v int) DialOption { return orwlnet.WithMaxProtocol(v) }
+
+// Protocol versions usable with WithMaxProtocol.
+const (
+	// ProtoAdaptive is the last pre-pipeline protocol version.
+	ProtoAdaptive = orwlnet.ProtoAdaptive
+	// ProtoPipeline is the pipelined, pooled, compact-payload version.
+	ProtoPipeline = orwlnet.ProtoPipeline
+)
 
 // DialPlacement connects to a placement daemon, honouring the
 // context's deadline, and negotiates the wire protocol version.
-func DialPlacement(ctx context.Context, addr string) (*RemotePlacement, error) {
-	c, err := orwlnet.DialContext(ctx, addr)
-	if err != nil {
-		return nil, err
-	}
-	svc, err := c.PlacementService()
-	if err != nil {
-		c.Close()
-		return nil, err
-	}
-	return svc, nil
+func DialPlacement(ctx context.Context, addr string, opts ...DialOption) (*RemotePlacement, error) {
+	return orwlnet.DialPlacementService(ctx, addr, opts...)
 }
 
 // RenderAssignment renders an assignment on a machine like the paper's

@@ -1,15 +1,17 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR5.json: run the placement hot-path
+# bench.sh — regenerate BENCH_PR6.json: run the placement hot-path
 # benchmarks (go test -bench -benchmem across the root, placement,
 # treematch, comm, orwlnet and orwl packages) and record ns/op +
-# allocs/op as JSON. Benches that existed before PR 3 carry their
-# recorded baseline from scripts/bench_baseline_pr3.json; the PR 5
-# additions (observed-traffic counters, adaptive epochs) record fresh.
+# allocs/op as JSON, plus the cmd/placeload transport pair (lock-step
+# baseline vs pipelined — the PR 6 throughput/payload acceptance
+# numbers). Benches that existed before PR 3 carry their recorded
+# baseline from scripts/bench_baseline_pr3.json; later additions
+# record fresh.
 #
-#   scripts/bench.sh                  # full run, writes BENCH_PR5.json
-#   scripts/bench.sh -benchtime 0.3s  # quicker CI pass, same schema
+#   scripts/bench.sh                    # full run, writes BENCH_PR6.json
+#   scripts/bench.sh -benchtime 0.3s -placeload 1s  # quicker CI pass
 #
-# Extra flags are handed through to cmd/benchjson.
+# Extra flags are handed through to cmd/benchjson (later flags win).
 set -eu
 cd "$(dirname "$0")/.."
-exec go run ./cmd/benchjson -baseline scripts/bench_baseline_pr3.json "$@"
+exec go run ./cmd/benchjson -baseline scripts/bench_baseline_pr3.json -placeload 2s "$@"
