@@ -23,11 +23,19 @@
 // on a parked Await or a computing placement is never reaped. The
 // default 0 keeps connections forever, the historical behaviour.
 //
+// -adaptive (requires -place) hosts the fleet control plane: client
+// processes lease task ranges, stream observed-traffic windows up, and
+// subscribe to remaps; the daemon merges the windows per machine, runs
+// a reconciliation epoch every -epoch-interval, and pushes adopted
+// mappings to every subscriber. -drift-threshold, -adopt-after,
+// -cooldown-epochs and -stale-after tune the loop.
+//
 // The daemon traps SIGINT/SIGTERM and drains in-flight calls before
 // exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -36,7 +44,9 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"orwlplace/internal/ctrlplane"
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/orwlnet"
 	"orwlplace/internal/placement"
@@ -84,6 +94,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7117", "listen address")
 	place := flag.Bool("place", false, "export a placement service")
 	connIdle := flag.Duration("conn-idle", 0, "close connections idle (byte-silent with nothing in flight) for this long; 0 keeps them forever")
+	adaptive := flag.Bool("adaptive", false, "host the fleet control plane: merge client-reported traffic, reconcile per machine, push adopted remaps (requires -place)")
+	epochInterval := flag.Duration("epoch-interval", time.Second, "reconciliation epoch cadence with -adaptive")
+	driftThreshold := flag.Float64("drift-threshold", 0, "observed-traffic drift that triggers recomputation (0 keeps the built-in default)")
+	adoptAfter := flag.Int("adopt-after", 1, "consecutive over-threshold epochs before a recompute is attempted (hysteresis)")
+	cooldownEpochs := flag.Int("cooldown-epochs", 0, "epochs to hold after an adoption before the next one")
+	staleAfter := flag.Duration("stale-after", 0, "evict a lease whose peer has not reported for this long (0 keeps the built-in default, negative never evicts)")
 	cacheEntries := flag.Int("cache-entries", -1, "mapping-cache capacity per machine engine (0 disables caching, -1 keeps the built-in default)")
 	machines := machineFlags{}
 	flag.Var(&machines, "machine", "machine the placement service maps onto (repeatable; the first is the fleet default): host, "+strings.Join(topology.MachineNames(), ", "))
@@ -95,10 +111,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *adaptive && !*place {
+		fmt.Fprintln(os.Stderr, "orwlnetd: -adaptive requires -place (the control plane reconciles the placement fleet)")
+		os.Exit(2)
+	}
+
 	var opts []orwlnet.ServerOption
 	if *connIdle > 0 {
 		opts = append(opts, orwlnet.WithIdleTimeout(*connIdle))
 	}
+	var ctrl *ctrlplane.Controller
 	if *place {
 		if len(machines) == 0 {
 			machines = machineFlags{"host"}
@@ -125,6 +147,25 @@ func main() {
 		fmt.Printf("orwlnetd: placement fleet of %d machine(s) [%s], default %s (%d PUs total, strategies: %s)\n",
 			len(machines), strings.Join(fleet.Machines(), ", "), fleet.DefaultMachine(),
 			pus, strings.Join(placement.Names(), ", "))
+		if *adaptive {
+			cfg := ctrlplane.Config{
+				Adaptive: placement.AdaptiveConfig{
+					DriftThreshold: *driftThreshold,
+					AdoptAfter:     *adoptAfter,
+					CooldownEpochs: *cooldownEpochs,
+				},
+				StaleAfter: *staleAfter,
+			}
+			var err error
+			ctrl, err = ctrlplane.NewController(fleet, cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+				os.Exit(1)
+			}
+			opts = append(opts, orwlnet.WithControlPlane(ctrl))
+			fmt.Printf("orwlnetd: fleet control plane on (epoch %v, adopt-after %d, cooldown %d)\n",
+				*epochInterval, *adoptAfter, *cooldownEpochs)
+		}
 	}
 
 	locs := make(map[string]*orwl.Location, len(locSpec))
@@ -152,6 +193,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The control plane's epoch loop runs beside the server and stops
+	// with it; adopted remaps are logged so operators (and the CI smoke
+	// test) can follow the fleet's reconciliation.
+	ctrlCtx, ctrlStop := context.WithCancel(context.Background())
+	defer ctrlStop()
+	if ctrl != nil {
+		go ctrl.Run(ctrlCtx, *epochInterval, func(machine string, rep *placement.EpochReport, err error) {
+			switch {
+			case err != nil:
+				fmt.Fprintf(os.Stderr, "orwlnetd: epoch %s: %v\n", machine, err)
+			case rep.Adopted:
+				ev := ctrl.Latest(machine)
+				if ev != nil {
+					fmt.Printf("orwlnetd: adopted remap machine=%s epoch=%d drift=%.3f\n", machine, ev.Epoch, ev.Drift)
+				}
+			}
+		})
+	}
+
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting and let
 	// Server.Close drain the per-connection goroutines, so no client is
 	// dropped mid-frame. Close blocks until the drain completes, so the
@@ -165,6 +225,7 @@ func main() {
 	select {
 	case sig := <-sigs:
 		fmt.Printf("orwlnetd: %v: draining...\n", sig)
+		ctrlStop()
 		srv.Close()
 		<-serveErr
 		fmt.Println("orwlnetd: drained, bye")

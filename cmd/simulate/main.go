@@ -217,6 +217,13 @@ func runFleet(w *perfsim.Workload, daemonAddr string) error {
 		fmt.Printf("%-12s %14.3g %16.3g %10s %12.2f\n",
 			resp.Machine, resp.Cost, resp.CrossNUMAVolume, hit, float64(resp.ElapsedNS)/1e6)
 	}
+	// The schema v5 stats tail: all zeros unless the daemon hosts the
+	// fleet control plane (orwlnetd -adaptive) and clients feed it.
+	if final, err := remote.Stats(ctx); err == nil {
+		fs := final.Fleet
+		fmt.Printf("\nfleet control plane: reports=%d peers=%d remaps-pushed=%d stale-evicted=%d watchers=%d\n",
+			fs.ReportsReceived, fs.PeersTracked, fs.RemapsPushed, fs.StalePeersEvicted, fs.Watchers)
+	}
 	return nil
 }
 

@@ -1,0 +1,268 @@
+// Package ctrlplane is the daemon-side fleet control plane: it gives
+// remote peers a cross-process task identity, merges their observed-
+// traffic windows into one fleet-wide matrix per machine, runs the
+// adaptive reconciler over the merged view, and publishes adopted
+// remaps to subscribers.
+//
+// The paper's placement loop — measure task affinity, map it onto the
+// hardware tree, bind — closes in-process through placement.Reconciler.
+// This package closes it across processes: each client process leases
+// a contiguous slice of a machine's global task space, ships the
+// traffic it measured among its own tasks, and the daemon sees the
+// union — the matrix no single process could observe. The wire face
+// (opFleetLease / opObservedReport / opWatchRemaps, schema v5) lives
+// in internal/orwlnet; this package is transport-agnostic.
+package ctrlplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"orwlplace/internal/comm"
+)
+
+// Lease is a registered (machine, peer, task-range) identity: the
+// peer's tasks [TaskBase, TaskBase+TaskCount) name rows/columns of the
+// machine's fleet-wide observed matrix. The ID is server-assigned and
+// names the lease in subsequent observed reports.
+type Lease struct {
+	ID        uint64
+	Machine   string
+	Peer      string
+	TaskBase  int
+	TaskCount int
+}
+
+// maxLeaseTasks bounds a single lease's task range, and with it the
+// order of the merged matrix a hostile registration could force the
+// daemon to allocate. It matches the wire codec's matrix-order ceiling.
+const maxLeaseTasks = 2896
+
+// leaseState is a live lease plus its liveness bookkeeping.
+type leaseState struct {
+	Lease
+	lastReport time.Time
+	lastSeq    uint64 // highest observed-report sequence merged
+}
+
+// machineState accumulates one machine's merged observed traffic.
+type machineState struct {
+	// pending holds the deltas merged since the last Window call. Its
+	// order is the machine's global task-space size (it grows when a
+	// lease extends the space and never shrinks, so the reconciler's
+	// drift baseline stays comparable).
+	pending *comm.Matrix
+	order   int
+}
+
+// Collector merges per-peer observed-traffic windows into per-machine
+// fleet-wide matrices. Reports are deltas (each covers the traffic
+// since the peer's previous report), so merging is pure addition at
+// the lease's task offset; Window drains the merged delta, giving the
+// consumer (the Controller's reconciler) the same disjoint-epoch
+// semantics placement.ObservedWindow gives in-process.
+//
+// Peers that stop reporting are evicted after StaleAfter: their lease
+// dies and later reports under it are refused, forcing a re-register
+// — a crashed client cannot pin fleet state forever.
+type Collector struct {
+	staleAfter time.Duration
+	now        func() time.Time // injectable for eviction tests
+
+	mu       sync.Mutex
+	nextID   uint64
+	leases   map[uint64]*leaseState
+	machines map[string]*machineState
+
+	reports uint64
+	evicted uint64
+}
+
+// DefaultStaleAfter is the lease staleness window when the caller
+// passes zero: generous enough for second-scale reporting cadences,
+// short enough that a dead peer disappears within a minute.
+const DefaultStaleAfter = time.Minute
+
+// NewCollector builds a collector evicting leases idle for staleAfter
+// (0 = DefaultStaleAfter, negative = never evict).
+func NewCollector(staleAfter time.Duration) *Collector {
+	if staleAfter == 0 {
+		staleAfter = DefaultStaleAfter
+	}
+	return &Collector{
+		staleAfter: staleAfter,
+		now:        time.Now,
+		leases:     make(map[uint64]*leaseState),
+		machines:   make(map[string]*machineState),
+	}
+}
+
+// Register leases the task range [base, base+count) of machine's
+// global task space to peer and returns the lease. Re-registering an
+// existing (machine, peer) pair — a client that reconnected — replaces
+// the old lease, so a bounced process does not leak identities.
+// Ranges of different peers may overlap; their traffic merges
+// additively.
+func (c *Collector) Register(machine, peer string, base, count int) (Lease, error) {
+	if machine == "" || peer == "" {
+		return Lease{}, fmt.Errorf("ctrlplane: lease needs a machine and a peer name")
+	}
+	if base < 0 || count <= 0 || base+count > maxLeaseTasks {
+		return Lease{}, fmt.Errorf("ctrlplane: lease task range [%d,%d) out of bounds (max %d tasks)", base, base+count, maxLeaseTasks)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictStaleLocked()
+	// Replace a previous incarnation of the same peer.
+	for id, ls := range c.leases {
+		if ls.Machine == machine && ls.Peer == peer {
+			delete(c.leases, id)
+		}
+	}
+	c.nextID++
+	ls := &leaseState{
+		Lease:      Lease{ID: c.nextID, Machine: machine, Peer: peer, TaskBase: base, TaskCount: count},
+		lastReport: c.now(),
+	}
+	c.leases[ls.ID] = ls
+	ms := c.machineLocked(machine)
+	if base+count > ms.order {
+		ms.order = base + count
+	}
+	return ls.Lease, nil
+}
+
+func (c *Collector) machineLocked(machine string) *machineState {
+	ms := c.machines[machine]
+	if ms == nil {
+		ms = &machineState{}
+		c.machines[machine] = ms
+	}
+	return ms
+}
+
+// Report merges one observed window (a delta since the peer's previous
+// report) into the lease's machine. The delta's order must equal the
+// lease's task count; cell (i, j) lands at (base+i, base+j). seq is
+// the peer's report sequence number: a sequence at or below the last
+// merged one is dropped without error (a retransmit after reconnect
+// must not double-count traffic).
+func (c *Collector) Report(leaseID, seq uint64, delta *comm.Matrix) error {
+	if delta == nil {
+		return fmt.Errorf("ctrlplane: nil observed window")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictStaleLocked()
+	ls, ok := c.leases[leaseID]
+	if !ok {
+		return fmt.Errorf("ctrlplane: unknown lease %d (expired or never registered — re-register)", leaseID)
+	}
+	if delta.Order() != ls.TaskCount {
+		return fmt.Errorf("ctrlplane: observed window order %d does not match lease %d task count %d", delta.Order(), leaseID, ls.TaskCount)
+	}
+	ls.lastReport = c.now()
+	if seq <= ls.lastSeq && seq != 0 {
+		return nil // duplicate or reordered resend
+	}
+	ls.lastSeq = seq
+	ms := c.machineLocked(ls.Machine)
+	if ms.pending == nil || ms.pending.Order() < ms.order {
+		grown := comm.NewMatrix(ms.order)
+		if ms.pending != nil {
+			for i := 0; i < ms.pending.Order(); i++ {
+				copy(grown.RowView(i), ms.pending.RowView(i))
+			}
+		}
+		ms.pending = grown
+	}
+	for i := 0; i < ls.TaskCount; i++ {
+		src := delta.RowView(i)
+		dst := ms.pending.RowView(ls.TaskBase + i)[ls.TaskBase:]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
+	c.reports++
+	return nil
+}
+
+// Window drains and returns the machine's merged observed delta since
+// the previous Window call — the fleet-wide analogue of one
+// TrafficWindow epoch. The returned matrix always has the machine's
+// current global order; nil means no lease has touched the machine
+// yet.
+func (c *Collector) Window(machine string) *comm.Matrix {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictStaleLocked()
+	ms := c.machines[machine]
+	if ms == nil || ms.order == 0 {
+		return nil
+	}
+	w := ms.pending
+	ms.pending = nil
+	if w == nil || w.Order() < ms.order {
+		grown := comm.NewMatrix(ms.order)
+		if w != nil {
+			for i := 0; i < w.Order(); i++ {
+				copy(grown.RowView(i), w.RowView(i))
+			}
+		}
+		w = grown
+	}
+	return w
+}
+
+// Order returns the machine's current global task-space size (0 while
+// no lease has touched it).
+func (c *Collector) Order(machine string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ms := c.machines[machine]
+	if ms == nil {
+		return 0
+	}
+	return ms.order
+}
+
+// Leases snapshots the live leases of one machine ("" = all machines),
+// in no particular order.
+func (c *Collector) Leases(machine string) []Lease {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictStaleLocked()
+	var out []Lease
+	for _, ls := range c.leases {
+		if machine == "" || ls.Machine == machine {
+			out = append(out, ls.Lease)
+		}
+	}
+	return out
+}
+
+// Counters returns (reports merged, live leases, stale evictions).
+func (c *Collector) Counters() (reports, peers, evicted uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.evictStaleLocked()
+	return c.reports, uint64(len(c.leases)), c.evicted
+}
+
+// evictStaleLocked drops leases whose peer has not reported within
+// staleAfter. The task space they claimed stays claimed (orders never
+// shrink — the reconciler's baseline must stay comparable), only the
+// identity dies.
+func (c *Collector) evictStaleLocked() {
+	if c.staleAfter < 0 {
+		return
+	}
+	cutoff := c.now().Add(-c.staleAfter)
+	for id, ls := range c.leases {
+		if ls.lastReport.Before(cutoff) {
+			delete(c.leases, id)
+			c.evicted++
+		}
+	}
+}

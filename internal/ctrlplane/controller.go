@@ -1,0 +1,355 @@
+package ctrlplane
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/placement"
+)
+
+// Remap is one adopted fleet mapping: the event pushed to opWatchRemaps
+// subscribers. Epoch is a per-machine monotone counter (1 = the first
+// mapping the controller ever adopted for the machine), so clients can
+// dedup the catch-up ack against pushed events and resubscribe after a
+// reconnect with "give me anything newer than N".
+type Remap struct {
+	Machine string
+	// Epoch stamps the adoption; a subscriber applies a remap only when
+	// its epoch exceeds the last one it applied.
+	Epoch uint64
+	// Drift is the measured drift that triggered the adoption (0 for
+	// the initial mapping).
+	Drift float64
+	// Assignment maps the machine's global task space: task t (a
+	// lease's TaskBase+i) runs on Assignment.ComputePU[t]. A client
+	// applies its lease's slice.
+	Assignment *placement.Assignment
+}
+
+// Config tunes a Controller.
+type Config struct {
+	// Adaptive tunes the per-machine reconcilers (drift threshold,
+	// strategy, hysteresis, ...). The zero value gets the
+	// placement.AdaptiveConfig defaults.
+	Adaptive placement.AdaptiveConfig
+	// StaleAfter is the lease staleness window (0 = DefaultStaleAfter,
+	// negative = never evict).
+	StaleAfter time.Duration
+}
+
+// Controller is the daemon-hosted reconciliation engine: one
+// placement.Reconciler per fleet machine, fed by the Collector's
+// merged observed matrices, publishing adopted mappings to
+// subscribers. It is the transport-agnostic core of the fleet control
+// plane; internal/orwlnet bridges it to opFleetLease /
+// opObservedReport / opWatchRemaps.
+type Controller struct {
+	fleet *placement.MultiService
+	col   *Collector
+	cfg   Config
+
+	mu      sync.Mutex
+	loops   map[string]*machineLoop
+	subs    map[uint64]*subscriber
+	nextSub uint64
+	pushed  uint64
+}
+
+// machineLoop is one machine's reconciliation state. mu serialises
+// Epoch per machine (different machines reconcile independently);
+// epoch and latest are guarded by the controller's mu, since publish
+// and Subscribe must see them atomically.
+type machineLoop struct {
+	name string
+	svc  *placement.LocalService
+	src  *handoffSource
+	rec  *placement.Reconciler
+
+	mu     sync.Mutex
+	primed bool
+
+	epoch  uint64
+	latest *Remap
+}
+
+type subscriber struct {
+	machine string
+	ch      chan Remap
+}
+
+// handoffSource adapts the controller's pull-then-reconcile flow to
+// the MatrixSource seam the Reconciler consumes: the controller drains
+// a Collector window, stashes it here, and runs one Epoch.
+type handoffSource struct {
+	mu sync.Mutex
+	m  *comm.Matrix
+}
+
+func (s *handoffSource) Name() string { return "fleet-observed" }
+
+func (s *handoffSource) Matrix() (*comm.Matrix, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		return nil, fmt.Errorf("ctrlplane: no merged window staged")
+	}
+	return s.m, nil
+}
+
+func (s *handoffSource) set(m *comm.Matrix) {
+	s.mu.Lock()
+	s.m = m
+	s.mu.Unlock()
+}
+
+// NewController builds the control plane over a fleet: one reconciler
+// per currently registered machine (attached to its service, so the
+// adaptive counters surface through Stats), one shared collector.
+func NewController(fleet *placement.MultiService, cfg Config) (*Controller, error) {
+	if fleet == nil {
+		return nil, fmt.Errorf("ctrlplane: nil fleet")
+	}
+	machines := fleet.Machines()
+	if len(machines) == 0 {
+		return nil, fmt.Errorf("ctrlplane: fleet has no machines")
+	}
+	c := &Controller{
+		fleet: fleet,
+		col:   NewCollector(cfg.StaleAfter),
+		cfg:   cfg,
+		loops: make(map[string]*machineLoop, len(machines)),
+		subs:  make(map[uint64]*subscriber),
+	}
+	for _, name := range machines {
+		svc, err := fleet.MachineService(name)
+		if err != nil {
+			return nil, err
+		}
+		src := &handoffSource{}
+		// prog is nil: the daemon owns no tasks to re-bind — adopted
+		// mappings travel to the processes that do, via Subscribe.
+		rec, err := placement.NewReconciler(svc.Engine(), src, nil, cfg.Adaptive)
+		if err != nil {
+			return nil, err
+		}
+		svc.AttachReconciler(rec)
+		c.loops[name] = &machineLoop{name: name, svc: svc, src: src, rec: rec}
+	}
+	return c, nil
+}
+
+// Collector returns the lease/report merger the controller reconciles
+// from.
+func (c *Controller) Collector() *Collector { return c.col }
+
+// Machines lists the machines the controller reconciles.
+func (c *Controller) Machines() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.loops))
+	for name := range c.loops {
+		out = append(out, name)
+	}
+	return out
+}
+
+// resolve maps the empty machine name to the fleet's default machine,
+// mirroring the placement-routing convention ("" = default).
+func (c *Controller) resolve(machine string) string {
+	if machine == "" {
+		return c.fleet.DefaultMachine()
+	}
+	return machine
+}
+
+// Register leases a task range; the machine ("" = the fleet default)
+// must be one the controller reconciles (a lease against an unknown
+// machine would feed a matrix nobody consumes).
+func (c *Controller) Register(machine, peer string, base, count int) (Lease, error) {
+	machine = c.resolve(machine)
+	c.mu.Lock()
+	_, ok := c.loops[machine]
+	c.mu.Unlock()
+	if !ok {
+		return Lease{}, fmt.Errorf("ctrlplane: unknown machine %q", machine)
+	}
+	return c.col.Register(machine, peer, base, count)
+}
+
+// Report merges one observed window under a lease.
+func (c *Controller) Report(leaseID, seq uint64, delta *comm.Matrix) error {
+	return c.col.Report(leaseID, seq, delta)
+}
+
+// Epoch runs one reconciliation step for machine: drain the merged
+// window, measure drift, adopt when warranted, publish to subscribers.
+// A nil report means the machine was idle (no merged traffic).
+func (c *Controller) Epoch(machine string) (*placement.EpochReport, error) {
+	machine = c.resolve(machine)
+	c.mu.Lock()
+	lp, ok := c.loops[machine]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("ctrlplane: unknown machine %q", machine)
+	}
+	lp.mu.Lock()
+	defer lp.mu.Unlock()
+	w := c.col.Window(machine)
+	if w == nil || w.Total() == 0 {
+		return nil, nil
+	}
+	if !lp.primed {
+		// First traffic ever seen for this machine: compute and adopt
+		// the initial fleet mapping (epoch 1) directly — there is no
+		// baseline to drift from yet.
+		a, err := lp.svc.Engine().Compute(c.adaptiveStrategy(), w, 0, c.cfg.Adaptive.Options)
+		if err != nil {
+			return nil, err
+		}
+		if err := lp.rec.SetCurrent(a, w); err != nil {
+			return nil, err
+		}
+		lp.primed = true
+		c.publish(lp, Remap{Machine: machine, Assignment: a.Clone()})
+		return &placement.EpochReport{WindowBytes: w.Total(), Recomputed: true, Adopted: true, Assignment: a.Clone()}, nil
+	}
+	lp.src.set(w)
+	rep, err := lp.rec.Epoch()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Adopted {
+		c.publish(lp, Remap{Machine: machine, Drift: rep.Drift, Assignment: rep.Assignment.Clone()})
+	}
+	return rep, nil
+}
+
+func (c *Controller) adaptiveStrategy() string {
+	if c.cfg.Adaptive.Strategy != "" {
+		return c.cfg.Adaptive.Strategy
+	}
+	return placement.TreeMatch
+}
+
+// publish stamps the remap with the machine's next epoch and fans it
+// out to the machine's subscribers, latest-wins: a slow subscriber's
+// buffer keeps only the newest events, which is safe because every
+// remap is a full snapshot of the mapping, not an increment.
+func (c *Controller) publish(lp *machineLoop, ev Remap) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lp.epoch++
+	ev.Epoch = lp.epoch
+	lp.latest = &ev
+	for _, sub := range c.subs {
+		if sub.machine != lp.name {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			// Full: displace the oldest buffered event and retry once.
+			select {
+			case <-sub.ch:
+			default:
+			}
+			select {
+			case sub.ch <- ev:
+			default:
+			}
+		}
+		c.pushed++
+	}
+}
+
+// Subscribe registers a remap watcher for machine. Events newer than
+// sinceEpoch flow on the returned channel; if the machine's latest
+// adopted mapping is already newer than sinceEpoch it is returned as
+// the catch-up event (the wire layer answers it as the opWatchRemaps
+// ack). Registration and catch-up are atomic under one lock, so an
+// adoption can never fall between them unseen. Release with
+// Unsubscribe, which closes the channel.
+func (c *Controller) Subscribe(machine string, sinceEpoch uint64) (id uint64, ch <-chan Remap, catchUp *Remap, err error) {
+	machine = c.resolve(machine)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lp, ok := c.loops[machine]
+	if !ok {
+		return 0, nil, nil, fmt.Errorf("ctrlplane: unknown machine %q", machine)
+	}
+	c.nextSub++
+	sub := &subscriber{machine: machine, ch: make(chan Remap, 8)}
+	c.subs[c.nextSub] = sub
+	if lp.latest != nil && lp.latest.Epoch > sinceEpoch {
+		cp := *lp.latest
+		catchUp = &cp
+	}
+	return c.nextSub, sub.ch, catchUp, nil
+}
+
+// Unsubscribe drops a watcher and closes its channel.
+func (c *Controller) Unsubscribe(id uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if sub, ok := c.subs[id]; ok {
+		delete(c.subs, id)
+		close(sub.ch)
+	}
+}
+
+// Latest returns the machine's newest adopted remap (nil before the
+// first adoption).
+func (c *Controller) Latest(machine string) *Remap {
+	machine = c.resolve(machine)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lp, ok := c.loops[machine]
+	if !ok || lp.latest == nil {
+		return nil
+	}
+	cp := *lp.latest
+	return &cp
+}
+
+// Stats snapshots the control plane's counters for the schema v5
+// stats payload.
+func (c *Controller) Stats() placement.FleetStats {
+	reports, peers, evicted := c.col.Counters()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return placement.FleetStats{
+		ReportsReceived:   reports,
+		PeersTracked:      peers,
+		RemapsPushed:      c.pushed,
+		StalePeersEvicted: evicted,
+		Watchers:          uint64(len(c.subs)),
+	}
+}
+
+// Run drives Epoch for every machine on a ticker until the context is
+// cancelled. Per-machine errors go to report (nil drops them) and do
+// not stop the loop — one machine's model failure must not stall the
+// fleet.
+func (c *Controller) Run(ctx context.Context, every time.Duration, report func(machine string, rep *placement.EpochReport, err error)) error {
+	if every <= 0 {
+		return fmt.Errorf("ctrlplane: non-positive epoch interval %v", every)
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+			for _, machine := range c.Machines() {
+				rep, err := c.Epoch(machine)
+				if report != nil && (rep != nil || err != nil) {
+					report(machine, rep, err)
+				}
+			}
+		}
+	}
+}

@@ -37,6 +37,12 @@ type Client struct {
 
 	mu      sync.Mutex
 	pending map[uint64]chan message
+	// streams are call ids turned into subscriptions (opWatchRemaps):
+	// unlike pending slots they survive their first response frame, and
+	// the server pushes unsolicited frames at them until the stream is
+	// closed. Delivery is latest-wins: each frame is a full snapshot,
+	// so a slow consumer loses history, never the newest state.
+	streams map[uint64]chan message
 	err     error
 	done    chan struct{}
 }
@@ -115,6 +121,7 @@ func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client,
 		maxProto: cfg.maxProto,
 		sendCh:   make(chan outFrame, sendQueueDepth),
 		pending:  make(map[uint64]chan message),
+		streams:  make(map[uint64]chan message),
 		done:     make(chan struct{}),
 	}
 	go c.readLoop()
@@ -171,6 +178,12 @@ func (c *Client) readLoop() {
 				close(ch)
 				delete(c.pending, id)
 			}
+			// Closing a stream channel is how its watcher learns the
+			// connection died (and should resubscribe elsewhere).
+			for id, ch := range c.streams {
+				close(ch)
+				delete(c.streams, id)
+			}
 			c.mu.Unlock()
 			close(c.done)
 			return
@@ -178,7 +191,25 @@ func (c *Client) readLoop() {
 		c.bytesIn.Add(13 + uint64(len(msg.payload)))
 		c.mu.Lock()
 		ch := c.pending[msg.callID]
-		delete(c.pending, msg.callID)
+		if ch != nil {
+			delete(c.pending, msg.callID)
+		} else if sch := c.streams[msg.callID]; sch != nil {
+			// Deliver under the lock (closeStream also closes under it):
+			// latest-wins into the buffered channel, never blocking the
+			// read loop on a slow watcher.
+			select {
+			case sch <- msg:
+			default:
+				select {
+				case <-sch:
+				default:
+				}
+				select {
+				case sch <- msg:
+				default:
+				}
+			}
+		}
 		c.mu.Unlock()
 		if ch != nil {
 			ch <- msg
@@ -326,6 +357,55 @@ func (c *Client) callPooled(ctx context.Context, op byte, payload []byte, pooled
 		c.mu.Unlock()
 		return nil, ctx.Err()
 	}
+}
+
+// openStream sends a request frame whose call id becomes a
+// subscription: every response frame with that id — the ack and each
+// later push — arrives on the returned channel until closeStream, or
+// until the connection dies (the channel is then closed). The first
+// message is the server's ack (statusError if the subscription was
+// refused); the caller decodes it like any other frame.
+func (c *Client) openStream(ctx context.Context, op byte, payload []byte) (uint64, <-chan message, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	id := c.callID.Add(1)
+	ch := make(chan message, 8)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	c.streams[id] = ch
+	c.mu.Unlock()
+
+	select {
+	case c.sendCh <- outFrame{msg: message{callID: id, op: op, payload: payload}}:
+		return id, ch, nil
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		delete(c.streams, id)
+		c.mu.Unlock()
+		return 0, nil, err
+	case <-ctx.Done():
+		c.closeStream(id)
+		return 0, nil, ctx.Err()
+	}
+}
+
+// closeStream abandons a subscription client-side: later frames with
+// its call id are dropped by the read loop. (The server learns when
+// the connection closes; there is no unsubscribe frame — watch
+// connections are dedicated or long-lived.)
+func (c *Client) closeStream(id uint64) {
+	c.mu.Lock()
+	if ch, ok := c.streams[id]; ok {
+		delete(c.streams, id)
+		close(ch)
+	}
+	c.mu.Unlock()
 }
 
 // Scale resizes a remote location.

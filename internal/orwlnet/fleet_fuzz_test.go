@@ -1,0 +1,111 @@
+package orwlnet
+
+import (
+	"testing"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/ctrlplane"
+	"orwlplace/internal/placement"
+)
+
+// Fuzz targets for the schema v5 fleet frames — the two new decoders
+// that parse wire bytes a hostile peer controls. Same contract as the
+// v4 targets: rejected is fine, panicking is not, and anything
+// accepted must survive a re-encode round trip.
+
+func FuzzObservedReportDecode(f *testing.F) {
+	dense := comm.NewMatrix(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			dense.Set(i, j, float64(i*4+j+1))
+		}
+	}
+	if seed, err := encodeObservedReport(nil, 7, 3, dense); err == nil {
+		f.Add(seed)
+	}
+	sparse := comm.Ring(16, 1<<20, true)
+	if seed, err := encodeObservedReport(nil, 1, 1, sparse); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2]) // truncated mid-matrix
+	}
+	f.Add([]byte{})
+	f.Add(putUvarint(putUvarint([]byte{5}, 1<<40), 1<<40))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		leaseID, seq, delta, err := decodeObservedReport(data)
+		if err != nil {
+			return
+		}
+		if delta == nil {
+			t.Fatal("accepted report without a matrix")
+		}
+		re, err := encodeObservedReport(nil, leaseID, seq, delta)
+		if err != nil {
+			t.Fatalf("accepted report does not re-encode: %v", err)
+		}
+		l2, s2, d2, err := decodeObservedReport(re)
+		if err != nil {
+			t.Fatalf("re-encoded report rejected: %v", err)
+		}
+		if l2 != leaseID || s2 != seq {
+			t.Fatalf("lease/seq changed across round trip: (%d,%d) -> (%d,%d)", leaseID, seq, l2, s2)
+		}
+		if comm.Fingerprint(d2) != comm.Fingerprint(delta) {
+			t.Fatal("matrix fingerprint changed across round trip")
+		}
+	})
+}
+
+func FuzzRemapFrameDecode(f *testing.F) {
+	if ack, err := encodeRemapFrame(nil, nil); err == nil {
+		f.Add(ack) // the "nothing adopted yet" ack
+	}
+	full := &ctrlplane.Remap{
+		Machine: "fig2",
+		Epoch:   3,
+		Drift:   0.42,
+		Assignment: &placement.Assignment{
+			Strategy:  placement.TreeMatch,
+			ComputePU: []int{0, 2, 4, 6},
+			ControlPU: []int{-1, -1, -1, -1},
+		},
+	}
+	if seed, err := encodeRemapFrame(nil, full); err == nil {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-2]) // truncated mid-assignment
+	}
+	f.Add([]byte{})
+	f.Add([]byte{5, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := decodeRemapFrame(data)
+		if err != nil {
+			return
+		}
+		if ev.Epoch > 0 && ev.Assignment == nil {
+			t.Fatal("accepted a non-zero epoch without an assignment")
+		}
+		re, err := encodeRemapFrame(nil, ev)
+		if err != nil {
+			t.Fatalf("accepted frame does not re-encode: %v", err)
+		}
+		ev2, err := decodeRemapFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if ev2.Machine != ev.Machine || ev2.Epoch != ev.Epoch || ev2.Drift != ev.Drift {
+			t.Fatalf("header changed across round trip: %+v -> %+v", ev, ev2)
+		}
+		if (ev.Assignment == nil) != (ev2.Assignment == nil) {
+			t.Fatal("assignment presence changed across round trip")
+		}
+		if ev.Assignment != nil {
+			if len(ev2.Assignment.ComputePU) != len(ev.Assignment.ComputePU) {
+				t.Fatal("assignment length changed across round trip")
+			}
+			for i := range ev.Assignment.ComputePU {
+				if ev2.Assignment.ComputePU[i] != ev.Assignment.ComputePU[i] {
+					t.Fatalf("ComputePU[%d] changed across round trip", i)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+package orwlnet
+
+import (
+	"fmt"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/ctrlplane"
+	"orwlplace/internal/placement"
+)
+
+// Schema v5 codecs: the fleet control-plane frames. All three start
+// with the schema-version byte like every placement payload, so a
+// future schema can evolve the layouts behind the same opcodes.
+//
+//	opFleetLease      req:  version, machine, peer, base, count
+//	                  resp: lease id
+//	opObservedReport  req:  version, lease id, seq, matrix (v4 compact)
+//	                  resp: empty
+//	opWatchRemaps     req:  version, machine, since-epoch
+//	                  resp: remap frame (the catch-up ack) — and every
+//	                        later adoption arrives as an unsolicited
+//	                        frame with the same call id and layout
+//
+// The remap frame is version, machine, epoch, drift, assignment
+// (schema v4 varint packing). Epoch 0 with no assignment is the
+// "nothing adopted yet" ack.
+
+func encodeFleetLeaseRequest(dst []byte, machine, peer string, base, count int) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, 0)
+	if err != nil {
+		return nil, err
+	}
+	dst = putString(dst, machine)
+	dst = putString(dst, peer)
+	dst = putUvarint(dst, uint64(base))
+	return putUvarint(dst, uint64(count)), nil
+}
+
+func decodeFleetLeaseRequest(src []byte) (machine, peer string, base, count int, err error) {
+	_, rest, err := checkWireVersion(src)
+	if err != nil {
+		return "", "", 0, 0, err
+	}
+	if machine, rest, err = getString(rest); err != nil {
+		return "", "", 0, 0, err
+	}
+	if peer, rest, err = getString(rest); err != nil {
+		return "", "", 0, 0, err
+	}
+	var u uint64
+	if u, rest, err = getUvarint(rest); err != nil {
+		return "", "", 0, 0, err
+	}
+	base = int(u)
+	if u, _, err = getUvarint(rest); err != nil {
+		return "", "", 0, 0, err
+	}
+	count = int(u)
+	if base < 0 || count < 0 {
+		return "", "", 0, 0, fmt.Errorf("orwlnet: lease range [%d,+%d) overflows", base, count)
+	}
+	return machine, peer, base, count, nil
+}
+
+func encodeFleetLeaseResponse(dst []byte, leaseID uint64) []byte {
+	return putUvarint(dst, leaseID)
+}
+
+func decodeFleetLeaseResponse(src []byte) (uint64, error) {
+	id, _, err := getUvarint(src)
+	return id, err
+}
+
+// encodeObservedReport frames one observed-traffic window delta. The
+// matrix crosses in the schema v4 compact encoding (sparse or dense,
+// whichever is smaller) — observed windows are usually even sparser
+// than declared matrices.
+func encodeObservedReport(dst []byte, leaseID, seq uint64, delta *comm.Matrix) ([]byte, error) {
+	if delta == nil {
+		return nil, fmt.Errorf("orwlnet: nil observed window")
+	}
+	dst, _, err := putWireVersion(dst, 0)
+	if err != nil {
+		return nil, err
+	}
+	dst = putUvarint(dst, leaseID)
+	dst = putUvarint(dst, seq)
+	return putMatrixCompact(dst, delta), nil
+}
+
+// decodeObservedReport decodes a report frame. Fingerprint-only matrix
+// references are refused (nil matrix table): a report is a one-shot
+// delta, never worth a round trip to resolve, and remembering every
+// peer's windows would churn the placement seen-matrix table.
+func decodeObservedReport(src []byte) (leaseID, seq uint64, delta *comm.Matrix, err error) {
+	_, rest, err := checkWireVersion(src)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	if leaseID, rest, err = getUvarint(rest); err != nil {
+		return 0, 0, nil, err
+	}
+	if seq, rest, err = getUvarint(rest); err != nil {
+		return 0, 0, nil, err
+	}
+	if delta, _, _, err = getMatrixV4(rest, nil); err != nil {
+		return 0, 0, nil, err
+	}
+	if delta == nil {
+		return 0, 0, nil, fmt.Errorf("orwlnet: observed report without a matrix")
+	}
+	return leaseID, seq, delta, nil
+}
+
+func encodeWatchRequest(dst []byte, machine string, sinceEpoch uint64) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, 0)
+	if err != nil {
+		return nil, err
+	}
+	dst = putString(dst, machine)
+	return putUvarint(dst, sinceEpoch), nil
+}
+
+func decodeWatchRequest(src []byte) (machine string, sinceEpoch uint64, err error) {
+	_, rest, err := checkWireVersion(src)
+	if err != nil {
+		return "", 0, err
+	}
+	if machine, rest, err = getString(rest); err != nil {
+		return "", 0, err
+	}
+	if sinceEpoch, _, err = getUvarint(rest); err != nil {
+		return "", 0, err
+	}
+	return machine, sinceEpoch, nil
+}
+
+// encodeRemapFrame frames one remap event (or the empty ack when ev is
+// nil: epoch 0, no assignment).
+func encodeRemapFrame(dst []byte, ev *ctrlplane.Remap) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, 0)
+	if err != nil {
+		return nil, err
+	}
+	if ev == nil {
+		dst = putString(dst, "")
+		dst = putUvarint(dst, 0)
+		dst = putUvarint(dst, zigzagFloat(0))
+		return putAssignmentV4(dst, nil), nil
+	}
+	dst = putString(dst, ev.Machine)
+	dst = putUvarint(dst, ev.Epoch)
+	dst = putUvarint(dst, zigzagFloat(ev.Drift))
+	return putAssignmentV4(dst, ev.Assignment), nil
+}
+
+// decodeRemapFrame decodes a remap event frame. A zero epoch means
+// "nothing adopted yet" (the subscription ack before the first
+// adoption); its Remap has no assignment.
+func decodeRemapFrame(src []byte) (*ctrlplane.Remap, error) {
+	_, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, err
+	}
+	ev := &ctrlplane.Remap{}
+	if ev.Machine, rest, err = getString(rest); err != nil {
+		return nil, err
+	}
+	if ev.Epoch, rest, err = getUvarint(rest); err != nil {
+		return nil, err
+	}
+	var raw uint64
+	if raw, rest, err = getUvarint(rest); err != nil {
+		return nil, err
+	}
+	ev.Drift = unzigzagFloat(raw)
+	if ev.Assignment, _, err = getAssignmentV4(rest); err != nil {
+		return nil, err
+	}
+	if ev.Epoch > 0 && ev.Assignment == nil {
+		return nil, fmt.Errorf("orwlnet: remap epoch %d without an assignment", ev.Epoch)
+	}
+	return ev, nil
+}
+
+// FleetStats codec (schema v5 stats payload tail).
+
+func putFleetStats(dst []byte, st placement.FleetStats) []byte {
+	dst = putUint64(dst, st.ReportsReceived)
+	dst = putUint64(dst, st.PeersTracked)
+	dst = putUint64(dst, st.RemapsPushed)
+	dst = putUint64(dst, st.StalePeersEvicted)
+	return putUint64(dst, st.Watchers)
+}
+
+func getFleetStats(src []byte) (placement.FleetStats, []byte, error) {
+	var st placement.FleetStats
+	var err error
+	if st.ReportsReceived, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.PeersTracked, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.RemapsPushed, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.StalePeersEvicted, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.Watchers, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	return st, src, nil
+}

@@ -645,6 +645,9 @@ func encodeServiceStats(dst []byte, st placement.ServiceStats, version int) ([]b
 	if v >= 4 {
 		dst = putNetStats(dst, st.Net)
 	}
+	if v >= 5 {
+		dst = putFleetStats(dst, st.Fleet)
+	}
 	return dst, nil
 }
 
@@ -681,6 +684,11 @@ func decodeServiceStats(src []byte) (placement.ServiceStats, error) {
 	}
 	if v >= 4 {
 		if st.Net, rest, err = getNetStats(rest); err != nil {
+			return st, err
+		}
+	}
+	if v >= 5 {
+		if st.Fleet, rest, err = getFleetStats(rest); err != nil {
 			return st, err
 		}
 	}

@@ -46,6 +46,22 @@ const (
 	// opPlaceBatch runs a slice of placement requests in one round
 	// trip, fanned across the server's fleet machines (protoBatch).
 	opPlaceBatch
+	// opFleetLease registers this client's (machine, peer, task-range)
+	// identity with the daemon's control plane (protoFleet). The
+	// response carries a server-assigned lease id that subsequent
+	// opObservedReport frames name.
+	opFleetLease
+	// opObservedReport ships one observed-traffic window (delta, not
+	// cumulative) for a lease, matrix in the schema v4 compact
+	// encoding. The daemon merges it at the lease's task offset into
+	// the machine's fleet-wide observed matrix.
+	opObservedReport
+	// opWatchRemaps turns the connection into a remap subscription:
+	// the response acknowledges with the current adopted mapping (if
+	// newer than the client's since-epoch), and every later adoption is
+	// pushed as an unsolicited frame with the same call id and frame
+	// layout.
+	opWatchRemaps
 )
 
 // errUnknownOp is the error text answered to unrecognised opcodes.
@@ -77,8 +93,16 @@ const (
 	// on a <= v3 connection falls back to lock-step placement calls and
 	// dense matrices.
 	protoPipeline = 4
+	// protoFleet is the fleet control plane (schema v5): clients may
+	// register a (machine, peer, task-range) lease, stream observed-
+	// traffic windows up with opObservedReport, and subscribe to
+	// daemon-adopted remaps with opWatchRemaps — the first op that
+	// makes the server push unsolicited frames. Placement requests and
+	// responses are byte-identical to v4; the stats payload gains the
+	// control-plane counters.
+	protoFleet = 5
 	// protoMax is the highest version this build speaks.
-	protoMax = protoPipeline
+	protoMax = protoFleet
 )
 
 // Exported protocol version aliases for out-of-package dial knobs
@@ -89,6 +113,10 @@ const (
 	ProtoAdaptive = protoAdaptive
 	// ProtoPipeline is the pipelined/pooled/compact-payload version.
 	ProtoPipeline = protoPipeline
+	// ProtoFleet is the fleet control-plane version (leases, observed
+	// reports, remap subscriptions). Cross-version tests pin clients to
+	// ProtoPipeline to prove the v4 placement path is untouched.
+	ProtoFleet = protoFleet
 )
 
 // schemaForProto maps a negotiated protocol version to the highest
@@ -97,6 +125,8 @@ const (
 // schema 3), with proto 1 pinned to the original schema 1 payloads.
 func schemaForProto(proto int) int {
 	switch {
+	case proto >= protoFleet:
+		return 5
 	case proto >= protoPipeline:
 		return 4
 	case proto >= protoAdaptive:

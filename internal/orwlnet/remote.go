@@ -33,6 +33,13 @@ type RemoteService struct {
 	// seen-matrix table holds — the basis for sending fingerprint-only
 	// requests. Shared across the pool, because the server table is.
 	known *fpSet
+
+	// addr and dialOpts remember how the stub was dialed (set by
+	// DialPlacementService), so a remap subscription can redial and
+	// resubscribe when its connection dies. Empty for stubs built from
+	// a raw connection, which cannot reconnect.
+	addr     string
+	dialOpts []DialOption
 }
 
 var _ placement.Service = (*RemoteService)(nil)
@@ -72,7 +79,7 @@ func DialPlacementService(ctx context.Context, addr string, opts ...DialOption) 
 		}
 		pool = append(pool, c)
 	}
-	return &RemoteService{c: pool[0], pool: pool, known: newFPSet(knownFingerprints)}, nil
+	return &RemoteService{c: pool[0], pool: pool, known: newFPSet(knownFingerprints), addr: addr, dialOpts: opts}, nil
 }
 
 // WirePoolStats sums the wire byte counters across the stub's

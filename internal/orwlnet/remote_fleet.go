@@ -1,0 +1,224 @@
+package orwlnet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/ctrlplane"
+)
+
+// Client-side face of the fleet control plane (schema v5): lease
+// registration, observed-traffic reporting, and the remap
+// subscription with resubscribe-on-reconnect and epoch dedup.
+
+// Remap re-exports the control-plane event type watchers receive.
+type Remap = ctrlplane.Remap
+
+// fleetConn returns the stub's primary connection if it negotiated
+// the fleet protocol.
+func (s *RemoteService) fleetConn() (*Client, error) {
+	if s.c.version < protoFleet {
+		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, fleet control plane needs v%d", s.c.version, protoFleet)
+	}
+	return s.c, nil
+}
+
+// RegisterLease registers this process's (machine, peer, task-range)
+// identity with the daemon's control plane and returns the lease id
+// subsequent ReportObserved calls name. machine "" selects the
+// daemon's default machine server-side.
+func (s *RemoteService) RegisterLease(ctx context.Context, machine, peer string, base, count int) (uint64, error) {
+	c, err := s.fleetConn()
+	if err != nil {
+		return 0, err
+	}
+	payload, err := encodeFleetLeaseRequest(nil, machine, peer, base, count)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := c.callCtx(ctx, opFleetLease, payload)
+	if err != nil {
+		return 0, err
+	}
+	return decodeFleetLeaseResponse(resp)
+}
+
+// ReportObserved ships one observed-traffic window (a delta since the
+// previous report) under a lease. seq must increase monotonically per
+// lease: the daemon drops duplicates, so a retransmitted window is
+// never double-counted.
+func (s *RemoteService) ReportObserved(ctx context.Context, leaseID, seq uint64, delta *comm.Matrix) error {
+	c, err := s.fleetConn()
+	if err != nil {
+		return err
+	}
+	buf := getPayloadBuf()
+	payload, err := encodeObservedReport(buf, leaseID, seq, delta)
+	if err != nil {
+		putPayloadBuf(buf)
+		return err
+	}
+	_, err = c.callPooled(ctx, opObservedReport, payload, true)
+	return err
+}
+
+// watchRedialBackoff paces resubscribe attempts after a lost watch
+// connection.
+const watchRedialBackoff = 250 * time.Millisecond
+
+// WatchRemaps turns a connection into a remap subscription: the
+// returned channel yields every mapping the daemon's controller adopts
+// for machine ("" = the daemon's default machine), epoch-deduped —
+// the subscription ack, a resubscribe's catch-up and the pushed events
+// all carry epochs, and an event is delivered at most once, in order.
+//
+// The subscription survives connection loss: when the watch connection
+// dies, the watcher redials the daemon (the stub must have been built
+// by DialPlacementService, which remembers the address) and
+// resubscribes with the last applied epoch, so a remap adopted during
+// the outage is delivered on reconnect. The channel closes when ctx is
+// cancelled, or when the connection dies and no redial address is
+// known.
+func (s *RemoteService) WatchRemaps(ctx context.Context, machine string) (<-chan Remap, error) {
+	c, err := s.fleetConn()
+	if err != nil {
+		return nil, err
+	}
+	id, ch, ack, err := s.subscribeRemaps(ctx, c, machine, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := make(chan Remap, 8)
+	var last uint64
+	if ack != nil && ack.Epoch > 0 {
+		last = ack.Epoch
+		out <- *ack
+	}
+	go s.watchLoop(ctx, machine, out, c, id, ch, last)
+	return out, nil
+}
+
+// subscribeRemaps opens the subscription stream and waits for the
+// server's ack: the latest adopted remap newer than sinceEpoch, or an
+// empty frame (epoch 0) when there is nothing to catch up on.
+func (s *RemoteService) subscribeRemaps(ctx context.Context, c *Client, machine string, sinceEpoch uint64) (uint64, <-chan message, *Remap, error) {
+	payload, err := encodeWatchRequest(nil, machine, sinceEpoch)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	id, ch, err := c.openStream(ctx, opWatchRemaps, payload)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			return 0, nil, nil, fmt.Errorf("orwlnet: connection lost before watch ack")
+		}
+		if msg.op == statusError {
+			c.closeStream(id)
+			return 0, nil, nil, fmt.Errorf("orwlnet: server: %s", string(msg.payload))
+		}
+		ev, err := decodeRemapFrame(msg.payload)
+		if err != nil {
+			c.closeStream(id)
+			return 0, nil, nil, err
+		}
+		if ev.Epoch == 0 {
+			ev = nil // nothing adopted yet
+		}
+		return id, ch, ev, nil
+	case <-ctx.Done():
+		c.closeStream(id)
+		return 0, nil, nil, ctx.Err()
+	}
+}
+
+// watchLoop forwards pushed remap frames, dropping stale epochs, and
+// resubscribes on a new connection when the current one dies.
+func (s *RemoteService) watchLoop(ctx context.Context, machine string, out chan<- Remap, c *Client, id uint64, ch <-chan message, last uint64) {
+	defer close(out)
+	redialed := false
+	for {
+		select {
+		case <-ctx.Done():
+			c.closeStream(id)
+			if redialed {
+				c.Close()
+			}
+			return
+		case msg, ok := <-ch:
+			if !ok {
+				// Connection lost. Resubscribe with the last applied epoch:
+				// the ack then delivers anything adopted during the outage.
+				if redialed {
+					c.Close()
+				}
+				nc, nid, nch, ack, err := s.resubscribe(ctx, machine, last)
+				if err != nil {
+					return
+				}
+				c, id, ch, redialed = nc, nid, nch, true
+				if ack != nil && ack.Epoch > last {
+					last = ack.Epoch
+					select {
+					case out <- *ack:
+					case <-ctx.Done():
+					}
+				}
+				continue
+			}
+			if msg.op == statusError {
+				// A pushed error ends the subscription (the server shut its
+				// control plane down); treat like connection loss without
+				// retry — the daemon is telling us to stop, not vanishing.
+				c.closeStream(id)
+				if redialed {
+					c.Close()
+				}
+				return
+			}
+			ev, err := decodeRemapFrame(msg.payload)
+			if err != nil || ev.Epoch <= last {
+				continue // undecodable or stale: dedup absorbs replays
+			}
+			last = ev.Epoch
+			select {
+			case out <- *ev:
+			case <-ctx.Done():
+			}
+		}
+	}
+}
+
+// resubscribe redials the daemon and reopens the subscription,
+// retrying with backoff until the context ends. It fails fast when the
+// stub has no redial address (built from a raw connection rather than
+// DialPlacementService).
+func (s *RemoteService) resubscribe(ctx context.Context, machine string, sinceEpoch uint64) (*Client, uint64, <-chan message, *Remap, error) {
+	if s.addr == "" {
+		return nil, 0, nil, nil, fmt.Errorf("orwlnet: watch connection lost and no redial address known")
+	}
+	for {
+		c, err := DialContext(ctx, s.addr, s.dialOpts...)
+		if err == nil && c.version < protoFleet {
+			c.Close()
+			err = fmt.Errorf("orwlnet: redialed server no longer speaks the fleet protocol")
+		}
+		if err == nil {
+			id, ch, ack, serr := s.subscribeRemaps(ctx, c, machine, sinceEpoch)
+			if serr == nil {
+				return c, id, ch, ack, nil
+			}
+			c.Close()
+			err = serr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, 0, nil, nil, ctx.Err()
+		case <-time.After(watchRedialBackoff):
+		}
+	}
+}

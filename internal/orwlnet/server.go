@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"orwlplace/internal/ctrlplane"
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/placement"
 )
@@ -25,6 +26,11 @@ type Server struct {
 	lis   net.Listener
 	locs  map[string]*orwl.Location
 	place placement.Service
+
+	// ctrl is the fleet control plane (WithControlPlane): leases,
+	// observed-report merging, daemon-hosted reconciliation and remap
+	// subscriptions. Nil unless the daemon runs -adaptive.
+	ctrl *ctrlplane.Controller
 
 	// ctx is canceled by Close so placement calls arriving during
 	// shutdown fail fast (a strategy already computing runs to
@@ -72,6 +78,15 @@ type ServerOption func(*Server)
 // the placement RPCs against it.
 func WithPlacement(svc placement.Service) ServerOption {
 	return func(s *Server) { s.place = svc }
+}
+
+// WithControlPlane exports a fleet control plane: connections that
+// negotiate protoFleet may register (machine, peer, task-range)
+// leases, stream observed-traffic windows up, and subscribe to the
+// controller's adopted remaps. The caller drives the controller's
+// epochs (Controller.Run); the server only bridges its wire face.
+func WithControlPlane(ctrl *ctrlplane.Controller) ServerOption {
+	return func(s *Server) { s.ctrl = ctrl }
 }
 
 // WithIdleTimeout closes connections that stay byte-silent for d with
@@ -170,11 +185,17 @@ func (s *Server) Close() error {
 // depth — the idle reaper must not close a silent connection that is
 // merely waiting for its parked Awaits).
 type connState struct {
+	conn     net.Conn
 	mu       sync.Mutex
 	writeMu  sync.Mutex
 	reqs     map[uint64]*orwl.RawRequest
 	version  int
 	inflight atomic.Int64
+
+	// subs are the connection's live remap subscriptions (controller
+	// ids), unsubscribed when the connection dies so their pushers
+	// drain and exit.
+	subs map[uint64]struct{}
 }
 
 // countingReader counts the bytes readMessage has consumed, so the
@@ -198,11 +219,21 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
-	st := &connState{reqs: make(map[uint64]*orwl.RawRequest)}
+	st := &connState{conn: conn, reqs: make(map[uint64]*orwl.RawRequest)}
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		// Remap subscriptions die with their connection: unsubscribing
+		// closes each pusher's event channel, so the pusher goroutines
+		// drain and exit.
+		st.mu.Lock()
+		subs := st.subs
+		st.subs = nil
+		st.mu.Unlock()
+		for id := range subs {
+			s.ctrl.Unsubscribe(id)
+		}
 		// A dead client's queued requests must not stall the FIFO (its
 		// grant would never be released) or a draining Close (a handler
 		// goroutine blocked in Await would never return): withdraw them.
@@ -375,6 +406,11 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 				MatrixCacheEntries: s.matrices.len(),
 			}
 		}
+		if schema >= 5 && s.ctrl != nil {
+			// Same split as NetStats: the daemon hosts the control plane,
+			// so it fills the fleet tail the placement service cannot see.
+			stats.Fleet = s.ctrl.Stats()
+		}
 		buf := getPayloadBuf()
 		payload, err := encodeServiceStats(buf, stats, schema)
 		if err != nil {
@@ -382,6 +418,32 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 			return nil, false, err
 		}
 		return payload, true, nil
+	case opFleetLease:
+		ctrl, err := s.fleetFor(st)
+		if err != nil {
+			return nil, false, err
+		}
+		machine, peer, base, count, err := decodeFleetLeaseRequest(m.payload)
+		if err != nil {
+			return nil, false, err
+		}
+		lease, err := ctrl.Register(machine, peer, base, count)
+		if err != nil {
+			return nil, false, err
+		}
+		return encodeFleetLeaseResponse(nil, lease.ID), false, nil
+	case opObservedReport:
+		ctrl, err := s.fleetFor(st)
+		if err != nil {
+			return nil, false, err
+		}
+		leaseID, seq, delta, err := decodeObservedReport(m.payload)
+		if err != nil {
+			return nil, false, err
+		}
+		return nil, false, ctrl.Report(leaseID, seq, delta)
+	case opWatchRemaps:
+		return s.handleWatch(st, m)
 	default:
 		payload, err := s.handleLocation(st, m)
 		return payload, false, err
@@ -530,6 +592,87 @@ func (s *Server) handleLocation(st *connState, m message) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("orwlnet: %s %d", errUnknownOp, m.op)
 	}
+}
+
+// handleWatch turns the connection into a remap subscription: the
+// response to the opWatchRemaps call is the catch-up ack (the latest
+// adopted remap newer than the client's since-epoch, or an empty
+// epoch-0 frame), and a pusher goroutine then writes every later
+// adoption as an unsolicited frame reusing the subscription's call id.
+// The pusher holds an inflight count for its whole life so the idle
+// reaper never closes a byte-silent watch connection.
+func (s *Server) handleWatch(st *connState, m message) ([]byte, bool, error) {
+	ctrl, err := s.fleetFor(st)
+	if err != nil {
+		return nil, false, err
+	}
+	machine, since, err := decodeWatchRequest(m.payload)
+	if err != nil {
+		return nil, false, err
+	}
+	subID, events, catchUp, err := ctrl.Subscribe(machine, since)
+	if err != nil {
+		return nil, false, err
+	}
+	buf := getPayloadBuf()
+	payload, err := encodeRemapFrame(buf, catchUp)
+	if err != nil {
+		putPayloadBuf(buf)
+		ctrl.Unsubscribe(subID)
+		return nil, false, err
+	}
+	st.mu.Lock()
+	if st.subs == nil {
+		st.subs = make(map[uint64]struct{})
+	}
+	st.subs[subID] = struct{}{}
+	st.mu.Unlock()
+	st.inflight.Add(1)
+	s.wg.Add(1)
+	go s.watchPusher(st, m.callID, subID, events)
+	return payload, true, nil
+}
+
+// watchPusher forwards adopted remaps to one subscriber connection. It
+// exits when the subscription's event channel closes — on connection
+// death (serveConn's deferred unsubscribe) or an Unsubscribe after a
+// failed write.
+func (s *Server) watchPusher(st *connState, callID, subID uint64, events <-chan ctrlplane.Remap) {
+	defer s.wg.Done()
+	defer st.inflight.Add(-1)
+	for ev := range events {
+		buf := getPayloadBuf()
+		payload, err := encodeRemapFrame(buf, &ev)
+		if err != nil {
+			putPayloadBuf(buf)
+			continue
+		}
+		st.writeMu.Lock()
+		werr := writeMessage(st.conn, message{callID: callID, op: statusOK, payload: payload})
+		st.writeMu.Unlock()
+		s.bytesOut.Add(13 + uint64(len(payload)))
+		putPayloadBuf(payload)
+		if werr != nil {
+			// Dead subscriber: tear the connection down and stop the
+			// flow at the source; the range drains the closing channel.
+			st.conn.Close()
+			s.ctrl.Unsubscribe(subID)
+		}
+	}
+}
+
+// fleetFor gates the fleet control-plane ops: the daemon must host a
+// controller and the connection must have negotiated protoFleet — the
+// frames do not exist in older protocols, so a v4 connection asking
+// for them is a client bug, not a routing choice.
+func (s *Server) fleetFor(st *connState) (*ctrlplane.Controller, error) {
+	if s.ctrl == nil {
+		return nil, fmt.Errorf("orwlnet: server hosts no fleet control plane")
+	}
+	if v := s.connVersion(st); v < protoFleet {
+		return nil, fmt.Errorf("orwlnet: fleet op on a protocol v%d connection (needs >= v%d)", v, protoFleet)
+	}
+	return s.ctrl, nil
 }
 
 // placementFor gates the placement RPCs: the server must export a

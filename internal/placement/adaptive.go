@@ -31,7 +31,8 @@ type AdaptiveStats struct {
 	// Epochs is the number of reconciliation epochs run.
 	Epochs uint64
 	// DriftEpochs is the number of epochs whose drift exceeded the
-	// threshold (each triggered a recompute).
+	// threshold — each triggered a recompute, unless the adopt
+	// hysteresis held it (see AdaptiveConfig.AdoptAfter).
 	DriftEpochs uint64
 	// Remaps is the number of adopted re-placements.
 	Remaps uint64
@@ -112,6 +113,18 @@ type AdaptiveConfig struct {
 	// volume — an idle program should neither count as drifted nor
 	// trigger remaps (default 1, i.e. skip only empty windows).
 	MinWindowBytes float64
+	// AdoptAfter is the number of consecutive over-threshold epochs
+	// required before a candidate mapping may be adopted (default 1:
+	// adopt on the first alarm). An oscillating workload whose phases
+	// are shorter than AdoptAfter epochs never accumulates the streak,
+	// so the reconciler rides out the flapping instead of chasing it.
+	AdoptAfter int
+	// CooldownEpochs suppresses adoption for this many epochs after a
+	// remap (default 0: none). Together with AdoptAfter this is the
+	// adopt hysteresis: a remap is followed by a quiet period, and the
+	// drift must then prove itself persistent again before the next
+	// one.
+	CooldownEpochs int
 	// Workload is the performance-model template for gain/cost
 	// modeling; its Comm and Iterations are overridden per epoch. Nil
 	// synthesizes a communication-dominated template with a modest
@@ -138,6 +151,9 @@ func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
 	if c.MinWindowBytes == 0 {
 		c.MinWindowBytes = 1
 	}
+	if c.AdoptAfter == 0 {
+		c.AdoptAfter = 1
+	}
 	return c
 }
 
@@ -153,6 +169,11 @@ type EpochReport struct {
 	// Recomputed is true when the drift crossed the threshold and a
 	// candidate mapping was computed.
 	Recomputed bool
+	// Held is true when the drift crossed the threshold but the adopt
+	// hysteresis withheld the recompute: the over-threshold streak has
+	// not yet reached AdoptAfter, or a recent remap's cooldown is still
+	// running.
+	Held bool
 	// Adopted is true when the candidate was bound.
 	Adopted bool
 	// GainSeconds is the modeled time saved over the horizon by the
@@ -178,6 +199,11 @@ type Reconciler struct {
 	cur   *Assignment
 	base  *comm.Matrix // matrix backing cur — what drift is measured against
 	stats AdaptiveStats
+
+	// Adopt hysteresis state: consecutive over-threshold epochs seen,
+	// and epochs left in the post-remap cooldown.
+	overStreak int
+	cooldown   int
 }
 
 // NewReconciler builds a reconciler re-placing prog (may be nil for
@@ -275,8 +301,10 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 		if rep.WindowBytes >= r.cfg.MinWindowBytes {
 			r.stats.LastDrift = rep.Drift
 		}
-		if rep.Recomputed {
+		if rep.Recomputed || rep.Held {
 			r.stats.DriftEpochs++
+		}
+		if rep.Recomputed {
 			if rep.Adopted {
 				r.stats.Remaps++
 			} else {
@@ -288,17 +316,46 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 		return rep, nil
 	}
 
+	// Tick the hysteresis clock: the cooldown set by an adopted remap
+	// expires one epoch at a time, whatever the epoch measures.
+	r.mu.Lock()
+	cooling := r.cooldown > 0
+	if cooling {
+		r.cooldown--
+	}
+	r.mu.Unlock()
+
 	if rep.WindowBytes < r.cfg.MinWindowBytes {
-		// Idle epoch: nothing flowed, nothing to react to.
+		// Idle epoch: nothing flowed, nothing to react to. The
+		// over-threshold streak does not survive idleness.
+		r.mu.Lock()
+		r.overStreak = 0
+		r.mu.Unlock()
 		return finish()
 	}
 	rep.Drift = Drift(base, window)
 	if rep.Drift <= r.cfg.DriftThreshold {
+		r.mu.Lock()
+		r.overStreak = 0
+		r.mu.Unlock()
 		return finish()
 	}
 
-	// Drift alarm: recompute through the registry (the mapping cache
-	// makes oscillation back to a known pattern cheap).
+	// Drift alarm. The adopt hysteresis gates the (expensive) recompute
+	// and model: the alarm must persist AdoptAfter consecutive epochs,
+	// and any post-remap cooldown must have expired, before a candidate
+	// is even computed — an oscillating workload is held, not chased.
+	r.mu.Lock()
+	r.overStreak++
+	streak := r.overStreak
+	r.mu.Unlock()
+	if streak < r.cfg.AdoptAfter || cooling {
+		rep.Held = true
+		return finish()
+	}
+
+	// Recompute through the registry (the mapping cache makes
+	// oscillation back to a known pattern cheap).
 	candidate, err := r.eng.Compute(r.cfg.Strategy, window, 0, r.cfg.Options)
 	if err != nil {
 		return nil, err
@@ -323,6 +380,8 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 	r.mu.Lock()
 	r.cur = candidate
 	r.base = window.Clone()
+	r.overStreak = 0
+	r.cooldown = r.cfg.CooldownEpochs
 	r.mu.Unlock()
 	return finish()
 }

@@ -35,7 +35,13 @@ import (
 //	    reference, and ServiceStats carries the serving daemon's
 //	    transport counters (NetStats). Request/response semantics are
 //	    unchanged from v3 — v4 only compacts how payloads are framed.
-const ServiceVersion = 4
+//	5 — fleet control plane: ServiceStats carries the daemon's
+//	    control-plane counters (FleetStats: observed reports, tracked
+//	    peers, pushed remaps, staleness evictions). Place/PlaceBatch
+//	    requests and responses are byte-identical to v4 — the new
+//	    traffic (leases, observed reports, remap subscriptions) rides
+//	    on its own opcodes, not on the placement payloads.
+const ServiceVersion = 5
 
 // PlaceRequest asks a placement service for an assignment. It is the
 // transport-agnostic unit: the in-process service consumes it
@@ -132,6 +138,45 @@ type ServiceStats struct {
 	// connection; an in-process service reports zeros (there is no
 	// wire).
 	Net NetStats
+	// Fleet carries the daemon's control-plane counters (schema v5):
+	// observed-traffic reports merged, peers currently tracked, remap
+	// events pushed to subscribers, stale peers evicted. Filled by the
+	// serving daemon when a control plane is attached; an in-process
+	// service reports zeros.
+	Fleet FleetStats
+}
+
+// FleetStats counts a daemon control plane's activity — the
+// observability face of the fleet subsystem (schema v5). Counters are
+// process-lifetime totals except PeersTracked and Watchers
+// (instantaneous).
+type FleetStats struct {
+	// ReportsReceived counts opObservedReport frames merged into the
+	// fleet-wide observed matrices.
+	ReportsReceived uint64
+	// PeersTracked is the number of live (machine, peer, task-range)
+	// leases at the moment of the snapshot.
+	PeersTracked uint64
+	// RemapsPushed counts remap events delivered to subscribers
+	// (one per subscriber per adopted mapping).
+	RemapsPushed uint64
+	// StalePeersEvicted counts leases dropped because their peer
+	// stopped reporting for longer than the staleness window.
+	StalePeersEvicted uint64
+	// Watchers is the number of live remap subscriptions at the moment
+	// of the snapshot.
+	Watchers uint64
+}
+
+// merge accumulates other into st (fleet aggregation): totals sum,
+// instantaneous gauges sum too (each contributor tracks disjoint
+// peers/watchers).
+func (st *FleetStats) merge(other FleetStats) {
+	st.ReportsReceived += other.ReportsReceived
+	st.PeersTracked += other.PeersTracked
+	st.RemapsPushed += other.RemapsPushed
+	st.StalePeersEvicted += other.StalePeersEvicted
+	st.Watchers += other.Watchers
 }
 
 // NetStats counts a placement daemon's transport-layer traffic — the

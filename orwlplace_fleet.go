@@ -1,0 +1,234 @@
+package orwlplace
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"orwlplace/internal/orwlnet"
+	"orwlplace/internal/placement"
+)
+
+// The fleet adaptive loop: the client half of the daemon-hosted
+// control plane. A process registers its program's task range as a
+// lease, ships observed-traffic windows up on a cadence, and applies
+// the remaps the daemon's controller pushes down — closed-loop
+// placement where the reconciler runs in the daemon and the processes
+// only measure and obey.
+
+// Remap is one adopted fleet mapping pushed to watchers: the
+// machine-global assignment stamped with a per-machine epoch.
+type Remap = orwlnet.Remap
+
+// ProtoFleet is the wire protocol version that carries the fleet
+// control plane (leases, observed reports, remap subscriptions).
+const ProtoFleet = orwlnet.ProtoFleet
+
+// FleetAdaptiveConfig tunes a fleet adaptive loop.
+type FleetAdaptiveConfig struct {
+	// Machine routes the lease and the subscription ("" = the daemon's
+	// default machine).
+	Machine string
+	// Peer identifies this process in the daemon's lease table; two
+	// registrations with the same (machine, peer) replace each other.
+	// "" derives an identity from the process id.
+	Peer string
+	// TaskBase is where this program's tasks sit in the machine-global
+	// task space: local task i is fleet task TaskBase+i. Disjoint
+	// processes on one machine use disjoint ranges.
+	TaskBase int
+	// Interval is the report cadence for Run (0 = 250ms).
+	Interval time.Duration
+}
+
+// defaultReportInterval paces Run's observed-window reports.
+const defaultReportInterval = 250 * time.Millisecond
+
+// FleetAdaptive is one process's membership in the fleet control
+// plane: a lease, a report sequence, and the remap subscription.
+// Build with NewFleetAdaptive, drive with Run (or Report/ApplyRemap
+// for manual control).
+type FleetAdaptive struct {
+	rs   *RemotePlacement
+	prog *Program
+	cfg  FleetAdaptiveConfig
+
+	leaseID uint64
+	count   int
+
+	mu       sync.Mutex
+	seq      uint64
+	applied  uint64 // last applied remap epoch
+	reports  uint64
+	remapped uint64
+
+	// pending holds windows whose send failed, keyed by the sequence
+	// number they were first assigned: retransmitting under the same
+	// seq is safe (the daemon dedups), so a window that did arrive
+	// before the error is never double-counted, and one that did not is
+	// not lost. Bounded: a prolonged outage drops the oldest windows.
+	pending []pendingReport
+}
+
+type pendingReport struct {
+	seq uint64
+	w   *Matrix
+}
+
+// maxPendingReports bounds the retransmit queue.
+const maxPendingReports = 16
+
+// NewFleetAdaptive registers prog's task range with the daemon behind
+// remote and returns the loop. The daemon must speak ProtoFleet and
+// host a control plane (orwlnetd -adaptive). The program must be
+// scheduled: the lease covers its task count.
+func NewFleetAdaptive(ctx context.Context, remote *RemotePlacement, prog *Program, cfg FleetAdaptiveConfig) (*FleetAdaptive, error) {
+	if remote == nil {
+		return nil, fmt.Errorf("orwlplace: nil remote service")
+	}
+	if prog == nil {
+		return nil, fmt.Errorf("orwlplace: nil program")
+	}
+	n := prog.NumTasks()
+	if n == 0 {
+		return nil, fmt.Errorf("orwlplace: program has no tasks to lease")
+	}
+	if cfg.Peer == "" {
+		cfg.Peer = fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = defaultReportInterval
+	}
+	id, err := remote.RegisterLease(ctx, cfg.Machine, cfg.Peer, cfg.TaskBase, n)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetAdaptive{rs: remote, prog: prog, cfg: cfg, leaseID: id, count: n}, nil
+}
+
+// LeaseID returns the daemon-assigned lease identity.
+func (f *FleetAdaptive) LeaseID() uint64 { return f.leaseID }
+
+// Report ships the program's observed-traffic window accumulated since
+// the previous report, after retransmitting any windows an earlier
+// failed Report left queued. An empty window is skipped (no RPC, no
+// sequence burn); it is not an error.
+func (f *FleetAdaptive) Report(ctx context.Context) error {
+	f.mu.Lock()
+	queue := f.pending
+	f.pending = nil
+	w := f.prog.ObservedWindow()
+	if w != nil && w.Total() > 0 {
+		f.seq++
+		queue = append(queue, pendingReport{seq: f.seq, w: w})
+		if over := len(queue) - maxPendingReports; over > 0 {
+			queue = queue[over:]
+		}
+	}
+	f.mu.Unlock()
+	for i, pr := range queue {
+		if err := f.rs.ReportObserved(ctx, f.leaseID, pr.seq, pr.w); err != nil {
+			// Requeue this window and everything after it, in front of
+			// whatever a concurrent Report may have queued meanwhile.
+			f.mu.Lock()
+			f.pending = append(append([]pendingReport(nil), queue[i:]...), f.pending...)
+			f.mu.Unlock()
+			return err
+		}
+		f.mu.Lock()
+		f.reports++
+		f.mu.Unlock()
+	}
+	return nil
+}
+
+// ApplyRemap commits the lease's slice of a machine-global remap to
+// the program: fleet task TaskBase+i binds local task i. Stale epochs
+// (already applied) return false without touching the binding.
+func (f *FleetAdaptive) ApplyRemap(ev Remap) (bool, error) {
+	if ev.Assignment == nil {
+		return false, nil
+	}
+	f.mu.Lock()
+	if ev.Epoch <= f.applied {
+		f.mu.Unlock()
+		return false, nil
+	}
+	f.mu.Unlock()
+	if len(ev.Assignment.ComputePU) < f.cfg.TaskBase+f.count {
+		return false, fmt.Errorf("orwlplace: remap covers %d fleet tasks, lease needs [%d,%d)",
+			len(ev.Assignment.ComputePU), f.cfg.TaskBase, f.cfg.TaskBase+f.count)
+	}
+	local := &Assignment{
+		Strategy:  ev.Assignment.Strategy,
+		ComputePU: ev.Assignment.ComputePU[f.cfg.TaskBase : f.cfg.TaskBase+f.count],
+	}
+	if len(ev.Assignment.ControlPU) >= f.cfg.TaskBase+f.count {
+		local.ControlPU = ev.Assignment.ControlPU[f.cfg.TaskBase : f.cfg.TaskBase+f.count]
+	}
+	if err := placement.Bind(f.prog, local); err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	if ev.Epoch > f.applied {
+		f.applied = ev.Epoch
+	}
+	f.remapped++
+	f.mu.Unlock()
+	return true, nil
+}
+
+// AppliedEpoch returns the epoch of the last remap committed to the
+// program (0 before the first).
+func (f *FleetAdaptive) AppliedEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.applied
+}
+
+// Counters returns reports shipped and remaps applied.
+func (f *FleetAdaptive) Counters() (reports, remaps uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.reports, f.remapped
+}
+
+// Run drives the loop until ctx ends: observed windows ship every
+// Interval, and every pushed remap is applied as it arrives. onRemap
+// (nil ok) fires after each successful application — the hook tests
+// and demos use to observe adoption. Run returns nil when ctx is
+// cancelled, or an error if the subscription cannot be established or
+// dies unrecoverably.
+func (f *FleetAdaptive) Run(ctx context.Context, onRemap func(Remap)) error {
+	remaps, err := f.rs.WatchRemaps(ctx, f.cfg.Machine)
+	if err != nil {
+		return err
+	}
+	tick := time.NewTicker(f.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+			if err := f.Report(ctx); err != nil && ctx.Err() == nil {
+				// A lost report is not fatal: the next window carries the
+				// traffic (the daemon merges deltas, and an unshipped
+				// window stays accumulated in the program).
+				continue
+			}
+		case ev, ok := <-remaps:
+			if !ok {
+				if ctx.Err() != nil {
+					return nil
+				}
+				return fmt.Errorf("orwlplace: remap subscription lost")
+			}
+			if applied, err := f.ApplyRemap(ev); err == nil && applied && onRemap != nil {
+				onRemap(ev)
+			}
+		}
+	}
+}
