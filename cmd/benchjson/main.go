@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR7.json] [-bench regex] [-pkgs p1,p2] \
+//	benchjson [-o BENCH_PR8.json] [-bench regex] [-pkgs p1,p2] \
 //	          [-benchtime 1s] [-baseline scripts/bench_baseline_pr3.json] \
 //	          [-placeload 2s]
 //
@@ -90,7 +90,7 @@ func defaultPkgs() []string {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR7.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR8.json", "output JSON path")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	pkgs := flag.String("pkgs", strings.Join(defaultPkgs(), ","), "comma-separated packages to bench")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")

@@ -8,6 +8,8 @@
 // Usage:
 //
 //	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...] [-cache-entries n] [-conn-idle d]
+//	         [-adaptive] [-snapshot-path file] [-snapshot-interval d] [-report-rate r] [-report-burst b]
+//	         [-report-max-bytes n] [-report-max-rows n] [-report-bandwidth bps]
 //
 // At least one of -loc or -place is required. -machine is repeatable
 // and picks the topologies the placement service maps onto: named
@@ -30,14 +32,31 @@
 // mappings to every subscriber. -drift-threshold, -adopt-after,
 // -cooldown-epochs and -stale-after tune the loop.
 //
+// -snapshot-path makes the control plane durable: the lease table,
+// per-machine epochs and the latest adopted remaps are written to the
+// file atomically every -snapshot-interval and once more on graceful
+// drain, and restored on the next start (a missing file starts fresh
+// silently; a corrupt or version-skewed one logs a warning and starts
+// fresh). A daemon restarted with the same -snapshot-path resumes its
+// epoch counters, so reconnecting clients see a continuous epoch
+// stream instead of a reset.
+//
+// Hostile-peer hardening (with -adaptive): -report-rate/-report-burst
+// throttle each lease's observed-report cadence (a spammer gets a
+// retryable rate-limit error, other peers are unaffected), and
+// -report-max-bytes/-report-max-rows/-report-bandwidth cap what one
+// connection may push at the decoder.
+//
 // The daemon traps SIGINT/SIGTERM and drains in-flight calls before
 // exiting.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"net"
 	"os"
 	"os/signal"
@@ -100,6 +119,13 @@ func main() {
 	adoptAfter := flag.Int("adopt-after", 1, "consecutive over-threshold epochs before a recompute is attempted (hysteresis)")
 	cooldownEpochs := flag.Int("cooldown-epochs", 0, "epochs to hold after an adoption before the next one")
 	staleAfter := flag.Duration("stale-after", 0, "evict a lease whose peer has not reported for this long (0 keeps the built-in default, negative never evicts)")
+	snapPath := flag.String("snapshot-path", "", "persist the control plane (leases, epochs, adopted remaps) to this file and restore it on startup (requires -adaptive)")
+	snapInterval := flag.Duration("snapshot-interval", 10*time.Second, "cadence of periodic snapshots with -snapshot-path (a final snapshot is always taken on graceful drain)")
+	reportRate := flag.Float64("report-rate", 0, "per-lease observed-report rate limit in reports/sec (0 = unlimited); a throttled peer gets a retryable error, others are unaffected")
+	reportBurst := flag.Float64("report-burst", 0, "burst allowance for -report-rate (0 = the rate itself)")
+	reportMaxBytes := flag.Int("report-max-bytes", 0, "refuse observed-report frames larger than this many bytes (0 = the protocol's 64MiB ceiling)")
+	reportMaxRows := flag.Int("report-max-rows", 0, "refuse observed reports whose delta matrix exceeds this order (0 = the protocol ceiling)")
+	reportBandwidth := flag.Float64("report-bandwidth", 0, "per-connection observed-report byte budget in bytes/sec (0 = unlimited)")
 	cacheEntries := flag.Int("cache-entries", -1, "mapping-cache capacity per machine engine (0 disables caching, -1 keeps the built-in default)")
 	machines := machineFlags{}
 	flag.Var(&machines, "machine", "machine the placement service maps onto (repeatable; the first is the fleet default): host, "+strings.Join(topology.MachineNames(), ", "))
@@ -113,6 +139,10 @@ func main() {
 
 	if *adaptive && !*place {
 		fmt.Fprintln(os.Stderr, "orwlnetd: -adaptive requires -place (the control plane reconciles the placement fleet)")
+		os.Exit(2)
+	}
+	if *snapPath != "" && !*adaptive {
+		fmt.Fprintln(os.Stderr, "orwlnetd: -snapshot-path requires -adaptive (only the control plane has durable state)")
 		os.Exit(2)
 	}
 
@@ -148,13 +178,19 @@ func main() {
 			len(machines), strings.Join(fleet.Machines(), ", "), fleet.DefaultMachine(),
 			pus, strings.Join(placement.Names(), ", "))
 		if *adaptive {
+			burst := *reportBurst
+			if burst <= 0 {
+				burst = *reportRate
+			}
 			cfg := ctrlplane.Config{
 				Adaptive: placement.AdaptiveConfig{
 					DriftThreshold: *driftThreshold,
 					AdoptAfter:     *adoptAfter,
 					CooldownEpochs: *cooldownEpochs,
 				},
-				StaleAfter: *staleAfter,
+				StaleAfter:  *staleAfter,
+				ReportRate:  *reportRate,
+				ReportBurst: burst,
 			}
 			var err error
 			ctrl, err = ctrlplane.NewController(fleet, cfg)
@@ -163,8 +199,14 @@ func main() {
 				os.Exit(1)
 			}
 			opts = append(opts, orwlnet.WithControlPlane(ctrl))
+			if *reportMaxBytes > 0 || *reportMaxRows > 0 || *reportBandwidth > 0 {
+				opts = append(opts, orwlnet.WithReportCaps(*reportMaxBytes, *reportMaxRows, *reportBandwidth, 0))
+			}
 			fmt.Printf("orwlnetd: fleet control plane on (epoch %v, adopt-after %d, cooldown %d)\n",
 				*epochInterval, *adoptAfter, *cooldownEpochs)
+			if *snapPath != "" {
+				restoreSnapshot(ctrl, *snapPath)
+			}
 		}
 	}
 
@@ -212,6 +254,24 @@ func main() {
 		})
 	}
 
+	// Periodic snapshots run beside the epoch loop: losing the daemon
+	// between ticks costs at most one interval of control-plane state
+	// (clients re-lease and the reconciler re-primes for the rest).
+	if ctrl != nil && *snapPath != "" && *snapInterval > 0 {
+		go func() {
+			tick := time.NewTicker(*snapInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctrlCtx.Done():
+					return
+				case <-tick.C:
+					saveSnapshot(ctrl, *snapPath)
+				}
+			}
+		}()
+	}
+
 	// Graceful shutdown: on SIGINT/SIGTERM stop accepting and let
 	// Server.Close drain the per-connection goroutines, so no client is
 	// dropped mid-frame. Close blocks until the drain completes, so the
@@ -228,12 +288,53 @@ func main() {
 		ctrlStop()
 		srv.Close()
 		<-serveErr
+		if ctrl != nil && *snapPath != "" {
+			// Final snapshot after the drain: every acknowledged report
+			// and adopted epoch is in it.
+			saveSnapshot(ctrl, *snapPath)
+		}
 		fmt.Println("orwlnetd: drained, bye")
 	case err := <-serveErr:
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 			os.Exit(1)
 		}
+	}
+}
+
+// restoreSnapshot loads the control plane's state from path. A missing
+// file is a normal first start; anything unreadable — truncated,
+// bit-flipped, written by an incompatible version — logs a warning and
+// starts fresh rather than refusing to serve.
+func restoreSnapshot(ctrl *ctrlplane.Controller, path string) {
+	s, err := ctrlplane.LoadSnapshot(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		return
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s unusable (%v): starting fresh\n", path, err)
+		return
+	}
+	if err := ctrl.Restore(s); err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s not restorable (%v): starting fresh\n", path, err)
+		return
+	}
+	var maxEpoch uint64
+	for _, mr := range s.Machines {
+		if mr.Epoch > maxEpoch {
+			maxEpoch = mr.Epoch
+		}
+	}
+	fmt.Printf("orwlnetd: resumed from snapshot %s: %d lease(s), %d machine(s), max epoch %d\n",
+		path, len(s.Leases), len(s.Machines), maxEpoch)
+}
+
+// saveSnapshot persists the control plane's state; failures are logged
+// and the daemon keeps serving (durability is best-effort, service is
+// not).
+func saveSnapshot(ctrl *ctrlplane.Controller, path string) {
+	if err := ctrlplane.SaveSnapshot(path, ctrl.Snapshot()); err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s: %v\n", path, err)
 	}
 }
 

@@ -24,18 +24,27 @@
 // table compares the modeled seconds of keeping the initial static
 // mapping against letting the loop react.
 //
+// With -chaos (requires -adaptive) the replay additionally loses
+// observed windows at random — the trace a fleet daemon sees when
+// client reports are dropped on the wire. A lost epoch feeds the
+// reconciler an empty window: drift cannot be measured, the hysteresis
+// streak resets, and reaction is delayed until a window survives. The
+// loss schedule is seeded (-chaos-seed), so a run is reproducible.
+//
 // Usage:
 //
 //	simulate -w workload.json [-m machine] [-seed n]
 //	simulate -demo            # built-in demo workload (K23, 64 cores)
 //	simulate -demo -fleet [-daemon host:port]
 //	simulate -demo -adaptive [-epochs n] [-shift k]
+//	simulate -demo -adaptive -chaos [-loss p] [-chaos-seed n]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"strings"
@@ -61,6 +70,9 @@ func main() {
 	adaptive := flag.Bool("adaptive", false, "replay the workload as a phase-shifting trace through the adaptive re-placement loop")
 	epochs := flag.Int("epochs", 8, "with -adaptive: epochs to replay")
 	shift := flag.Int("shift", 4, "with -adaptive: epoch at which the communication pattern shifts")
+	chaos := flag.Bool("chaos", false, "with -adaptive: lose observed windows at random, as a daemon under report loss would")
+	loss := flag.Float64("loss", 0.4, "with -chaos: probability an epoch's observed window is lost")
+	chaosSeed := flag.Int64("chaos-seed", 2, "with -chaos: seed of the loss schedule (reproducible runs)")
 	flag.Parse()
 
 	w, err := loadWorkload(*path, *demo)
@@ -74,10 +86,17 @@ func main() {
 		return
 	}
 	if *adaptive {
-		if err := runAdaptive(w, *machine, *epochs, *shift, *seed); err != nil {
+		lossProb := 0.0
+		if *chaos {
+			lossProb = *loss
+		}
+		if err := runAdaptive(w, *machine, *epochs, *shift, *seed, lossProb, *chaosSeed); err != nil {
 			fail(err)
 		}
 		return
+	}
+	if *chaos {
+		fail(fmt.Errorf("simulate: -chaos requires -adaptive (it injects loss into the replayed trace)"))
 	}
 
 	top, err := topology.ByName(*machine)
@@ -227,20 +246,35 @@ func runFleet(w *perfsim.Workload, daemonAddr string) error {
 	return nil
 }
 
-// phaseScript feeds the reconciler one matrix per epoch.
+// phaseScript feeds the reconciler one matrix per epoch. A non-zero
+// loss probability makes it lossy: a lost epoch hands the reconciler
+// an empty window — the traffic happened, the report did not arrive —
+// and wasLost records it for the replay table.
 type phaseScript struct {
 	matrices []*comm.Matrix
 	next     int
+
+	rng     *rand.Rand // nil = lossless
+	loss    float64
+	wasLost bool
+	lost    int
 }
 
 func (s *phaseScript) Name() string { return "replay" }
 
 func (s *phaseScript) Matrix() (*comm.Matrix, error) {
-	if s.next >= len(s.matrices) {
-		return s.matrices[len(s.matrices)-1], nil
+	i := s.next
+	if i >= len(s.matrices) {
+		i = len(s.matrices) - 1
+	} else {
+		s.next++
 	}
-	m := s.matrices[s.next]
-	s.next++
+	m := s.matrices[i]
+	s.wasLost = s.rng != nil && s.rng.Float64() < s.loss
+	if s.wasLost {
+		s.lost++
+		return comm.NewMatrix(m.Order()), nil
+	}
 	return m, nil
 }
 
@@ -287,7 +321,7 @@ func homogenize(w *perfsim.Workload) *perfsim.Workload {
 // runAdaptive replays the workload as a phase-shifting trace through
 // the closed placement loop and prints the static-vs-adaptive
 // comparison.
-func runAdaptive(w *perfsim.Workload, machine string, epochs, shift int, seed int64) error {
+func runAdaptive(w *perfsim.Workload, machine string, epochs, shift int, seed int64, loss float64, chaosSeed int64) error {
 	if epochs < 1 {
 		return fmt.Errorf("simulate: -epochs must be positive")
 	}
@@ -313,6 +347,11 @@ func runAdaptive(w *perfsim.Workload, machine string, epochs, shift int, seed in
 		w.Name, n, top.Attrs.Name, epochs, shift, placement.Drift(phaseA, phaseB))
 
 	script := &phaseScript{}
+	if loss > 0 {
+		script.rng = rand.New(rand.NewSource(chaosSeed))
+		script.loss = loss
+		fmt.Printf("chaos: each epoch's observed window is lost with probability %.2f (seed %d)\n\n", loss, chaosSeed)
+	}
 	patterns := make([]*comm.Matrix, epochs)
 	for e := 0; e < epochs; e++ {
 		if e+1 < shift {
@@ -388,6 +427,10 @@ func runAdaptive(w *perfsim.Workload, machine string, epochs, shift int, seed in
 		}
 		action := "keep"
 		switch {
+		case script.wasLost:
+			// The window never reached the loop: no drift measurement,
+			// and the hysteresis streak starts over.
+			action = "lost"
 		case rep.Adopted:
 			action = "REMAP"
 			// The switch itself is not free: charge the modeled
@@ -405,8 +448,13 @@ func runAdaptive(w *perfsim.Workload, machine string, epochs, shift int, seed in
 	}
 
 	st := rec.Stats()
-	fmt.Printf("\nloop: %d epochs, %d drift alarms, %d remaps, %d rejected\n",
-		st.Epochs, st.DriftEpochs, st.Remaps, st.Rejected)
+	if loss > 0 {
+		fmt.Printf("\nloop: %d epochs (%d windows lost), %d drift alarms, %d remaps, %d rejected\n",
+			st.Epochs, script.lost, st.DriftEpochs, st.Remaps, st.Rejected)
+	} else {
+		fmt.Printf("\nloop: %d epochs, %d drift alarms, %d remaps, %d rejected\n",
+			st.Epochs, st.DriftEpochs, st.Remaps, st.Rejected)
+	}
 
 	oracleSec := 0.0
 	for e := 0; e < epochs; e++ {

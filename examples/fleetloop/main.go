@@ -57,7 +57,10 @@ func main() {
 func run(ctx context.Context, daemon, peer string, base, tasks int, shift, interval time.Duration) error {
 	prog := orwl.MustProgram(tasks)
 
-	remote, err := orwlplace.DialPlacement(ctx, daemon)
+	// Retries armed: transient daemon outages (a restart, a dropped
+	// connection) are ridden out with exponential backoff instead of
+	// killing the loop.
+	remote, err := orwlplace.DialPlacement(ctx, daemon, orwlplace.WithRetry(orwlplace.DefaultRetryPolicy()))
 	if err != nil {
 		return err
 	}
@@ -81,13 +84,14 @@ func run(ctx context.Context, daemon, peer string, base, tasks int, shift, inter
 	err = fa.Run(ctx, func(ev orwlplace.Remap) {
 		fmt.Printf("fleetloop[%s]: applied remap machine=%s epoch=%d drift=%.3f\n", peer, ev.Machine, ev.Epoch, ev.Drift)
 	})
-	reports, remaps := fa.Counters()
-	fmt.Printf("fleetloop[%s]: done: reports=%d remaps-applied=%d last-epoch=%d\n", peer, reports, remaps, fa.AppliedEpoch())
+	st := fa.Stats()
+	fmt.Printf("fleetloop[%s]: done: reports=%d remaps-applied=%d last-epoch=%d dropped-windows=%d re-leases=%d\n",
+		peer, st.Reports, st.Remaps, st.AppliedEpoch, st.DroppedWindows, st.Releases)
 	if err != nil && ctx.Err() == nil {
 		return err
 	}
 	// A run that never applied a remap means the loop did not close.
-	if remaps == 0 {
+	if st.Remaps == 0 {
 		fmt.Fprintf(os.Stderr, "fleetloop[%s]: warning: no remap applied\n", peer)
 	}
 	return nil

@@ -32,6 +32,11 @@ type Lease struct {
 	Peer      string
 	TaskBase  int
 	TaskCount int
+	// Token is the ownership secret presented at registration. A lease
+	// registered with a non-zero token can only be replaced by a
+	// registration presenting the same token; zero means unowned
+	// (legacy clients), which any later registration may displace.
+	Token uint64
 }
 
 // maxLeaseTasks bounds a single lease's task range, and with it the
@@ -44,6 +49,11 @@ type leaseState struct {
 	Lease
 	lastReport time.Time
 	lastSeq    uint64 // highest observed-report sequence merged
+
+	// Report-rate token bucket (only consulted when the collector has a
+	// report limit configured).
+	bucket     float64
+	lastRefill time.Time
 }
 
 // machineState accumulates one machine's merged observed traffic.
@@ -70,13 +80,20 @@ type Collector struct {
 	staleAfter time.Duration
 	now        func() time.Time // injectable for eviction tests
 
+	// reportRate/reportBurst configure the per-lease report token
+	// bucket; rate 0 disables limiting.
+	reportRate  float64
+	reportBurst float64
+
 	mu       sync.Mutex
 	nextID   uint64
 	leases   map[uint64]*leaseState
 	machines map[string]*machineState
 
-	reports uint64
-	evicted uint64
+	reports   uint64
+	evicted   uint64
+	throttled uint64
+	conflicts uint64
 }
 
 // DefaultStaleAfter is the lease staleness window when the caller
@@ -98,13 +115,36 @@ func NewCollector(staleAfter time.Duration) *Collector {
 	}
 }
 
+// SetReportLimit configures the per-lease observed-report token
+// bucket: each lease may sustain rate reports/sec with bursts up to
+// burst. Rate <= 0 disables limiting (the default). Call before the
+// collector starts taking reports.
+func (c *Collector) SetReportLimit(rate, burst float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if burst < 1 {
+		burst = 1
+	}
+	c.reportRate = rate
+	c.reportBurst = burst
+}
+
 // Register leases the task range [base, base+count) of machine's
+// global task space to peer and returns the lease, with no ownership
+// token — the legacy, displaceable registration. See RegisterToken.
+func (c *Collector) Register(machine, peer string, base, count int) (Lease, error) {
+	return c.RegisterToken(machine, peer, base, count, 0)
+}
+
+// RegisterToken leases the task range [base, base+count) of machine's
 // global task space to peer and returns the lease. Re-registering an
 // existing (machine, peer) pair — a client that reconnected — replaces
-// the old lease, so a bounced process does not leak identities.
-// Ranges of different peers may overlap; their traffic merges
-// additively.
-func (c *Collector) Register(machine, peer string, base, count int) (Lease, error) {
+// the old lease, so a bounced process does not leak identities; but a
+// live lease carrying a non-zero ownership token is only replaceable
+// by a registration presenting the same token, so one peer cannot
+// displace another's lease just by naming it. Ranges of different
+// peers may overlap; their traffic merges additively.
+func (c *Collector) RegisterToken(machine, peer string, base, count int, token uint64) (Lease, error) {
 	if machine == "" || peer == "" {
 		return Lease{}, fmt.Errorf("ctrlplane: lease needs a machine and a peer name")
 	}
@@ -114,16 +154,24 @@ func (c *Collector) Register(machine, peer string, base, count int) (Lease, erro
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.evictStaleLocked()
-	// Replace a previous incarnation of the same peer.
+	// Replace a previous incarnation of the same peer — unless the live
+	// lease is owned and the caller cannot prove ownership.
 	for id, ls := range c.leases {
 		if ls.Machine == machine && ls.Peer == peer {
+			if ls.Token != 0 && ls.Token != token {
+				c.conflicts++
+				return Lease{}, fmt.Errorf("ctrlplane: lease conflict: peer %q on machine %q is held by another owner", peer, machine)
+			}
 			delete(c.leases, id)
 		}
 	}
 	c.nextID++
+	now := c.now()
 	ls := &leaseState{
-		Lease:      Lease{ID: c.nextID, Machine: machine, Peer: peer, TaskBase: base, TaskCount: count},
-		lastReport: c.now(),
+		Lease:      Lease{ID: c.nextID, Machine: machine, Peer: peer, TaskBase: base, TaskCount: count, Token: token},
+		lastReport: now,
+		bucket:     c.reportBurst,
+		lastRefill: now,
 	}
 	c.leases[ls.ID] = ls
 	ms := c.machineLocked(machine)
@@ -162,7 +210,20 @@ func (c *Collector) Report(leaseID, seq uint64, delta *comm.Matrix) error {
 	if delta.Order() != ls.TaskCount {
 		return fmt.Errorf("ctrlplane: observed window order %d does not match lease %d task count %d", delta.Order(), leaseID, ls.TaskCount)
 	}
-	ls.lastReport = c.now()
+	now := c.now()
+	ls.lastReport = now // a throttled peer is still alive
+	if c.reportRate > 0 {
+		ls.bucket += now.Sub(ls.lastRefill).Seconds() * c.reportRate
+		if ls.bucket > c.reportBurst {
+			ls.bucket = c.reportBurst
+		}
+		ls.lastRefill = now
+		if ls.bucket < 1 {
+			c.throttled++
+			return fmt.Errorf("ctrlplane: rate limit: lease %d exceeded %g reports/sec (burst %g) — back off and retry", leaseID, c.reportRate, c.reportBurst)
+		}
+		ls.bucket--
+	}
 	if seq <= ls.lastSeq && seq != 0 {
 		return nil // duplicate or reordered resend
 	}
@@ -248,6 +309,14 @@ func (c *Collector) Counters() (reports, peers, evicted uint64) {
 	defer c.mu.Unlock()
 	c.evictStaleLocked()
 	return c.reports, uint64(len(c.leases)), c.evicted
+}
+
+// Abuse returns the hostile-peer counters: reports refused by the rate
+// limit and registrations refused by lease-ownership conflicts.
+func (c *Collector) Abuse() (throttled, conflicts uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.throttled, c.conflicts
 }
 
 // evictStaleLocked drops leases whose peer has not reported within

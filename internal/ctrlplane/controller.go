@@ -38,6 +38,12 @@ type Config struct {
 	// StaleAfter is the lease staleness window (0 = DefaultStaleAfter,
 	// negative = never evict).
 	StaleAfter time.Duration
+	// ReportRate / ReportBurst bound each lease's observed-report
+	// cadence (token bucket, reports/sec; rate 0 = unlimited). A peer
+	// above its budget gets a retryable "rate limit" error and its
+	// report is dropped without touching other peers.
+	ReportRate  float64
+	ReportBurst float64
 }
 
 // Controller is the daemon-hosted reconciliation engine: one
@@ -123,6 +129,9 @@ func NewController(fleet *placement.MultiService, cfg Config) (*Controller, erro
 		loops: make(map[string]*machineLoop, len(machines)),
 		subs:  make(map[uint64]*subscriber),
 	}
+	if cfg.ReportRate > 0 {
+		c.col.SetReportLimit(cfg.ReportRate, cfg.ReportBurst)
+	}
 	for _, name := range machines {
 		svc, err := fleet.MachineService(name)
 		if err != nil {
@@ -165,10 +174,18 @@ func (c *Controller) resolve(machine string) string {
 	return machine
 }
 
-// Register leases a task range; the machine ("" = the fleet default)
-// must be one the controller reconciles (a lease against an unknown
-// machine would feed a matrix nobody consumes).
+// Register leases a task range with no ownership token; see
+// RegisterToken.
 func (c *Controller) Register(machine, peer string, base, count int) (Lease, error) {
+	return c.RegisterToken(machine, peer, base, count, 0)
+}
+
+// RegisterToken leases a task range; the machine ("" = the fleet
+// default) must be one the controller reconciles (a lease against an
+// unknown machine would feed a matrix nobody consumes). A non-zero
+// token claims ownership: only a registration presenting the same
+// token can later replace the lease.
+func (c *Controller) RegisterToken(machine, peer string, base, count int, token uint64) (Lease, error) {
 	machine = c.resolve(machine)
 	c.mu.Lock()
 	_, ok := c.loops[machine]
@@ -176,7 +193,7 @@ func (c *Controller) Register(machine, peer string, base, count int) (Lease, err
 	if !ok {
 		return Lease{}, fmt.Errorf("ctrlplane: unknown machine %q", machine)
 	}
-	return c.col.Register(machine, peer, base, count)
+	return c.col.RegisterToken(machine, peer, base, count, token)
 }
 
 // Report merges one observed window under a lease.
@@ -318,6 +335,7 @@ func (c *Controller) Latest(machine string) *Remap {
 // stats payload.
 func (c *Controller) Stats() placement.FleetStats {
 	reports, peers, evicted := c.col.Counters()
+	throttled, conflicts := c.col.Abuse()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return placement.FleetStats{
@@ -326,6 +344,8 @@ func (c *Controller) Stats() placement.FleetStats {
 		RemapsPushed:      c.pushed,
 		StalePeersEvicted: evicted,
 		Watchers:          uint64(len(c.subs)),
+		ReportsThrottled:  throttled,
+		LeaseConflicts:    conflicts,
 	}
 }
 

@@ -1,0 +1,177 @@
+// Package faultnet injects deterministic network faults — dropped
+// writes, delays, truncation, severed connections — into net.Conn
+// streams, so chaos tests can prove the transport's retry/resubscribe
+// machinery recovers from the failures production will eventually see.
+//
+// Faults fire from a seeded schedule: every connection derives its own
+// random stream from (plan seed, connection index), so a test that
+// found a bug replays it exactly. The package knows nothing about the
+// wire protocol above it; it plugs into orwlnet through the
+// server-side net.Listener seam and the client-side WithDialFunc seam.
+package faultnet
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Plan is one deterministic fault schedule. Probabilities are per
+// Write call; the zero value injects nothing.
+type Plan struct {
+	// Seed derives every connection's random stream. Two injectors
+	// with the same Seed fault identically.
+	Seed int64
+	// DropProb is the probability a Write is silently swallowed whole
+	// (frame-aligned loss: orwlnet hands the writer complete frames).
+	DropProb float64
+	// DelayProb is the probability a Write stalls for Delay first.
+	DelayProb float64
+	Delay     time.Duration
+	// TruncateProb is the probability a Write delivers only a prefix
+	// and then severs the connection — the mid-frame crash case the
+	// reader must resynchronise from by reconnecting.
+	TruncateProb float64
+	// SeverAfterWrites, when positive, hard-closes each connection
+	// after that many Write calls — a deterministic "daemon died
+	// mid-conversation" on every connection.
+	SeverAfterWrites int
+}
+
+// Injector builds fault-wrapped connections from a Plan.
+type Injector struct {
+	plan Plan
+	// connSeq numbers the connections this injector has wrapped; the
+	// index salts each connection's random stream.
+	connSeq atomic.Int64
+
+	// Counters for test assertions: faults actually fired.
+	dropped   atomic.Uint64
+	delayed   atomic.Uint64
+	truncated atomic.Uint64
+	severed   atomic.Uint64
+}
+
+// New builds an injector applying plan.
+func New(plan Plan) *Injector { return &Injector{plan: plan} }
+
+// Counters reports how many faults have fired: writes dropped,
+// delayed, truncated, and connections severed.
+func (in *Injector) Counters() (dropped, delayed, truncated, severed uint64) {
+	return in.dropped.Load(), in.delayed.Load(), in.truncated.Load(), in.severed.Load()
+}
+
+// Conn wraps one connection with the injector's fault schedule.
+func (in *Injector) Conn(c net.Conn) net.Conn {
+	idx := in.connSeq.Add(1)
+	return &faultConn{
+		Conn: c,
+		in:   in,
+		rng:  rand.New(rand.NewSource(in.plan.Seed ^ int64(uint64(idx)*0x9e3779b97f4a7c15))),
+	}
+}
+
+// Listener wraps a listener so every accepted connection faults under
+// the injector's plan — the server-side seam.
+func (in *Injector) Listener(lis net.Listener) net.Listener {
+	return &faultListener{Listener: lis, in: in}
+}
+
+// DialFunc wraps a dial function so every dialed connection faults
+// under the injector's plan — the client-side seam (orwlnet's
+// WithDialFunc accepts exactly this shape).
+func (in *Injector) DialFunc(dial func(ctx context.Context, network, addr string) (net.Conn, error)) func(ctx context.Context, network, addr string) (net.Conn, error) {
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := dial(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.Conn(c), nil
+	}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Conn(c), nil
+}
+
+// faultConn applies the plan to outbound writes. Faulting the write
+// side only keeps the model simple and is fully general for tests:
+// wrap the client dialer to corrupt requests, the server listener to
+// corrupt responses.
+type faultConn struct {
+	net.Conn
+	in *Injector
+
+	// mu serialises Write faults so the rng stream and write counter
+	// stay deterministic even when the caller writes concurrently.
+	mu     sync.Mutex
+	rng    *rand.Rand
+	writes int
+	dead   bool
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return 0, fmt.Errorf("faultnet: connection severed by plan")
+	}
+	plan := &c.in.plan
+	c.writes++
+	if plan.SeverAfterWrites > 0 && c.writes > plan.SeverAfterWrites {
+		c.dead = true
+		c.in.severed.Add(1)
+		c.Conn.Close()
+		return 0, fmt.Errorf("faultnet: connection severed after %d writes", plan.SeverAfterWrites)
+	}
+	if plan.TruncateProb > 0 && c.rng.Float64() < plan.TruncateProb {
+		// Deliver a strict prefix, then kill the connection: the peer
+		// sees a torn frame followed by EOF.
+		n := 0
+		if len(p) > 1 {
+			n = 1 + c.rng.Intn(len(p)-1)
+		}
+		if n > 0 {
+			c.Conn.Write(p[:n])
+		}
+		c.dead = true
+		c.in.truncated.Add(1)
+		c.Conn.Close()
+		return n, fmt.Errorf("faultnet: write truncated to %d of %d bytes", n, len(p))
+	}
+	if plan.DropProb > 0 && c.rng.Float64() < plan.DropProb {
+		// Swallowed whole: the caller believes the bytes left, the peer
+		// never sees them. orwlnet's framing makes this frame-aligned
+		// loss, which deadline/retry logic must absorb.
+		c.in.dropped.Add(1)
+		return len(p), nil
+	}
+	if plan.DelayProb > 0 && c.rng.Float64() < plan.DelayProb {
+		c.in.delayed.Add(1)
+		delay := plan.Delay
+		c.mu.Unlock()
+		time.Sleep(delay)
+		c.mu.Lock()
+		if c.dead {
+			return 0, fmt.Errorf("faultnet: connection severed by plan")
+		}
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,145 @@
+package faultnet
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// pipeConn builds a connected TCP pair on the loopback so the wrapped
+// side exercises real socket semantics (Close mid-write, EOF).
+func pipeConn(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := lis.Accept()
+		if err != nil {
+			close(done)
+			return
+		}
+		done <- c
+	}()
+	client, err = net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-done
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestDropSwallowsWritesDeterministically(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := New(Plan{Seed: seed, DropProb: 0.5})
+		client, server := pipeConn(t)
+		fc := in.Conn(client)
+		var pattern []bool
+		buf := make([]byte, 16)
+		for i := 0; i < 20; i++ {
+			if _, err := fc.Write([]byte("0123456789abcdef")); err != nil {
+				t.Fatalf("write %d: %v", i, err)
+			}
+			server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+			n, _ := server.Read(buf)
+			pattern = append(pattern, n > 0)
+		}
+		dropped, _, _, _ := in.Counters()
+		if dropped == 0 {
+			t.Fatal("a 0.5 drop probability fired zero times in 20 writes")
+		}
+		return pattern
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at write %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestSeverAfterWrites(t *testing.T) {
+	in := New(Plan{Seed: 1, SeverAfterWrites: 3})
+	client, _ := pipeConn(t)
+	fc := in.Conn(client)
+	for i := 0; i < 3; i++ {
+		if _, err := fc.Write([]byte("x")); err != nil {
+			t.Fatalf("write %d severed early: %v", i, err)
+		}
+	}
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write 4 should have severed the connection")
+	}
+	if _, _, _, severed := in.Counters(); severed != 1 {
+		t.Fatalf("severed counter = %d, want 1", severed)
+	}
+	// The underlying socket is really closed: the next write errors too.
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("severed connection accepted a write")
+	}
+}
+
+func TestTruncateDeliversPrefixThenEOF(t *testing.T) {
+	in := New(Plan{Seed: 3, TruncateProb: 1})
+	client, server := pipeConn(t)
+	fc := in.Conn(client)
+	payload := []byte("a long enough frame to truncate meaningfully")
+	n, err := fc.Write(payload)
+	if err == nil {
+		t.Fatal("truncating write should report an error")
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("truncated %d of %d bytes, want a strict prefix", n, len(payload))
+	}
+	// The peer reads the prefix, then EOF.
+	buf := make([]byte, len(payload))
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	got := 0
+	for {
+		k, rerr := server.Read(buf[got:])
+		got += k
+		if rerr != nil {
+			break
+		}
+	}
+	if got != n {
+		t.Fatalf("peer read %d bytes, truncation delivered %d", got, n)
+	}
+}
+
+func TestDialFuncWrapsConnections(t *testing.T) {
+	in := New(Plan{Seed: 5, SeverAfterWrites: 1})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	dial := in.DialFunc(nil)
+	conn, err := dial(t.Context(), "tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := conn.Write([]byte("x")); err == nil {
+		t.Fatal("second write should sever (SeverAfterWrites: 1)")
+	}
+}

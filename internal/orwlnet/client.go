@@ -65,9 +65,16 @@ const sendQueueDepth = 256
 // DialOption customises a Dial/DialContext connection.
 type DialOption func(*dialConfig)
 
+// DialFunc opens the transport connection a Client runs over. The
+// default is a plain TCP dial; tests inject fault-wrapped dialers
+// (internal/faultnet) through WithDialFunc.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
 type dialConfig struct {
 	maxProto int
 	poolSize int
+	dial     DialFunc
+	retry    *RetryPolicy
 }
 
 // WithMaxProtocol caps the protocol version offered in the handshake.
@@ -84,6 +91,24 @@ func WithMaxProtocol(v int) DialOption {
 // single-connection client ignores it.
 func WithPoolSize(n int) DialOption {
 	return func(cfg *dialConfig) { cfg.poolSize = n }
+}
+
+// WithDialFunc replaces the transport dialer — the seam fault
+// injection (internal/faultnet) and custom transports plug into. The
+// function receives the network "tcp" and the dialed address.
+func WithDialFunc(fn DialFunc) DialOption {
+	return func(cfg *dialConfig) { cfg.dial = fn }
+}
+
+// WithRetryPolicy arms a RemoteService built by DialPlacementService
+// with client-side retries: idempotent calls that fail transiently
+// (connection lost, dial refused, server rate limit) back off, revive
+// dead pooled connections, and re-attempt under p. The zero policy
+// means DefaultRetryPolicy. Without this option calls fail on the
+// first error, the historical behaviour.
+func WithRetryPolicy(p RetryPolicy) DialOption {
+	p = p.withDefaults()
+	return func(cfg *dialConfig) { cfg.retry = &p }
 }
 
 func applyDialOptions(opts []DialOption) dialConfig {
@@ -111,8 +136,12 @@ func Dial(addr string, opts ...DialOption) (*Client, error) {
 // are detected and spoken to as protoLegacy).
 func DialContext(ctx context.Context, addr string, opts ...DialOption) (*Client, error) {
 	cfg := applyDialOptions(opts)
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", addr)
+	dial := cfg.dial
+	if dial == nil {
+		var d net.Dialer
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("orwlnet: dial: %w", err)
 	}
@@ -163,6 +192,18 @@ func (c *Client) WireStats() (bytesIn, bytesOut uint64) {
 
 // Close terminates the connection; outstanding calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Dead reports whether the connection has failed (its read loop has
+// exited): calls on it can only return the recorded error. Pool
+// revival uses this to pick which slots to redial.
+func (c *Client) Dead() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
 
 func (c *Client) readLoop() {
 	// Buffered reads: a pipelining server answers in bursts, and the

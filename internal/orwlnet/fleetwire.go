@@ -13,6 +13,7 @@ import (
 // future schema can evolve the layouts behind the same opcodes.
 //
 //	opFleetLease      req:  version, machine, peer, base, count
+//	                        [, ownership token — absent = 0, unowned]
 //	                  resp: lease id
 //	opObservedReport  req:  version, lease id, seq, matrix (v4 compact)
 //	                  resp: empty
@@ -25,7 +26,7 @@ import (
 // (schema v4 varint packing). Epoch 0 with no assignment is the
 // "nothing adopted yet" ack.
 
-func encodeFleetLeaseRequest(dst []byte, machine, peer string, base, count int) ([]byte, error) {
+func encodeFleetLeaseRequest(dst []byte, machine, peer string, base, count int, token uint64) ([]byte, error) {
 	dst, _, err := putWireVersion(dst, 0)
 	if err != nil {
 		return nil, err
@@ -33,33 +34,41 @@ func encodeFleetLeaseRequest(dst []byte, machine, peer string, base, count int) 
 	dst = putString(dst, machine)
 	dst = putString(dst, peer)
 	dst = putUvarint(dst, uint64(base))
-	return putUvarint(dst, uint64(count)), nil
+	dst = putUvarint(dst, uint64(count))
+	return putUvarint(dst, token), nil
 }
 
-func decodeFleetLeaseRequest(src []byte) (machine, peer string, base, count int, err error) {
+func decodeFleetLeaseRequest(src []byte) (machine, peer string, base, count int, token uint64, err error) {
 	_, rest, err := checkWireVersion(src)
 	if err != nil {
-		return "", "", 0, 0, err
+		return "", "", 0, 0, 0, err
 	}
 	if machine, rest, err = getString(rest); err != nil {
-		return "", "", 0, 0, err
+		return "", "", 0, 0, 0, err
 	}
 	if peer, rest, err = getString(rest); err != nil {
-		return "", "", 0, 0, err
+		return "", "", 0, 0, 0, err
 	}
 	var u uint64
 	if u, rest, err = getUvarint(rest); err != nil {
-		return "", "", 0, 0, err
+		return "", "", 0, 0, 0, err
 	}
 	base = int(u)
-	if u, _, err = getUvarint(rest); err != nil {
-		return "", "", 0, 0, err
+	if u, rest, err = getUvarint(rest); err != nil {
+		return "", "", 0, 0, 0, err
 	}
 	count = int(u)
 	if base < 0 || count < 0 {
-		return "", "", 0, 0, fmt.Errorf("orwlnet: lease range [%d,+%d) overflows", base, count)
+		return "", "", 0, 0, 0, fmt.Errorf("orwlnet: lease range [%d,+%d) overflows", base, count)
 	}
-	return machine, peer, base, count, nil
+	// Trailing ownership token (PR 8); a pre-hardening frame ends
+	// before it, which reads as unowned.
+	if len(rest) > 0 {
+		if token, _, err = getUvarint(rest); err != nil {
+			return "", "", 0, 0, 0, err
+		}
+	}
+	return machine, peer, base, count, token, nil
 }
 
 func encodeFleetLeaseResponse(dst []byte, leaseID uint64) []byte {
@@ -190,7 +199,9 @@ func putFleetStats(dst []byte, st placement.FleetStats) []byte {
 	dst = putUint64(dst, st.PeersTracked)
 	dst = putUint64(dst, st.RemapsPushed)
 	dst = putUint64(dst, st.StalePeersEvicted)
-	return putUint64(dst, st.Watchers)
+	dst = putUint64(dst, st.Watchers)
+	dst = putUint64(dst, st.ReportsThrottled)
+	return putUint64(dst, st.LeaseConflicts)
 }
 
 func getFleetStats(src []byte) (placement.FleetStats, []byte, error) {
@@ -209,6 +220,17 @@ func getFleetStats(src []byte) (placement.FleetStats, []byte, error) {
 		return st, nil, err
 	}
 	if st.Watchers, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	// The hostile-peer counters (PR 8) trail the original five fields;
+	// a pre-hardening daemon's payload simply ends here.
+	if len(src) == 0 {
+		return st, src, nil
+	}
+	if st.ReportsThrottled, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.LeaseConflicts, src, err = getUint64(src); err != nil {
 		return st, nil, err
 	}
 	return st, src, nil

@@ -345,7 +345,7 @@ func TestIdleTimeoutSparesInFlight(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := NewServer(lis, locs, WithIdleTimeout(50*time.Millisecond))
+	srv, err := NewServer(lis, locs, WithIdleTimeout(100*time.Millisecond))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,10 +379,12 @@ func TestIdleTimeoutSparesInFlight(t *testing.T) {
 	go func() { acquired <- h2.Acquire() }()
 
 	// Hold the grant across several idle periods, keeping the holder's
-	// own connection warm with pings; the waiter's connection is
-	// byte-silent the whole time but has the Await in flight.
-	for i := 0; i < 4; i++ {
-		time.Sleep(40 * time.Millisecond)
+	// own connection warm with pings (well inside the timeout, so a
+	// loaded scheduler can't let the gap reach the reaper); the
+	// waiter's connection is byte-silent the whole time but has the
+	// Await in flight.
+	for i := 0; i < 5; i++ {
+		time.Sleep(50 * time.Millisecond)
 		if _, err := holder.Size("data"); err != nil {
 			t.Fatalf("holder ping: %v", err)
 		}

@@ -25,9 +25,13 @@ import (
 // calls pipeline on each connection besides. Topology/Stats ride the
 // primary connection.
 type RemoteService struct {
-	c    *Client
-	pool []*Client
-	next atomic.Uint64
+	// poolMu guards c and pool: revive swaps dead connections for
+	// freshly dialed ones in place, so calls racing a revival see
+	// either the dead or the new connection, never a torn slice.
+	poolMu sync.RWMutex
+	c      *Client
+	pool   []*Client
+	next   atomic.Uint64
 
 	// known tracks matrix fingerprints this stub believes the daemon's
 	// seen-matrix table holds — the basis for sending fingerprint-only
@@ -36,10 +40,15 @@ type RemoteService struct {
 
 	// addr and dialOpts remember how the stub was dialed (set by
 	// DialPlacementService), so a remap subscription can redial and
-	// resubscribe when its connection dies. Empty for stubs built from
-	// a raw connection, which cannot reconnect.
+	// resubscribe — and revive can replace dead pooled connections —
+	// when a connection dies. Empty for stubs built from a raw
+	// connection, which cannot reconnect.
 	addr     string
 	dialOpts []DialOption
+
+	// retry is the resilience policy (WithRetryPolicy); nil fails calls
+	// on the first error, the historical behaviour.
+	retry *RetryPolicy
 }
 
 var _ placement.Service = (*RemoteService)(nil)
@@ -79,12 +88,14 @@ func DialPlacementService(ctx context.Context, addr string, opts ...DialOption) 
 		}
 		pool = append(pool, c)
 	}
-	return &RemoteService{c: pool[0], pool: pool, known: newFPSet(knownFingerprints), addr: addr, dialOpts: opts}, nil
+	return &RemoteService{c: pool[0], pool: pool, known: newFPSet(knownFingerprints), addr: addr, dialOpts: opts, retry: cfg.retry}, nil
 }
 
 // WirePoolStats sums the wire byte counters across the stub's
 // connection pool.
 func (s *RemoteService) WirePoolStats() (bytesIn, bytesOut uint64) {
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
 	for _, c := range s.pool {
 		in, out := c.WireStats()
 		bytesIn += in
@@ -93,12 +104,61 @@ func (s *RemoteService) WirePoolStats() (bytesIn, bytesOut uint64) {
 	return bytesIn, bytesOut
 }
 
-// pick selects the connection for the next placement call.
+// pick selects the connection for the next placement call, skipping
+// dead pool slots when a live one exists (a retrying caller otherwise
+// burns attempts on connections already known lost).
 func (s *RemoteService) pick() *Client {
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
 	if len(s.pool) == 1 {
 		return s.pool[0]
 	}
-	return s.pool[s.next.Add(1)%uint64(len(s.pool))]
+	start := s.next.Add(1)
+	for i := 0; i < len(s.pool); i++ {
+		c := s.pool[(start+uint64(i))%uint64(len(s.pool))]
+		if !c.Dead() {
+			return c
+		}
+	}
+	return s.pool[start%uint64(len(s.pool))]
+}
+
+// primary returns the connection Topology/Stats and the fleet ops
+// ride.
+func (s *RemoteService) primary() *Client {
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
+	return s.c
+}
+
+// revive redials every dead pooled connection. Best-effort: a slot
+// whose redial fails stays dead (the next retry attempt tries again),
+// and stubs without a remembered address (raw-connection builds)
+// cannot revive at all.
+func (s *RemoteService) revive(ctx context.Context) {
+	if s.addr == "" {
+		return
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	for i, c := range s.pool {
+		if !c.Dead() {
+			continue
+		}
+		nc, err := DialContext(ctx, s.addr, s.dialOpts...)
+		if err != nil {
+			continue
+		}
+		if nc.version < protoPlacement {
+			nc.Close()
+			continue
+		}
+		c.Close()
+		s.pool[i] = nc
+		if s.c == c {
+			s.c = nc
+		}
+	}
 }
 
 // knownFingerprints bounds the client-side believed-known set. Kept
@@ -165,6 +225,19 @@ func (s *RemoteService) Place(ctx context.Context, req *placement.PlaceRequest) 
 	if req == nil {
 		return nil, fmt.Errorf("orwlnet: nil placement request")
 	}
+	var resp *placement.PlaceResponse
+	err := s.retryCall(ctx, func(ctx context.Context) error {
+		var err error
+		resp, err = s.placeOnce(ctx, req)
+		return err
+	})
+	return resp, err
+}
+
+// placeOnce is one Place attempt on one picked connection (including
+// the transparent errUnknownMatrix body resend, which is a protocol
+// recovery, not a failure retry).
+func (s *RemoteService) placeOnce(ctx context.Context, req *placement.PlaceRequest) (*placement.PlaceResponse, error) {
 	c := s.pick()
 	effective, err := s.resolveSchema(c, req)
 	if err != nil {
@@ -258,6 +331,16 @@ func (s *RemoteService) placeCall(ctx context.Context, c *Client, op byte, enc f
 // whose matrices the daemon has seen carry fingerprint references; an
 // errUnknownMatrix answer retries the batch with every body inline.
 func (s *RemoteService) PlaceBatch(ctx context.Context, reqs []*placement.PlaceRequest) ([]*placement.PlaceResponse, error) {
+	var resps []*placement.PlaceResponse
+	err := s.retryCall(ctx, func(ctx context.Context) error {
+		var err error
+		resps, err = s.placeBatchOnce(ctx, reqs)
+		return err
+	})
+	return resps, err
+}
+
+func (s *RemoteService) placeBatchOnce(ctx context.Context, reqs []*placement.PlaceRequest) ([]*placement.PlaceResponse, error) {
 	c := s.pick()
 	if c.version < protoBatch {
 		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, batch placement needs v%d", c.version, protoBatch)
@@ -344,24 +427,36 @@ func (s *RemoteService) resolveSchema(c *Client, req *placement.PlaceRequest) (i
 // transferred in its canonical JSON encoding, so the client-side tree
 // hashes (placement.Signature) identically to the server's.
 func (s *RemoteService) Topology(ctx context.Context) (*topology.Topology, error) {
-	payload, err := s.c.callCtx(ctx, opTopology, nil)
-	if err != nil {
-		return nil, err
-	}
-	return topology.FromJSON(payload)
+	var top *topology.Topology
+	err := s.retryCall(ctx, func(ctx context.Context) error {
+		payload, err := s.primary().callCtx(ctx, opTopology, nil)
+		if err != nil {
+			return err
+		}
+		top, err = topology.FromJSON(payload)
+		return err
+	})
+	return top, err
 }
 
 // Stats implements placement.Service.
 func (s *RemoteService) Stats(ctx context.Context) (placement.ServiceStats, error) {
-	payload, err := s.c.callCtx(ctx, opPlaceStats, nil)
-	if err != nil {
-		return placement.ServiceStats{}, err
-	}
-	return decodeServiceStats(payload)
+	var stats placement.ServiceStats
+	err := s.retryCall(ctx, func(ctx context.Context) error {
+		payload, err := s.primary().callCtx(ctx, opPlaceStats, nil)
+		if err != nil {
+			return err
+		}
+		stats, err = decodeServiceStats(payload)
+		return err
+	})
+	return stats, err
 }
 
 // Close closes every pooled connection, reporting the first error.
 func (s *RemoteService) Close() error {
+	s.poolMu.RLock()
+	defer s.poolMu.RUnlock()
 	var first error
 	for _, c := range s.pool {
 		if err := c.Close(); err != nil && first == nil {

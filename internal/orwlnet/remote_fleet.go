@@ -19,54 +19,87 @@ type Remap = ctrlplane.Remap
 // fleetConn returns the stub's primary connection if it negotiated
 // the fleet protocol.
 func (s *RemoteService) fleetConn() (*Client, error) {
-	if s.c.version < protoFleet {
-		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, fleet control plane needs v%d", s.c.version, protoFleet)
+	c := s.primary()
+	if c.version < protoFleet {
+		return nil, fmt.Errorf("orwlnet: server speaks protocol v%d, fleet control plane needs v%d", c.version, protoFleet)
 	}
-	return s.c, nil
+	return c, nil
 }
 
 // RegisterLease registers this process's (machine, peer, task-range)
 // identity with the daemon's control plane and returns the lease id
-// subsequent ReportObserved calls name. machine "" selects the
-// daemon's default machine server-side.
+// subsequent ReportObserved calls name, claiming no ownership token.
+// machine "" selects the daemon's default machine server-side.
 func (s *RemoteService) RegisterLease(ctx context.Context, machine, peer string, base, count int) (uint64, error) {
-	c, err := s.fleetConn()
-	if err != nil {
-		return 0, err
-	}
-	payload, err := encodeFleetLeaseRequest(nil, machine, peer, base, count)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := c.callCtx(ctx, opFleetLease, payload)
-	if err != nil {
-		return 0, err
-	}
-	return decodeFleetLeaseResponse(resp)
+	return s.RegisterLeaseToken(ctx, machine, peer, base, count, 0)
+}
+
+// RegisterLeaseToken is RegisterLease with a lease ownership token: a
+// non-zero token marks the lease as owned, and only a registration
+// presenting the same token can displace it. Registration is
+// idempotent under one (machine, peer, token) key — re-registering
+// after a daemon restart or a retry replaces this client's own
+// previous incarnation — so it retries under the stub's policy.
+func (s *RemoteService) RegisterLeaseToken(ctx context.Context, machine, peer string, base, count int, token uint64) (uint64, error) {
+	var id uint64
+	err := s.retryCall(ctx, func(ctx context.Context) error {
+		c, err := s.fleetConn()
+		if err != nil {
+			return err
+		}
+		payload, err := encodeFleetLeaseRequest(nil, machine, peer, base, count, token)
+		if err != nil {
+			return err
+		}
+		resp, err := c.callCtx(ctx, opFleetLease, payload)
+		if err != nil {
+			return err
+		}
+		id, err = decodeFleetLeaseResponse(resp)
+		return err
+	})
+	return id, err
 }
 
 // ReportObserved ships one observed-traffic window (a delta since the
 // previous report) under a lease. seq must increase monotonically per
-// lease: the daemon drops duplicates, so a retransmitted window is
-// never double-counted.
+// lease: the daemon drops duplicates, so a retransmitted window —
+// including the retries the stub's policy issues — is never
+// double-counted.
 func (s *RemoteService) ReportObserved(ctx context.Context, leaseID, seq uint64, delta *comm.Matrix) error {
-	c, err := s.fleetConn()
-	if err != nil {
+	return s.retryCall(ctx, func(ctx context.Context) error {
+		c, err := s.fleetConn()
+		if err != nil {
+			return err
+		}
+		buf := getPayloadBuf()
+		payload, err := encodeObservedReport(buf, leaseID, seq, delta)
+		if err != nil {
+			putPayloadBuf(buf)
+			return err
+		}
+		_, err = c.callPooled(ctx, opObservedReport, payload, true)
 		return err
-	}
-	buf := getPayloadBuf()
-	payload, err := encodeObservedReport(buf, leaseID, seq, delta)
-	if err != nil {
-		putPayloadBuf(buf)
-		return err
-	}
-	_, err = c.callPooled(ctx, opObservedReport, payload, true)
-	return err
+	})
 }
 
-// watchRedialBackoff paces resubscribe attempts after a lost watch
-// connection.
+// watchRedialBackoff is the flat resubscribe pacing used when the stub
+// has no retry policy: the historical 250ms cadence.
 const watchRedialBackoff = 250 * time.Millisecond
+
+// watchBackoff returns the resubscribe pacing policy: the stub's
+// configured retry policy when present, else a flat-backoff stand-in
+// at the historical cadence. Unlike call retries, resubscribe attempts
+// are unbounded (a watch is expected to outlive daemon restarts), so
+// only the delay schedule is taken from the policy — exponential
+// growth with jitter caps the reconnect burst rate against a daemon
+// that stays down.
+func (s *RemoteService) watchBackoff() RetryPolicy {
+	if s.retry != nil {
+		return *s.retry
+	}
+	return RetryPolicy{BaseDelay: watchRedialBackoff, MaxDelay: watchRedialBackoff, Multiplier: 1, Jitter: 0}.withDefaults()
+}
 
 // WatchRemaps turns a connection into a remap subscription: the
 // returned channel yields every mapping the daemon's controller adopts
@@ -194,14 +227,16 @@ func (s *RemoteService) watchLoop(ctx context.Context, machine string, out chan<
 }
 
 // resubscribe redials the daemon and reopens the subscription,
-// retrying with backoff until the context ends. It fails fast when the
-// stub has no redial address (built from a raw connection rather than
-// DialPlacementService).
+// retrying with the stub's backoff policy (exponential with jitter
+// when a retry policy is configured) until the context ends. It fails
+// fast when the stub has no redial address (built from a raw
+// connection rather than DialPlacementService).
 func (s *RemoteService) resubscribe(ctx context.Context, machine string, sinceEpoch uint64) (*Client, uint64, <-chan message, *Remap, error) {
 	if s.addr == "" {
 		return nil, 0, nil, nil, fmt.Errorf("orwlnet: watch connection lost and no redial address known")
 	}
-	for {
+	pol := s.watchBackoff()
+	for attempt := 1; ; attempt++ {
 		c, err := DialContext(ctx, s.addr, s.dialOpts...)
 		if err == nil && c.version < protoFleet {
 			c.Close()
@@ -218,7 +253,7 @@ func (s *RemoteService) resubscribe(ctx context.Context, machine string, sinceEp
 		select {
 		case <-ctx.Done():
 			return nil, 0, nil, nil, ctx.Err()
-		case <-time.After(watchRedialBackoff):
+		case <-time.After(pol.delay(attempt)):
 		}
 	}
 }

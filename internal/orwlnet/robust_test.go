@@ -1,0 +1,345 @@
+package orwlnet
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"orwlplace/internal/comm"
+	"orwlplace/internal/ctrlplane"
+	"orwlplace/internal/faultnet"
+	"orwlplace/internal/perfsim"
+	"orwlplace/internal/placement"
+	"orwlplace/internal/topology"
+)
+
+// PR 8 robustness: retry/backoff under injected faults, and the
+// hostile-peer hardening acceptance scenarios over the real wire.
+
+// fastRetry keeps fault-injection tests quick: tight backoff, enough
+// attempts to outlast the injected failures.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 20 * time.Millisecond, Multiplier: 2, Jitter: 0.2}
+}
+
+// TestPlaceRetriesThroughSeveredConnections: the client's dial path is
+// wrapped with a fault injector that kills every connection after a
+// few writes. Without a retry policy the calls die with the
+// connection; with one, every call lands — the stub revives dead pool
+// slots between attempts, and revival goes through the same (faulty)
+// dialer, proving recovery is repeatable rather than lucky.
+func TestPlaceRetriesThroughSeveredConnections(t *testing.T) {
+	_, _, addr := startPlacementServer(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	// 3 writes per connection: the hello plus two calls, then the plan
+	// severs it mid-conversation.
+	inj := faultnet.New(faultnet.Plan{Seed: 42, SeverAfterWrites: 3})
+	rs, err := DialPlacementService(ctx, addr, WithDialFunc(inj.DialFunc(nil)), WithRetryPolicy(fastRetry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	req := &placement.PlaceRequest{Strategy: placement.TreeMatch, Matrix: chainMatrix(4)}
+	for i := 0; i < 10; i++ {
+		resp, err := rs.Place(ctx, req)
+		if err != nil {
+			t.Fatalf("place %d under severed connections: %v", i, err)
+		}
+		if resp.Assignment == nil || len(resp.Assignment.ComputePU) != 4 {
+			t.Fatalf("place %d returned a damaged assignment: %+v", i, resp)
+		}
+	}
+	if _, _, _, severed := inj.Counters(); severed == 0 {
+		t.Fatal("the fault plan never fired — the test proved nothing")
+	}
+
+	// Control: the same fault plan without a retry policy loses calls.
+	inj2 := faultnet.New(faultnet.Plan{Seed: 42, SeverAfterWrites: 3})
+	bare, err := DialPlacementService(ctx, addr, WithDialFunc(inj2.DialFunc(nil)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	var failed bool
+	for i := 0; i < 10; i++ {
+		if _, err := bare.Place(ctx, req); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("control without retry survived the fault plan — the plan is too weak to test retries")
+	}
+}
+
+// TestRetryHonoursDeadlineBudget: a per-attempt budget turns a stalled
+// connection into a timely retry, and the parent deadline still cuts
+// the whole call off.
+func TestRetryHonoursDeadlineBudget(t *testing.T) {
+	_, _, addr := startPlacementServer(t)
+	ctx := context.Background()
+
+	// Every write stalls longer than the attempt budget. The call must
+	// exhaust its attempts and fail within the parent deadline, not hang.
+	inj := faultnet.New(faultnet.Plan{Seed: 9, DelayProb: 1, Delay: 300 * time.Millisecond})
+	pol := fastRetry()
+	pol.MaxAttempts = 2
+	pol.AttemptBudget = 50 * time.Millisecond
+	rs, err := DialPlacementService(ctx, addr, WithDialFunc(inj.DialFunc(nil)), WithRetryPolicy(pol))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	callCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err = rs.Place(callCtx, &placement.PlaceRequest{Strategy: placement.TreeMatch, Matrix: chainMatrix(4)})
+	if err == nil {
+		t.Fatal("place succeeded through a 100% stall plan")
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("budgeted retries took %v, want well under the parent deadline", elapsed)
+	}
+}
+
+// hardenedFleetServer hosts a control plane with the hostile-peer
+// limits engaged: a per-lease report rate and per-connection caps.
+func hardenedFleetServer(t *testing.T, cfg ctrlplane.Config, opts ...ServerOption) (*ctrlplane.Controller, string) {
+	t.Helper()
+	fleet := placement.NewMultiService()
+	if err := fleet.AddMachine("fig2", topology.Fig2Machine()); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Adaptive.Workload == nil {
+		threads := make([]perfsim.Thread, fleetTasks)
+		for i := range threads {
+			threads[i] = perfsim.Thread{ComputeCycles: 1e5, WorkingSet: 1 << 20, MemoryTraffic: 1 << 14}
+		}
+		cfg.Adaptive.Horizon = 500
+		cfg.Adaptive.Workload = &perfsim.Workload{Name: "hardened-test", Threads: threads, Iterations: 1}
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = -1
+	}
+	ctrl, err := ctrlplane.NewController(fleet, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(lis, nil, append([]ServerOption{WithPlacement(fleet), WithControlPlane(ctrl)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return ctrl, lis.Addr().String()
+}
+
+// TestSpammerThrottledWithoutCollateral is the acceptance scenario:
+// one peer hammering ReportObserved is throttled with a retryable
+// error and counted in FleetStats, while another peer on the same
+// daemon keeps reporting untouched.
+func TestSpammerThrottledWithoutCollateral(t *testing.T) {
+	_, addr := hardenedFleetServer(t, ctrlplane.Config{ReportRate: 5, ReportBurst: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	const half = fleetTasks / 2
+	dial := func() *RemoteService {
+		rs, err := DialPlacementService(ctx, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rs.Close() })
+		return rs
+	}
+	spammer, polite := dial(), dial()
+	spamLease, err := spammer.RegisterLease(ctx, "", "spammer", 0, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	politeLease, err := polite.RegisterLease(ctx, "", "polite", half, half)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Burn the burst, then hit the limit: the refusal must be the
+	// retryable kind (a polite client backs off; the server does not
+	// hang up).
+	var throttledErr error
+	for seq := uint64(1); seq <= 20 && throttledErr == nil; seq++ {
+		throttledErr = spammer.ReportObserved(ctx, spamLease, seq, fleetRing(half, 1))
+	}
+	if throttledErr == nil || !strings.Contains(throttledErr.Error(), "rate limit") {
+		t.Fatalf("spam burst: err = %v, want rate limit", throttledErr)
+	}
+	if !retryableError(throttledErr) {
+		t.Fatalf("throttle error %v is not classified retryable", throttledErr)
+	}
+
+	// The polite peer on the same daemon is unaffected (its own bucket
+	// is untouched — limits are per lease, not global).
+	if err := polite.ReportObserved(ctx, politeLease, 1, fleetRing(half, 1)); err != nil {
+		t.Fatalf("polite peer throttled by the spammer: %v", err)
+	}
+
+	// And the abuse shows up in the daemon's stats over the wire.
+	st, err := polite.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fleet.ReportsThrottled == 0 {
+		t.Fatalf("FleetStats.ReportsThrottled = %+v, want > 0", st.Fleet)
+	}
+
+	// The spammer's connection survived the refusals: backing off and
+	// retrying under the same lease still works.
+	time.Sleep(600 * time.Millisecond) // >2 tokens at 5/sec
+	if err := spammer.ReportObserved(ctx, spamLease, 21, fleetRing(half, 1)); err != nil {
+		t.Fatalf("spammer's post-backoff report: %v", err)
+	}
+}
+
+// TestLeaseTokenGuardsDisplacement is the acceptance scenario: a
+// client without the lease's ownership token cannot displace it, and
+// the conflict is counted in FleetStats.
+func TestLeaseTokenGuardsDisplacement(t *testing.T) {
+	_, addr := hardenedFleetServer(t, ctrlplane.Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	owner, err := DialPlacementService(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	const half = fleetTasks / 2
+	lease, err := owner.RegisterLeaseToken(ctx, "", "worker", 0, half, 0x0ddc0ffee)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A hostile client naming the same identity without the token is
+	// refused — with and with a wrong token.
+	thief, err := DialPlacementService(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer thief.Close()
+	if _, err := thief.RegisterLease(ctx, "", "worker", 0, half); err == nil || !strings.Contains(err.Error(), "lease conflict") {
+		t.Fatalf("tokenless displacement: err = %v, want lease conflict", err)
+	}
+	wrongTok := func() error {
+		_, err := thief.RegisterLeaseToken(ctx, "", "worker", 0, half, 0xbad)
+		return err
+	}
+	if err := wrongTok(); err == nil || !strings.Contains(err.Error(), "lease conflict") {
+		t.Fatalf("wrong-token displacement: err = %v, want lease conflict", err)
+	} else if retryableError(err) {
+		t.Fatalf("lease conflict %v classified retryable — a thief would spin on it", err)
+	}
+
+	// The owner's lease still reports fine, and re-presenting the token
+	// re-registers (the reconnect path).
+	if err := owner.ReportObserved(ctx, lease, 1, fleetRing(half, 1)); err != nil {
+		t.Fatalf("owner's lease damaged by displacement attempts: %v", err)
+	}
+	if _, err := owner.RegisterLeaseToken(ctx, "", "worker", 0, half, 0x0ddc0ffee); err != nil {
+		t.Fatalf("owner re-registration refused: %v", err)
+	}
+
+	st, err := owner.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Fleet.LeaseConflicts != 2 {
+		t.Fatalf("FleetStats.LeaseConflicts = %+v, want 2", st.Fleet)
+	}
+}
+
+// TestReportCapsRefuseOversizedFrames: the per-connection decode caps
+// refuse a frame over the byte cap and a delta over the row cap before
+// any decoding work is spent.
+func TestReportCapsRefuseOversizedFrames(t *testing.T) {
+	_, addr := hardenedFleetServer(t, ctrlplane.Config{},
+		WithReportCaps(256, 8, 0, 0))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	rs, err := DialPlacementService(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	// Within both caps: a small report on a small lease works.
+	small, err := rs.RegisterLease(ctx, "", "small", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.ReportObserved(ctx, small, 1, fleetRing(4, 1)); err != nil {
+		t.Fatalf("within-caps report refused: %v", err)
+	}
+
+	// Over the row cap: a 16-task delta against the 8-row cap.
+	big, err := rs.RegisterLease(ctx, "", "big", 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rs.ReportObserved(ctx, big, 1, fleetRing(16, 1))
+	if err == nil || !strings.Contains(err.Error(), "row cap") {
+		t.Fatalf("over-row report: err = %v, want row cap refusal", err)
+	}
+
+	// Over the byte cap: a dense matrix big enough to blow 256 bytes.
+	dense := comm.NewMatrix(16)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i != j {
+				dense.AddSym(i, j, float64(i*16+j)+0.5)
+			}
+		}
+	}
+	err = rs.ReportObserved(ctx, big, 2, dense)
+	if err == nil || !strings.Contains(err.Error(), "frame cap") {
+		t.Fatalf("over-byte report: err = %v, want frame cap refusal", err)
+	}
+}
+
+// TestReportByteBudgetThrottles: the per-connection bytes/sec budget
+// throttles a flood with a retryable error.
+func TestReportByteBudgetThrottles(t *testing.T) {
+	_, addr := hardenedFleetServer(t, ctrlplane.Config{},
+		WithReportCaps(0, 0, 64, 256))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	rs, err := DialPlacementService(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	lease, err := rs.RegisterLease(ctx, "", "flood", 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var budgetErr error
+	for seq := uint64(1); seq <= 50 && budgetErr == nil; seq++ {
+		budgetErr = rs.ReportObserved(ctx, lease, seq, fleetRing(16, float64(seq)))
+	}
+	if budgetErr == nil || !strings.Contains(budgetErr.Error(), "rate limit") {
+		t.Fatalf("flood: err = %v, want byte-budget rate limit", budgetErr)
+	}
+	if !retryableError(budgetErr) {
+		t.Fatalf("byte-budget error %v is not classified retryable", budgetErr)
+	}
+}

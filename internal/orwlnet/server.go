@@ -49,6 +49,12 @@ type Server struct {
 	// (the default) keeps the historical wait-forever behaviour.
 	idleTimeout time.Duration
 
+	// reportCaps bounds what a single connection may feed the control
+	// plane through opObservedReport: frame size, decoded row count and
+	// a decoded-bytes/sec budget. The protocol's own limits are the
+	// defaults; WithReportCaps tightens them for hostile fleets.
+	reportCaps reportCaps
+
 	// placeSem bounds concurrently *dispatched* placement ops across
 	// all connections, so a pipelining client cannot fan one connection
 	// out into unbounded compute goroutines. Location ops are exempt:
@@ -87,6 +93,34 @@ func WithPlacement(svc placement.Service) ServerOption {
 // epochs (Controller.Run); the server only bridges its wire face.
 func WithControlPlane(ctrl *ctrlplane.Controller) ServerOption {
 	return func(s *Server) { s.ctrl = ctrl }
+}
+
+// reportCaps is the per-connection observed-report resource policy.
+type reportCaps struct {
+	// maxFrameBytes is the hard per-frame payload cap for
+	// opObservedReport (0 = the protocol's maxMessage).
+	maxFrameBytes int
+	// maxRows is the hard cap on a decoded report matrix's order
+	// (0 = the codec's maxMatrixOrder).
+	maxRows int
+	// bytesPerSec/burst, when bytesPerSec > 0, meter the report payload
+	// bytes one connection may deliver (token bucket). Violations get a
+	// retryable "rate limit" error, not a dropped connection.
+	bytesPerSec float64
+	burst       float64
+}
+
+// WithReportCaps bounds observed-report traffic per connection: a hard
+// per-frame payload cap, a hard decoded row-count cap, and a sustained
+// decoded-bytes/sec budget with a burst allowance. Zero values keep
+// the protocol-level defaults (64 MiB frames, 2896 rows, unmetered).
+func WithReportCaps(maxFrameBytes, maxRows int, bytesPerSec, burst float64) ServerOption {
+	return func(s *Server) {
+		if bytesPerSec > 0 && burst <= 0 {
+			burst = bytesPerSec
+		}
+		s.reportCaps = reportCaps{maxFrameBytes: maxFrameBytes, maxRows: maxRows, bytesPerSec: bytesPerSec, burst: burst}
+	}
 }
 
 // WithIdleTimeout closes connections that stay byte-silent for d with
@@ -196,6 +230,33 @@ type connState struct {
 	// ids), unsubscribed when the connection dies so their pushers
 	// drain and exit.
 	subs map[uint64]struct{}
+
+	// Observed-report byte-budget token bucket (reportCaps.bytesPerSec).
+	budgetMu     sync.Mutex
+	reportBucket float64
+	reportFilled time.Time
+}
+
+// takeReportBudget draws n payload bytes from the connection's report
+// byte budget, reporting whether the budget covered them.
+func (st *connState) takeReportBudget(n int, caps reportCaps) bool {
+	st.budgetMu.Lock()
+	defer st.budgetMu.Unlock()
+	now := time.Now()
+	if st.reportFilled.IsZero() {
+		st.reportBucket = caps.burst
+	} else {
+		st.reportBucket += now.Sub(st.reportFilled).Seconds() * caps.bytesPerSec
+		if st.reportBucket > caps.burst {
+			st.reportBucket = caps.burst
+		}
+	}
+	st.reportFilled = now
+	if st.reportBucket < float64(n) {
+		return false
+	}
+	st.reportBucket -= float64(n)
+	return true
 }
 
 // countingReader counts the bytes readMessage has consumed, so the
@@ -423,11 +484,11 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		machine, peer, base, count, err := decodeFleetLeaseRequest(m.payload)
+		machine, peer, base, count, token, err := decodeFleetLeaseRequest(m.payload)
 		if err != nil {
 			return nil, false, err
 		}
-		lease, err := ctrl.Register(machine, peer, base, count)
+		lease, err := ctrl.RegisterToken(machine, peer, base, count, token)
 		if err != nil {
 			return nil, false, err
 		}
@@ -437,9 +498,18 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
+		if cap := s.reportCaps.maxFrameBytes; cap > 0 && len(m.payload) > cap {
+			return nil, false, fmt.Errorf("orwlnet: observed report of %d bytes exceeds the %d-byte frame cap", len(m.payload), cap)
+		}
+		if s.reportCaps.bytesPerSec > 0 && !st.takeReportBudget(len(m.payload), s.reportCaps) {
+			return nil, false, fmt.Errorf("orwlnet: rate limit: connection exceeded its observed-report byte budget — back off and retry")
+		}
 		leaseID, seq, delta, err := decodeObservedReport(m.payload)
 		if err != nil {
 			return nil, false, err
+		}
+		if cap := s.reportCaps.maxRows; cap > 0 && delta.Order() > cap {
+			return nil, false, fmt.Errorf("orwlnet: observed report order %d exceeds the %d-row cap", delta.Order(), cap)
 		}
 		return nil, false, ctrl.Report(leaseID, seq, delta)
 	case opWatchRemaps:

@@ -269,6 +269,19 @@ func (r *Reconciler) Current() *Assignment {
 	return r.cur.Clone()
 }
 
+// Baseline returns a copy of the matrix backing the current assignment
+// — the drift baseline — or nil before Prime/SetCurrent. Durability
+// layers persist it next to the assignment so a restored reconciler
+// measures drift against what the adopted mapping was computed from.
+func (r *Reconciler) Baseline() *comm.Matrix {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.base == nil {
+		return nil
+	}
+	return r.base.Clone()
+}
+
 // Stats returns a snapshot of the reconciler's counters.
 func (r *Reconciler) Stats() AdaptiveStats {
 	r.mu.Lock()

@@ -166,6 +166,14 @@ type FleetStats struct {
 	// Watchers is the number of live remap subscriptions at the moment
 	// of the snapshot.
 	Watchers uint64
+	// ReportsThrottled counts observed reports refused by the per-peer
+	// rate limit (PR 8 hostile-peer hardening). The refusal is
+	// retryable: the reporting client backs off and resends under the
+	// same sequence number.
+	ReportsThrottled uint64
+	// LeaseConflicts counts lease registrations refused because the
+	// (machine, peer) name was held under a different ownership token.
+	LeaseConflicts uint64
 }
 
 // merge accumulates other into st (fleet aggregation): totals sum,
@@ -177,6 +185,8 @@ func (st *FleetStats) merge(other FleetStats) {
 	st.RemapsPushed += other.RemapsPushed
 	st.StalePeersEvicted += other.StalePeersEvicted
 	st.Watchers += other.Watchers
+	st.ReportsThrottled += other.ReportsThrottled
+	st.LeaseConflicts += other.LeaseConflicts
 }
 
 // NetStats counts a placement daemon's transport-layer traffic — the

@@ -143,6 +143,23 @@ func WithPoolSize(n int) DialOption { return orwlnet.WithPoolSize(n) }
 // dense matrices below ProtoPipeline) a genuinely old peer would get.
 func WithMaxProtocol(v int) DialOption { return orwlnet.WithMaxProtocol(v) }
 
+// RetryPolicy tunes the stub's retry/backoff machinery for idempotent
+// calls: exponential backoff with jitter between attempts and an
+// optional per-attempt deadline budget. The zero value with WithRetry
+// still arms retries at the defaults.
+type RetryPolicy = orwlnet.RetryPolicy
+
+// DefaultRetryPolicy returns the stock policy: 4 attempts, 50ms base
+// delay doubling to a 2s cap, ±20% jitter, no per-attempt budget.
+func DefaultRetryPolicy() RetryPolicy { return orwlnet.DefaultRetryPolicy() }
+
+// WithRetry arms the stub with a retry policy: idempotent calls
+// (Place, PlaceBatch, Topology, Stats, lease registration, observed
+// reports) retry transient transport failures with exponential
+// backoff, redialing dead pool connections between attempts. Location
+// operations never retry — their FIFO semantics are not idempotent.
+func WithRetry(p RetryPolicy) DialOption { return orwlnet.WithRetryPolicy(p) }
+
 // Protocol versions usable with WithMaxProtocol.
 const (
 	// ProtoAdaptive is the last pre-pipeline protocol version.

@@ -2,8 +2,12 @@ package orwlplace
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/binary"
 	"fmt"
+	"log"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +45,13 @@ type FleetAdaptiveConfig struct {
 	TaskBase int
 	// Interval is the report cadence for Run (0 = 250ms).
 	Interval time.Duration
+	// Token is the lease ownership token presented at registration: a
+	// daemon-side lease holding a non-zero token can only be displaced
+	// by a registration carrying the same token, so a hostile peer
+	// reusing this (machine, peer) identity cannot hijack the lease.
+	// 0 generates a random token, which is the right default; set it
+	// explicitly only to share one identity across process restarts.
+	Token uint64
 }
 
 // defaultReportInterval paces Run's observed-window reports.
@@ -63,6 +74,13 @@ type FleetAdaptive struct {
 	applied  uint64 // last applied remap epoch
 	reports  uint64
 	remapped uint64
+	dropped  uint64 // windows lost to retransmit-queue overflow
+	releases uint64 // lease re-registrations after the daemon lost it
+
+	// dropWarned gates the overflow log line: one line per overflow
+	// episode, reset when the queue drains, so a prolonged outage does
+	// not flood the log at report cadence.
+	dropWarned bool
 
 	// pending holds windows whose send failed, keyed by the sequence
 	// number they were first assigned: retransmitting under the same
@@ -101,20 +119,62 @@ func NewFleetAdaptive(ctx context.Context, remote *RemotePlacement, prog *Progra
 	if cfg.Interval <= 0 {
 		cfg.Interval = defaultReportInterval
 	}
-	id, err := remote.RegisterLease(ctx, cfg.Machine, cfg.Peer, cfg.TaskBase, n)
+	if cfg.Token == 0 {
+		cfg.Token = randomLeaseToken()
+	}
+	id, err := remote.RegisterLeaseToken(ctx, cfg.Machine, cfg.Peer, cfg.TaskBase, n, cfg.Token)
 	if err != nil {
 		return nil, err
 	}
 	return &FleetAdaptive{rs: remote, prog: prog, cfg: cfg, leaseID: id, count: n}, nil
 }
 
-// LeaseID returns the daemon-assigned lease identity.
-func (f *FleetAdaptive) LeaseID() uint64 { return f.leaseID }
+// randomLeaseToken draws a non-zero 64-bit ownership token.
+func randomLeaseToken() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; fall back to a
+		// pid-derived token rather than the unowned sentinel 0.
+		return uint64(os.Getpid())<<16 | 1
+	}
+	t := binary.LittleEndian.Uint64(b[:])
+	if t == 0 {
+		t = 1
+	}
+	return t
+}
+
+// LeaseID returns the daemon-assigned lease identity (it changes if
+// the loop re-registers after a daemon that lost its state restarts).
+func (f *FleetAdaptive) LeaseID() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.leaseID
+}
+
+// reLease re-registers the lease under the same (machine, peer,
+// token) identity after the daemon reports it unknown — the daemon
+// restarted without (or with a stale) snapshot. The report sequence
+// keeps counting from where it was: the fresh daemon-side lease has
+// seen no sequence numbers, so queued retransmits still land.
+func (f *FleetAdaptive) reLease(ctx context.Context) error {
+	id, err := f.rs.RegisterLeaseToken(ctx, f.cfg.Machine, f.cfg.Peer, f.cfg.TaskBase, f.count, f.cfg.Token)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.leaseID = id
+	f.releases++
+	f.mu.Unlock()
+	return nil
+}
 
 // Report ships the program's observed-traffic window accumulated since
 // the previous report, after retransmitting any windows an earlier
 // failed Report left queued. An empty window is skipped (no RPC, no
-// sequence burn); it is not an error.
+// sequence burn); it is not an error. If the daemon no longer knows
+// the lease (it restarted without snapshot state), Report re-registers
+// under the same ownership token and resumes on the fresh lease.
 func (f *FleetAdaptive) Report(ctx context.Context) error {
 	f.mu.Lock()
 	queue := f.pending
@@ -125,11 +185,24 @@ func (f *FleetAdaptive) Report(ctx context.Context) error {
 		queue = append(queue, pendingReport{seq: f.seq, w: w})
 		if over := len(queue) - maxPendingReports; over > 0 {
 			queue = queue[over:]
+			f.dropped += uint64(over)
+			if !f.dropWarned {
+				f.dropWarned = true
+				log.Printf("orwlplace: fleet lease %d retransmit queue overflowed: dropped %d oldest window(s); further drops this outage are counted but not logged", f.leaseID, over)
+			}
 		}
 	}
 	f.mu.Unlock()
 	for i, pr := range queue {
-		if err := f.rs.ReportObserved(ctx, f.leaseID, pr.seq, pr.w); err != nil {
+		err := f.rs.ReportObserved(ctx, f.LeaseID(), pr.seq, pr.w)
+		if err != nil && strings.Contains(err.Error(), "unknown lease") {
+			// The daemon restarted and lost the lease: re-register under
+			// the same token and retransmit this window on the new lease.
+			if rerr := f.reLease(ctx); rerr == nil {
+				err = f.rs.ReportObserved(ctx, f.LeaseID(), pr.seq, pr.w)
+			}
+		}
+		if err != nil {
 			// Requeue this window and everything after it, in front of
 			// whatever a concurrent Report may have queued meanwhile.
 			f.mu.Lock()
@@ -141,6 +214,11 @@ func (f *FleetAdaptive) Report(ctx context.Context) error {
 		f.reports++
 		f.mu.Unlock()
 	}
+	f.mu.Lock()
+	if len(f.pending) == 0 {
+		f.dropWarned = false // queue drained: the overflow episode is over
+	}
+	f.mu.Unlock()
 	return nil
 }
 
@@ -193,6 +271,37 @@ func (f *FleetAdaptive) Counters() (reports, remaps uint64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.reports, f.remapped
+}
+
+// FleetAdaptiveStats is a client-side health snapshot of one fleet
+// adaptive loop.
+type FleetAdaptiveStats struct {
+	// Reports counts observed windows the daemon acknowledged.
+	Reports uint64
+	// Remaps counts remaps applied to the program.
+	Remaps uint64
+	// DroppedWindows counts observed windows lost to retransmit-queue
+	// overflow during daemon outages; their traffic is gone from the
+	// daemon's affinity view until it recurs.
+	DroppedWindows uint64
+	// Releases counts lease re-registrations after a daemon restart
+	// lost the lease (0 when the daemon snapshots its state).
+	Releases uint64
+	// AppliedEpoch is the epoch of the last remap committed.
+	AppliedEpoch uint64
+}
+
+// Stats returns the loop's client-side health counters.
+func (f *FleetAdaptive) Stats() FleetAdaptiveStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FleetAdaptiveStats{
+		Reports:        f.reports,
+		Remaps:         f.remapped,
+		DroppedWindows: f.dropped,
+		Releases:       f.releases,
+		AppliedEpoch:   f.applied,
+	}
 }
 
 // Run drives the loop until ctx ends: observed windows ship every

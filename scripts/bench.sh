@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — regenerate BENCH_PR7.json: run the placement hot-path
+# bench.sh — regenerate BENCH_PR8.json: run the placement hot-path
 # benchmarks (go test -bench -benchmem across the root, placement,
 # treematch, comm, orwlnet and orwl packages) and record ns/op +
 # allocs/op as JSON, plus the cmd/placeload transport pair (lock-step
@@ -8,7 +8,7 @@
 # baseline from scripts/bench_baseline_pr3.json; later additions
 # record fresh.
 #
-#   scripts/bench.sh                    # full run, writes BENCH_PR7.json
+#   scripts/bench.sh                    # full run, writes BENCH_PR8.json
 #   scripts/bench.sh -benchtime 0.3s -placeload 1s  # quicker CI pass
 #
 # Extra flags are handed through to cmd/benchjson (later flags win).
