@@ -491,6 +491,21 @@ func BenchmarkTreeMatchMap(b *testing.B) {
 			}
 		})
 	}
+	// The sparse partitioned path: 10k tasks in a ring of clusters
+	// (O(n) nonzeros), oversubscribed ~10x onto the 1024-core Fleet1K.
+	// No dense n² slab exists anywhere on this path — the acceptance
+	// bar is single-digit milliseconds per mapping.
+	b.Run("10ktasks-1kcores", func(b *testing.B) {
+		top := topology.Fleet1K()
+		s := comm.RingOfClusters(250, 40, 1<<20, 1<<12) // 10000 tasks
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := treematch.MapAffinity(top, s, treematch.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func mustCommMatrixB(b *testing.B) *comm.Matrix {

@@ -3,7 +3,7 @@
 // (exit 1) when a gated benchmark degrades beyond the tolerance.
 //
 //	scripts/bench.sh -o BENCH_FRESH.json
-//	go run ./cmd/benchgate -baseline BENCH_PR6.json -fresh BENCH_FRESH.json
+//	go run ./cmd/benchgate -baseline BENCH_PR8.json -fresh BENCH_FRESH.json
 //
 // Two families are gated, matching the acceptance-critical hot paths:
 //

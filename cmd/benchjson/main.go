@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR8.json] [-bench regex] [-pkgs p1,p2] \
+//	benchjson [-o BENCH_PR9.json] [-bench regex] [-pkgs p1,p2] \
 //	          [-benchtime 1s] [-baseline scripts/bench_baseline_pr3.json] \
 //	          [-placeload 2s]
 //
@@ -76,10 +76,11 @@ type File struct {
 }
 
 // defaultBench targets the placement hot-path benches across the
-// layers: full Map, engine cold/cached/burst, grouping engines, matrix
-// pipeline, the placement RPC round trip, the runtime traffic
-// counters (instrumented vs uninstrumented pairs) and the adaptive
-// reconciliation epoch.
+// layers: full Map (the TreeMatchMap family includes the PR 9
+// 10ktasks-1kcores sparse partitioned case), engine cold/cached/burst,
+// grouping engines, matrix pipeline, the placement RPC round trip, the
+// runtime traffic counters (instrumented vs uninstrumented pairs) and
+// the adaptive reconciliation epoch.
 const defaultBench = "TreeMatchMap|TreeMatchCold|TreeMatchCached|TreeMatchConcurrentBurst|" +
 	"GroupGreedy|GroupExhaustive|MapRing160|SymmetrizedInto|ExtendInto|AggregateInto|" +
 	"HeaviestPairsSparse|PlaceComputeRoundTrip|PlaceBatchRoundTrip|PlaceSequentialRoundTrip|" +
@@ -90,7 +91,7 @@ func defaultPkgs() []string {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR9.json", "output JSON path")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	pkgs := flag.String("pkgs", strings.Join(defaultPkgs(), ","), "comma-separated packages to bench")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")

@@ -9,7 +9,8 @@
 //
 //	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...] [-cache-entries n] [-conn-idle d]
 //	         [-adaptive] [-snapshot-path file] [-snapshot-interval d] [-report-rate r] [-report-burst b]
-//	         [-report-max-bytes n] [-report-max-rows n] [-report-bandwidth bps]
+//	         [-report-max-bytes n] [-report-max-rows n] [-report-bandwidth bps] [-max-lease-tasks n]
+//	orwlnetd -inspect-snapshot file [-max-lease-tasks n]
 //
 // At least one of -loc or -place is required. -machine is repeatable
 // and picks the topologies the placement service maps onto: named
@@ -40,6 +41,19 @@
 // fresh). A daemon restarted with the same -snapshot-path resumes its
 // epoch counters, so reconnecting clients see a continuous epoch
 // stream instead of a reset.
+//
+// -max-lease-tasks raises (or lowers) the largest global task index the
+// control plane accepts — in lease registrations and when validating a
+// restored snapshot. The default matches the wire protocol's historic
+// 2896-task ceiling; the merged fleet matrix is sparse, so a raised
+// bound costs O(observed pairs), not O(n²). A snapshot written under a
+// raised bound only restores under the same (or a larger) bound.
+//
+// -inspect-snapshot dumps a control-plane snapshot file — checksum
+// status, schema version, every lease, and each machine's epoch,
+// adopted mapping and baseline matrix density — then exits without
+// starting a daemon. Pair it with -max-lease-tasks when inspecting a
+// snapshot from a raised-bound deployment.
 //
 // Hostile-peer hardening (with -adaptive): -report-rate/-report-burst
 // throttle each lease's observed-report cadence (a spammer gets a
@@ -119,6 +133,8 @@ func main() {
 	adoptAfter := flag.Int("adopt-after", 1, "consecutive over-threshold epochs before a recompute is attempted (hysteresis)")
 	cooldownEpochs := flag.Int("cooldown-epochs", 0, "epochs to hold after an adoption before the next one")
 	staleAfter := flag.Duration("stale-after", 0, "evict a lease whose peer has not reported for this long (0 keeps the built-in default, negative never evicts)")
+	maxLeaseTasks := flag.Int("max-lease-tasks", ctrlplane.DefaultMaxLeaseTasks, "largest global task index the control plane accepts in lease registrations and snapshot restores (the merged fleet matrix is sparse, so raising it costs O(nnz), not O(n²))")
+	inspectSnap := flag.String("inspect-snapshot", "", "dump the given control-plane snapshot (leases, epochs, matrix density, checksum status) and exit without starting a daemon")
 	snapPath := flag.String("snapshot-path", "", "persist the control plane (leases, epochs, adopted remaps) to this file and restore it on startup (requires -adaptive)")
 	snapInterval := flag.Duration("snapshot-interval", 10*time.Second, "cadence of periodic snapshots with -snapshot-path (a final snapshot is always taken on graceful drain)")
 	reportRate := flag.Float64("report-rate", 0, "per-lease observed-report rate limit in reports/sec (0 = unlimited); a throttled peer gets a retryable error, others are unaffected")
@@ -132,6 +148,13 @@ func main() {
 	locSpec := locFlags{}
 	flag.Var(locSpec, "loc", "location to export as name:size (repeatable)")
 	flag.Parse()
+	if *maxLeaseTasks <= 0 {
+		fmt.Fprintln(os.Stderr, "orwlnetd: -max-lease-tasks must be positive")
+		os.Exit(2)
+	}
+	if *inspectSnap != "" {
+		os.Exit(inspectSnapshot(*inspectSnap, *maxLeaseTasks))
+	}
 	if len(locSpec) == 0 && !*place {
 		fmt.Fprintln(os.Stderr, "orwlnetd: nothing to serve: need -loc name:size and/or -place")
 		os.Exit(2)
@@ -188,9 +211,10 @@ func main() {
 					AdoptAfter:     *adoptAfter,
 					CooldownEpochs: *cooldownEpochs,
 				},
-				StaleAfter:  *staleAfter,
-				ReportRate:  *reportRate,
-				ReportBurst: burst,
+				StaleAfter:    *staleAfter,
+				ReportRate:    *reportRate,
+				ReportBurst:   burst,
+				MaxLeaseTasks: *maxLeaseTasks,
 			}
 			var err error
 			ctrl, err = ctrlplane.NewController(fleet, cfg)
@@ -205,7 +229,7 @@ func main() {
 			fmt.Printf("orwlnetd: fleet control plane on (epoch %v, adopt-after %d, cooldown %d)\n",
 				*epochInterval, *adoptAfter, *cooldownEpochs)
 			if *snapPath != "" {
-				restoreSnapshot(ctrl, *snapPath)
+				restoreSnapshot(ctrl, *snapPath, *maxLeaseTasks)
 			}
 		}
 	}
@@ -302,12 +326,14 @@ func main() {
 	}
 }
 
-// restoreSnapshot loads the control plane's state from path. A missing
-// file is a normal first start; anything unreadable — truncated,
-// bit-flipped, written by an incompatible version — logs a warning and
-// starts fresh rather than refusing to serve.
-func restoreSnapshot(ctrl *ctrlplane.Controller, path string) {
-	s, err := ctrlplane.LoadSnapshot(path)
+// restoreSnapshot loads the control plane's state from path, validated
+// against the daemon's lease-task bound (a snapshot written under a
+// raised -max-lease-tasks only restores under the same bound). A
+// missing file is a normal first start; anything unreadable —
+// truncated, bit-flipped, written by an incompatible version — logs a
+// warning and starts fresh rather than refusing to serve.
+func restoreSnapshot(ctrl *ctrlplane.Controller, path string, maxTasks int) {
+	s, err := ctrlplane.LoadSnapshotLimit(path, maxTasks)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		return
@@ -336,6 +362,67 @@ func saveSnapshot(ctrl *ctrlplane.Controller, path string) {
 	if err := ctrlplane.SaveSnapshot(path, ctrl.Snapshot()); err != nil {
 		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s: %v\n", path, err)
 	}
+}
+
+// inspectSnapshot dumps a control-plane snapshot for operators: the
+// container facts (version, checksum), every lease, and every
+// machine's epoch, adopted mapping and baseline density — without
+// starting a daemon or binding a socket. Returns the process exit
+// code: 0 for a readable snapshot, 1 otherwise.
+func inspectSnapshot(path string, maxTasks int) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+		return 1
+	}
+	fmt.Printf("snapshot %s: %d bytes\n", path, len(data))
+	version, crcOK, err := ctrlplane.SnapshotFileInfo(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+		return 1
+	}
+	status := "ok"
+	if !crcOK {
+		status = "MISMATCH"
+	}
+	fmt.Printf("version %d (daemon writes %d), checksum %s\n", version, ctrlplane.SnapshotVersion, status)
+	s, err := ctrlplane.DecodeSnapshotLimit(data, maxTasks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
+		return 1
+	}
+	fmt.Printf("next lease id %d\n", s.NextLeaseID)
+	fmt.Printf("leases: %d\n", len(s.Leases))
+	for _, lr := range s.Leases {
+		owned := "no"
+		if lr.Token != 0 {
+			owned = "yes"
+		}
+		fmt.Printf("  lease %d machine=%s peer=%s tasks=[%d,+%d) owned=%s last-seq=%d\n",
+			lr.ID, lr.Machine, lr.Peer, lr.TaskBase, lr.TaskCount, owned, lr.LastSeq)
+	}
+	fmt.Printf("machines: %d\n", len(s.Machines))
+	for _, mr := range s.Machines {
+		fmt.Printf("  machine %s order=%d epoch=%d\n", mr.Name, mr.Order, mr.Epoch)
+		if mr.Latest != nil && mr.Latest.Assignment != nil {
+			a := mr.Latest.Assignment
+			parts := 0
+			if a.Partitions != nil {
+				parts = len(a.Partitions.Parts)
+			}
+			fmt.Printf("    adopted epoch=%d drift=%.3f strategy=%s tasks=%d partitions=%d\n",
+				mr.Latest.Epoch, mr.Latest.Drift, a.Strategy, len(a.ComputePU), parts)
+		}
+		if mr.Base != nil {
+			n, nnz := mr.Base.Order(), mr.Base.NNZ()
+			density := 0.0
+			if n > 0 {
+				density = 100 * float64(nnz) / (float64(n) * float64(n))
+			}
+			fmt.Printf("    baseline order=%d nnz=%d density=%.2f%%\n", n, nnz, density)
+		}
+	}
+	return 0
 }
 
 // pickMachine resolves -machine: the synthetic testbeds by name, or

@@ -33,11 +33,19 @@
 //
 // Usage:
 //
+// With -scale n the tool instead exercises the sparse partitioned
+// mapping path at fleet size: a ring-of-clusters affinity of n tasks
+// (O(n) nonzeros, no dense n² anywhere) is mapped onto the 1024-core
+// fleet1k testbed, timed cold and cached — the CI large-scale smoke.
+//
+// Usage:
+//
 //	simulate -w workload.json [-m machine] [-seed n]
 //	simulate -demo            # built-in demo workload (K23, 64 cores)
 //	simulate -demo -fleet [-daemon host:port]
 //	simulate -demo -adaptive [-epochs n] [-shift k]
 //	simulate -demo -adaptive -chaos [-loss p] [-chaos-seed n]
+//	simulate -scale 10000     # sparse 10k-task mapping smoke
 package main
 
 import (
@@ -73,7 +81,15 @@ func main() {
 	chaos := flag.Bool("chaos", false, "with -adaptive: lose observed windows at random, as a daemon under report loss would")
 	loss := flag.Float64("loss", 0.4, "with -chaos: probability an epoch's observed window is lost")
 	chaosSeed := flag.Int64("chaos-seed", 2, "with -chaos: seed of the loss schedule (reproducible runs)")
+	scale := flag.Int("scale", 0, "large-scale smoke: map a sparse ring-of-clusters of this many tasks onto the fleet1k testbed and report wall-clock (skips the workload simulation)")
 	flag.Parse()
+
+	if *scale > 0 {
+		if err := runScale(*scale); err != nil {
+			fail(err)
+		}
+		return
+	}
 
 	w, err := loadWorkload(*path, *demo)
 	if err != nil {
@@ -159,6 +175,51 @@ func main() {
 		fmt.Printf("\naffinity speedup over the OS scheduler: %.2fx (control mode: %s)\n",
 			dyn.Seconds/aff.Seconds, affinityMode)
 	}
+}
+
+// runScale is the large-scale placement smoke: a sparse ring-of-
+// clusters affinity of roughly n tasks mapped onto the 1024-core
+// fleet1k testbed through the partitioned treematch path. Nothing on
+// this path materializes n² state; the wall-clock it prints is the
+// CI budget check for the 10k-task acceptance bar.
+func runScale(n int) error {
+	const clusterSize = 40
+	clusters := n / clusterSize
+	if clusters < 2 {
+		return fmt.Errorf("simulate: -scale %d is below the %d-task minimum", n, 2*clusterSize)
+	}
+	tasks := clusters * clusterSize
+	top := topology.Fleet1K()
+	a := comm.RingOfClusters(clusters, clusterSize, 1<<20, 1<<12)
+	eng, err := placement.NewEngine(top)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	asg, cached, err := eng.ComputeAffinity(placement.TreeMatch, a, 0, placement.Options{})
+	cold := time.Since(start)
+	if err != nil {
+		return err
+	}
+	if cached {
+		return fmt.Errorf("simulate: first large-scale mapping claims to be cached")
+	}
+	parts := 0
+	if asg.Partitions != nil {
+		parts = len(asg.Partitions.Parts)
+	}
+	fmt.Printf("large-scale: mapped %d tasks (%d nonzeros) onto %d PUs in %v (%d partitions)\n",
+		tasks, a.NNZ(), top.NumPUs(), cold.Round(time.Microsecond), parts)
+	start = time.Now()
+	if _, cached, err = eng.ComputeAffinity(placement.TreeMatch, a, 0, placement.Options{}); err != nil {
+		return err
+	}
+	warm := time.Since(start)
+	if !cached {
+		return fmt.Errorf("simulate: repeated large-scale mapping missed the cache")
+	}
+	fmt.Printf("large-scale: cached recall in %v\n", warm.Round(time.Microsecond))
+	return nil
 }
 
 // runFleet batch-places the workload's communication matrix onto

@@ -1,0 +1,207 @@
+package comm
+
+import "math"
+
+// Affinity is the representation-independent surface of a communication
+// matrix: the operations the mapping pipeline actually needs, satisfied
+// by both the dense *Matrix and the hash-of-rows *Sparse. Callers that
+// hold an Affinity never commit to an O(n²) layout — a 10k-task program
+// whose tasks each talk to a handful of neighbours stays O(nnz) end to
+// end (extraction, symmetrization, partitioning, aggregation,
+// fingerprinting).
+//
+// Like *Matrix, implementations are not safe for concurrent mutation.
+type Affinity interface {
+	// Order is the number of entities (matrix order).
+	Order() int
+	// At returns entry (i,j).
+	At(i, j int) float64
+	// Set stores v at (i,j).
+	Set(i, j int, v float64)
+	// Add accumulates v into (i,j).
+	Add(i, j int, v float64)
+	// AddSym accumulates v into both (i,j) and (j,i).
+	AddSym(i, j int, v float64)
+	// Total is the sum of all entries.
+	Total() float64
+	// NNZ is the number of nonzero entries. Dense matrices count in
+	// O(n²); sparse ones answer in O(rows).
+	NNZ() int
+	// ForEachRow calls fn for every nonzero (j, v) of row i, in
+	// ascending column order. The ascending order is part of the
+	// contract: deterministic algorithms (greedy partitioning,
+	// fingerprinting) rely on it.
+	ForEachRow(i int, fn func(j int, v float64))
+	// ForEach calls fn for every nonzero (i, j, v) in unspecified
+	// order. It is the bulk-extraction primitive: consumers that sort
+	// or bucket the nonzeros themselves (CSR builds) use it to skip
+	// the per-row ordering work ForEachRow pays for.
+	ForEach(fn func(i, j int, v float64))
+	// Reset returns the affinity to an n x n all-zero state, reusing
+	// storage where possible (the *Into-style scratch primitive).
+	Reset(n int)
+	// HeaviestPairs returns the entity pairs (i<j) sorted by decreasing
+	// symmetrized volume, up to limit pairs (all if limit <= 0), with
+	// the same strictly-positive-volume contract as (*Matrix).HeaviestPairs.
+	HeaviestPairs(limit int) []Pair
+	// CloneAffinity returns a deep copy with the same representation.
+	CloneAffinity() Affinity
+	// Dense materializes the affinity as a dense matrix. For *Matrix it
+	// returns the receiver (no copy); for *Sparse it allocates O(n²) —
+	// callers on the sparse path must avoid it above small orders.
+	Dense() *Matrix
+}
+
+// DenseOrderThreshold is the order up to which NewAffinity picks the
+// dense representation: below it the flat n² slab (2 MiB of float64 at
+// 512) wins on constant factors and cache behaviour, above it the
+// hash-of-rows representation keeps memory O(nnz). The crossover is a
+// density argument — observed HPC communication graphs hold O(n)
+// nonzeros, so at 512+ tasks the dense slab is overwhelmingly zeros.
+const DenseOrderThreshold = 512
+
+// NewAffinity returns an empty n x n affinity in the representation
+// appropriate for the order: dense up to DenseOrderThreshold, sparse
+// above it.
+func NewAffinity(n int) Affinity {
+	if n <= DenseOrderThreshold {
+		return NewMatrix(n)
+	}
+	return NewSparse(n)
+}
+
+// Dense-side conformance. Order/At/Set/Add/AddSym/Total/Reset/
+// HeaviestPairs are the existing methods; the remainder follows.
+
+// NNZ counts the nonzero entries (O(n²) on the dense representation).
+func (m *Matrix) NNZ() int {
+	nz := 0
+	for _, v := range m.data {
+		if v != 0 {
+			nz++
+		}
+	}
+	return nz
+}
+
+// ForEachRow calls fn for every nonzero of row i in ascending column
+// order.
+func (m *Matrix) ForEachRow(i int, fn func(j int, v float64)) {
+	for j, v := range m.data[i*m.n : (i+1)*m.n] {
+		if v != 0 {
+			fn(j, v)
+		}
+	}
+}
+
+// ForEach calls fn for every nonzero (i, j, v), row-major (the dense
+// layout's natural order; callers must not rely on it).
+func (m *Matrix) ForEach(fn func(i, j int, v float64)) {
+	for i := 0; i < m.n; i++ {
+		for j, v := range m.data[i*m.n : (i+1)*m.n] {
+			if v != 0 {
+				fn(i, j, v)
+			}
+		}
+	}
+}
+
+// CloneAffinity returns a deep copy as an Affinity.
+func (m *Matrix) CloneAffinity() Affinity { return m.Clone() }
+
+// Dense returns the receiver: the dense matrix is its own dense form.
+func (m *Matrix) Dense() *Matrix { return m }
+
+// FingerprintOf hashes the nonzero structure of an affinity: order,
+// then every nonzero as (row, column, value bits) in row-major
+// ascending-column order. Because zeros are skipped, a dense and a
+// sparse affinity holding the same entries hash identically — this is
+// the identity the representation-independent placement paths key on.
+//
+// It deliberately differs from Fingerprint, which hashes all n² dense
+// entries and remains the wire protocol's fingerprint-only handle;
+// FingerprintOf(m) != Fingerprint(m) in general. Like Fingerprint it
+// is an in-memory identity, never persisted.
+func FingerprintOf(a Affinity) uint64 {
+	if a == nil {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	n := a.Order()
+	h = (h ^ uint64(n)) * fnvPrime64
+	for i := 0; i < n; i++ {
+		a.ForEachRow(i, func(j int, v float64) {
+			h = (h ^ uint64(i)) * fnvPrime64
+			h = (h ^ uint64(j)) * fnvPrime64
+			h = (h ^ math.Float64bits(v)) * fnvPrime64
+		})
+	}
+	return h
+}
+
+// SymmetrizeAffinityInto writes the symmetrized form of a into dst
+// (Reset to a's order and fully overwritten): dst[i][j] = dst[j][i] =
+// a[i][j] + a[j][i] for i != j, zero diagonal. It is the
+// representation-independent counterpart of (*Matrix).SymmetrizedInto
+// and runs in O(nnz). dst must not alias a.
+func SymmetrizeAffinityInto(dst, a Affinity) {
+	if dst == a {
+		panic("comm: SymmetrizeAffinityInto aliases its source")
+	}
+	n := a.Order()
+	dst.Reset(n)
+	for i := 0; i < n; i++ {
+		a.ForEachRow(i, func(j int, v float64) {
+			if i == j {
+				return
+			}
+			dst.Add(i, j, v)
+			dst.Add(j, i, v)
+		})
+	}
+}
+
+// AggregateAffinityInto writes the group aggregation of a into the
+// dense dst (resized and fully overwritten), with the same semantics
+// and validation as (*Matrix).AggregateInto: dst[x][y] = sum over
+// i in groups[x], j in groups[y] of a[i][j], diagonal entries i == j
+// excluded. The result is dense because its order is the group count,
+// which the partitioned mapper keeps at or below the dense threshold.
+// groupOf is optional scratch of length >= a.Order(). Runs in O(nnz).
+func AggregateAffinityInto(dst *Matrix, a Affinity, groups [][]int, groupOf []int) error {
+	n := a.Order()
+	if len(groupOf) < n {
+		groupOf = make([]int, n)
+	}
+	groupOf = groupOf[:n]
+	for i := range groupOf {
+		groupOf[i] = -1
+	}
+	for g, members := range groups {
+		for _, i := range members {
+			if i < 0 || i >= n {
+				return errAggregate("entity %d out of range", i)
+			}
+			if groupOf[i] != -1 {
+				return errAggregate("entity %d in two groups", i)
+			}
+			groupOf[i] = g
+		}
+	}
+	for i, g := range groupOf {
+		if g == -1 {
+			return errAggregate("entity %d not in any group", i)
+		}
+	}
+	dst.Reset(len(groups))
+	for i := 0; i < n; i++ {
+		gi := groupOf[i]
+		a.ForEachRow(i, func(j int, v float64) {
+			if i == j {
+				return
+			}
+			dst.Add(gi, groupOf[j], v)
+		})
+	}
+	return nil
+}

@@ -1,0 +1,234 @@
+package comm
+
+import (
+	"math"
+	"testing"
+)
+
+// applyOps drives the same mutation sequence derived from data into
+// both representations. Values are small integers so every float64 sum
+// is exact and the comparisons below can demand bit equality.
+func applyOps(data []byte, dense *Matrix, sparse *Sparse) {
+	n := dense.Order()
+	for k := 0; k+3 < len(data); k += 4 {
+		i := int(data[k]) % n
+		j := int(data[k+1]) % n
+		v := float64(int8(data[k+2]))
+		switch data[k+3] % 3 {
+		case 0:
+			dense.Set(i, j, v)
+			sparse.Set(i, j, v)
+		case 1:
+			dense.Add(i, j, v)
+			sparse.Add(i, j, v)
+		case 2:
+			dense.AddSym(i, j, v)
+			sparse.AddSym(i, j, v)
+		}
+	}
+}
+
+func checkEquivalent(t *testing.T, dense *Matrix, sparse *Sparse) {
+	t.Helper()
+	n := dense.Order()
+	if sparse.Order() != n {
+		t.Fatalf("order: sparse %d, dense %d", sparse.Order(), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if d, s := dense.At(i, j), sparse.At(i, j); d != s {
+				t.Fatalf("At(%d,%d): sparse %g, dense %g", i, j, s, d)
+			}
+		}
+	}
+	if d, s := dense.NNZ(), sparse.NNZ(); d != s {
+		t.Fatalf("NNZ: sparse %d, dense %d", s, d)
+	}
+	if d, s := dense.Total(), sparse.Total(); d != s {
+		t.Fatalf("Total: sparse %g, dense %g", s, d)
+	}
+	if d, s := FingerprintOf(dense), FingerprintOf(sparse); d != s {
+		t.Fatalf("FingerprintOf: sparse %#x, dense %#x", s, d)
+	}
+
+	dp := dense.HeaviestPairs(0)
+	sp := sparse.HeaviestPairs(0)
+	if len(dp) != len(sp) {
+		t.Fatalf("HeaviestPairs: sparse %d pairs, dense %d", len(sp), len(dp))
+	}
+	for k := range dp {
+		if dp[k] != sp[k] {
+			t.Fatalf("HeaviestPairs[%d]: sparse %+v, dense %+v", k, sp[k], dp[k])
+		}
+	}
+
+	// Symmetrization must agree entry-for-entry across representations.
+	dsym := dense.SymmetrizedInto(NewMatrix(0))
+	ssym := sparse.SymmetrizedInto(NewSparse(0))
+	if d, s := FingerprintOf(dsym), FingerprintOf(ssym); d != s {
+		t.Fatalf("symmetrized fingerprint: sparse %#x, dense %#x", s, d)
+	}
+	gsym := NewSparse(0)
+	SymmetrizeAffinityInto(gsym, Affinity(dense))
+	if d, s := FingerprintOf(dsym), FingerprintOf(gsym); d != s {
+		t.Fatalf("SymmetrizeAffinityInto(dense) fingerprint: got %#x, want %#x", s, d)
+	}
+
+	// Aggregation over a round-robin partition into min(n,3) groups.
+	g := n
+	if g > 3 {
+		g = 3
+	}
+	groups := make([][]int, g)
+	for i := 0; i < n; i++ {
+		groups[i%g] = append(groups[i%g], i)
+	}
+	dagg := NewMatrix(0)
+	if err := dense.AggregateInto(dagg, groups, nil); err != nil {
+		t.Fatalf("dense aggregate: %v", err)
+	}
+	sagg := NewMatrix(0)
+	if err := sparse.AggregateInto(sagg, groups, nil); err != nil {
+		t.Fatalf("sparse aggregate: %v", err)
+	}
+	for a := 0; a < g; a++ {
+		for b := 0; b < g; b++ {
+			if dagg.At(a, b) != sagg.At(a, b) {
+				t.Fatalf("aggregate (%d,%d): sparse %g, dense %g", a, b, sagg.At(a, b), dagg.At(a, b))
+			}
+		}
+	}
+}
+
+// FuzzSparseDenseEquivalence drives random mutation sequences into a
+// dense Matrix and a Sparse side by side and asserts the Affinity
+// surface cannot tell them apart: entries, NNZ, totals, symmetrize,
+// aggregate, heaviest pairs and FingerprintOf all agree.
+func FuzzSparseDenseEquivalence(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 10, 0, 1, 0, 20, 1})
+	f.Add([]byte{12, 3, 7, 255, 2, 7, 3, 1, 1, 3, 7, 1, 0})
+	f.Add([]byte{1, 0, 0, 5, 0})
+	f.Add([]byte{30, 0, 29, 100, 2, 29, 0, 156, 1, 14, 14, 3, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 1 + int(data[0])%32
+		dense := NewMatrix(n)
+		sparse := NewSparse(n)
+		applyOps(data[1:], dense, sparse)
+		checkEquivalent(t, dense, sparse)
+	})
+}
+
+func TestSparseDenseEquivalencePatterns(t *testing.T) {
+	random := Random(20, 50, 7)
+	// Integer-quantize so sums are exact regardless of addition order
+	// (Total/aggregate walk entries in representation-specific order).
+	for i := 0; i < random.Order(); i++ {
+		for j := 0; j < random.Order(); j++ {
+			random.Set(i, j, math.Round(random.At(i, j)))
+		}
+	}
+	for name, m := range map[string]*Matrix{
+		"ring":      Ring(17, 64, true),
+		"stencil":   Stencil2D(5, 4, 10, 3),
+		"clustered": Clustered(24, 4, 100, 1),
+		"random":    random,
+	} {
+		_ = name
+		checkEquivalent(t, m, SparseFromMatrix(m))
+	}
+}
+
+func TestNewAffinityRepresentation(t *testing.T) {
+	if _, ok := NewAffinity(DenseOrderThreshold).(*Matrix); !ok {
+		t.Fatalf("NewAffinity(%d) not dense", DenseOrderThreshold)
+	}
+	if _, ok := NewAffinity(DenseOrderThreshold + 1).(*Sparse); !ok {
+		t.Fatalf("NewAffinity(%d) not sparse", DenseOrderThreshold+1)
+	}
+}
+
+func TestSparseZeroDeletion(t *testing.T) {
+	s := NewSparse(4)
+	s.Add(1, 2, 5)
+	s.Add(1, 2, -5)
+	s.Set(0, 3, 7)
+	s.Set(0, 3, 0)
+	if nz := s.NNZ(); nz != 0 {
+		t.Fatalf("NNZ after cancellation = %d, want 0", nz)
+	}
+}
+
+func TestSparseForEachRowAscendingAndReentrant(t *testing.T) {
+	s := NewSparse(8)
+	for _, j := range []int{5, 1, 7, 3} {
+		s.Set(2, j, float64(j))
+		s.Set(4, j, float64(j))
+	}
+	var outer []int
+	s.ForEachRow(2, func(j int, v float64) {
+		outer = append(outer, j)
+		inner := []int{}
+		s.ForEachRow(4, func(k int, _ float64) { inner = append(inner, k) })
+		if len(inner) != 4 {
+			t.Fatalf("nested iteration saw %d cols", len(inner))
+		}
+	})
+	want := []int{1, 3, 5, 7}
+	for i, j := range want {
+		if outer[i] != j {
+			t.Fatalf("row order %v, want %v", outer, want)
+		}
+	}
+}
+
+func TestRingOfClustersSparse(t *testing.T) {
+	k, size := 8, 16
+	s := RingOfClusters(k, size, 1000, 10)
+	n := k * size
+	if s.Order() != n {
+		t.Fatalf("order %d, want %d", s.Order(), n)
+	}
+	// O(n) nonzeros: 2 per intra link (size links per cluster) plus 2
+	// per inter link (k links).
+	if nnz := s.NNZ(); nnz > 4*n {
+		t.Fatalf("nnz %d not O(n) for n=%d", nnz, n)
+	}
+	if got := s.At(0, 1); got != 1000 {
+		t.Fatalf("intra volume %g", got)
+	}
+	if got := s.At(size-1, size); got != 10 {
+		t.Fatalf("inter volume %g", got)
+	}
+	// Aggregating by cluster recovers the ring-of-clusters shape.
+	groups := make([][]int, k)
+	for i := 0; i < n; i++ {
+		groups[i/size] = append(groups[i/size], i)
+	}
+	agg := NewMatrix(0)
+	if err := AggregateAffinityInto(agg, s, groups, nil); err != nil {
+		t.Fatal(err)
+	}
+	if agg.At(0, 1) != 10 || agg.At(0, 2) != 0 {
+		t.Fatalf("cluster aggregate ring broken: %g %g", agg.At(0, 1), agg.At(0, 2))
+	}
+}
+
+func TestFingerprintOfSkipsZeros(t *testing.T) {
+	a := NewMatrix(6)
+	b := NewMatrix(6)
+	a.Set(2, 3, 9)
+	b.Set(2, 3, 9)
+	b.Set(4, 4, 0) // explicit stored zero must not change the identity
+	if FingerprintOf(a) != FingerprintOf(b) {
+		t.Fatal("stored zero changed FingerprintOf")
+	}
+	if FingerprintOf(a) == Fingerprint(a) && a.NNZ() != 36 {
+		t.Log("FingerprintOf coincides with Fingerprint (harmless, but unexpected)")
+	}
+	if math.Float64bits(a.At(2, 3)) != math.Float64bits(9.0) {
+		t.Fatal("value mangled")
+	}
+}

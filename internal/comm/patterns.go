@@ -81,6 +81,37 @@ func Clustered(n, k int, intra, inter float64) *Matrix {
 	return m
 }
 
+// RingOfClusters returns a sparse matrix of k clusters of clusterSize
+// tasks each: inside a cluster the tasks form a ring exchanging intra
+// bytes with each neighbour, and consecutive clusters are linked
+// through a border task pair exchanging inter bytes (the last task of
+// cluster c talks to the first task of cluster c+1, wrapping around).
+// The nonzero count is O(n) for n = k*clusterSize, which makes it the
+// canonical large-scale workload: structure for the partitioner to
+// find, no dense slab anywhere.
+func RingOfClusters(k, clusterSize int, intra, inter float64) *Sparse {
+	n := k * clusterSize
+	s := NewSparse(n)
+	for c := 0; c < k; c++ {
+		base := c * clusterSize
+		for i := 0; i < clusterSize; i++ {
+			j := i + 1
+			if j == clusterSize {
+				if clusterSize < 3 {
+					break // a 2-ring would double the single link
+				}
+				j = 0
+			}
+			s.AddSym(base+i, base+j, intra)
+		}
+		next := ((c + 1) % k) * clusterSize
+		if k > 1 && (k > 2 || c == 0) {
+			s.AddSym(base+clusterSize-1, next, inter)
+		}
+	}
+	return s
+}
+
 // Random returns a symmetric random matrix with entries uniform in
 // [0,max), seeded deterministically.
 func Random(n int, max float64, seed int64) *Matrix {

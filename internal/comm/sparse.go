@@ -1,0 +1,284 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is a hash-of-rows communication matrix: each row is a map from
+// column index to volume, so storage and iteration are O(nnz) instead
+// of O(n²). It implements the same Affinity surface as the dense
+// *Matrix and mirrors its *Into scratch variants; the two
+// representations are interchangeable and decision-identical (see
+// FuzzSparseDenseEquivalence).
+//
+// Exact zeros are not stored: Set with 0 and Add sequences that cancel
+// to 0 delete the entry, so NNZ and iteration reflect the true nonzero
+// structure.
+type Sparse struct {
+	n    int
+	rows []map[int]float64
+	// cols is per-call scratch for ascending-order row iteration; reused
+	// across ForEachRow calls, which makes Sparse (like Matrix) unsafe
+	// for concurrent use.
+	cols []int
+}
+
+// NewSparse returns an n x n zero sparse matrix.
+func NewSparse(n int) *Sparse {
+	if n < 0 {
+		n = 0
+	}
+	return &Sparse{n: n, rows: make([]map[int]float64, n)}
+}
+
+// Order returns the matrix order.
+func (s *Sparse) Order() int { return s.n }
+
+// At returns entry (i,j).
+func (s *Sparse) At(i, j int) float64 {
+	if r := s.rows[i]; r != nil {
+		return r[j]
+	}
+	return 0
+}
+
+// Set stores v at (i,j), deleting the entry when v is zero.
+func (s *Sparse) Set(i, j int, v float64) {
+	if v == 0 {
+		if r := s.rows[i]; r != nil {
+			delete(r, j)
+		}
+		return
+	}
+	r := s.rows[i]
+	if r == nil {
+		r = make(map[int]float64, 4)
+		s.rows[i] = r
+	}
+	r[j] = v
+}
+
+// Add accumulates v into (i,j).
+func (s *Sparse) Add(i, j int, v float64) {
+	if v == 0 {
+		return
+	}
+	r := s.rows[i]
+	if r == nil {
+		r = make(map[int]float64, 4)
+		s.rows[i] = r
+	}
+	nv := r[j] + v
+	if nv == 0 {
+		delete(r, j)
+		return
+	}
+	r[j] = nv
+}
+
+// AddSym accumulates v into both (i,j) and (j,i).
+func (s *Sparse) AddSym(i, j int, v float64) {
+	if i == j {
+		s.Add(i, j, v)
+		return
+	}
+	s.Add(i, j, v)
+	s.Add(j, i, v)
+}
+
+// Total returns the sum of all entries.
+func (s *Sparse) Total() float64 {
+	var t float64
+	for _, r := range s.rows {
+		for _, v := range r {
+			t += v
+		}
+	}
+	return t
+}
+
+// NNZ returns the number of stored (nonzero) entries.
+func (s *Sparse) NNZ() int {
+	nz := 0
+	for _, r := range s.rows {
+		nz += len(r)
+	}
+	return nz
+}
+
+// RowNNZ returns the number of nonzeros in row i without iterating.
+func (s *Sparse) RowNNZ(i int) int { return len(s.rows[i]) }
+
+// ForEachRow calls fn for every nonzero (j, v) of row i in ascending
+// column order. Map iteration order is randomized, so the columns are
+// gathered into reused scratch and sorted — O(k log k) for a row of k
+// nonzeros.
+func (s *Sparse) ForEachRow(i int, fn func(j int, v float64)) {
+	r := s.rows[i]
+	if len(r) == 0 {
+		return
+	}
+	// Claim the scratch for this call; a nested ForEachRow on the same
+	// receiver (fn iterating another row) sees nil and allocates its
+	// own, so reentrancy costs an allocation instead of corruption.
+	cols := s.cols[:0]
+	s.cols = nil
+	for j := range r {
+		cols = append(cols, j)
+	}
+	sort.Ints(cols)
+	for _, j := range cols {
+		fn(j, r[j])
+	}
+	s.cols = cols
+}
+
+// ForEach calls fn for every nonzero (i, j, v) in unspecified order
+// (rows ascending, columns in hash order — no per-row sort).
+func (s *Sparse) ForEach(fn func(i, j int, v float64)) {
+	for i, r := range s.rows {
+		for j, v := range r {
+			fn(i, j, v)
+		}
+	}
+}
+
+// Reset returns the matrix to an n x n all-zero state, reusing the row
+// table (and the per-row maps up to the new order) so steady-state
+// windows allocate nothing.
+func (s *Sparse) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if cap(s.rows) < n {
+		s.rows = make([]map[int]float64, n)
+	} else {
+		s.rows = s.rows[:n]
+		for i := range s.rows {
+			clear(s.rows[i])
+		}
+	}
+	s.n = n
+}
+
+// Clone returns a deep copy.
+func (s *Sparse) Clone() *Sparse {
+	c := NewSparse(s.n)
+	for i, r := range s.rows {
+		if len(r) == 0 {
+			continue
+		}
+		nr := make(map[int]float64, len(r))
+		for j, v := range r {
+			nr[j] = v
+		}
+		c.rows[i] = nr
+	}
+	return c
+}
+
+// CloneAffinity returns a deep copy as an Affinity.
+func (s *Sparse) CloneAffinity() Affinity { return s.Clone() }
+
+// Dense materializes the sparse matrix as a dense one: O(n²) memory,
+// for interop with consumers that have not been lifted onto Affinity.
+func (s *Sparse) Dense() *Matrix {
+	m := NewMatrix(s.n)
+	for i, r := range s.rows {
+		row := m.data[i*s.n : (i+1)*s.n]
+		for j, v := range r {
+			row[j] = v
+		}
+	}
+	return m
+}
+
+// SparseFromMatrix converts a dense matrix to the sparse
+// representation, keeping only nonzeros.
+func SparseFromMatrix(m *Matrix) *Sparse {
+	s := NewSparse(m.Order())
+	for i := 0; i < m.n; i++ {
+		for j, v := range m.RowView(i) {
+			if v != 0 {
+				s.Set(i, j, v)
+			}
+		}
+	}
+	return s
+}
+
+// SymmetrizedInto writes the symmetrized matrix into dst (Reset and
+// fully overwritten) and returns dst, mirroring the dense variant:
+// dst[i][j] = s[i][j] + s[j][i] for i != j, zero diagonal. O(nnz).
+// dst must not be s itself.
+func (s *Sparse) SymmetrizedInto(dst *Sparse) *Sparse {
+	if dst == s {
+		panic("comm: SymmetrizedInto aliases the receiver")
+	}
+	dst.Reset(s.n)
+	for i, r := range s.rows {
+		for j, v := range r {
+			if i == j || v == 0 {
+				continue
+			}
+			dst.Add(i, j, v)
+			dst.Add(j, i, v)
+		}
+	}
+	return dst
+}
+
+// AggregateInto writes the group aggregation into the dense dst with
+// the same semantics as (*Matrix).AggregateInto, walking only the
+// nonzeros. groupOf is optional scratch of length >= Order().
+func (s *Sparse) AggregateInto(dst *Matrix, groups [][]int, groupOf []int) error {
+	return AggregateAffinityInto(dst, s, groups, groupOf)
+}
+
+// HeaviestPairs returns the entity pairs (i<j) sorted by decreasing
+// symmetrized volume, up to limit pairs (all if limit <= 0), with the
+// dense method's contract: strictly positive symmetrized volumes only,
+// ties broken by (i,j). Enumeration is O(nnz): a pair is emitted from
+// its upper-triangle entry, or from the lower-triangle entry when the
+// upper one is absent.
+func (s *Sparse) HeaviestPairs(limit int) []Pair {
+	pairs := make([]Pair, 0, s.NNZ())
+	for i, r := range s.rows {
+		for j, v := range r {
+			if v == 0 {
+				continue
+			}
+			switch {
+			case j > i:
+				if vol := v + s.At(j, i); vol > 0 {
+					pairs = append(pairs, Pair{I: i, J: j, Volume: vol})
+				}
+			case j < i:
+				if s.At(j, i) != 0 {
+					continue // counted from the upper-triangle entry
+				}
+				if v > 0 {
+					pairs = append(pairs, Pair{I: j, J: i, Volume: v})
+				}
+			}
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].Volume != pairs[b].Volume {
+			return pairs[a].Volume > pairs[b].Volume
+		}
+		if pairs[a].I != pairs[b].I {
+			return pairs[a].I < pairs[b].I
+		}
+		return pairs[a].J < pairs[b].J
+	})
+	if limit > 0 && len(pairs) > limit {
+		pairs = pairs[:limit]
+	}
+	return pairs
+}
+
+func errAggregate(format string, args ...any) error {
+	return fmt.Errorf("comm: aggregate: "+format, args...)
+}

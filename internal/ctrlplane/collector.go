@@ -39,10 +39,14 @@ type Lease struct {
 	Token uint64
 }
 
-// maxLeaseTasks bounds a single lease's task range, and with it the
-// order of the merged matrix a hostile registration could force the
-// daemon to allocate. It matches the wire codec's matrix-order ceiling.
-const maxLeaseTasks = 2896
+// DefaultMaxLeaseTasks bounds a single lease's task range — and with
+// it the order of the merged matrix a hostile registration could force
+// the daemon to allocate — when the collector is not configured with
+// its own bound. It matches the wire codec's dense matrix-order
+// ceiling; deployments whose peers speak the sparse delta encoding can
+// raise it (orwlnetd -max-lease-tasks) now that the merged fleet
+// matrix is O(nnz) rather than O(n²).
+const DefaultMaxLeaseTasks = 2896
 
 // leaseState is a live lease plus its liveness bookkeeping.
 type leaseState struct {
@@ -58,11 +62,13 @@ type leaseState struct {
 
 // machineState accumulates one machine's merged observed traffic.
 type machineState struct {
-	// pending holds the deltas merged since the last Window call. Its
-	// order is the machine's global task-space size (it grows when a
-	// lease extends the space and never shrinks, so the reconciler's
+	// pending holds the deltas merged since the last Window call, in
+	// the representation matching the order (sparse above the dense
+	// threshold — the fleet matrix of a 10k-task machine is O(nnz)).
+	// Its order is the machine's global task-space size (it grows when
+	// a lease extends the space and never shrinks, so the reconciler's
 	// drift baseline stays comparable).
-	pending *comm.Matrix
+	pending comm.Affinity
 	order   int
 }
 
@@ -84,6 +90,9 @@ type Collector struct {
 	// bucket; rate 0 disables limiting.
 	reportRate  float64
 	reportBurst float64
+
+	// maxTasks bounds lease task ranges; 0 means DefaultMaxLeaseTasks.
+	maxTasks int
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -129,6 +138,33 @@ func (c *Collector) SetReportLimit(rate, burst float64) {
 	c.reportBurst = burst
 }
 
+// SetMaxLeaseTasks bounds lease task ranges (n <= 0 restores
+// DefaultMaxLeaseTasks). Call before the collector starts taking
+// registrations; snapshot restores validate against the same bound
+// (DecodeSnapshotLimit), so configure both consistently.
+func (c *Collector) SetMaxLeaseTasks(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n <= 0 {
+		n = 0
+	}
+	c.maxTasks = n
+}
+
+// MaxLeaseTasks returns the effective lease task-range bound.
+func (c *Collector) MaxLeaseTasks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxTasksLocked()
+}
+
+func (c *Collector) maxTasksLocked() int {
+	if c.maxTasks > 0 {
+		return c.maxTasks
+	}
+	return DefaultMaxLeaseTasks
+}
+
 // Register leases the task range [base, base+count) of machine's
 // global task space to peer and returns the lease, with no ownership
 // token — the legacy, displaceable registration. See RegisterToken.
@@ -148,11 +184,11 @@ func (c *Collector) RegisterToken(machine, peer string, base, count int, token u
 	if machine == "" || peer == "" {
 		return Lease{}, fmt.Errorf("ctrlplane: lease needs a machine and a peer name")
 	}
-	if base < 0 || count <= 0 || base+count > maxLeaseTasks {
-		return Lease{}, fmt.Errorf("ctrlplane: lease task range [%d,%d) out of bounds (max %d tasks)", base, base+count, maxLeaseTasks)
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if max := c.maxTasksLocked(); base < 0 || count <= 0 || base+count > max {
+		return Lease{}, fmt.Errorf("ctrlplane: lease task range [%d,%d) out of bounds (max %d tasks)", base, base+count, max)
+	}
 	c.evictStaleLocked()
 	// Replace a previous incarnation of the same peer — unless the live
 	// lease is owned and the caller cannot prove ownership.
@@ -200,6 +236,16 @@ func (c *Collector) Report(leaseID, seq uint64, delta *comm.Matrix) error {
 	if delta == nil {
 		return fmt.Errorf("ctrlplane: nil observed window")
 	}
+	return c.ReportAffinity(leaseID, seq, delta)
+}
+
+// ReportAffinity is Report on the representation-independent surface:
+// a sparse delta merges in O(nnz), never materializing the peer's
+// task range densely.
+func (c *Collector) ReportAffinity(leaseID, seq uint64, delta comm.Affinity) error {
+	if delta == nil {
+		return fmt.Errorf("ctrlplane: nil observed window")
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.evictStaleLocked()
@@ -229,32 +275,52 @@ func (c *Collector) Report(leaseID, seq uint64, delta *comm.Matrix) error {
 	}
 	ls.lastSeq = seq
 	ms := c.machineLocked(ls.Machine)
-	if ms.pending == nil || ms.pending.Order() < ms.order {
-		grown := comm.NewMatrix(ms.order)
-		if ms.pending != nil {
-			for i := 0; i < ms.pending.Order(); i++ {
-				copy(grown.RowView(i), ms.pending.RowView(i))
-			}
-		}
-		ms.pending = grown
-	}
-	for i := 0; i < ls.TaskCount; i++ {
-		src := delta.RowView(i)
-		dst := ms.pending.RowView(ls.TaskBase + i)[ls.TaskBase:]
-		for j, v := range src {
-			dst[j] += v
-		}
-	}
+	c.growPendingLocked(ms)
+	base := ls.TaskBase
+	delta.ForEach(func(i, j int, v float64) {
+		ms.pending.Add(base+i, base+j, v)
+	})
 	c.reports++
 	return nil
 }
 
+// growPendingLocked (re)creates the machine's pending accumulator at
+// the current global order, carrying over already-merged cells.
+func (c *Collector) growPendingLocked(ms *machineState) {
+	if ms.pending != nil && ms.pending.Order() >= ms.order {
+		return
+	}
+	grown := comm.NewAffinity(ms.order)
+	if ms.pending != nil {
+		ms.pending.ForEach(func(i, j int, v float64) {
+			grown.Set(i, j, v)
+		})
+	}
+	ms.pending = grown
+}
+
 // Window drains and returns the machine's merged observed delta since
 // the previous Window call — the fleet-wide analogue of one
-// TrafficWindow epoch. The returned matrix always has the machine's
-// current global order; nil means no lease has touched the machine
-// yet.
+// TrafficWindow epoch, materialized densely for legacy consumers.
+// The returned matrix always has the machine's current global order;
+// nil means no lease has touched the machine yet. Large machines
+// should drain via WindowAffinity instead.
 func (c *Collector) Window(machine string) *comm.Matrix {
+	a := c.WindowAffinity(machine)
+	if a == nil {
+		return nil
+	}
+	if m, ok := a.(*comm.Matrix); ok {
+		return m
+	}
+	return a.Dense()
+}
+
+// WindowAffinity drains and returns the machine's merged observed
+// delta in its native representation — sparse above the dense
+// threshold, so a 10k-task fleet window is O(nnz) end to end. Nil
+// means no lease has touched the machine yet.
+func (c *Collector) WindowAffinity(machine string) comm.Affinity {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.evictStaleLocked()
@@ -262,17 +328,9 @@ func (c *Collector) Window(machine string) *comm.Matrix {
 	if ms == nil || ms.order == 0 {
 		return nil
 	}
+	c.growPendingLocked(ms)
 	w := ms.pending
 	ms.pending = nil
-	if w == nil || w.Order() < ms.order {
-		grown := comm.NewMatrix(ms.order)
-		if w != nil {
-			for i := 0; i < w.Order(); i++ {
-				copy(grown.RowView(i), w.RowView(i))
-			}
-		}
-		w = grown
-	}
 	return w
 }
 

@@ -160,7 +160,7 @@ func TestCollectorValidation(t *testing.T) {
 	if _, err := c.Register("m", "p", 0, 0); err == nil {
 		t.Error("zero count accepted")
 	}
-	if _, err := c.Register("m", "p", 0, maxLeaseTasks+1); err == nil {
+	if _, err := c.Register("m", "p", 0, DefaultMaxLeaseTasks+1); err == nil {
 		t.Error("oversized range accepted")
 	}
 	ls, err := c.Register("m", "p", 0, 2)

@@ -44,6 +44,12 @@ type Config struct {
 	// report is dropped without touching other peers.
 	ReportRate  float64
 	ReportBurst float64
+	// MaxLeaseTasks bounds each lease's task range and with it the
+	// machine's global task-space order (0 = DefaultMaxLeaseTasks).
+	// The merged fleet matrix is sparse, so raising it costs O(nnz),
+	// not O(n²); snapshot restores are validated against the same
+	// bound.
+	MaxLeaseTasks int
 }
 
 // Controller is the daemon-hosted reconciliation engine: one
@@ -87,27 +93,29 @@ type subscriber struct {
 }
 
 // handoffSource adapts the controller's pull-then-reconcile flow to
-// the MatrixSource seam the Reconciler consumes: the controller drains
-// a Collector window, stashes it here, and runs one Epoch.
+// the AffinitySource seam the Reconciler consumes: the controller
+// drains a Collector window, stashes it here, and runs one Epoch. The
+// window stays in the collector's native representation (sparse above
+// the dense threshold) all the way into the reconciler.
 type handoffSource struct {
 	mu sync.Mutex
-	m  *comm.Matrix
+	a  comm.Affinity
 }
 
 func (s *handoffSource) Name() string { return "fleet-observed" }
 
-func (s *handoffSource) Matrix() (*comm.Matrix, error) {
+func (s *handoffSource) Affinity() (comm.Affinity, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.m == nil {
+	if s.a == nil {
 		return nil, fmt.Errorf("ctrlplane: no merged window staged")
 	}
-	return s.m, nil
+	return s.a, nil
 }
 
-func (s *handoffSource) set(m *comm.Matrix) {
+func (s *handoffSource) set(a comm.Affinity) {
 	s.mu.Lock()
-	s.m = m
+	s.a = a
 	s.mu.Unlock()
 }
 
@@ -132,6 +140,9 @@ func NewController(fleet *placement.MultiService, cfg Config) (*Controller, erro
 	if cfg.ReportRate > 0 {
 		c.col.SetReportLimit(cfg.ReportRate, cfg.ReportBurst)
 	}
+	if cfg.MaxLeaseTasks > 0 {
+		c.col.SetMaxLeaseTasks(cfg.MaxLeaseTasks)
+	}
 	for _, name := range machines {
 		svc, err := fleet.MachineService(name)
 		if err != nil {
@@ -140,7 +151,7 @@ func NewController(fleet *placement.MultiService, cfg Config) (*Controller, erro
 		src := &handoffSource{}
 		// prog is nil: the daemon owns no tasks to re-bind — adopted
 		// mappings travel to the processes that do, via Subscribe.
-		rec, err := placement.NewReconciler(svc.Engine(), src, nil, cfg.Adaptive)
+		rec, err := placement.NewAffinityReconciler(svc.Engine(), src, nil, cfg.Adaptive)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +212,12 @@ func (c *Controller) Report(leaseID, seq uint64, delta *comm.Matrix) error {
 	return c.col.Report(leaseID, seq, delta)
 }
 
+// ReportAffinity merges one observed window under a lease without
+// densifying a sparse delta.
+func (c *Controller) ReportAffinity(leaseID, seq uint64, delta comm.Affinity) error {
+	return c.col.ReportAffinity(leaseID, seq, delta)
+}
+
 // Epoch runs one reconciliation step for machine: drain the merged
 // window, measure drift, adopt when warranted, publish to subscribers.
 // A nil report means the machine was idle (no merged traffic).
@@ -214,19 +231,20 @@ func (c *Controller) Epoch(machine string) (*placement.EpochReport, error) {
 	}
 	lp.mu.Lock()
 	defer lp.mu.Unlock()
-	w := c.col.Window(machine)
+	w := c.col.WindowAffinity(machine)
 	if w == nil || w.Total() == 0 {
 		return nil, nil
 	}
 	if !lp.primed {
 		// First traffic ever seen for this machine: compute and adopt
 		// the initial fleet mapping (epoch 1) directly — there is no
-		// baseline to drift from yet.
-		a, err := lp.svc.Engine().Compute(c.adaptiveStrategy(), w, 0, c.cfg.Adaptive.Options)
+		// baseline to drift from yet. The affinity path keeps a large
+		// machine's first mapping on the partitioned sparse pipeline.
+		a, _, err := lp.svc.Engine().ComputeAffinity(c.adaptiveStrategy(), w, 0, c.cfg.Adaptive.Options)
 		if err != nil {
 			return nil, err
 		}
-		if err := lp.rec.SetCurrent(a, w); err != nil {
+		if err := lp.rec.SetCurrentAffinity(a, w); err != nil {
 			return nil, err
 		}
 		lp.primed = true

@@ -40,10 +40,17 @@ const (
 	// machine orders, epochs and latest adopted remaps.
 	SnapshotVersionLeases = 1
 	// SnapshotVersionBaseline adds the per-machine drift-baseline
-	// matrix. This is the current version.
+	// matrix, stored densely (order²  floats).
 	SnapshotVersionBaseline = 2
+	// SnapshotVersionSparse stores the baseline as a sparse nonzero
+	// list — O(nnz) on disk, the only form that scales to the raised
+	// lease-task bounds — and persists the assignment's partition
+	// structure, so a restored reconciler resumes per-subtree drift
+	// tracking. This is the current version; version 1 and 2 files
+	// still restore.
+	SnapshotVersionSparse = 3
 	// SnapshotVersion is the version SaveSnapshot writes.
-	SnapshotVersion = SnapshotVersionBaseline
+	SnapshotVersion = SnapshotVersionSparse
 
 	// snapMaxCount bounds decoded collection lengths, so a corrupt or
 	// hostile length prefix cannot force a huge allocation before the
@@ -73,8 +80,10 @@ type MachineRecord struct {
 	Latest *Remap
 	// Base is the drift baseline backing Latest.Assignment, nil in
 	// version-1 snapshots and before the first adoption. Restoring it
-	// re-primes the machine's reconciler.
-	Base *comm.Matrix
+	// re-primes the machine's reconciler. Version-2 files carry it
+	// densely, version-3 as a sparse nonzero list; in memory it is
+	// whatever representation matches the order.
+	Base comm.Affinity
 }
 
 // Snapshot is the controller state worth surviving a restart. Pending
@@ -162,10 +171,14 @@ func snapGetIntSlice(src []byte) ([]int, []byte, error) {
 	return out, rest, nil
 }
 
-func snapPutMatrix(dst []byte, m *comm.Matrix) []byte {
-	if m == nil {
+// snapPutDenseMatrix writes the version-2 baseline record: order²
+// floats. Sparse baselines densify — the price of emitting a
+// downgrade-compatible file.
+func snapPutDenseMatrix(dst []byte, a comm.Affinity) []byte {
+	if a == nil {
 		return binary.AppendUvarint(dst, 0)
 	}
+	m := a.Dense()
 	n := m.Order()
 	dst = binary.AppendUvarint(dst, uint64(n)+1) // 0 = nil, k+1 = order k
 	for i := 0; i < n; i++ {
@@ -176,7 +189,7 @@ func snapPutMatrix(dst []byte, m *comm.Matrix) []byte {
 	return dst
 }
 
-func snapGetMatrix(src []byte) (*comm.Matrix, []byte, error) {
+func snapGetDenseMatrix(src []byte, maxTasks int) (*comm.Matrix, []byte, error) {
 	enc, rest, err := snapGetUvarint(src)
 	if err != nil {
 		return nil, nil, err
@@ -185,8 +198,8 @@ func snapGetMatrix(src []byte) (*comm.Matrix, []byte, error) {
 		return nil, rest, nil
 	}
 	n := int(enc - 1)
-	if n > maxLeaseTasks {
-		return nil, nil, fmt.Errorf("ctrlplane: snapshot: matrix order %d exceeds the %d-task cap", n, maxLeaseTasks)
+	if n > maxTasks {
+		return nil, nil, fmt.Errorf("ctrlplane: snapshot: matrix order %d exceeds the %d-task cap", n, maxTasks)
 	}
 	if uint64(len(rest)) < uint64(n)*uint64(n)*8 {
 		return nil, nil, fmt.Errorf("ctrlplane: snapshot: truncated %dx%d matrix", n, n)
@@ -203,18 +216,89 @@ func snapGetMatrix(src []byte) (*comm.Matrix, []byte, error) {
 	return m, rest, nil
 }
 
+// snapPutSparseMatrix writes the version-3 baseline record: order,
+// nonzero count, then (row, col, value) triples in row-major order —
+// deterministic (ForEachRow yields ascending columns) and O(nnz) on
+// disk however large the task space is.
+func snapPutSparseMatrix(dst []byte, a comm.Affinity) []byte {
+	if a == nil {
+		return binary.AppendUvarint(dst, 0)
+	}
+	n := a.Order()
+	dst = binary.AppendUvarint(dst, uint64(n)+1) // 0 = nil, k+1 = order k
+	dst = binary.AppendUvarint(dst, uint64(a.NNZ()))
+	for i := 0; i < n; i++ {
+		a.ForEachRow(i, func(j int, v float64) {
+			dst = binary.AppendUvarint(dst, uint64(i))
+			dst = binary.AppendUvarint(dst, uint64(j))
+			dst = snapPutFloat(dst, v)
+		})
+	}
+	return dst
+}
+
+func snapGetSparseMatrix(src []byte, maxTasks int) (comm.Affinity, []byte, error) {
+	enc, rest, err := snapGetUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if enc == 0 {
+		return nil, rest, nil
+	}
+	n := int(enc - 1)
+	if n > maxTasks {
+		return nil, nil, fmt.Errorf("ctrlplane: snapshot: matrix order %d exceeds the %d-task cap", n, maxTasks)
+	}
+	nnz, rest, err := snapGetUvarint(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Each entry is at least two 1-byte varints plus an 8-byte float;
+	// a count the payload cannot possibly hold is damage, not data.
+	if nnz > uint64(len(rest))/10 {
+		return nil, nil, fmt.Errorf("ctrlplane: snapshot: %d sparse entries overrun the payload", nnz)
+	}
+	a := comm.NewAffinity(n)
+	for k := uint64(0); k < nnz; k++ {
+		var i, j uint64
+		if i, rest, err = snapGetUvarint(rest); err != nil {
+			return nil, nil, err
+		}
+		if j, rest, err = snapGetUvarint(rest); err != nil {
+			return nil, nil, err
+		}
+		var v float64
+		if v, rest, err = snapGetFloat(rest); err != nil {
+			return nil, nil, err
+		}
+		if i >= uint64(n) || j >= uint64(n) {
+			return nil, nil, fmt.Errorf("ctrlplane: snapshot: sparse entry (%d,%d) outside a %d-task matrix", i, j, n)
+		}
+		a.Set(int(i), int(j), v)
+	}
+	return a, rest, nil
+}
+
 const (
 	snapAssignUnbound        = 1 << 0
 	snapAssignOversubscribed = 1 << 1
 	snapAssignHasControl     = 1 << 2
 	snapAssignHasCoreOf      = 1 << 3
+	// snapAssignHasPartitions marks a persisted partition structure —
+	// written only at SnapshotVersionSparse and later, so version-2
+	// files stay decodable by version-2 daemons.
+	snapAssignHasPartitions = 1 << 4
 )
 
-func snapPutAssignment(dst []byte, a *placement.Assignment) []byte {
+func snapPutAssignment(dst []byte, a *placement.Assignment, version int) []byte {
 	if a == nil {
 		return append(dst, 0)
 	}
 	dst = append(dst, 1)
+	parts := a.Partitions
+	if version < SnapshotVersionSparse {
+		parts = nil
+	}
 	var flags byte
 	if a.Unbound {
 		flags |= snapAssignUnbound
@@ -228,6 +312,9 @@ func snapPutAssignment(dst []byte, a *placement.Assignment) []byte {
 	if a.CoreOf != nil {
 		flags |= snapAssignHasCoreOf
 	}
+	if parts != nil {
+		flags |= snapAssignHasPartitions
+	}
 	dst = append(dst, flags)
 	dst = snapPutString(dst, a.Strategy)
 	dst = binary.AppendUvarint(dst, uint64(a.Mode))
@@ -237,6 +324,14 @@ func snapPutAssignment(dst []byte, a *placement.Assignment) []byte {
 	}
 	if a.CoreOf != nil {
 		dst = snapPutIntSlice(dst, a.CoreOf)
+	}
+	if parts != nil {
+		dst = binary.AppendUvarint(dst, uint64(len(parts.Parts)))
+		for _, p := range parts.Parts {
+			dst = binary.AppendUvarint(dst, uint64(p.Depth))
+			dst = binary.AppendUvarint(dst, uint64(p.Object))
+			dst = snapPutIntSlice(dst, p.Tasks)
+		}
 	}
 	return dst
 }
@@ -280,19 +375,48 @@ func snapGetAssignment(src []byte) (*placement.Assignment, []byte, error) {
 			return nil, nil, err
 		}
 	}
+	if flags&snapAssignHasPartitions != 0 {
+		var np uint64
+		if np, rest, err = snapGetUvarint(rest); err != nil {
+			return nil, nil, err
+		}
+		if np > snapMaxCount {
+			return nil, nil, fmt.Errorf("ctrlplane: snapshot: %d partitions exceeds the cap", np)
+		}
+		parts := &treematch.Partitioning{Parts: make([]treematch.Partition, 0, np)}
+		for k := uint64(0); k < np; k++ {
+			var p treematch.Partition
+			var u uint64
+			if u, rest, err = snapGetUvarint(rest); err != nil {
+				return nil, nil, err
+			}
+			p.Depth = int(u)
+			if u, rest, err = snapGetUvarint(rest); err != nil {
+				return nil, nil, err
+			}
+			p.Object = int(u)
+			if p.Tasks, rest, err = snapGetIntSlice(rest); err != nil {
+				return nil, nil, err
+			}
+			parts.Parts = append(parts.Parts, p)
+		}
+		a.Partitions = parts
+	}
 	return a, rest, nil
 }
 
 // --- codec ----------------------------------------------------------
 
-// EncodeSnapshot serialises s at the requested schema version (a
-// version-1 encoding drops the baseline matrices). The output is
-// deterministic: leases sort by ID, machines by name.
+// EncodeSnapshot serialises s at the requested schema version: a
+// version-1 encoding drops the baseline matrices, version 2 stores
+// them densely (and drops partition structures), version 3 stores
+// them sparse. The output is deterministic: leases sort by ID,
+// machines by name.
 func EncodeSnapshot(s *Snapshot, version int) ([]byte, error) {
 	if s == nil {
 		return nil, fmt.Errorf("ctrlplane: nil snapshot")
 	}
-	if version != SnapshotVersionLeases && version != SnapshotVersionBaseline {
+	if version < SnapshotVersionLeases || version > SnapshotVersionSparse {
 		return nil, fmt.Errorf("ctrlplane: unknown snapshot version %d", version)
 	}
 	leases := append([]LeaseRecord(nil), s.Leases...)
@@ -323,19 +447,34 @@ func EncodeSnapshot(s *Snapshot, version int) ([]byte, error) {
 		} else {
 			dst = append(dst, 1)
 			dst = snapPutFloat(dst, mr.Latest.Drift)
-			dst = snapPutAssignment(dst, mr.Latest.Assignment)
+			dst = snapPutAssignment(dst, mr.Latest.Assignment, version)
 		}
-		if version >= SnapshotVersionBaseline {
-			dst = snapPutMatrix(dst, mr.Base)
+		if version >= SnapshotVersionSparse {
+			dst = snapPutSparseMatrix(dst, mr.Base)
+		} else if version >= SnapshotVersionBaseline {
+			dst = snapPutDenseMatrix(dst, mr.Base)
 		}
 	}
 	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst)), nil
 }
 
-// DecodeSnapshot parses and verifies a snapshot file image. Damage of
-// any kind — bad magic, unknown version, checksum mismatch, truncation
-// — is an error; the caller is expected to log it and start fresh.
+// DecodeSnapshot parses and verifies a snapshot file image against the
+// default lease-task bound. Damage of any kind — bad magic, unknown
+// version, checksum mismatch, truncation — is an error; the caller is
+// expected to log it and start fresh.
 func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	return DecodeSnapshotLimit(data, 0)
+}
+
+// DecodeSnapshotLimit is DecodeSnapshot with an explicit lease-task
+// bound (0 = DefaultMaxLeaseTasks): lease ranges and matrix orders
+// beyond it are rejected. A daemon running with a raised
+// -max-lease-tasks must decode with the same bound it registers
+// with, or its own snapshots would fail to restore.
+func DecodeSnapshotLimit(data []byte, maxTasks int) (*Snapshot, error) {
+	if maxTasks <= 0 {
+		maxTasks = DefaultMaxLeaseTasks
+	}
 	if len(data) < len(snapshotMagic)+1+4 {
 		return nil, fmt.Errorf("ctrlplane: snapshot: %d bytes is too short to be a snapshot", len(data))
 	}
@@ -347,7 +486,7 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("ctrlplane: snapshot: checksum mismatch (stored %08x, computed %08x) — file damaged", sum, got)
 	}
 	version := int(body[len(snapshotMagic)])
-	if version != SnapshotVersionLeases && version != SnapshotVersionBaseline {
+	if version < SnapshotVersionLeases || version > SnapshotVersionSparse {
 		return nil, fmt.Errorf("ctrlplane: snapshot: unsupported version %d (this daemon reads <= %d)", version, SnapshotVersion)
 	}
 	rest := body[len(snapshotMagic)+1:]
@@ -385,8 +524,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			return nil, err
 		}
 		lr.TaskCount = int(u)
-		if lr.TaskBase < 0 || lr.TaskCount <= 0 || lr.TaskBase+lr.TaskCount > maxLeaseTasks {
-			return nil, fmt.Errorf("ctrlplane: snapshot: lease %d range [%d,+%d) out of bounds", lr.ID, lr.TaskBase, lr.TaskCount)
+		if lr.TaskBase < 0 || lr.TaskCount <= 0 || lr.TaskBase+lr.TaskCount > maxTasks {
+			return nil, fmt.Errorf("ctrlplane: snapshot: lease %d range [%d,+%d) out of bounds (max %d tasks)", lr.ID, lr.TaskBase, lr.TaskCount, maxTasks)
 		}
 		if lr.Token, rest, err = snapGetUvarint(rest); err != nil {
 			return nil, err
@@ -413,8 +552,8 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			return nil, err
 		}
 		mr.Order = int(u)
-		if mr.Order < 0 || mr.Order > maxLeaseTasks {
-			return nil, fmt.Errorf("ctrlplane: snapshot: machine %q order %d out of bounds", mr.Name, mr.Order)
+		if mr.Order < 0 || mr.Order > maxTasks {
+			return nil, fmt.Errorf("ctrlplane: snapshot: machine %q order %d out of bounds (max %d tasks)", mr.Name, mr.Order, maxTasks)
 		}
 		if mr.Epoch, rest, err = snapGetUvarint(rest); err != nil {
 			return nil, err
@@ -437,9 +576,17 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 			}
 			mr.Latest = ev
 		}
-		if version >= SnapshotVersionBaseline {
-			if mr.Base, rest, err = snapGetMatrix(rest); err != nil {
+		if version >= SnapshotVersionSparse {
+			if mr.Base, rest, err = snapGetSparseMatrix(rest, maxTasks); err != nil {
 				return nil, err
+			}
+		} else if version >= SnapshotVersionBaseline {
+			var bm *comm.Matrix
+			if bm, rest, err = snapGetDenseMatrix(rest, maxTasks); err != nil {
+				return nil, err
+			}
+			if bm != nil {
+				mr.Base = bm
 			}
 		}
 		s.Machines = append(s.Machines, mr)
@@ -448,6 +595,22 @@ func DecodeSnapshot(data []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("ctrlplane: snapshot: %d trailing bytes after the last record", len(rest))
 	}
 	return s, nil
+}
+
+// SnapshotFileInfo reports the container-level facts of a snapshot
+// image — schema version and checksum integrity — without decoding the
+// payload. Inspection tooling uses it to tell "damaged file" apart
+// from "valid file the current bounds reject".
+func SnapshotFileInfo(data []byte) (version int, crcOK bool, err error) {
+	if len(data) < len(snapshotMagic)+1+4 {
+		return 0, false, fmt.Errorf("ctrlplane: snapshot: %d bytes is too short to be a snapshot", len(data))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return 0, false, fmt.Errorf("ctrlplane: snapshot: bad magic (not a control-plane snapshot)")
+	}
+	version = int(data[len(snapshotMagic)])
+	body, sum := data[:len(data)-4], binary.BigEndian.Uint32(data[len(data)-4:])
+	return version, crc32.ChecksumIEEE(body) == sum, nil
 }
 
 // SaveSnapshot writes s to path atomically (temp file in the same
@@ -486,11 +649,18 @@ func SaveSnapshot(path string, s *Snapshot) error {
 // damage); anything else unreadable or undecodable is an error the
 // caller should log before starting fresh.
 func LoadSnapshot(path string) (*Snapshot, error) {
+	return LoadSnapshotLimit(path, 0)
+}
+
+// LoadSnapshotLimit is LoadSnapshot validating against an explicit
+// lease-task bound (0 = DefaultMaxLeaseTasks) — pair it with the
+// collector's SetMaxLeaseTasks configuration.
+func LoadSnapshotLimit(path string, maxTasks int) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeSnapshot(data)
+	return DecodeSnapshotLimit(data, maxTasks)
 }
 
 // --- collector import/export ---------------------------------------
@@ -567,7 +737,7 @@ func (c *Controller) Snapshot() *Snapshot {
 	// The baseline lives behind the reconciler's own lock; fetch it
 	// outside c.mu so a concurrent Epoch cannot deadlock us.
 	for _, p := range fill {
-		s.Machines[p.idx].Base = p.lp.rec.Baseline()
+		s.Machines[p.idx].Base = p.lp.rec.BaselineAffinity()
 	}
 	sort.Slice(s.Machines, func(i, j int) bool { return s.Machines[i].Name < s.Machines[j].Name })
 	return s
@@ -598,7 +768,7 @@ func (c *Controller) Restore(s *Snapshot) error {
 			continue
 		}
 		if mr.Latest != nil && mr.Latest.Assignment != nil && mr.Base != nil {
-			if err := lp.rec.SetCurrent(mr.Latest.Assignment, mr.Base); err != nil {
+			if err := lp.rec.SetCurrentAffinity(mr.Latest.Assignment, mr.Base); err != nil {
 				return fmt.Errorf("ctrlplane: restoring machine %q: %w", mr.Name, err)
 			}
 			lp.mu.Lock()

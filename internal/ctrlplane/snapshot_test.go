@@ -54,7 +54,7 @@ func snapFixture() *Snapshot {
 // TestSnapshotRoundTrip: encode/decode is the identity at every
 // supported version (modulo what old versions do not carry).
 func TestSnapshotRoundTrip(t *testing.T) {
-	for _, version := range []int{SnapshotVersionLeases, SnapshotVersionBaseline} {
+	for _, version := range []int{SnapshotVersionLeases, SnapshotVersionBaseline, SnapshotVersionSparse} {
 		want := snapFixture()
 		data, err := EncodeSnapshot(want, version)
 		if err != nil {
@@ -228,7 +228,7 @@ func TestControllerSnapshotRestore(t *testing.T) {
 // FuzzSnapshotDecode: the decoder must reject or round-trip, never
 // panic, whatever bytes are on disk.
 func FuzzSnapshotDecode(f *testing.F) {
-	for _, version := range []int{SnapshotVersionLeases, SnapshotVersionBaseline} {
+	for _, version := range []int{SnapshotVersionLeases, SnapshotVersionBaseline, SnapshotVersionSparse} {
 		data, err := EncodeSnapshot(snapFixture(), version)
 		if err != nil {
 			f.Fatal(err)

@@ -14,28 +14,54 @@ import (
 // what the tasks really exchange, not what their handle graph
 // announces at the schedule barrier.
 //
-// The counters are plain atomics over a flat n×n array, so recording
-// on the acquire-release and push/pop hot paths costs two uncontended
-// atomic adds and no allocation. Snapshots (Matrix, Window) walk the
-// array without stopping the writers: each cell is read atomically,
-// the snapshot as a whole is only approximately instantaneous, which
-// is fine for a drift signal.
+// Up to comm.DenseOrderThreshold tasks the counters are plain atomics
+// over a flat n×n array, so recording on the acquire-release and
+// push/pop hot paths costs two uncontended atomic adds and no
+// allocation. Above the threshold a flat array would be O(n²) — 1.6 GB
+// of counters for a 10k-task program whose tasks talk to a handful of
+// neighbours each — so the recorder switches to sharded hash counters:
+// O(nnz) memory, one short mutex hold per record. Snapshots (Matrix,
+// Window, their affinity forms) walk the counters without stopping the
+// writers; the snapshot as a whole is only approximately
+// instantaneous, which is fine for a drift signal.
 type Traffic struct {
 	n     int
-	bytes []atomic.Uint64
+	bytes []atomic.Uint64 // dense mode; nil in sparse mode
 	ops   []atomic.Uint64
+
+	shards []trafficShard // sparse mode; nil in dense mode
 
 	// win is the program's default window (see Window); independent
 	// consumers create their own with NewWindow.
 	win *TrafficWindow
 }
 
-// newTraffic sizes a recorder for n tasks.
+// trafficShards is the sparse-mode shard count. Power of two so the
+// shard pick is a mask; 256 keeps contention negligible for the
+// thread counts a single process runs.
+const trafficShards = 256
+
+// trafficShard is one lock-striped slice of the sparse counters, keyed
+// by the flattened pair index from*n+to.
+type trafficShard struct {
+	mu    sync.Mutex
+	bytes map[int64]uint64
+	ops   map[int64]uint64
+}
+
+// newTraffic sizes a recorder for n tasks: dense counters up to
+// comm.DenseOrderThreshold, sharded sparse counters above.
 func newTraffic(n int) *Traffic {
-	t := &Traffic{
-		n:     n,
-		bytes: make([]atomic.Uint64, n*n),
-		ops:   make([]atomic.Uint64, n*n),
+	t := &Traffic{n: n}
+	if n <= comm.DenseOrderThreshold {
+		t.bytes = make([]atomic.Uint64, n*n)
+		t.ops = make([]atomic.Uint64, n*n)
+	} else {
+		t.shards = make([]trafficShard, trafficShards)
+		for i := range t.shards {
+			t.shards[i].bytes = make(map[int64]uint64)
+			t.shards[i].ops = make(map[int64]uint64)
+		}
 	}
 	t.win = t.NewWindow()
 	return t
@@ -43,6 +69,9 @@ func newTraffic(n int) *Traffic {
 
 // Tasks returns the number of tasks the recorder covers.
 func (t *Traffic) Tasks() int { return t.n }
+
+// Sparse reports whether the recorder runs in sparse mode.
+func (t *Traffic) Sparse() bool { return t != nil && t.shards != nil }
 
 // Record accumulates one transfer of b bytes from task `from` to task
 // `to`. Out-of-range or self pairs and unattributed endpoints
@@ -52,23 +81,75 @@ func (t *Traffic) Record(from, to, b int) {
 	if t == nil || from == to || from < 0 || to < 0 || from >= t.n || to >= t.n {
 		return
 	}
-	i := from*t.n + to
-	t.bytes[i].Add(uint64(b))
-	t.ops[i].Add(1)
+	i := int64(from)*int64(t.n) + int64(to)
+	if t.shards == nil {
+		t.bytes[i].Add(uint64(b))
+		t.ops[i].Add(1)
+		return
+	}
+	sh := &t.shards[i&(trafficShards-1)]
+	sh.mu.Lock()
+	sh.bytes[i] += uint64(b)
+	sh.ops[i]++
+	sh.mu.Unlock()
+}
+
+// forEachBytes visits every nonzero cumulative byte counter.
+func (t *Traffic) forEachBytes(fn func(idx int64, v uint64)) {
+	if t.shards == nil {
+		for i := range t.bytes {
+			if v := t.bytes[i].Load(); v != 0 {
+				fn(int64(i), v)
+			}
+		}
+		return
+	}
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for i, v := range sh.bytes {
+			if v != 0 {
+				fn(i, v)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// loadBytes reads one cumulative byte counter.
+func (t *Traffic) loadBytes(idx int64) uint64 {
+	if t.shards == nil {
+		return t.bytes[idx].Load()
+	}
+	sh := &t.shards[idx&(trafficShards-1)]
+	sh.mu.Lock()
+	v := sh.bytes[idx]
+	sh.mu.Unlock()
+	return v
+}
+
+// Affinity returns the cumulative observed communication as an
+// affinity in the representation matching the task count — the O(nnz)
+// snapshot a 10k-task program's placement loop consumes.
+func (t *Traffic) Affinity() comm.Affinity {
+	a := comm.NewAffinity(t.n)
+	n64 := int64(t.n)
+	t.forEachBytes(func(idx int64, v uint64) {
+		a.Set(int(idx/n64), int(idx%n64), float64(v))
+	})
+	return a
 }
 
 // Matrix returns the cumulative observed communication matrix: entry
 // (i, j) holds the bytes moved from task i to task j since the
-// program started.
+// program started. Above the dense threshold this materializes n²
+// cells — large-scale consumers should use Affinity instead.
 func (t *Traffic) Matrix() *comm.Matrix {
 	m := comm.NewMatrix(t.n)
-	for i := 0; i < t.n; i++ {
-		for j := 0; j < t.n; j++ {
-			if v := t.bytes[i*t.n+j].Load(); v != 0 {
-				m.Set(i, j, float64(v))
-			}
-		}
-	}
+	n64 := int64(t.n)
+	t.forEachBytes(func(idx int64, v uint64) {
+		m.Set(int(idx/n64), int(idx%n64), float64(v))
+	})
 	return m
 }
 
@@ -82,32 +163,42 @@ type TrafficWindow struct {
 	t *Traffic
 
 	mu   sync.Mutex
-	base []uint64 // cumulative byte counts at the previous Next call
+	base map[int64]uint64 // cumulative byte counts at the previous Next call
 }
 
 // NewWindow returns an independent epoch window over the recorder
 // with an empty baseline: the first Next returns everything recorded
 // since the program started.
 func (t *Traffic) NewWindow() *TrafficWindow {
-	return &TrafficWindow{t: t, base: make([]uint64, t.n*t.n)}
+	return &TrafficWindow{t: t, base: make(map[int64]uint64)}
 }
 
-// Next returns the observed matrix of the epoch since the previous
-// Next call (or since the start, on the first call) and advances the
-// window baseline.
-func (w *TrafficWindow) Next() *comm.Matrix {
+// NextAffinity returns the observed affinity of the epoch since the
+// previous call (or since the start, on the first call) and advances
+// the window baseline. O(nnz) in both time and memory.
+func (w *TrafficWindow) NextAffinity() comm.Affinity {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	t := w.t
-	m := comm.NewMatrix(t.n)
-	for i := range w.base {
-		cur := t.bytes[i].Load()
-		if d := cur - w.base[i]; d != 0 {
-			m.Set(i/t.n, i%t.n, float64(d))
+	a := comm.NewAffinity(t.n)
+	n64 := int64(t.n)
+	t.forEachBytes(func(idx int64, cur uint64) {
+		if d := cur - w.base[idx]; d != 0 {
+			a.Set(int(idx/n64), int(idx%n64), float64(d))
 		}
-		w.base[i] = cur
+		w.base[idx] = cur
+	})
+	return a
+}
+
+// Next is NextAffinity materialized densely — the original epoch
+// surface, kept for consumers that still run on *comm.Matrix.
+func (w *TrafficWindow) Next() *comm.Matrix {
+	a := w.NextAffinity()
+	if m, ok := a.(*comm.Matrix); ok {
+		return m
 	}
-	return m
+	return a.Dense()
 }
 
 // Window advances the recorder's default window — a convenience for
@@ -120,9 +211,23 @@ func (t *Traffic) Window() *comm.Matrix {
 // Totals returns the cumulative byte and operation counts over all
 // pairs.
 func (t *Traffic) Totals() (bytes, ops uint64) {
-	for i := range t.bytes {
-		bytes += t.bytes[i].Load()
-		ops += t.ops[i].Load()
+	if t.shards == nil {
+		for i := range t.bytes {
+			bytes += t.bytes[i].Load()
+			ops += t.ops[i].Load()
+		}
+		return
+	}
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for _, v := range sh.bytes {
+			bytes += v
+		}
+		for _, v := range sh.ops {
+			ops += v
+		}
+		sh.mu.Unlock()
 	}
 	return
 }
@@ -133,7 +238,15 @@ func (t *Traffic) Ops(from, to int) uint64 {
 	if from < 0 || to < 0 || from >= t.n || to >= t.n {
 		return 0
 	}
-	return t.ops[from*t.n+to].Load()
+	i := int64(from)*int64(t.n) + int64(to)
+	if t.shards == nil {
+		return t.ops[i].Load()
+	}
+	sh := &t.shards[i&(trafficShards-1)]
+	sh.mu.Lock()
+	v := sh.ops[i]
+	sh.mu.Unlock()
+	return v
 }
 
 // Traffic exposes the program's traffic recorder, so DFG primitives
@@ -146,6 +259,11 @@ func (p *Program) Traffic() *Traffic { return p.traffic }
 // is the bytes that actually flowed from task i to task j through
 // location grants, raw requests and instrumented FIFOs.
 func (p *Program) ObservedMatrix() *comm.Matrix { return p.traffic.Matrix() }
+
+// ObservedAffinity is ObservedMatrix on the representation-independent
+// surface: sparse above the dense threshold, so a 10k-task program's
+// observed traffic never materializes n².
+func (p *Program) ObservedAffinity() comm.Affinity { return p.traffic.Affinity() }
 
 // ObservedWindow returns the observed matrix since the previous
 // ObservedWindow call and starts a new window — the epoch snapshots an

@@ -1,0 +1,105 @@
+package orwl
+
+// Tests for the recorder's sparse mode: above comm.DenseOrderThreshold
+// tasks the counters live in lock-striped hash shards instead of a flat
+// n² array, and every snapshot surface must behave exactly like the
+// dense mode's.
+
+import (
+	"sync"
+	"testing"
+
+	"orwlplace/internal/comm"
+)
+
+func TestTrafficSparseMode(t *testing.T) {
+	n := comm.DenseOrderThreshold + 1
+	tr := newTraffic(n)
+	if !tr.Sparse() {
+		t.Fatalf("%d-task recorder is dense, want sparse above the %d threshold", n, comm.DenseOrderThreshold)
+	}
+	if dense := newTraffic(comm.DenseOrderThreshold); dense.Sparse() {
+		t.Fatalf("%d-task recorder is sparse, want dense at the threshold", comm.DenseOrderThreshold)
+	}
+
+	tr.Record(0, 1, 100)
+	tr.Record(0, 1, 50)
+	tr.Record(n-1, 0, 7)
+	tr.Record(3, 3, 9)  // self transfer: dropped
+	tr.Record(-1, 2, 9) // unattributed: dropped
+	tr.Record(0, n, 9)  // out of range: dropped
+
+	a := tr.Affinity()
+	if a.Order() != n {
+		t.Fatalf("affinity order = %d, want %d", a.Order(), n)
+	}
+	if _, ok := a.(*comm.Sparse); !ok {
+		t.Fatalf("cumulative affinity is %T, want *comm.Sparse above the threshold", a)
+	}
+	if got := a.At(0, 1); got != 150 {
+		t.Errorf("affinity(0,1) = %g, want 150", got)
+	}
+	if got := a.At(n-1, 0); got != 7 {
+		t.Errorf("affinity(%d,0) = %g, want 7", n-1, got)
+	}
+	if got := a.NNZ(); got != 2 {
+		t.Errorf("affinity nnz = %d, want 2", got)
+	}
+	if m := tr.Matrix(); m.At(0, 1) != 150 || m.At(n-1, 0) != 7 {
+		t.Errorf("dense snapshot disagrees with the sparse counters")
+	}
+	if bytes, ops := tr.Totals(); bytes != 157 || ops != 3 {
+		t.Errorf("totals = (%d, %d), want (157, 3)", bytes, ops)
+	}
+	if got := tr.Ops(0, 1); got != 2 {
+		t.Errorf("ops(0,1) = %d, want 2", got)
+	}
+
+	// Windows carve disjoint epochs off the sparse counters too.
+	w := tr.NewWindow()
+	if first := w.NextAffinity(); first.At(0, 1) != 150 || first.NNZ() != 2 {
+		t.Fatalf("first epoch = %v nnz %d, want the full history", first.At(0, 1), first.NNZ())
+	}
+	tr.Record(0, 1, 25)
+	second := w.NextAffinity()
+	if second.At(0, 1) != 25 || second.NNZ() != 1 {
+		t.Fatalf("second epoch (0,1) = %g nnz %d, want only the new 25 bytes", second.At(0, 1), second.NNZ())
+	}
+	if idle := w.NextAffinity(); idle.Total() != 0 {
+		t.Fatalf("idle epoch total = %g, want 0", idle.Total())
+	}
+}
+
+// TestTrafficSparseConcurrentRecord hammers the shards from many
+// goroutines: the striped counters must neither lose nor double-count
+// a transfer.
+func TestTrafficSparseConcurrentRecord(t *testing.T) {
+	n := comm.DenseOrderThreshold + 100
+	tr := newTraffic(n)
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Spread across pairs (and shards); every worker also hits
+				// one shared hot pair to exercise contention.
+				tr.Record(w+1, n-1-w, 3)
+				tr.Record(0, n-1, 1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	bytes, ops := tr.Totals()
+	wantBytes := uint64(workers*perWorker*3 + workers*perWorker)
+	if bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", bytes, wantBytes)
+	}
+	if want := uint64(2 * workers * perWorker); ops != want {
+		t.Fatalf("ops = %d, want %d", ops, want)
+	}
+	if got := tr.Affinity().At(0, n-1); got != float64(workers*perWorker) {
+		t.Fatalf("hot pair = %g, want %d", got, workers*perWorker)
+	}
+}

@@ -26,10 +26,12 @@ func MigrationCost(top *topology.Topology, w *Workload, from, to []int) (float64
 	pus := top.PUs()
 	attrs := top.Attrs
 	var cost float64
+	moved := 0
 	for i, th := range w.Threads {
 		if from[i] == to[i] {
 			continue
 		}
+		moved++
 		if from[i] < 0 || from[i] >= len(pus) || to[i] < 0 || to[i] >= len(pus) {
 			return 0, fmt.Errorf("perfsim: thread %d migrates across invalid PUs %d -> %d", i, from[i], to[i])
 		}
@@ -62,10 +64,12 @@ func MigrationCost(top *topology.Topology, w *Workload, from, to []int) (float64
 	}
 	if cost > 0 && w.Stages == nil {
 		// A pipelined steady state drains and refills around the moved
-		// stages: approximate the bubble as one extra wake-up per
-		// remaining thread, matching the per-handoff penalty the
-		// simulator charges unbound control threads.
-		cost += float64(n) * unboundWakeupSeconds
+		// stages: approximate the bubble as one extra wake-up per moved
+		// thread, matching the per-handoff penalty the simulator charges
+		// unbound control threads. Only movers are charged — a partial
+		// remap of a 10k-task program that touches one subtree must not
+		// pay a bubble proportional to the whole program.
+		cost += float64(moved) * unboundWakeupSeconds
 	}
 	return cost, nil
 }

@@ -10,6 +10,7 @@ import (
 	"orwlplace/internal/comm"
 	"orwlplace/internal/orwl"
 	"orwlplace/internal/perfsim"
+	"orwlplace/internal/treematch"
 )
 
 // This file closes the placement loop. The paper computes a mapping
@@ -91,6 +92,109 @@ func Drift(a, b *comm.Matrix) float64 {
 	return dist / 2
 }
 
+// DriftAffinity is Drift on the representation-independent surface,
+// walking only the union of nonzeros — O(nnz), so a sparse 10k-task
+// window is measured without touching an n² slab.
+func DriftAffinity(a, b comm.Affinity) float64 {
+	if a == nil || b == nil || a.Order() != b.Order() {
+		return 1
+	}
+	sa, sb := comm.NewSparse(0), comm.NewSparse(0)
+	comm.SymmetrizeAffinityInto(sa, a)
+	comm.SymmetrizeAffinityInto(sb, b)
+	ta, tb := sa.Total(), sb.Total()
+	if ta == 0 && tb == 0 {
+		return 0
+	}
+	if ta == 0 || tb == 0 {
+		return 1
+	}
+	var dist float64
+	sa.ForEach(func(i, j int, va float64) {
+		dist += math.Abs(va/ta - sb.At(i, j)/tb)
+	})
+	sb.ForEach(func(i, j int, vb float64) {
+		if sa.At(i, j) == 0 {
+			dist += vb / tb
+		}
+	})
+	return dist / 2
+}
+
+// PartitionDrift measures drift per partition of a partitioned mapping:
+// for each partition, the half-L1 distance between the per-partition
+// volume-normalized symmetrized restrictions of base and window to that
+// partition's internal task pairs. A partition whose internal pattern
+// is stable scores 0 however much the others move — the signal that
+// lets re-placement recompute only the drifted subtree. Cross-partition
+// traffic is not attributed to any partition: the partition structure
+// itself owns it, and shifting it is a matter for a full re-placement,
+// not a subtree remap. Runs in O(nnz + tasks).
+func PartitionDrift(parts *treematch.Partitioning, base, window comm.Affinity) []float64 {
+	out := make([]float64, len(parts.Parts))
+	if base == nil || window == nil || base.Order() != window.Order() {
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	n := base.Order()
+	partOf := make([]int, n)
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	for pi, p := range parts.Parts {
+		for _, g := range p.Tasks {
+			if g >= 0 && g < n {
+				partOf[g] = pi
+			}
+		}
+	}
+	sa, sb := comm.NewSparse(0), comm.NewSparse(0)
+	comm.SymmetrizeAffinityInto(sa, base)
+	comm.SymmetrizeAffinityInto(sb, window)
+	ta := make([]float64, len(out))
+	tb := make([]float64, len(out))
+	internal := func(i, j int) int {
+		if pi := partOf[i]; pi >= 0 && partOf[j] == pi {
+			return pi
+		}
+		return -1
+	}
+	sa.ForEach(func(i, j int, v float64) {
+		if pi := internal(i, j); pi >= 0 {
+			ta[pi] += v
+		}
+	})
+	sb.ForEach(func(i, j int, v float64) {
+		if pi := internal(i, j); pi >= 0 {
+			tb[pi] += v
+		}
+	})
+	dist := make([]float64, len(out))
+	sa.ForEach(func(i, j int, va float64) {
+		if pi := internal(i, j); pi >= 0 && ta[pi] > 0 && tb[pi] > 0 {
+			dist[pi] += math.Abs(va/ta[pi] - sb.At(i, j)/tb[pi])
+		}
+	})
+	sb.ForEach(func(i, j int, vb float64) {
+		if pi := internal(i, j); pi >= 0 && ta[pi] > 0 && tb[pi] > 0 && sa.At(i, j) == 0 {
+			dist[pi] += vb / tb[pi]
+		}
+	})
+	for pi := range out {
+		switch {
+		case ta[pi] == 0 && tb[pi] == 0:
+			out[pi] = 0
+		case ta[pi] == 0 || tb[pi] == 0:
+			out[pi] = 1
+		default:
+			out[pi] = dist[pi] / 2
+		}
+	}
+	return out
+}
+
 // AdaptiveConfig tunes a Reconciler.
 type AdaptiveConfig struct {
 	// Strategy names the registered strategy re-placements run through
@@ -164,8 +268,18 @@ type EpochReport struct {
 	// WindowBytes is the total volume of the observed window.
 	WindowBytes float64
 	// Drift is the measured drift against the matrix backing the
-	// current assignment.
+	// current assignment. For partitioned mappings it is the maximum
+	// per-partition drift — the alarm is the worst subtree.
 	Drift float64
+	// PartitionDrifts holds the per-partition drift of a partitioned
+	// mapping (index-aligned with Assignment.Partitions.Parts); nil for
+	// unpartitioned mappings.
+	PartitionDrifts []float64
+	// RemappedPartitions lists the partition indices whose subtrees were
+	// recomputed this epoch (meaningful when Recomputed on a partitioned
+	// mapping) — the partitions whose drift crossed the threshold. All
+	// other partitions kept their placement verbatim.
+	RemappedPartitions []int
 	// Recomputed is true when the drift crossed the threshold and a
 	// candidate mapping was computed.
 	Recomputed bool
@@ -191,13 +305,14 @@ type EpochReport struct {
 // for concurrent use with the program it re-binds.
 type Reconciler struct {
 	eng  *Engine
-	src  MatrixSource
-	prog *orwl.Program // nil: model-only, no binding commits
+	src  MatrixSource   // dense window source (classic loop)
+	asrc AffinitySource // affinity window source — wins over src when set
+	prog *orwl.Program  // nil: model-only, no binding commits
 	cfg  AdaptiveConfig
 
 	mu    sync.Mutex
 	cur   *Assignment
-	base  *comm.Matrix // matrix backing cur — what drift is measured against
+	base  comm.Affinity // affinity backing cur — what drift is measured against
 	stats AdaptiveStats
 
 	// Adopt hysteresis state: consecutive over-threshold epochs seen,
@@ -224,6 +339,24 @@ func NewReconciler(eng *Engine, src MatrixSource, prog *orwl.Program, cfg Adapti
 	return &Reconciler{eng: eng, src: src, prog: prog, cfg: cfg}, nil
 }
 
+// NewAffinityReconciler is NewReconciler fed by an AffinitySource: the
+// loop for programs whose traffic is naturally sparse (10k-task fleets,
+// observed counters above the dense threshold). Windows, baselines and
+// candidates all stay on the representation-independent surface.
+func NewAffinityReconciler(eng *Engine, src AffinitySource, prog *orwl.Program, cfg AdaptiveConfig) (*Reconciler, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("placement: adaptive: nil engine")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("placement: adaptive: nil affinity source")
+	}
+	cfg = cfg.withDefaults()
+	if _, ok := Lookup(cfg.Strategy); !ok {
+		return nil, fmt.Errorf("placement: adaptive: unknown strategy %q", cfg.Strategy)
+	}
+	return &Reconciler{eng: eng, asrc: src, prog: prog, cfg: cfg}, nil
+}
+
 // Prime computes and commits the initial assignment from a source —
 // typically Declared(prog), the paper's schedule-barrier mapping —
 // and records its matrix as the drift baseline.
@@ -248,6 +381,31 @@ func (r *Reconciler) Prime(src MatrixSource) error {
 	return nil
 }
 
+// PrimeAffinity is Prime on the affinity surface: compute and commit
+// the initial assignment from an AffinitySource — the partitioned
+// sparse path when the order warrants it — and record the affinity as
+// the drift baseline.
+func (r *Reconciler) PrimeAffinity(src AffinitySource) error {
+	aff, err := r.eng.ExtractAffinity(src)
+	if err != nil {
+		return err
+	}
+	a, _, err := r.eng.ComputeAffinity(r.cfg.Strategy, aff, 0, r.cfg.Options)
+	if err != nil {
+		return err
+	}
+	if r.prog != nil {
+		if err := Bind(r.prog, a); err != nil {
+			return err
+		}
+	}
+	r.mu.Lock()
+	r.cur = a
+	r.base = aff.CloneAffinity()
+	r.mu.Unlock()
+	return nil
+}
+
 // SetCurrent adopts an externally computed assignment (and the matrix
 // it was computed from) as the reconciler's baseline — for programs
 // placed by the automatic schedule hook before the loop starts.
@@ -258,6 +416,19 @@ func (r *Reconciler) SetCurrent(a *Assignment, m *comm.Matrix) error {
 	r.mu.Lock()
 	r.cur = a.Clone()
 	r.base = m.Clone()
+	r.mu.Unlock()
+	return nil
+}
+
+// SetCurrentAffinity is SetCurrent for baselines that live on the
+// affinity surface — restored fleet snapshots and sparse primes.
+func (r *Reconciler) SetCurrentAffinity(a *Assignment, aff comm.Affinity) error {
+	if a == nil || aff == nil {
+		return fmt.Errorf("placement: adaptive: SetCurrentAffinity needs an assignment and its affinity")
+	}
+	r.mu.Lock()
+	r.cur = a.Clone()
+	r.base = aff.CloneAffinity()
 	r.mu.Unlock()
 	return nil
 }
@@ -279,7 +450,23 @@ func (r *Reconciler) Baseline() *comm.Matrix {
 	if r.base == nil {
 		return nil
 	}
-	return r.base.Clone()
+	if m, ok := r.base.(*comm.Matrix); ok {
+		return m.Clone()
+	}
+	return r.base.Dense()
+}
+
+// BaselineAffinity is Baseline without the densification: the affinity
+// backing the current assignment (the caller's copy), or nil before
+// Prime/SetCurrent. Sparse-aware durability layers persist this form so
+// a 10k-task baseline round-trips without an n² slab.
+func (r *Reconciler) BaselineAffinity() comm.Affinity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.base == nil {
+		return nil
+	}
+	return r.base.CloneAffinity()
 }
 
 // Stats returns a snapshot of the reconciler's counters.
@@ -301,9 +488,19 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 		return nil, fmt.Errorf("placement: adaptive: epoch before Prime/SetCurrent")
 	}
 
-	window, err := r.eng.Extract(r.src)
-	if err != nil {
-		return nil, err
+	var window comm.Affinity
+	if r.asrc != nil {
+		var err error
+		window, err = r.eng.ExtractAffinity(r.asrc)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		m, err := r.eng.Extract(r.src)
+		if err != nil {
+			return nil, err
+		}
+		window = m
 	}
 
 	rep := &EpochReport{WindowBytes: window.Total()}
@@ -346,7 +543,25 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 		r.mu.Unlock()
 		return finish()
 	}
-	rep.Drift = Drift(base, window)
+	// Drift dispatch. Partitioned mappings measure per partition — the
+	// signal that later scopes the recompute to the drifted subtrees.
+	// Dense-vs-dense keeps the original Drift path bit-for-bit; mixed
+	// or sparse representations go through DriftAffinity.
+	bm, baseDense := base.(*comm.Matrix)
+	wm, winDense := window.(*comm.Matrix)
+	partitioned := cur.Partitions != nil && len(cur.Partitions.Parts) > 0
+	if partitioned {
+		rep.PartitionDrifts = PartitionDrift(cur.Partitions, base, window)
+		for _, d := range rep.PartitionDrifts {
+			if d > rep.Drift {
+				rep.Drift = d
+			}
+		}
+	} else if baseDense && winDense {
+		rep.Drift = Drift(bm, wm)
+	} else {
+		rep.Drift = DriftAffinity(base, window)
+	}
 	if rep.Drift <= r.cfg.DriftThreshold {
 		r.mu.Lock()
 		r.overStreak = 0
@@ -367,15 +582,38 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 		return finish()
 	}
 
-	// Recompute through the registry (the mapping cache makes
-	// oscillation back to a known pattern cheap).
-	candidate, err := r.eng.Compute(r.cfg.Strategy, window, 0, r.cfg.Options)
+	// Recompute. A partitioned mapping re-places only the drifted
+	// subtrees — everything else keeps its placement verbatim, which is
+	// the whole point of tracking drift per partition. Unpartitioned
+	// mappings recompute through the registry as before (the mapping
+	// cache makes oscillation back to a known pattern cheap).
+	var candidate *Assignment
+	var err error
+	if partitioned {
+		var drifted []int
+		for pi, d := range rep.PartitionDrifts {
+			if d > r.cfg.DriftThreshold {
+				drifted = append(drifted, pi)
+			}
+		}
+		rep.RemappedPartitions = drifted
+		candidate, err = r.remapPartitions(cur, window, drifted)
+	} else if winDense {
+		candidate, err = r.eng.Compute(r.cfg.Strategy, wm, 0, r.cfg.Options)
+	} else {
+		candidate, _, err = r.eng.ComputeAffinity(r.cfg.Strategy, window, 0, r.cfg.Options)
+	}
 	if err != nil {
 		return nil, err
 	}
 	rep.Recomputed = true
 
-	gain, cost, err := r.model(window, cur, candidate)
+	var gain, cost float64
+	if winDense && !partitioned {
+		gain, cost, err = r.model(wm, cur, candidate)
+	} else {
+		gain, cost, err = r.modelSparse(window, cur, candidate)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +630,7 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 	rep.Adopted = true
 	r.mu.Lock()
 	r.cur = candidate
-	r.base = window.Clone()
+	r.base = window.CloneAffinity()
 	r.overStreak = 0
 	r.cooldown = r.cfg.CooldownEpochs
 	r.mu.Unlock()
@@ -423,6 +661,80 @@ func (r *Reconciler) model(window *comm.Matrix, cur, candidate *Assignment) (gai
 		return 0, 0, fmt.Errorf("placement: adaptive: migration cost: %w", err)
 	}
 	return gain, cost, nil
+}
+
+// remapPartitions builds the candidate for a partitioned mapping by
+// re-placing only the drifted partitions in place: every task outside
+// them keeps its PU verbatim, and MigrationCost later charges only the
+// movers.
+func (r *Reconciler) remapPartitions(cur *Assignment, window comm.Affinity, drifted []int) (*Assignment, error) {
+	mp := cur.Mapping(r.eng.Topology())
+	if mp == nil || mp.Partitions == nil {
+		return nil, fmt.Errorf("placement: adaptive: remap of an unpartitioned mapping")
+	}
+	for _, pi := range drifted {
+		if pi < 0 || pi >= len(mp.Partitions.Parts) {
+			return nil, fmt.Errorf("placement: adaptive: partition index %d out of range [0,%d)", pi, len(mp.Partitions.Parts))
+		}
+		if err := treematch.RemapPartition(mp, window, mp.Partitions.Parts[pi], r.cfg.Options); err != nil {
+			return nil, err
+		}
+	}
+	return fromMapping(cur.Strategy, mp), nil
+}
+
+// modelSparse is model on the affinity surface: the full cycle-level
+// simulator needs a dense matrix, so sparse (and partitioned) epochs
+// score candidates with the latency-only perfsim.CommSeconds model over
+// the window's nonzeros — O(nnz), comparable across bindings of the
+// same window, which is exactly the question here — and charge
+// migration through the same MigrationCost as the dense path.
+func (r *Reconciler) modelSparse(window comm.Affinity, cur, candidate *Assignment) (gain, cost float64, err error) {
+	if cur.Unbound || candidate.Unbound {
+		// The latency model scores pinned PU vectors; an unbound side
+		// has none. Densify and use the full model — unbound strategies
+		// are never the partitioned 10k-task path.
+		return r.model(window.Dense(), cur, candidate)
+	}
+	top := r.eng.Topology()
+	oldS, err := perfsim.CommSeconds(top, window, cur.ComputePU)
+	if err != nil {
+		return 0, 0, fmt.Errorf("placement: adaptive: modeling current mapping: %w", err)
+	}
+	newS, err := perfsim.CommSeconds(top, window, candidate.ComputePU)
+	if err != nil {
+		return 0, 0, fmt.Errorf("placement: adaptive: modeling candidate mapping: %w", err)
+	}
+	// The window spans WindowIterations iterations; the candidate
+	// serves Horizon of them.
+	gain = (oldS - newS) * float64(r.cfg.Horizon) / float64(r.cfg.WindowIterations)
+	cost, err = perfsim.MigrationCost(top, r.migrationWorkload(window.Order()), cur.ComputePU, candidate.ComputePU)
+	if err != nil {
+		return 0, 0, fmt.Errorf("placement: adaptive: migration cost: %w", err)
+	}
+	return gain, cost, nil
+}
+
+// migrationWorkload synthesizes the per-thread state MigrationCost
+// charges for (working sets, wakeups) without a dense Comm matrix —
+// MigrationCost never reads Comm.
+func (r *Reconciler) migrationWorkload(n int) *perfsim.Workload {
+	var w perfsim.Workload
+	if r.cfg.Workload != nil {
+		w = *r.cfg.Workload
+		return &w
+	}
+	w.Name = "adaptive-epoch"
+	threads := make([]perfsim.Thread, n)
+	for i := range threads {
+		threads[i] = perfsim.Thread{
+			ComputeCycles: 5e5,
+			WorkingSet:    1 << 20,
+			MemoryTraffic: 1 << 16,
+		}
+	}
+	w.Threads = threads
+	return &w
 }
 
 // modelWorkload builds the per-epoch performance-model input: the

@@ -19,6 +19,11 @@ type cacheKey struct {
 	entities int
 	strategy string
 	options  uint64
+	// affinity marks keys of the affinity compute path, whose matrix
+	// field holds comm.FingerprintOf instead of comm.Fingerprint — two
+	// different hash functions over the same domain must not share a
+	// key space.
+	affinity bool
 }
 
 // Signature fingerprints a topology by its canonical JSON encoding
@@ -95,6 +100,7 @@ func optionsFingerprint(opt Options) uint64 {
 	put(math.Float64bits(opt.ControlVolumeFraction))
 	put(uint64(opt.ExhaustiveLimit))
 	put(uint64(opt.RefineRounds))
+	put(uint64(int64(opt.PartitionThreshold)))
 	return h.Sum64()
 }
 

@@ -161,7 +161,76 @@ func (e *Engine) ComputeHinted(strategy string, m *comm.Matrix, fp uint64, n int
 		// results.
 		key.options = optionsFingerprint(opt)
 	}
+	return e.computeKeyed(key, strategy, func() (*Assignment, error) {
+		return s.Map(e.top, m, n, opt)
+	})
+}
 
+// ExtractAffinity produces the communication affinity from a source —
+// Extract lifted onto the representation-independent surface, so a
+// sparse source (a fleet matrix, observed counters above the dense
+// threshold) enters the pipeline without materializing n².
+func (e *Engine) ExtractAffinity(src AffinitySource) (comm.Affinity, error) {
+	if src == nil {
+		return nil, fmt.Errorf("placement: extract from nil affinity source")
+	}
+	a, err := src.Affinity()
+	if err != nil {
+		return nil, err
+	}
+	if a == nil {
+		return nil, fmt.Errorf("placement: source %q produced a nil affinity", src.Name())
+	}
+	return a, nil
+}
+
+// ComputeAffinity is Compute on the affinity surface: strategies
+// implementing AffinityMapper map the representation directly (the
+// treematch strategy runs the partitioned sparse path above the
+// threshold); others fall back to the dense form. Results are memoised
+// under comm.FingerprintOf — a dense and a sparse affinity with the
+// same entries share an entry — in a key space disjoint from the
+// dense Compute path's wire fingerprints.
+func (e *Engine) ComputeAffinity(strategy string, a comm.Affinity, n int, opt Options) (*Assignment, bool, error) {
+	s, ok := Lookup(strategy)
+	if !ok {
+		return nil, false, fmt.Errorf("placement: unknown strategy %q (have %v)", strategy, Names())
+	}
+	if s.CommAware() && a == nil {
+		return nil, false, fmt.Errorf("placement: %s: nil affinity", strategy)
+	}
+	if n == 0 && a != nil {
+		n = a.Order()
+	}
+	key := cacheKey{
+		topo:     e.topoSig,
+		entities: n,
+		strategy: strategy,
+	}
+	if s.CommAware() {
+		key.affinity = true
+		key.matrix = comm.FingerprintOf(a)
+	}
+	if usesOptions(s) {
+		key.options = optionsFingerprint(opt)
+	}
+	return e.computeKeyed(key, strategy, func() (*Assignment, error) {
+		if am, ok := s.(AffinityMapper); ok && s.CommAware() {
+			return am.MapAffinity(e.top, a, n, opt)
+		}
+		var m *comm.Matrix
+		if a != nil {
+			m = a.Dense()
+		}
+		return s.Map(e.top, m, n, opt)
+	})
+}
+
+// computeKeyed serves one cache key: from the cache, by joining an
+// in-flight computation of the same key, or by running run itself
+// (singleflight leader). The bool result reports "served without a
+// compute".
+func (e *Engine) computeKeyed(key cacheKey, strategy string, run func() (*Assignment, error)) (*Assignment, bool, error) {
 	e.mu.Lock()
 	if a, ok := e.cache.get(key); ok {
 		e.stats.Hits++
@@ -216,7 +285,7 @@ func (e *Engine) ComputeHinted(strategy string, m *comm.Matrix, fp uint64, n int
 	// The strategy runs outside the lock: TreeMatch on a large matrix
 	// is the expensive path the cache exists for, and concurrent
 	// computes of different keys must not serialise.
-	a, err := s.Map(e.top, m, n, opt)
+	a, err := run()
 	if err != nil {
 		complete(nil, err)
 		return nil, false, err

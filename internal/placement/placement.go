@@ -51,6 +51,11 @@ type Assignment struct {
 	// CoreOf[i] is the logical core index entity i runs on (diagnostic;
 	// nil for strategies that do not track it).
 	CoreOf []int
+	// Partitions records the partition structure when the mapping came
+	// from the partitioned sparse path (treematch.MapAffinity above the
+	// threshold); nil otherwise. The adaptive reconciler keys its
+	// per-subtree drift tracking on it.
+	Partitions *treematch.Partitioning
 }
 
 // Entities returns the number of placed entities.
@@ -66,6 +71,7 @@ func (a *Assignment) Clone() *Assignment {
 	c.ComputePU = append([]int(nil), a.ComputePU...)
 	c.ControlPU = append([]int(nil), a.ControlPU...)
 	c.CoreOf = append([]int(nil), a.CoreOf...)
+	c.Partitions = a.Partitions.Clone()
 	return &c
 }
 
@@ -84,6 +90,7 @@ func (a *Assignment) Mapping(top *topology.Topology) *treematch.Mapping {
 		Mode:           m.Mode,
 		Oversubscribed: m.Oversubscribed,
 		CoreOf:         m.CoreOf,
+		Partitions:     m.Partitions,
 	}
 }
 
@@ -96,6 +103,7 @@ func fromMapping(strategy string, mp *treematch.Mapping) *Assignment {
 		Mode:           mp.Mode,
 		Oversubscribed: mp.Oversubscribed,
 		CoreOf:         mp.CoreOf,
+		Partitions:     mp.Partitions,
 	}
 }
 
@@ -111,6 +119,16 @@ type Strategy interface {
 	// Map computes the assignment of n entities on top. m may be nil
 	// unless CommAware.
 	Map(top *topology.Topology, m *comm.Matrix, n int, opt Options) (*Assignment, error)
+}
+
+// AffinityMapper is the optional interface a comm-aware strategy
+// implements to map directly from the representation-independent
+// affinity surface. The engine's affinity compute path dispatches here
+// when available, so a sparse 10k-task matrix never materializes its
+// n² dense form; strategies without it fall back to Map over
+// a.Dense().
+type AffinityMapper interface {
+	MapAffinity(top *topology.Topology, a comm.Affinity, n int, opt Options) (*Assignment, error)
 }
 
 func validateRequest(s Strategy, top *topology.Topology, m *comm.Matrix, n int) error {

@@ -25,6 +25,72 @@ type MatrixSource interface {
 	Matrix() (*comm.Matrix, error)
 }
 
+// AffinitySource is MatrixSource lifted onto the representation-
+// independent surface: sources whose natural representation is sparse
+// (fleet matrices, observed counters above the dense threshold) serve
+// it without ever materializing n². Dense sources adapt via
+// AffinityOf.
+type AffinitySource interface {
+	// Name labels the source for diagnostics.
+	Name() string
+	// Affinity produces the current communication affinity. Windowed
+	// sources advance their window per call, like MatrixSource.Matrix.
+	Affinity() (comm.Affinity, error)
+}
+
+// matrixAffinitySource adapts a MatrixSource as an AffinitySource: the
+// dense matrix is served as its own affinity.
+type matrixAffinitySource struct{ src MatrixSource }
+
+// AffinityOf adapts a MatrixSource as an AffinitySource. Sources that
+// already implement AffinitySource are returned as-is.
+func AffinityOf(src MatrixSource) AffinitySource {
+	if a, ok := src.(AffinitySource); ok {
+		return a
+	}
+	return &matrixAffinitySource{src: src}
+}
+
+// Name implements AffinitySource.
+func (s *matrixAffinitySource) Name() string { return s.src.Name() }
+
+// Affinity implements AffinitySource.
+func (s *matrixAffinitySource) Affinity() (comm.Affinity, error) {
+	m, err := s.src.Matrix()
+	if err != nil || m == nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FixedAffinitySource serves a constant affinity — sparse traces and
+// large-scale tests, the affinity-surface sibling of FixedSource.
+type FixedAffinitySource struct {
+	Label string
+	A     comm.Affinity
+}
+
+// FixedAffinity wraps a constant affinity as a source.
+func FixedAffinity(label string, a comm.Affinity) *FixedAffinitySource {
+	return &FixedAffinitySource{Label: label, A: a}
+}
+
+// Name implements AffinitySource.
+func (s *FixedAffinitySource) Name() string {
+	if s.Label != "" {
+		return s.Label
+	}
+	return "fixed-affinity"
+}
+
+// Affinity implements AffinitySource.
+func (s *FixedAffinitySource) Affinity() (comm.Affinity, error) {
+	if s == nil || s.A == nil {
+		return nil, fmt.Errorf("placement: fixed affinity source: nil affinity")
+	}
+	return s.A, nil
+}
+
 // DeclaredSource derives the matrix from a program's declared handle
 // graph — today's prog.DependencyMatrix(), behind the seam.
 type DeclaredSource struct {
@@ -99,6 +165,21 @@ func (s *ObservedSource) Matrix() (*comm.Matrix, error) {
 		return s.win.Next(), nil
 	}
 	return s.Prog.ObservedMatrix(), nil
+}
+
+// Affinity implements AffinitySource: the same counters and the same
+// window as Matrix (a windowed source advances one shared window
+// whichever surface is called), served sparse above the dense
+// threshold. AffinityOf therefore returns observed sources as-is.
+func (s *ObservedSource) Affinity() (comm.Affinity, error) {
+	if s == nil || s.Prog == nil {
+		return nil, fmt.Errorf("placement: observed source: nil program")
+	}
+	if s.Windowed {
+		s.winOnce.Do(func() { s.win = s.Prog.Traffic().NewWindow() })
+		return s.win.NextAffinity(), nil
+	}
+	return s.Prog.ObservedAffinity(), nil
 }
 
 // FixedSource serves a constant matrix — replayed traces, tests, and

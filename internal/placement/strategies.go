@@ -1,6 +1,8 @@
 package placement
 
 import (
+	"fmt"
+
 	"orwlplace/internal/comm"
 	"orwlplace/internal/topology"
 	"orwlplace/internal/treematch"
@@ -38,6 +40,25 @@ func (s treeMatchStrategy) Map(top *topology.Topology, m *comm.Matrix, n int, op
 		return nil, err
 	}
 	mp, err := treematch.Map(top, m, opt)
+	if err != nil {
+		return nil, err
+	}
+	return fromMapping(TreeMatch, mp), nil
+}
+
+// MapAffinity implements AffinityMapper: Algorithm 1 on the
+// representation-independent surface, partitioned above the threshold.
+func (s treeMatchStrategy) MapAffinity(top *topology.Topology, a comm.Affinity, n int, opt Options) (*Assignment, error) {
+	if top == nil {
+		return nil, fmt.Errorf("placement: %s: nil topology", s.Name())
+	}
+	if a == nil {
+		return nil, fmt.Errorf("placement: %s: nil affinity", s.Name())
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("placement: %s: need at least one entity, got %d", s.Name(), n)
+	}
+	mp, err := treematch.MapAffinity(top, a, opt)
 	if err != nil {
 		return nil, err
 	}

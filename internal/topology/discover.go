@@ -17,6 +17,7 @@ var machineBuilders = map[string]func() *Topology{
 	"smp12e5":  SMP12E5,
 	"smp20e7":  SMP20E7,
 	"fig2":     Fig2Machine,
+	"fleet1k":  Fleet1K,
 	"tinyht":   TinyHT,
 	"tinyflat": TinyFlat,
 }

@@ -99,6 +99,33 @@ func TinyHT() *Topology {
 	})
 }
 
+// Fleet1K is a synthetic large-scale testbed for the sparse mapping
+// path: 16 blades of 4 NUMA nodes with one 16-core socket each — 1024
+// cores, no hyperthreading. It extrapolates the SMP testbeds' shape to
+// the scale the partitioned mapper targets (10k tasks oversubscribed
+// ~10x onto 1k cores).
+func Fleet1K() *Topology {
+	return MustBuild(Spec{
+		Name:           "Fleet1K",
+		Groups:         16,
+		NUMAPerGroup:   4,
+		SocketsPerNUMA: 1,
+		CoresPerSocket: 16,
+		PUsPerCore:     1,
+		L1Size:         32 << 10,
+		L2Size:         256 << 10,
+		L3Size:         20480 << 10,
+		MemoryPerNUMA:  64 << 30,
+		Attrs: Attrs{
+			Name:             "Fleet1K",
+			SocketModel:      "synthetic-16c",
+			ClockMHz:         2600,
+			InterconnectName: "NUMAlink6",
+			InterconnectGBps: 6.5,
+		},
+	})
+}
+
 // TinyFlat is a small non-hyperthreaded machine for tests: 2 NUMA nodes
 // x 1 socket x 4 cores = 8 PUs.
 func TinyFlat() *Topology {

@@ -1,0 +1,38 @@
+package topology
+
+import "fmt"
+
+// Subtree returns a standalone topology whose root is a deep copy of
+// the given object of top, with all machine attributes preserved. The
+// partitioned mapper uses it to run TreeMatch against one branch of a
+// machine (a NUMA node, a socket) as if it were a whole machine: the
+// subtree's PUs keep their OS indexes, and because logical indexes are
+// assigned depth-first, the subtree's local logical index k corresponds
+// to global logical index base+k where base is the first PU (or core)
+// of the branch — which is what makes stitching per-partition mappings
+// back into machine-global bindings a constant-offset translation.
+func Subtree(top *Topology, obj *Object) (*Topology, error) {
+	if top == nil || obj == nil {
+		return nil, fmt.Errorf("topology: subtree of nil")
+	}
+	var clone func(o *Object) *Object
+	clone = func(o *Object) *Object {
+		c := &Object{
+			Type:      o.Type,
+			OSIndex:   o.OSIndex,
+			CacheSize: o.CacheSize,
+			Memory:    o.Memory,
+		}
+		for _, child := range o.Children {
+			c.Children = append(c.Children, clone(child))
+		}
+		return c
+	}
+	attrs := top.Attrs
+	attrs.Name = fmt.Sprintf("%s/%s", top.Attrs.Name, obj)
+	sub, err := New(clone(obj), attrs)
+	if err != nil {
+		return nil, fmt.Errorf("topology: subtree %s: %w", obj, err)
+	}
+	return sub, nil
+}

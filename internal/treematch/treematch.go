@@ -67,7 +67,20 @@ type Options struct {
 	// quality/time trade-off on top of the greedy engine. Default 0
 	// (off), the paper's configuration.
 	RefineRounds int
+	// PartitionThreshold is the largest order MapAffinity maps densely;
+	// above it the task graph is partitioned along weak cuts and each
+	// partition is mapped against its topology subtree. Default
+	// DefaultPartitionThreshold; negative disables partitioning (always
+	// dense). Map itself ignores it.
+	PartitionThreshold int
 }
+
+// DefaultPartitionThreshold is the order above which MapAffinity
+// switches from the dense single-shot TreeMatch to the partitioned
+// sparse path. It matches comm.DenseOrderThreshold: below it the dense
+// pipeline's constant factors win; above it the O(n²) symmetrize/
+// extend/aggregate chain dominates the mapping time.
+const DefaultPartitionThreshold = comm.DenseOrderThreshold
 
 func (o Options) withDefaults() Options {
 	if o.ControlVolumeFraction == 0 {
@@ -75,6 +88,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ExhaustiveLimit == 0 {
 		o.ExhaustiveLimit = 12
+	}
+	if o.PartitionThreshold == 0 {
+		o.PartitionThreshold = DefaultPartitionThreshold
 	}
 	return o
 }
@@ -100,6 +116,11 @@ type Mapping struct {
 	Oversubscribed bool
 	// CoreOf[i] is the logical core index entity i runs on (diagnostic).
 	CoreOf []int
+	// Partitions describes the partition structure when the mapping was
+	// produced by the partitioned path (MapAffinity above the
+	// threshold); nil for a single-shot dense mapping. Adaptive
+	// re-placement uses it to track drift and recompute per subtree.
+	Partitions *Partitioning
 }
 
 // PUSet returns the set of OS indexes of all PUs used by compute
