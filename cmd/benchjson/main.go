@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	benchjson [-o BENCH_PR9.json] [-bench regex] [-pkgs p1,p2] \
+//	benchjson [-o BENCH_PR10.json] [-bench regex] [-pkgs p1,p2] \
 //	          [-benchtime 1s] [-baseline scripts/bench_baseline_pr3.json] \
 //	          [-placeload 2s]
 //
@@ -80,18 +80,21 @@ type File struct {
 // 10ktasks-1kcores sparse partitioned case), engine cold/cached/burst,
 // grouping engines, matrix pipeline, the placement RPC round trip, the
 // runtime traffic counters (instrumented vs uninstrumented pairs) and
-// the adaptive reconciliation epoch.
+// the adaptive reconciliation epoch and the PR 10 schema v6 delta
+// push (encode+decode+apply+sparse-rebind of a single-partition remap
+// at 10k tasks; its extra metrics carry the push_bytes_ratio and
+// rebind_ratio acceptance numbers).
 const defaultBench = "TreeMatchMap|TreeMatchCold|TreeMatchCached|TreeMatchConcurrentBurst|" +
 	"GroupGreedy|GroupExhaustive|MapRing160|SymmetrizedInto|ExtendInto|AggregateInto|" +
 	"HeaviestPairsSparse|PlaceComputeRoundTrip|PlaceBatchRoundTrip|PlaceSequentialRoundTrip|" +
-	"TrafficRecord|RawAcquireRelease|FifoPushPop|ObservedWindow|AdaptiveEpoch"
+	"TrafficRecord|RawAcquireRelease|FifoPushPop|ObservedWindow|AdaptiveEpoch|RemapDeltaPush"
 
 func defaultPkgs() []string {
 	return []string{".", "./internal/placement", "./internal/treematch", "./internal/comm", "./internal/orwlnet", "./internal/orwl"}
 }
 
 func main() {
-	out := flag.String("o", "BENCH_PR9.json", "output JSON path")
+	out := flag.String("o", "BENCH_PR10.json", "output JSON path")
 	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
 	pkgs := flag.String("pkgs", strings.Join(defaultPkgs(), ","), "comma-separated packages to bench")
 	benchtime := flag.String("benchtime", "1s", "go test -benchtime value")

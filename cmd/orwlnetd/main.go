@@ -8,8 +8,9 @@
 // Usage:
 //
 //	orwlnetd [-addr host:port] [-loc name:size ...] [-place] [-machine name ...] [-cache-entries n] [-conn-idle d]
-//	         [-adaptive] [-snapshot-path file] [-snapshot-interval d] [-report-rate r] [-report-burst b]
-//	         [-report-max-bytes n] [-report-max-rows n] [-report-bandwidth bps] [-max-lease-tasks n]
+//	         [-adaptive] [-snapshot-path file] [-snapshot-interval d] [-snapshot-keep n] [-stats-addr host:port]
+//	         [-report-rate r] [-report-burst b] [-report-max-bytes n] [-report-max-rows n] [-report-bandwidth bps]
+//	         [-max-lease-tasks n]
 //	orwlnetd -inspect-snapshot file [-max-lease-tasks n]
 //
 // At least one of -loc or -place is required. -machine is repeatable
@@ -42,6 +43,22 @@
 // epoch counters, so reconnecting clients see a continuous epoch
 // stream instead of a reset.
 //
+// -snapshot-keep N retains the last N snapshot generations instead of
+// overwriting one file: each save shifts file → file.1 → … →
+// file.(N-1) before writing fresh, and restore picks the newest
+// generation that passes its checksum — a snapshot corrupted by a
+// crash or a bad disk block falls back to the previous one instead of
+// forcing a cold start.
+//
+// -stats-addr (requires -place) serves the daemon's live ServiceStats
+// — placement counters, transport NetStats, control-plane FleetStats
+// including the delta/full remap push split — as JSON over HTTP:
+// GET /stats returns the snapshot, and /debug/vars exposes the same
+// object through the standard expvar surface for generic scrapers.
+// The endpoint is read-only and binds separately from the RPC
+// listener, so it can stay on localhost while the daemon serves the
+// fleet.
+//
 // -max-lease-tasks raises (or lowers) the largest global task index the
 // control plane accepts — in lease registrations and when validating a
 // restored snapshot. The default matches the wire protocol's historic
@@ -67,11 +84,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io/fs"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -137,6 +157,8 @@ func main() {
 	inspectSnap := flag.String("inspect-snapshot", "", "dump the given control-plane snapshot (leases, epochs, matrix density, checksum status) and exit without starting a daemon")
 	snapPath := flag.String("snapshot-path", "", "persist the control plane (leases, epochs, adopted remaps) to this file and restore it on startup (requires -adaptive)")
 	snapInterval := flag.Duration("snapshot-interval", 10*time.Second, "cadence of periodic snapshots with -snapshot-path (a final snapshot is always taken on graceful drain)")
+	snapKeep := flag.Int("snapshot-keep", 1, "snapshot generations to retain with -snapshot-path: each save rotates file -> file.1 -> ... and restore falls back to the newest generation whose checksum verifies")
+	statsAddr := flag.String("stats-addr", "", "serve read-only ServiceStats as JSON over HTTP on this address (GET /stats, expvar at /debug/vars; requires -place)")
 	reportRate := flag.Float64("report-rate", 0, "per-lease observed-report rate limit in reports/sec (0 = unlimited); a throttled peer gets a retryable error, others are unaffected")
 	reportBurst := flag.Float64("report-burst", 0, "burst allowance for -report-rate (0 = the rate itself)")
 	reportMaxBytes := flag.Int("report-max-bytes", 0, "refuse observed-report frames larger than this many bytes (0 = the protocol's 64MiB ceiling)")
@@ -166,6 +188,14 @@ func main() {
 	}
 	if *snapPath != "" && !*adaptive {
 		fmt.Fprintln(os.Stderr, "orwlnetd: -snapshot-path requires -adaptive (only the control plane has durable state)")
+		os.Exit(2)
+	}
+	if *snapKeep < 1 {
+		fmt.Fprintln(os.Stderr, "orwlnetd: -snapshot-keep must be at least 1")
+		os.Exit(2)
+	}
+	if *statsAddr != "" && !*place {
+		fmt.Fprintln(os.Stderr, "orwlnetd: -stats-addr requires -place (the stats endpoint serves the placement service description)")
 		os.Exit(2)
 	}
 
@@ -229,7 +259,7 @@ func main() {
 			fmt.Printf("orwlnetd: fleet control plane on (epoch %v, adopt-after %d, cooldown %d)\n",
 				*epochInterval, *adoptAfter, *cooldownEpochs)
 			if *snapPath != "" {
-				restoreSnapshot(ctrl, *snapPath, *maxLeaseTasks)
+				restoreSnapshot(ctrl, *snapPath, *maxLeaseTasks, *snapKeep)
 			}
 		}
 	}
@@ -257,6 +287,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "orwlnetd: %v\n", err)
 		os.Exit(1)
+	}
+
+	// The stats endpoint binds before the daemon announces itself, so a
+	// scraper started right after the banner never races the listener.
+	if *statsAddr != "" {
+		statsLis, err := startStatsServer(*statsAddr, srv)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "orwlnetd: stats endpoint: %v\n", err)
+			os.Exit(1)
+		}
+		defer statsLis.Close()
+		fmt.Printf("orwlnetd: stats endpoint on http://%s/stats\n", statsLis.Addr())
 	}
 
 	// The control plane's epoch loop runs beside the server and stops
@@ -290,7 +332,7 @@ func main() {
 				case <-ctrlCtx.Done():
 					return
 				case <-tick.C:
-					saveSnapshot(ctrl, *snapPath)
+					saveSnapshot(ctrl, *snapPath, *snapKeep)
 				}
 			}
 		}()
@@ -315,7 +357,7 @@ func main() {
 		if ctrl != nil && *snapPath != "" {
 			// Final snapshot after the drain: every acknowledged report
 			// and adopted epoch is in it.
-			saveSnapshot(ctrl, *snapPath)
+			saveSnapshot(ctrl, *snapPath, *snapKeep)
 		}
 		fmt.Println("orwlnetd: drained, bye")
 	case err := <-serveErr:
@@ -326,14 +368,15 @@ func main() {
 	}
 }
 
-// restoreSnapshot loads the control plane's state from path, validated
-// against the daemon's lease-task bound (a snapshot written under a
-// raised -max-lease-tasks only restores under the same bound). A
-// missing file is a normal first start; anything unreadable —
-// truncated, bit-flipped, written by an incompatible version — logs a
-// warning and starts fresh rather than refusing to serve.
-func restoreSnapshot(ctrl *ctrlplane.Controller, path string, maxTasks int) {
-	s, err := ctrlplane.LoadSnapshotLimit(path, maxTasks)
+// restoreSnapshot loads the control plane's state from the newest
+// valid generation under path (see -snapshot-keep), validated against
+// the daemon's lease-task bound (a snapshot written under a raised
+// -max-lease-tasks only restores under the same bound). A missing file
+// is a normal first start; when every present generation is unreadable
+// — truncated, bit-flipped, written by an incompatible version — it
+// logs a warning and starts fresh rather than refusing to serve.
+func restoreSnapshot(ctrl *ctrlplane.Controller, path string, maxTasks, keep int) {
+	s, source, err := ctrlplane.LoadSnapshotNewestLimit(path, maxTasks, keep)
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		return
@@ -342,7 +385,7 @@ func restoreSnapshot(ctrl *ctrlplane.Controller, path string, maxTasks int) {
 		return
 	}
 	if err := ctrl.Restore(s); err != nil {
-		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s not restorable (%v): starting fresh\n", path, err)
+		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s not restorable (%v): starting fresh\n", source, err)
 		return
 	}
 	var maxEpoch uint64
@@ -352,16 +395,49 @@ func restoreSnapshot(ctrl *ctrlplane.Controller, path string, maxTasks int) {
 		}
 	}
 	fmt.Printf("orwlnetd: resumed from snapshot %s: %d lease(s), %d machine(s), max epoch %d\n",
-		path, len(s.Leases), len(s.Machines), maxEpoch)
+		source, len(s.Leases), len(s.Machines), maxEpoch)
 }
 
-// saveSnapshot persists the control plane's state; failures are logged
-// and the daemon keeps serving (durability is best-effort, service is
-// not).
-func saveSnapshot(ctrl *ctrlplane.Controller, path string) {
-	if err := ctrlplane.SaveSnapshot(path, ctrl.Snapshot()); err != nil {
+// saveSnapshot persists the control plane's state, rotating the last
+// keep generations; failures are logged and the daemon keeps serving
+// (durability is best-effort, service is not).
+func saveSnapshot(ctrl *ctrlplane.Controller, path string, keep int) {
+	if err := ctrlplane.SaveSnapshotRotate(path, ctrl.Snapshot(), keep); err != nil {
 		fmt.Fprintf(os.Stderr, "orwlnetd: snapshot %s: %v\n", path, err)
 	}
+}
+
+// startStatsServer binds the read-only stats endpoint: GET /stats
+// answers the daemon's live ServiceStats as JSON, and /debug/vars
+// exposes the same snapshot through the standard expvar surface (the
+// shape generic scrapers already understand).
+func startStatsServer(addr string, srv *orwlnet.Server) (net.Listener, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	expvar.Publish("orwlplace", expvar.Func(func() any {
+		st, err := srv.ServiceStats(context.Background())
+		if err != nil {
+			return map[string]string{"error": err.Error()}
+		}
+		return st
+	}))
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		st, err := srv.ServiceStats(r.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	})
+	go http.Serve(lis, mux)
+	return lis, nil
 }
 
 // inspectSnapshot dumps a control-plane snapshot for operators: the

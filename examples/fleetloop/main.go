@@ -41,20 +41,24 @@ func main() {
 	tasks := flag.Int("tasks", 8, "tasks this process contributes")
 	duration := flag.Duration("duration", 10*time.Second, "how long to run")
 	shift := flag.Duration("shift", 3*time.Second, "when the traffic pattern shifts from ring to pairs")
+	shiftSpan := flag.Float64("shift-span", 1.0, "fraction of this process's tasks the shift touches (the rest keep ringing; small spans make remaps delta-friendly)")
 	interval := flag.Duration("interval", 250*time.Millisecond, "observed-window report cadence")
 	flag.Parse()
+	if *shiftSpan <= 0 || *shiftSpan > 1 {
+		log.Fatalf("fleetloop: -shift-span %v outside (0,1]", *shiftSpan)
+	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *duration)
 	defer cancel()
 	sigCtx, sigStop := signal.NotifyContext(ctx, syscall.SIGINT, syscall.SIGTERM)
 	defer sigStop()
 
-	if err := run(sigCtx, *daemon, *peer, *base, *tasks, *shift, *interval); err != nil {
+	if err := run(sigCtx, *daemon, *peer, *base, *tasks, *shift, *shiftSpan, *interval); err != nil {
 		log.Fatalf("fleetloop: %v", err)
 	}
 }
 
-func run(ctx context.Context, daemon, peer string, base, tasks int, shift, interval time.Duration) error {
+func run(ctx context.Context, daemon, peer string, base, tasks int, shift time.Duration, shiftSpan float64, interval time.Duration) error {
 	prog := orwl.MustProgram(tasks)
 
 	// Retries armed: transient daemon outages (a restart, a dropped
@@ -79,14 +83,14 @@ func run(ctx context.Context, daemon, peer string, base, tasks int, shift, inter
 	// Synthetic traffic: tasks talk in a ring until the shift, then in
 	// reversed pairs — a pattern the ring mapping is wrong for, so the
 	// daemon's drift measure fires and a remap comes back.
-	go generate(ctx, prog, base, tasks, shift)
+	go generate(ctx, prog, base, tasks, shift, shiftSpan)
 
 	err = fa.Run(ctx, func(ev orwlplace.Remap) {
 		fmt.Printf("fleetloop[%s]: applied remap machine=%s epoch=%d drift=%.3f\n", peer, ev.Machine, ev.Epoch, ev.Drift)
 	})
 	st := fa.Stats()
-	fmt.Printf("fleetloop[%s]: done: reports=%d remaps-applied=%d last-epoch=%d dropped-windows=%d re-leases=%d\n",
-		peer, st.Reports, st.Remaps, st.AppliedEpoch, st.DroppedWindows, st.Releases)
+	fmt.Printf("fleetloop[%s]: done: reports=%d remaps-applied=%d last-epoch=%d dropped-windows=%d re-leases=%d delta-remaps=%d tasks-rebound=%d\n",
+		peer, st.Reports, st.Remaps, st.AppliedEpoch, st.DroppedWindows, st.Releases, st.DeltaRemaps, st.TasksRebound)
 	if err != nil && ctx.Err() == nil {
 		return err
 	}
@@ -101,8 +105,21 @@ func run(ctx context.Context, daemon, peer string, base, tasks int, shift, inter
 // counters. Local task i is fleet task base+i; the patterns are
 // expressed in local indices (each process generates only its own
 // slice of the machine-wide pattern).
-func generate(ctx context.Context, prog *orwlplace.Program, base, tasks int, shift time.Duration) {
+//
+// Before the shift every task rings. After it, only the first
+// span=tasks*shiftSpan tasks flip to the reversed pairing; the rest
+// keep ringing. A small span changes few placements, which is exactly
+// what the schema v6 delta push is for — the daemon ships the handful
+// of moved tasks instead of the whole assignment.
+func generate(ctx context.Context, prog *orwlplace.Program, base, tasks int, shift time.Duration, shiftSpan float64) {
 	start := time.Now()
+	span := int(float64(tasks) * shiftSpan)
+	if span < 2 {
+		span = 2 // a pairing needs at least one pair
+	}
+	if span > tasks {
+		span = tasks
+	}
 	tr := prog.Traffic()
 	tick := time.NewTicker(20 * time.Millisecond)
 	defer tick.Stop()
@@ -117,8 +134,11 @@ func generate(ctx context.Context, prog *orwlplace.Program, base, tasks int, shi
 				tr.Record(i, (i+1)%tasks, 4096)
 			}
 		} else {
-			for i := 0; i < tasks/2; i++ {
-				tr.Record(i, tasks-1-i, 8192)
+			for i := 0; i < span/2; i++ {
+				tr.Record(i, span-1-i, 8192)
+			}
+			for i := span; i < tasks; i++ {
+				tr.Record(i, span+(i+1-span)%(tasks-span), 4096)
 			}
 		}
 	}

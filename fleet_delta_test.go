@@ -1,0 +1,96 @@
+package orwlplace
+
+// In-package tests for the facade's O(changed) remap application: a
+// delta-aware event re-binds only the moved tasks inside the lease,
+// and anything the loop cannot build on (first remap, epoch gap)
+// falls back to the full re-bind.
+
+import (
+	"testing"
+
+	"orwlplace/internal/orwl"
+)
+
+func TestFleetAdaptiveSparseRebind(t *testing.T) {
+	const n = 8
+	prog := orwl.MustProgram(n)
+	fa := &FleetAdaptive{prog: prog, count: n}
+
+	full := &Assignment{Strategy: "treematch", ComputePU: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+	if applied, err := fa.ApplyRemap(Remap{Machine: "m", Epoch: 1, Assignment: full}); err != nil || !applied {
+		t.Fatalf("first remap = (%v, %v), want applied", applied, err)
+	}
+	if b := prog.Binding(); len(b) != n {
+		t.Fatalf("first remap bound %d tasks, want the full %d", len(b), n)
+	}
+
+	// Epoch 2 names its moved tasks: only those re-bind.
+	next := full.Clone()
+	next.ComputePU[2] = 9
+	next.ComputePU[5] = 10
+	if applied, err := fa.ApplyRemap(Remap{Machine: "m", Epoch: 2, Assignment: next, MovedTasks: []int{2, 5}, Delta: true}); err != nil || !applied {
+		t.Fatalf("delta remap = (%v, %v), want applied", applied, err)
+	}
+	b := prog.Binding()
+	if b[2] != 9 || b[5] != 10 || b[0] != 0 || b[7] != 7 {
+		t.Fatalf("binding after delta = %v", b)
+	}
+	st := fa.Stats()
+	if st.Remaps != 2 || st.DeltaRemaps != 1 {
+		t.Fatalf("stats after delta = %+v, want 2 remaps, 1 sparse", st)
+	}
+	if st.TasksRebound != n+2 {
+		t.Fatalf("tasks rebound = %d, want %d (full) + 2 (delta)", st.TasksRebound, n+2)
+	}
+
+	// An epoch gap (3 was never applied) cannot trust the moved set:
+	// the whole slice re-binds.
+	gap := next.Clone()
+	gap.ComputePU[1] = 11
+	if applied, err := fa.ApplyRemap(Remap{Machine: "m", Epoch: 4, Assignment: gap, MovedTasks: []int{1}}); err != nil || !applied {
+		t.Fatalf("gap remap = (%v, %v), want applied", applied, err)
+	}
+	st = fa.Stats()
+	if st.DeltaRemaps != 1 {
+		t.Fatalf("epoch gap took the sparse path: %+v", st)
+	}
+	if st.TasksRebound != n+2+n {
+		t.Fatalf("tasks rebound = %d, want %d", st.TasksRebound, n+2+n)
+	}
+	if b := prog.Binding(); b[1] != 11 {
+		t.Fatalf("gap remap lost task 1's move: %v", b)
+	}
+}
+
+// TestFleetAdaptiveSparseRebindProjectsLease: the machine-global moved
+// set is projected onto the lease's task range — moves outside it cost
+// nothing.
+func TestFleetAdaptiveSparseRebindProjectsLease(t *testing.T) {
+	const leaseCount, base = 4, 4
+	prog := orwl.MustProgram(leaseCount)
+	fa := &FleetAdaptive{prog: prog, cfg: FleetAdaptiveConfig{TaskBase: base}, count: leaseCount}
+
+	full := &Assignment{Strategy: "treematch", ComputePU: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+	if applied, err := fa.ApplyRemap(Remap{Epoch: 1, Assignment: full}); err != nil || !applied {
+		t.Fatalf("first remap = (%v, %v)", applied, err)
+	}
+
+	// Fleet tasks 1 (outside the lease) and 5 (local task 1) move.
+	next := full.Clone()
+	next.ComputePU[1] = 12
+	next.ComputePU[5] = 13
+	if applied, err := fa.ApplyRemap(Remap{Epoch: 2, Assignment: next, MovedTasks: []int{1, 5}}); err != nil || !applied {
+		t.Fatalf("delta remap = (%v, %v)", applied, err)
+	}
+	b := prog.Binding()
+	if b[1] != 13 {
+		t.Fatalf("local task 1 bound to %d, want fleet task 5's new PU 13", b[1])
+	}
+	st := fa.Stats()
+	if st.DeltaRemaps != 1 {
+		t.Fatalf("stats = %+v, want one sparse remap", st)
+	}
+	if st.TasksRebound != leaseCount+1 {
+		t.Fatalf("tasks rebound = %d, want %d (full) + 1 (the one local move)", st.TasksRebound, leaseCount+1)
+	}
+}

@@ -27,6 +27,20 @@ type Remap struct {
 	// lease's TaskBase+i) runs on Assignment.ComputePU[t]. A client
 	// applies its lease's slice.
 	Assignment *placement.Assignment
+	// MovedTasks lists, ascending, the tasks whose placement changed
+	// relative to the previous epoch — what a schema v6 delta frame
+	// ships and an O(changed) re-bind touches. Nil means unknown (the
+	// initial adoption, a catch-up snapshot, or incomparable
+	// assignments): consumers must then treat every task as possibly
+	// moved.
+	MovedTasks []int
+	// RemappedPartitions lists the partition indices the reconciler
+	// re-placed for this adoption (nil when unknown or unpartitioned).
+	RemappedPartitions []int
+	// Delta is set on the client side when this event was reconstructed
+	// from a delta frame rather than received as a full snapshot — a
+	// diagnostic for counters; the Assignment is complete either way.
+	Delta bool
 }
 
 // Config tunes a Controller.
@@ -257,9 +271,26 @@ func (c *Controller) Epoch(machine string) (*placement.EpochReport, error) {
 		return nil, err
 	}
 	if rep.Adopted {
-		c.publish(lp, Remap{Machine: machine, Drift: rep.Drift, Assignment: rep.Assignment.Clone()})
+		c.publish(lp, Remap{
+			Machine:            machine,
+			Drift:              rep.Drift,
+			Assignment:         rep.Assignment.Clone(),
+			MovedTasks:         cloneInts(rep.MovedTasks),
+			RemappedPartitions: cloneInts(rep.RemappedPartitions),
+		})
 	}
 	return rep, nil
+}
+
+// cloneInts copies s, preserving the nil (unknown) vs empty (known,
+// nothing in it) distinction that MovedTasks relies on.
+func cloneInts(s []int) []int {
+	if s == nil {
+		return nil
+	}
+	out := make([]int, len(s))
+	copy(out, s)
+	return out
 }
 
 func (c *Controller) adaptiveStrategy() string {

@@ -21,8 +21,10 @@ package ctrlplane
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -642,6 +644,71 @@ func SaveSnapshot(path string, s *Snapshot) error {
 		return fmt.Errorf("ctrlplane: snapshot: %w", err)
 	}
 	return nil
+}
+
+// snapshotRotation names the numbered generations behind path:
+// path.1 is the previous snapshot, path.2 the one before, and so on.
+func snapshotRotation(path string, i int) string {
+	return fmt.Sprintf("%s.%d", path, i)
+}
+
+// SaveSnapshotRotate is SaveSnapshot with retention: before the fresh
+// write, the existing generations shift down one slot (path → path.1 →
+// … → path.(keep-1), the oldest falling off), so the last keep
+// snapshots survive. keep <= 1 is plain SaveSnapshot. Rotation is a
+// chain of renames oldest-first, so a crash at any point leaves every
+// surviving generation intact (at worst the newest state lives in
+// path.1 until the next save); the fresh write itself stays atomic.
+func SaveSnapshotRotate(path string, s *Snapshot, keep int) error {
+	if keep <= 1 {
+		return SaveSnapshot(path, s)
+	}
+	for i := keep - 2; i >= 1; i-- {
+		if err := os.Rename(snapshotRotation(path, i), snapshotRotation(path, i+1)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("ctrlplane: snapshot: rotating generation %d: %w", i, err)
+		}
+	}
+	if err := os.Rename(path, snapshotRotation(path, 1)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("ctrlplane: snapshot: rotating current snapshot: %w", err)
+	}
+	return SaveSnapshot(path, s)
+}
+
+// LoadSnapshotNewestLimit restores from a rotated snapshot set: it
+// tries path, then path.1, path.2, … up to keep-1 generations back,
+// and returns the first one that reads and verifies — a damaged or
+// truncated newest file (a crash mid-rotation, a corrupted disk
+// block) falls back to the older generation instead of forcing a
+// cold start. The returned source names the file that won. Only when
+// every present generation is damaged (or none exists) does it
+// return the newest file's error, wrapped fs.ErrNotExist when no
+// generation exists at all.
+func LoadSnapshotNewestLimit(path string, maxTasks, keep int) (*Snapshot, string, error) {
+	if keep < 1 {
+		keep = 1
+	}
+	var firstErr error
+	missing := 0
+	for i := 0; i < keep; i++ {
+		p := path
+		if i > 0 {
+			p = snapshotRotation(path, i)
+		}
+		snap, err := LoadSnapshotLimit(p, maxTasks)
+		if err == nil {
+			return snap, p, nil
+		}
+		if errors.Is(err, fs.ErrNotExist) {
+			missing++
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if missing == keep {
+		return nil, "", firstErr // no generation exists: a fresh deployment
+	}
+	return nil, "", fmt.Errorf("ctrlplane: snapshot: no valid generation under %s: %w", path, firstErr)
 }
 
 // LoadSnapshot reads and verifies the snapshot at path. A missing file

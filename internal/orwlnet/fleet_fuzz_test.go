@@ -20,11 +20,11 @@ func FuzzObservedReportDecode(f *testing.F) {
 			dense.Set(i, j, float64(i*4+j+1))
 		}
 	}
-	if seed, err := encodeObservedReport(nil, 7, 3, dense); err == nil {
+	if seed, err := encodeObservedReport(nil, schemaFleet, 7, 3, dense); err == nil {
 		f.Add(seed)
 	}
 	sparse := comm.Ring(16, 1<<20, true)
-	if seed, err := encodeObservedReport(nil, 1, 1, sparse); err == nil {
+	if seed, err := encodeObservedReport(nil, schemaFleet, 1, 1, sparse); err == nil {
 		f.Add(seed)
 		f.Add(seed[:len(seed)/2]) // truncated mid-matrix
 	}
@@ -38,7 +38,7 @@ func FuzzObservedReportDecode(f *testing.F) {
 		if delta == nil {
 			t.Fatal("accepted report without a matrix")
 		}
-		re, err := encodeObservedReport(nil, leaseID, seq, delta)
+		re, err := encodeObservedReport(nil, schemaFleet, leaseID, seq, delta)
 		if err != nil {
 			t.Fatalf("accepted report does not re-encode: %v", err)
 		}

@@ -342,7 +342,7 @@ func TestFleetOpsRefusedBelowProtoFleet(t *testing.T) {
 	// Server-side guard: a hand-rolled frame past the stub must be
 	// refused by the dispatch, not crash it.
 	for _, op := range []byte{opFleetLease, opObservedReport, opWatchRemaps} {
-		payload, err := encodeFleetLeaseRequest(nil, "fig2", "old", 0, 4, 0)
+		payload, err := encodeFleetLeaseRequest(nil, schemaFleet, "fig2", "old", 0, 4, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,15 +2,17 @@ package orwlnet
 
 import (
 	"fmt"
+	"sort"
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/ctrlplane"
 	"orwlplace/internal/placement"
+	"orwlplace/internal/treematch"
 )
 
-// Schema v5 codecs: the fleet control-plane frames. All three start
-// with the schema-version byte like every placement payload, so a
-// future schema can evolve the layouts behind the same opcodes.
+// Schema v5/v6 codecs: the fleet control-plane frames. All start with
+// the schema-version byte like every placement payload, so a future
+// schema can evolve the layouts behind the same opcodes.
 //
 //	opFleetLease      req:  version, machine, peer, base, count
 //	                        [, ownership token — absent = 0, unowned]
@@ -22,12 +24,40 @@ import (
 //	                        later adoption arrives as an unsolicited
 //	                        frame with the same call id and layout
 //
-// The remap frame is version, machine, epoch, drift, assignment
+// The v5 remap frame is version, machine, epoch, drift, assignment
 // (schema v4 varint packing). Epoch 0 with no assignment is the
-// "nothing adopted yet" ack.
+// "nothing adopted yet" ack. Schema v6 inserts a kind byte after the
+// version: kind 0 is the same full-assignment body, kind 1 is the
+// partition delta (see the remapDelta layout below). The request
+// frames are layout-identical in v5 and v6 — only the version byte
+// differs, chosen per connection so a genuine v5 peer keeps decoding.
+const (
+	// schemaFleet / schemaDelta are the payload schema versions of the
+	// v5 and v6 fleet frames (they track protoFleet / protoDelta).
+	schemaFleet = 5
+	schemaDelta = 6
+)
 
-func encodeFleetLeaseRequest(dst []byte, machine, peer string, base, count int, token uint64) ([]byte, error) {
-	dst, _, err := putWireVersion(dst, 0)
+// Remap frame kinds (schema v6, the byte after the version).
+const (
+	remapKindFull  = 0
+	remapKindDelta = 1
+)
+
+// Validation bounds for the untrusted delta decoder. They are
+// deliberately far above any deployed configuration (the default
+// lease-task bound is 2896 and -max-lease-tasks raises it by orders of
+// magnitude before these bite) while still keeping a hostile length
+// prefix from forcing huge allocations.
+const (
+	// maxDeltaTasks bounds the task-space order a delta frame may claim.
+	maxDeltaTasks = 1 << 21
+	// maxDeltaPU bounds the PU / core indices a delta frame may carry.
+	maxDeltaPU = 1 << 20
+)
+
+func encodeFleetLeaseRequest(dst []byte, schema int, machine, peer string, base, count int, token uint64) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, schema)
 	if err != nil {
 		return nil, err
 	}
@@ -84,11 +114,11 @@ func decodeFleetLeaseResponse(src []byte) (uint64, error) {
 // matrix crosses in the schema v4 compact encoding (sparse or dense,
 // whichever is smaller) — observed windows are usually even sparser
 // than declared matrices.
-func encodeObservedReport(dst []byte, leaseID, seq uint64, delta *comm.Matrix) ([]byte, error) {
+func encodeObservedReport(dst []byte, schema int, leaseID, seq uint64, delta *comm.Matrix) ([]byte, error) {
 	if delta == nil {
 		return nil, fmt.Errorf("orwlnet: nil observed window")
 	}
-	dst, _, err := putWireVersion(dst, 0)
+	dst, _, err := putWireVersion(dst, schema)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +151,8 @@ func decodeObservedReport(src []byte) (leaseID, seq uint64, delta *comm.Matrix, 
 	return leaseID, seq, delta, nil
 }
 
-func encodeWatchRequest(dst []byte, machine string, sinceEpoch uint64) ([]byte, error) {
-	dst, _, err := putWireVersion(dst, 0)
+func encodeWatchRequest(dst []byte, schema int, machine string, sinceEpoch uint64) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, schema)
 	if err != nil {
 		return nil, err
 	}
@@ -144,64 +174,474 @@ func decodeWatchRequest(src []byte) (machine string, sinceEpoch uint64, err erro
 	return machine, sinceEpoch, nil
 }
 
-// encodeRemapFrame frames one remap event (or the empty ack when ev is
-// nil: epoch 0, no assignment).
+// encodeRemapFrame frames one remap event in the schema v5 full-frame
+// layout (or the empty ack when ev is nil: epoch 0, no assignment) —
+// the only layout a protoFleet subscriber decodes. The version byte is
+// pinned to schemaFleet, not this build's ServiceVersion: a genuine v5
+// peer rejects anything newer.
 func encodeRemapFrame(dst []byte, ev *ctrlplane.Remap) ([]byte, error) {
-	dst, _, err := putWireVersion(dst, 0)
+	dst, _, err := putWireVersion(dst, schemaFleet)
 	if err != nil {
 		return nil, err
 	}
+	return appendRemapHeaderAndBody(dst, ev), nil
+}
+
+// encodeRemapFrameV6 frames one remap event for a protoDelta
+// subscriber. When allowDelta is set (the pusher proved the subscriber
+// holds exactly the previous epoch) and the event is delta-eligible
+// (it knows its moved-task set), both bodies are measured and the
+// smaller ships — the same choice rule as the v4 sparse/dense matrix
+// encoding. The returned bool reports whether the delta form was used.
+func encodeRemapFrameV6(dst []byte, ev *ctrlplane.Remap, allowDelta bool) ([]byte, bool, error) {
+	base := len(dst)
+	full, _, err := putWireVersion(dst, schemaDelta)
+	if err != nil {
+		return nil, false, err
+	}
+	full = append(full, remapKindFull)
+	full = appendRemapHeaderAndBody(full, ev)
+	if !allowDelta || ev == nil {
+		return full, false, nil
+	}
+	d, err := buildRemapDelta(ev)
+	if err != nil {
+		return full, false, nil // ineligible: the full frame is the fallback
+	}
+	delta, err := encodeRemapDelta(nil, d)
+	if err != nil || len(delta) >= len(full)-base {
+		return full, false, nil
+	}
+	return append(full[:base], delta...), true, nil
+}
+
+// appendRemapHeaderAndBody appends machine, epoch, drift and the v4
+// assignment — the shared tail of the v5 frame and the v6 full frame.
+func appendRemapHeaderAndBody(dst []byte, ev *ctrlplane.Remap) []byte {
 	if ev == nil {
 		dst = putString(dst, "")
 		dst = putUvarint(dst, 0)
 		dst = putUvarint(dst, zigzagFloat(0))
-		return putAssignmentV4(dst, nil), nil
+		return putAssignmentV4(dst, nil)
 	}
 	dst = putString(dst, ev.Machine)
 	dst = putUvarint(dst, ev.Epoch)
 	dst = putUvarint(dst, zigzagFloat(ev.Drift))
-	return putAssignmentV4(dst, ev.Assignment), nil
+	return putAssignmentV4(dst, ev.Assignment)
 }
 
-// decodeRemapFrame decodes a remap event frame. A zero epoch means
-// "nothing adopted yet" (the subscription ack before the first
-// adoption); its Remap has no assignment.
+// decodeRemapFrame decodes a full remap frame (either schema). A zero
+// epoch means "nothing adopted yet" (the subscription ack before the
+// first adoption); its Remap has no assignment. Delta frames are an
+// error here — callers that can apply them use decodeRemapFrameAny.
 func decodeRemapFrame(src []byte) (*ctrlplane.Remap, error) {
-	_, rest, err := checkWireVersion(src)
+	ev, d, err := decodeRemapFrameAny(src)
 	if err != nil {
 		return nil, err
 	}
-	ev := &ctrlplane.Remap{}
-	if ev.Machine, rest, err = getString(rest); err != nil {
-		return nil, err
-	}
-	if ev.Epoch, rest, err = getUvarint(rest); err != nil {
-		return nil, err
-	}
-	var raw uint64
-	if raw, rest, err = getUvarint(rest); err != nil {
-		return nil, err
-	}
-	ev.Drift = unzigzagFloat(raw)
-	if ev.Assignment, _, err = getAssignmentV4(rest); err != nil {
-		return nil, err
-	}
-	if ev.Epoch > 0 && ev.Assignment == nil {
-		return nil, fmt.Errorf("orwlnet: remap epoch %d without an assignment", ev.Epoch)
+	if d != nil {
+		return nil, fmt.Errorf("orwlnet: remap delta frame where a full frame was expected")
 	}
 	return ev, nil
 }
 
-// FleetStats codec (schema v5 stats payload tail).
+// decodeRemapFrameAny decodes a remap frame of either schema and
+// either kind. Exactly one of the results is non-nil on success: a
+// full frame yields the Remap, a delta frame yields the remapDelta the
+// caller applies onto its cached assignment.
+func decodeRemapFrameAny(src []byte) (*ctrlplane.Remap, *remapDelta, error) {
+	v, rest, err := checkWireVersion(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if v >= schemaDelta {
+		if len(rest) < 1 {
+			return nil, nil, fmt.Errorf("orwlnet: remap frame without a kind byte")
+		}
+		kind := rest[0]
+		rest = rest[1:]
+		switch kind {
+		case remapKindFull:
+			// fall through to the shared full-body decode below
+		case remapKindDelta:
+			d, err := decodeRemapDelta(rest)
+			if err != nil {
+				return nil, nil, err
+			}
+			return nil, d, nil
+		default:
+			return nil, nil, fmt.Errorf("orwlnet: unknown remap frame kind %d", kind)
+		}
+	}
+	ev := &ctrlplane.Remap{}
+	if ev.Machine, rest, err = getString(rest); err != nil {
+		return nil, nil, err
+	}
+	if ev.Epoch, rest, err = getUvarint(rest); err != nil {
+		return nil, nil, err
+	}
+	var raw uint64
+	if raw, rest, err = getUvarint(rest); err != nil {
+		return nil, nil, err
+	}
+	ev.Drift = unzigzagFloat(raw)
+	if ev.Assignment, _, err = getAssignmentV4(rest); err != nil {
+		return nil, nil, err
+	}
+	if ev.Epoch > 0 && ev.Assignment == nil {
+		return nil, nil, fmt.Errorf("orwlnet: remap epoch %d without an assignment", ev.Epoch)
+	}
+	return ev, nil, nil
+}
 
-func putFleetStats(dst []byte, st placement.FleetStats) []byte {
+// remapDelta is the decoded form of a schema v6 delta frame: the remap
+// header plus only what changed since the previous epoch. Applying it
+// onto the assignment of epoch Epoch-1 reconstructs the full epoch
+// Epoch assignment; it carries enough of the header (strategy, flags,
+// mode, order, aux-slice presence) that any mismatch with the cached
+// assignment is detected instead of silently mis-applied.
+type remapDelta struct {
+	Machine string
+	Epoch   uint64
+	Drift   float64
+
+	// Order is the machine-global task-space size — must equal the
+	// cached assignment's.
+	Order    int
+	Strategy string
+	Flags    byte // the asgn* bits of the new assignment
+	Mode     byte
+	// Aux records which auxiliary per-task slices the assignment
+	// carries (and hence which values each pair encodes).
+	Aux byte
+
+	// Parts lists the partition indices the reconciler re-placed
+	// (EpochReport.RemappedPartitions).
+	Parts []int
+
+	// Tasks (ascending) and the index-aligned new placements of the
+	// moved tasks. ControlPU/CoreOf are nil when Aux says the
+	// assignment does not carry them.
+	Tasks     []int
+	ComputePU []int
+	ControlPU []int
+	CoreOf    []int
+}
+
+// Aux bits.
+const (
+	deltaAuxControl = 1 << 0
+	deltaAuxCore    = 1 << 1
+)
+
+// buildRemapDelta derives the delta form of a remap event, or an error
+// when the event cannot ship as a delta: no moved-task set (catch-up,
+// initial adoption, non-adjacent epoch bookkeeping lives in the
+// pusher), an unbound or irregular assignment, or values outside the
+// wire bounds.
+func buildRemapDelta(ev *ctrlplane.Remap) (*remapDelta, error) {
+	a := ev.Assignment
+	if a == nil || a.Unbound || ev.MovedTasks == nil {
+		return nil, fmt.Errorf("orwlnet: remap is not delta-eligible")
+	}
+	order := len(a.ComputePU)
+	if order == 0 || order > maxDeltaTasks {
+		return nil, fmt.Errorf("orwlnet: delta order %d out of range", order)
+	}
+	if (len(a.ControlPU) != 0 && len(a.ControlPU) != order) ||
+		(len(a.CoreOf) != 0 && len(a.CoreOf) != order) {
+		return nil, fmt.Errorf("orwlnet: ragged assignment slices")
+	}
+	d := &remapDelta{
+		Machine:  ev.Machine,
+		Epoch:    ev.Epoch,
+		Drift:    ev.Drift,
+		Order:    order,
+		Strategy: a.Strategy,
+		Flags:    assignmentFlags(a),
+		Mode:     byte(a.Mode),
+	}
+	if len(a.ControlPU) > 0 {
+		d.Aux |= deltaAuxControl
+	}
+	if len(a.CoreOf) > 0 {
+		d.Aux |= deltaAuxCore
+	}
+	d.Parts = append([]int(nil), ev.RemappedPartitions...)
+	sort.Ints(d.Parts)
+	for _, p := range d.Parts {
+		if p < 0 || p >= order {
+			return nil, fmt.Errorf("orwlnet: partition index %d out of range", p)
+		}
+	}
+	tasks := append([]int(nil), ev.MovedTasks...)
+	sort.Ints(tasks)
+	prev := -1
+	for _, t := range tasks {
+		if t <= prev || t >= order {
+			return nil, fmt.Errorf("orwlnet: moved task %d out of range or duplicated", t)
+		}
+		prev = t
+		if pu := a.ComputePU[t]; pu < 0 || pu > maxDeltaPU {
+			return nil, fmt.Errorf("orwlnet: compute PU %d out of wire range", pu)
+		}
+		d.Tasks = append(d.Tasks, t)
+		d.ComputePU = append(d.ComputePU, a.ComputePU[t])
+		if d.Aux&deltaAuxControl != 0 {
+			if pu := a.ControlPU[t]; pu < -1 || pu > maxDeltaPU {
+				return nil, fmt.Errorf("orwlnet: control PU %d out of wire range", pu)
+			}
+			d.ControlPU = append(d.ControlPU, a.ControlPU[t])
+		}
+		if d.Aux&deltaAuxCore != 0 {
+			if c := a.CoreOf[t]; c < 0 || c > maxDeltaPU {
+				return nil, fmt.Errorf("orwlnet: core index %d out of wire range", c)
+			}
+			d.CoreOf = append(d.CoreOf, a.CoreOf[t])
+		}
+	}
+	return d, nil
+}
+
+// assignmentFlags mirrors putAssignmentV4's flag byte.
+func assignmentFlags(a *placement.Assignment) byte {
+	var flags byte
+	if a.Unbound {
+		flags |= asgnUnbound
+	}
+	if a.Oversubscribed {
+		flags |= asgnOversubscribed
+	}
+	return flags
+}
+
+// encodeRemapDelta frames a delta: version, kind, machine, epoch,
+// drift, then order, strategy, flags, mode, aux, the remapped
+// partition indices, and the moved pairs — task ids as ascending gaps,
+// compute PU as uvarint, control PU zigzagged (for the -1 "OS-managed"
+// marker), core index as uvarint.
+func encodeRemapDelta(dst []byte, d *remapDelta) ([]byte, error) {
+	dst, _, err := putWireVersion(dst, schemaDelta)
+	if err != nil {
+		return nil, err
+	}
+	dst = append(dst, remapKindDelta)
+	dst = putString(dst, d.Machine)
+	dst = putUvarint(dst, d.Epoch)
+	dst = putUvarint(dst, zigzagFloat(d.Drift))
+	dst = putUvarint(dst, uint64(d.Order))
+	dst = putString(dst, d.Strategy)
+	dst = append(dst, d.Flags, d.Mode, d.Aux)
+	dst = putUvarint(dst, uint64(len(d.Parts)))
+	for _, p := range d.Parts {
+		dst = putUvarint(dst, uint64(p))
+	}
+	dst = putUvarint(dst, uint64(len(d.Tasks)))
+	prev := -1
+	for i, t := range d.Tasks {
+		dst = putUvarint(dst, uint64(t-prev))
+		prev = t
+		dst = putUvarint(dst, uint64(d.ComputePU[i]))
+		if d.Aux&deltaAuxControl != 0 {
+			dst = putUvarint(dst, zigzag(int64(d.ControlPU[i])))
+		}
+		if d.Aux&deltaAuxCore != 0 {
+			dst = putUvarint(dst, uint64(d.CoreOf[i]))
+		}
+	}
+	return dst, nil
+}
+
+// decodeRemapDelta parses a delta body (everything after the version
+// and kind bytes). It is an untrusted decoder: every count is bounded,
+// task ids must stay ascending inside the claimed order, and PU/core
+// indices outside the wire bounds are rejected.
+func decodeRemapDelta(src []byte) (*remapDelta, error) {
+	d := &remapDelta{}
+	var err error
+	if d.Machine, src, err = getString(src); err != nil {
+		return nil, err
+	}
+	if d.Epoch, src, err = getUvarint(src); err != nil {
+		return nil, err
+	}
+	var raw uint64
+	if raw, src, err = getUvarint(src); err != nil {
+		return nil, err
+	}
+	d.Drift = unzigzagFloat(raw)
+	if d.Epoch == 0 {
+		return nil, fmt.Errorf("orwlnet: delta frame with epoch 0")
+	}
+	var u uint64
+	if u, src, err = getUvarint(src); err != nil {
+		return nil, err
+	}
+	if u == 0 || u > maxDeltaTasks {
+		return nil, fmt.Errorf("orwlnet: delta order %d out of range", u)
+	}
+	d.Order = int(u)
+	if d.Strategy, src, err = getString(src); err != nil {
+		return nil, err
+	}
+	if len(src) < 3 {
+		return nil, fmt.Errorf("orwlnet: truncated delta header")
+	}
+	d.Flags, d.Mode, d.Aux = src[0], src[1], src[2]
+	src = src[3:]
+	if d.Flags&asgnUnbound != 0 {
+		return nil, fmt.Errorf("orwlnet: delta frame for an unbound assignment")
+	}
+	if d.Aux&^(deltaAuxControl|deltaAuxCore) != 0 {
+		return nil, fmt.Errorf("orwlnet: unknown delta aux bits %#x", d.Aux)
+	}
+	if u, src, err = getUvarint(src); err != nil {
+		return nil, err
+	}
+	// Each entry costs at least one byte on the wire — the allocation
+	// guard of every count below.
+	if u > uint64(d.Order) || u > uint64(len(src)) {
+		return nil, fmt.Errorf("orwlnet: delta claims %d partitions", u)
+	}
+	if n := int(u); n > 0 {
+		d.Parts = make([]int, 0, n)
+		prev := -1
+		for i := 0; i < n; i++ {
+			if u, src, err = getUvarint(src); err != nil {
+				return nil, err
+			}
+			p := int(u)
+			if p <= prev || p >= d.Order {
+				return nil, fmt.Errorf("orwlnet: partition index %d out of order or range", p)
+			}
+			prev = p
+			d.Parts = append(d.Parts, p)
+		}
+	}
+	if u, src, err = getUvarint(src); err != nil {
+		return nil, err
+	}
+	if u > uint64(d.Order) || u > uint64(len(src)) {
+		return nil, fmt.Errorf("orwlnet: delta claims %d moved tasks", u)
+	}
+	n := int(u)
+	d.Tasks = make([]int, 0, n)
+	d.ComputePU = make([]int, 0, n)
+	if d.Aux&deltaAuxControl != 0 {
+		d.ControlPU = make([]int, 0, n)
+	}
+	if d.Aux&deltaAuxCore != 0 {
+		d.CoreOf = make([]int, 0, n)
+	}
+	prev := -1
+	for i := 0; i < n; i++ {
+		if u, src, err = getUvarint(src); err != nil {
+			return nil, err
+		}
+		if u == 0 {
+			return nil, fmt.Errorf("orwlnet: zero task-id gap")
+		}
+		t := prev + int(u)
+		if t < 0 || t >= d.Order {
+			return nil, fmt.Errorf("orwlnet: moved task %d outside order %d", t, d.Order)
+		}
+		prev = t
+		d.Tasks = append(d.Tasks, t)
+		if u, src, err = getUvarint(src); err != nil {
+			return nil, err
+		}
+		if u > maxDeltaPU {
+			return nil, fmt.Errorf("orwlnet: compute PU %d out of wire range", u)
+		}
+		d.ComputePU = append(d.ComputePU, int(u))
+		if d.Aux&deltaAuxControl != 0 {
+			if u, src, err = getUvarint(src); err != nil {
+				return nil, err
+			}
+			pu := unzigzag(u)
+			if pu < -1 || pu > maxDeltaPU {
+				return nil, fmt.Errorf("orwlnet: control PU %d out of wire range", pu)
+			}
+			d.ControlPU = append(d.ControlPU, int(pu))
+		}
+		if d.Aux&deltaAuxCore != 0 {
+			if u, src, err = getUvarint(src); err != nil {
+				return nil, err
+			}
+			if u > maxDeltaPU {
+				return nil, fmt.Errorf("orwlnet: core index %d out of wire range", u)
+			}
+			d.CoreOf = append(d.CoreOf, int(u))
+		}
+	}
+	return d, nil
+}
+
+// applyRemapDelta reconstructs the full assignment of epoch d.Epoch by
+// applying the delta onto prev, the cached assignment of the previous
+// epoch. Any structural mismatch — order, unboundness, aux-slice
+// presence — is an error; the caller treats it as decode doubt and
+// resyncs with a full frame. prev is not mutated.
+func applyRemapDelta(prev *placement.Assignment, d *remapDelta) (*placement.Assignment, error) {
+	if prev == nil || prev.Unbound {
+		return nil, fmt.Errorf("orwlnet: no cached assignment to apply a delta onto")
+	}
+	if len(prev.ComputePU) != d.Order {
+		return nil, fmt.Errorf("orwlnet: delta order %d does not match cached assignment order %d", d.Order, len(prev.ComputePU))
+	}
+	if (d.Aux&deltaAuxControl != 0) != (len(prev.ControlPU) == d.Order) {
+		return nil, fmt.Errorf("orwlnet: delta control-PU presence does not match cached assignment")
+	}
+	if (d.Aux&deltaAuxCore != 0) != (len(prev.CoreOf) == d.Order) {
+		return nil, fmt.Errorf("orwlnet: delta core presence does not match cached assignment")
+	}
+	a := prev.Clone()
+	a.Strategy = d.Strategy
+	a.Unbound = d.Flags&asgnUnbound != 0
+	a.Oversubscribed = d.Flags&asgnOversubscribed != 0
+	a.Mode = treematch.ControlMode(d.Mode)
+	for i, t := range d.Tasks {
+		a.ComputePU[t] = d.ComputePU[i]
+		if d.ControlPU != nil {
+			a.ControlPU[t] = d.ControlPU[i]
+		}
+		if d.CoreOf != nil {
+			a.CoreOf[t] = d.CoreOf[i]
+		}
+	}
+	return a, nil
+}
+
+// remap converts the delta plus its reconstructed assignment into the
+// event delivered to watchers: a full Remap that also knows which
+// tasks moved, so the facade can re-bind in O(changed).
+func (d *remapDelta) remap(a *placement.Assignment) *ctrlplane.Remap {
+	return &ctrlplane.Remap{
+		Machine:            d.Machine,
+		Epoch:              d.Epoch,
+		Drift:              d.Drift,
+		Assignment:         a,
+		MovedTasks:         append([]int(nil), d.Tasks...),
+		RemappedPartitions: append([]int(nil), d.Parts...),
+		Delta:              true,
+	}
+}
+
+// FleetStats codec (schema v5/v6 stats payload tail).
+
+func putFleetStats(dst []byte, st placement.FleetStats, schema int) []byte {
 	dst = putUint64(dst, st.ReportsReceived)
 	dst = putUint64(dst, st.PeersTracked)
 	dst = putUint64(dst, st.RemapsPushed)
 	dst = putUint64(dst, st.StalePeersEvicted)
 	dst = putUint64(dst, st.Watchers)
 	dst = putUint64(dst, st.ReportsThrottled)
-	return putUint64(dst, st.LeaseConflicts)
+	dst = putUint64(dst, st.LeaseConflicts)
+	if schema >= schemaDelta {
+		dst = putUint64(dst, st.DeltaPushes)
+		dst = putUint64(dst, st.FullPushes)
+	}
+	return dst
 }
 
 func getFleetStats(src []byte) (placement.FleetStats, []byte, error) {
@@ -231,6 +671,17 @@ func getFleetStats(src []byte) (placement.FleetStats, []byte, error) {
 		return st, nil, err
 	}
 	if st.LeaseConflicts, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	// The delta/full push counters (schema v6) trail those; a v5
+	// daemon's payload ends here.
+	if len(src) == 0 {
+		return st, src, nil
+	}
+	if st.DeltaPushes, src, err = getUint64(src); err != nil {
+		return st, nil, err
+	}
+	if st.FullPushes, src, err = getUint64(src); err != nil {
 		return st, nil, err
 	}
 	return st, src, nil

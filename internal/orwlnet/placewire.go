@@ -646,7 +646,7 @@ func encodeServiceStats(dst []byte, st placement.ServiceStats, version int) ([]b
 		dst = putNetStats(dst, st.Net)
 	}
 	if v >= 5 {
-		dst = putFleetStats(dst, st.Fleet)
+		dst = putFleetStats(dst, st.Fleet, v)
 	}
 	return dst, nil
 }

@@ -101,8 +101,18 @@ const (
 	// responses are byte-identical to v4; the stats payload gains the
 	// control-plane counters.
 	protoFleet = 5
+	// protoDelta is the partition-delta push protocol (schema v6): a
+	// remap pushed to a subscriber that is exactly one epoch behind may
+	// cross as a delta frame — the epoch, the remapped partition
+	// indices, and varint-packed (task, PU) pairs for the moved tasks
+	// only — with the encoder measuring delta against the full body and
+	// shipping whichever is smaller (the same choice rule as the v4
+	// sparse/dense matrix encoding). Catch-up acks, epoch gaps and
+	// coalesced pushes to slow subscribers always fall back to the full
+	// frame, so the subscription semantics are unchanged from v5.
+	protoDelta = 6
 	// protoMax is the highest version this build speaks.
-	protoMax = protoFleet
+	protoMax = protoDelta
 )
 
 // Exported protocol version aliases for out-of-package dial knobs
@@ -117,6 +127,10 @@ const (
 	// reports, remap subscriptions). Cross-version tests pin clients to
 	// ProtoPipeline to prove the v4 placement path is untouched.
 	ProtoFleet = protoFleet
+	// ProtoDelta is the partition-delta remap push version. Cross-
+	// version tests pin clients to ProtoFleet to prove a v5 subscriber
+	// keeps receiving full frames from a v6 server.
+	ProtoDelta = protoDelta
 )
 
 // schemaForProto maps a negotiated protocol version to the highest
@@ -125,6 +139,8 @@ const (
 // schema 3), with proto 1 pinned to the original schema 1 payloads.
 func schemaForProto(proto int) int {
 	switch {
+	case proto >= protoDelta:
+		return 6
 	case proto >= protoFleet:
 		return 5
 	case proto >= protoPipeline:

@@ -7,6 +7,7 @@ import (
 
 	"orwlplace/internal/comm"
 	"orwlplace/internal/ctrlplane"
+	"orwlplace/internal/placement"
 )
 
 // Client-side face of the fleet control plane (schema v5): lease
@@ -47,7 +48,7 @@ func (s *RemoteService) RegisterLeaseToken(ctx context.Context, machine, peer st
 		if err != nil {
 			return err
 		}
-		payload, err := encodeFleetLeaseRequest(nil, machine, peer, base, count, token)
+		payload, err := encodeFleetLeaseRequest(nil, schemaForProto(c.version), machine, peer, base, count, token)
 		if err != nil {
 			return err
 		}
@@ -73,7 +74,7 @@ func (s *RemoteService) ReportObserved(ctx context.Context, leaseID, seq uint64,
 			return err
 		}
 		buf := getPayloadBuf()
-		payload, err := encodeObservedReport(buf, leaseID, seq, delta)
+		payload, err := encodeObservedReport(buf, schemaForProto(c.version), leaseID, seq, delta)
 		if err != nil {
 			putPayloadBuf(buf)
 			return err
@@ -125,19 +126,25 @@ func (s *RemoteService) WatchRemaps(ctx context.Context, machine string) (<-chan
 	}
 	out := make(chan Remap, 8)
 	var last uint64
+	var cur *placement.Assignment
 	if ack != nil && ack.Epoch > 0 {
 		last = ack.Epoch
+		cur = ack.Assignment
 		out <- *ack
 	}
-	go s.watchLoop(ctx, machine, out, c, id, ch, last)
+	go s.watchLoop(ctx, machine, out, c, id, ch, last, cur)
 	return out, nil
 }
 
 // subscribeRemaps opens the subscription stream and waits for the
 // server's ack: the latest adopted remap newer than sinceEpoch, or an
-// empty frame (epoch 0) when there is nothing to catch up on.
+// empty frame (epoch 0) when there is nothing to catch up on. The ack
+// is always a full frame, but the pusher may race an adoption's
+// unsolicited frame ahead of it on the wire — a delta frame arriving
+// here is skipped (the full ack the server already queued makes it
+// redundant: both describe epochs the ack's snapshot covers).
 func (s *RemoteService) subscribeRemaps(ctx context.Context, c *Client, machine string, sinceEpoch uint64) (uint64, <-chan message, *Remap, error) {
-	payload, err := encodeWatchRequest(nil, machine, sinceEpoch)
+	payload, err := encodeWatchRequest(nil, schemaForProto(c.version), machine, sinceEpoch)
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -145,35 +152,71 @@ func (s *RemoteService) subscribeRemaps(ctx context.Context, c *Client, machine 
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	select {
-	case msg, ok := <-ch:
-		if !ok {
-			return 0, nil, nil, fmt.Errorf("orwlnet: connection lost before watch ack")
-		}
-		if msg.op == statusError {
+	for {
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				return 0, nil, nil, fmt.Errorf("orwlnet: connection lost before watch ack")
+			}
+			if msg.op == statusError {
+				c.closeStream(id)
+				return 0, nil, nil, fmt.Errorf("orwlnet: server: %s", string(msg.payload))
+			}
+			ev, d, err := decodeRemapFrameAny(msg.payload)
+			if err != nil {
+				c.closeStream(id)
+				return 0, nil, nil, err
+			}
+			if d != nil {
+				continue // a pushed delta overtook the ack; wait for the full frame
+			}
+			if ev.Epoch == 0 {
+				ev = nil // nothing adopted yet
+			}
+			return id, ch, ev, nil
+		case <-ctx.Done():
 			c.closeStream(id)
-			return 0, nil, nil, fmt.Errorf("orwlnet: server: %s", string(msg.payload))
+			return 0, nil, nil, ctx.Err()
 		}
-		ev, err := decodeRemapFrame(msg.payload)
-		if err != nil {
-			c.closeStream(id)
-			return 0, nil, nil, err
-		}
-		if ev.Epoch == 0 {
-			ev = nil // nothing adopted yet
-		}
-		return id, ch, ev, nil
-	case <-ctx.Done():
-		c.closeStream(id)
-		return 0, nil, nil, ctx.Err()
 	}
 }
 
 // watchLoop forwards pushed remap frames, dropping stale epochs, and
-// resubscribes on a new connection when the current one dies.
-func (s *RemoteService) watchLoop(ctx context.Context, machine string, out chan<- Remap, c *Client, id uint64, ch <-chan message, last uint64) {
+// resubscribes on a new connection when the current one dies. It keeps
+// the last delivered full assignment cached (cur) so a schema v6 delta
+// frame — the moved tasks of epoch last+1 — reconstructs the complete
+// mapping locally. Any doubt about a delta (an epoch gap from a frame
+// this client never saw, a decode error, a structural mismatch with
+// the cache) tears the stream down and resubscribes with the last
+// applied epoch: the server's ack is then a full-frame resync, so a
+// dropped or garbled delta always converges to the same assignment the
+// full-frame path would have delivered.
+func (s *RemoteService) watchLoop(ctx context.Context, machine string, out chan<- Remap, c *Client, id uint64, ch <-chan message, last uint64, cur *placement.Assignment) {
 	defer close(out)
 	redialed := false
+	// resync abandons the current stream and resubscribes with the last
+	// applied epoch — shared by connection loss, gap recovery and decode
+	// doubt. It reports whether the loop can continue.
+	resync := func() bool {
+		c.closeStream(id)
+		if redialed {
+			c.Close()
+		}
+		nc, nid, nch, ack, err := s.resubscribe(ctx, machine, last)
+		if err != nil {
+			return false
+		}
+		c, id, ch, redialed = nc, nid, nch, true
+		if ack != nil && ack.Epoch > last {
+			last = ack.Epoch
+			cur = ack.Assignment
+			select {
+			case out <- *ack:
+			case <-ctx.Done():
+			}
+		}
+		return true
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -186,20 +229,8 @@ func (s *RemoteService) watchLoop(ctx context.Context, machine string, out chan<
 			if !ok {
 				// Connection lost. Resubscribe with the last applied epoch:
 				// the ack then delivers anything adopted during the outage.
-				if redialed {
-					c.Close()
-				}
-				nc, nid, nch, ack, err := s.resubscribe(ctx, machine, last)
-				if err != nil {
+				if !resync() {
 					return
-				}
-				c, id, ch, redialed = nc, nid, nch, true
-				if ack != nil && ack.Epoch > last {
-					last = ack.Epoch
-					select {
-					case out <- *ack:
-					case <-ctx.Done():
-					}
 				}
 				continue
 			}
@@ -213,11 +244,48 @@ func (s *RemoteService) watchLoop(ctx context.Context, machine string, out chan<
 				}
 				return
 			}
-			ev, err := decodeRemapFrame(msg.payload)
-			if err != nil || ev.Epoch <= last {
-				continue // undecodable or stale: dedup absorbs replays
+			ev, d, err := decodeRemapFrameAny(msg.payload)
+			if err != nil {
+				// Undecodable push: the stream may be carrying frames this
+				// build cannot parse — resubscribe for a clean full frame.
+				if !resync() {
+					return
+				}
+				continue
+			}
+			if d != nil {
+				if d.Epoch <= last {
+					continue // stale replay: dedup absorbs it
+				}
+				if d.Epoch != last+1 || cur == nil {
+					// A delta for an epoch we cannot build on (the frame in
+					// between never arrived, or we hold no full assignment):
+					// full-frame resync.
+					if !resync() {
+						return
+					}
+					continue
+				}
+				a, err := applyRemapDelta(cur, d)
+				if err != nil {
+					if !resync() {
+						return
+					}
+					continue
+				}
+				cur = a
+				last = d.Epoch
+				select {
+				case out <- *d.remap(a):
+				case <-ctx.Done():
+				}
+				continue
+			}
+			if ev.Epoch <= last {
+				continue // stale: dedup absorbs replays
 			}
 			last = ev.Epoch
+			cur = ev.Assignment
 			select {
 			case out <- *ev:
 			case <-ctx.Done():

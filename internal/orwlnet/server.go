@@ -62,12 +62,24 @@ type Server struct {
 	// and parking it behind a full semaphore would deadlock the FIFO.
 	placeSem chan struct{}
 
+	// maxProto is the highest protocol version this server offers in
+	// the opHello handshake. It is protoMax in production; cross-version
+	// tests lower it to impersonate an older daemon build.
+	maxProto int
+
 	// Transport counters surfaced as placement.NetStats on schema v4
 	// stats payloads.
 	bytesIn       atomic.Uint64
 	bytesOut      atomic.Uint64
 	placeInFlight atomic.Int64
 	peakInFlight  atomic.Uint64
+
+	// Remap push counters surfaced as FleetStats.DeltaPushes /
+	// FullPushes on schema v6 stats payloads. They live on the server,
+	// not the controller: the delta-vs-full choice is a wire concern the
+	// transport-agnostic control plane never sees.
+	deltaPushes atomic.Uint64
+	fullPushes  atomic.Uint64
 
 	mu       sync.Mutex
 	closed   bool
@@ -150,6 +162,7 @@ func NewServer(lis net.Listener, locs map[string]*orwl.Location, opts ...ServerO
 		conns:    make(map[net.Conn]struct{}),
 		matrices: newMatrixCache(defaultMatrixCacheEntries),
 		placeSem: make(chan struct{}, placeDispatchParallelism),
+		maxProto: protoMax,
 	}
 	for _, o := range opts {
 		o(s)
@@ -440,38 +453,18 @@ func (s *Server) handle(st *connState, m message) ([]byte, bool, error) {
 		}
 		return payload, true, nil
 	case opPlaceStats:
-		svc, err := s.placementFor(st)
-		if err != nil {
+		if _, err := s.placementFor(st); err != nil {
 			return nil, false, err
 		}
-		stats, err := svc.Stats(s.ctx)
+		stats, err := s.ServiceStats(s.ctx)
 		if err != nil {
 			return nil, false, err
 		}
 		// The stats op carries no request schema version, so the
 		// connection's negotiated protocol decides the payload shape:
 		// pre-fleet clients get the v1 encoding, pre-adaptive fleet
-		// clients the v2 one.
+		// clients the v2 one (the later tails simply go unencoded).
 		schema := schemaForProto(s.connVersion(st))
-		if schema >= 4 {
-			// The serving daemon owns the transport, so it (not the
-			// placement service) fills in the NetStats tail.
-			stats.Net = placement.NetStats{
-				InFlight:           uint64(s.placeInFlight.Load()),
-				PeakInFlight:       s.peakInFlight.Load(),
-				BytesIn:            s.bytesIn.Load(),
-				BytesOut:           s.bytesOut.Load(),
-				SparseMatrices:     s.matrices.sparseSeen.Load(),
-				FingerprintHits:    s.matrices.fpHits.Load(),
-				FingerprintMisses:  s.matrices.fpMisses.Load(),
-				MatrixCacheEntries: s.matrices.len(),
-			}
-		}
-		if schema >= 5 && s.ctrl != nil {
-			// Same split as NetStats: the daemon hosts the control plane,
-			// so it fills the fleet tail the placement service cannot see.
-			stats.Fleet = s.ctrl.Stats()
-		}
 		buf := getPayloadBuf()
 		payload, err := encodeServiceStats(buf, stats, schema)
 		if err != nil {
@@ -638,12 +631,12 @@ func (s *Server) handleLocation(st *connState, m message) ([]byte, error) {
 			return nil, fmt.Errorf("orwlnet: malformed hello")
 		}
 		min, max := int(m.payload[0]), int(m.payload[1])
-		chosen := protoMax
+		chosen := s.maxProto
 		if max < chosen {
 			chosen = max
 		}
 		if chosen < min {
-			return nil, fmt.Errorf("orwlnet: no common protocol version (client %d-%d, server <= %d)", min, max, protoMax)
+			return nil, fmt.Errorf("orwlnet: no common protocol version (client %d-%d, server <= %d)", min, max, s.maxProto)
 		}
 		st.mu.Lock()
 		st.version = chosen
@@ -662,6 +655,43 @@ func (s *Server) handleLocation(st *connState, m message) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("orwlnet: %s %d", errUnknownOp, m.op)
 	}
+}
+
+// ServiceStats snapshots the full service description the daemon
+// serves to opPlaceStats callers (and to the -stats-addr HTTP
+// endpoint): the placement service's own counters plus the transport
+// (NetStats) and control-plane (FleetStats) tails only the daemon can
+// see. It requires a placement service.
+func (s *Server) ServiceStats(ctx context.Context) (placement.ServiceStats, error) {
+	if s.place == nil {
+		return placement.ServiceStats{}, fmt.Errorf("orwlnet: server exports no placement service")
+	}
+	stats, err := s.place.Stats(ctx)
+	if err != nil {
+		return placement.ServiceStats{}, err
+	}
+	// The serving daemon owns the transport, so it (not the placement
+	// service) fills in the NetStats tail.
+	stats.Net = placement.NetStats{
+		InFlight:           uint64(s.placeInFlight.Load()),
+		PeakInFlight:       s.peakInFlight.Load(),
+		BytesIn:            s.bytesIn.Load(),
+		BytesOut:           s.bytesOut.Load(),
+		SparseMatrices:     s.matrices.sparseSeen.Load(),
+		FingerprintHits:    s.matrices.fpHits.Load(),
+		FingerprintMisses:  s.matrices.fpMisses.Load(),
+		MatrixCacheEntries: s.matrices.len(),
+	}
+	if s.ctrl != nil {
+		// Same split as NetStats: the daemon hosts the control plane, so
+		// it fills the fleet tail the placement service cannot see — and
+		// the push-encoding counters, which live on the server because
+		// the delta-vs-full choice is made at the wire.
+		stats.Fleet = s.ctrl.Stats()
+		stats.Fleet.DeltaPushes = s.deltaPushes.Load()
+		stats.Fleet.FullPushes = s.fullPushes.Load()
+	}
+	return stats, nil
 }
 
 // handleWatch turns the connection into a remap subscription: the
@@ -684,12 +714,29 @@ func (s *Server) handleWatch(st *connState, m message) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	// The ack and every pushed frame speak the connection's negotiated
+	// schema: a protoDelta subscriber gets kind-byte v6 frames, an older
+	// one the v5 layout.
+	schema := schemaForProto(s.connVersion(st))
 	buf := getPayloadBuf()
-	payload, err := encodeRemapFrame(buf, catchUp)
+	var payload []byte
+	if schema >= schemaDelta {
+		payload, _, err = encodeRemapFrameV6(buf, catchUp, false)
+	} else {
+		payload, err = encodeRemapFrame(buf, catchUp)
+	}
 	if err != nil {
 		putPayloadBuf(buf)
 		ctrl.Unsubscribe(subID)
 		return nil, false, err
+	}
+	// The catch-up ack is the subscriber's baseline: it now holds
+	// exactly catchUp.Epoch (or its own since-epoch when nothing newer
+	// existed), which is what the pusher's delta eligibility builds on.
+	lastDelivered := since
+	if catchUp != nil {
+		lastDelivered = catchUp.Epoch
+		s.fullPushes.Add(1)
 	}
 	st.mu.Lock()
 	if st.subs == nil {
@@ -699,7 +746,7 @@ func (s *Server) handleWatch(st *connState, m message) ([]byte, bool, error) {
 	st.mu.Unlock()
 	st.inflight.Add(1)
 	s.wg.Add(1)
-	go s.watchPusher(st, m.callID, subID, events)
+	go s.watchPusher(st, m.callID, subID, schema, lastDelivered, events)
 	return payload, true, nil
 }
 
@@ -707,12 +754,27 @@ func (s *Server) handleWatch(st *connState, m message) ([]byte, bool, error) {
 // exits when the subscription's event channel closes — on connection
 // death (serveConn's deferred unsubscribe) or an Unsubscribe after a
 // failed write.
-func (s *Server) watchPusher(st *connState, callID, subID uint64, events <-chan ctrlplane.Remap) {
+//
+// lastDelivered tracks the newest epoch the subscriber is known to
+// hold (seeded by the catch-up ack) — the state behind the delta
+// eligibility rule: a schema v6 subscriber that is exactly one epoch
+// behind an event that knows its moved tasks may receive the delta
+// form; any gap (a coalesced latest-wins push, a missed write) falls
+// back to the full frame, so the subscriber can always reconstruct.
+func (s *Server) watchPusher(st *connState, callID, subID uint64, schema int, lastDelivered uint64, events <-chan ctrlplane.Remap) {
 	defer s.wg.Done()
 	defer st.inflight.Add(-1)
 	for ev := range events {
+		allowDelta := schema >= schemaDelta && ev.Epoch == lastDelivered+1 && ev.MovedTasks != nil
 		buf := getPayloadBuf()
-		payload, err := encodeRemapFrame(buf, &ev)
+		var payload []byte
+		var isDelta bool
+		var err error
+		if schema >= schemaDelta {
+			payload, isDelta, err = encodeRemapFrameV6(buf, &ev, allowDelta)
+		} else {
+			payload, err = encodeRemapFrame(buf, &ev)
+		}
 		if err != nil {
 			putPayloadBuf(buf)
 			continue
@@ -727,6 +789,13 @@ func (s *Server) watchPusher(st *connState, callID, subID uint64, events <-chan 
 			// flow at the source; the range drains the closing channel.
 			st.conn.Close()
 			s.ctrl.Unsubscribe(subID)
+			continue
+		}
+		lastDelivered = ev.Epoch
+		if isDelta {
+			s.deltaPushes.Add(1)
+		} else {
+			s.fullPushes.Add(1)
 		}
 	}
 }

@@ -290,6 +290,13 @@ type EpochReport struct {
 	Held bool
 	// Adopted is true when the candidate was bound.
 	Adopted bool
+	// MovedTasks lists, ascending, the tasks whose placement (compute
+	// PU, control PU or core) changed in an adopted remap — the set a
+	// delta push ships and an O(changed) re-bind touches. It is nil
+	// (unknown, distinct from empty) when the epoch adopted nothing or
+	// when the old and new assignments are not comparable slot for slot
+	// (unbound, or differently shaped).
+	MovedTasks []int
 	// GainSeconds is the modeled time saved over the horizon by the
 	// candidate (meaningful when Recomputed).
 	GainSeconds float64
@@ -628,6 +635,7 @@ func (r *Reconciler) Epoch() (*EpochReport, error) {
 		}
 	}
 	rep.Adopted = true
+	rep.MovedTasks = movedTasks(cur, candidate)
 	r.mu.Lock()
 	r.cur = candidate
 	r.base = window.CloneAffinity()
@@ -771,6 +779,33 @@ func (r *Reconciler) modelWorkload(window *comm.Matrix) *perfsim.Workload {
 	w.Comm = perIter
 	w.Iterations = r.cfg.Horizon
 	return &w
+}
+
+// movedTasks diffs two assignments slot for slot and returns the
+// ascending task indices whose compute PU, control PU or core changed —
+// the set a partition-scoped remap actually moved. It returns nil
+// (unknown) rather than a possibly-wrong set when the two are not
+// comparable: either side nil or unbound, different orders, or
+// auxiliary slices present on one side only.
+func movedTasks(old, new_ *Assignment) []int {
+	if old == nil || new_ == nil || old.Unbound || new_.Unbound {
+		return nil
+	}
+	n := len(old.ComputePU)
+	if n == 0 || len(new_.ComputePU) != n ||
+		len(old.ControlPU) != len(new_.ControlPU) ||
+		len(old.CoreOf) != len(new_.CoreOf) {
+		return nil
+	}
+	moved := []int{}
+	for t := 0; t < n; t++ {
+		if old.ComputePU[t] != new_.ComputePU[t] ||
+			(len(old.ControlPU) > 0 && old.ControlPU[t] != new_.ControlPU[t]) ||
+			(len(old.CoreOf) > 0 && old.CoreOf[t] != new_.CoreOf[t]) {
+			moved = append(moved, t)
+		}
+	}
+	return moved
 }
 
 // Run drives Epoch on a ticker until the context is cancelled,

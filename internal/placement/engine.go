@@ -329,6 +329,35 @@ func Bind(prog *orwl.Program, a *Assignment) error {
 	return nil
 }
 
+// BindTasks commits only the named tasks of an assignment to a program
+// — the O(changed) re-bind behind a delta remap: when the control plane
+// says which tasks moved, the other bindings are already in force and
+// re-pinning them would only churn the scheduler. Task indices outside
+// the assignment are an error (the moved set and the assignment must
+// describe the same task space). Unbound assignments are a no-op, as in
+// Bind.
+func BindTasks(prog *orwl.Program, a *Assignment, tasks []int) error {
+	if prog == nil {
+		return fmt.Errorf("placement: bind to nil program")
+	}
+	if a == nil {
+		return fmt.Errorf("placement: bind nil assignment")
+	}
+	if a.Unbound {
+		return nil
+	}
+	for _, t := range tasks {
+		if t < 0 || t >= len(a.ComputePU) {
+			return fmt.Errorf("placement: bind task %d outside assignment of %d tasks", t, len(a.ComputePU))
+		}
+		prog.SetBinding(t, a.ComputePU[t])
+		if t < len(a.ControlPU) && a.ControlPU[t] >= 0 {
+			prog.SetControlBinding(t, a.ControlPU[t])
+		}
+	}
+	return nil
+}
+
 // PlaceProgram runs the full pipeline on a scheduled program: extract
 // the declared matrix, compute the named strategy's assignment, commit
 // it. Nil or handle-less programs return a descriptive error.

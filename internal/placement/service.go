@@ -41,7 +41,13 @@ import (
 //	    requests and responses are byte-identical to v4 — the new
 //	    traffic (leases, observed reports, remap subscriptions) rides
 //	    on its own opcodes, not on the placement payloads.
-const ServiceVersion = 5
+//	6 — partition-delta remap push: a remap pushed to a subscriber
+//	    that is exactly one epoch behind may cross as a delta frame
+//	    (remapped partitions + moved-task pairs only), with a
+//	    measured fallback to the full frame; ServiceStats gains the
+//	    delta/full push counters. Placement requests and responses
+//	    are byte-identical to v5.
+const ServiceVersion = 6
 
 // PlaceRequest asks a placement service for an assignment. It is the
 // transport-agnostic unit: the in-process service consumes it
@@ -174,6 +180,15 @@ type FleetStats struct {
 	// LeaseConflicts counts lease registrations refused because the
 	// (machine, peer) name was held under a different ownership token.
 	LeaseConflicts uint64
+	// DeltaPushes counts remap frames shipped to subscribers in the
+	// schema v6 delta encoding (moved tasks only); FullPushes counts
+	// the frames that carried the whole assignment — catch-up acks,
+	// pre-v6 subscribers, epoch gaps, and remaps whose delta body
+	// measured larger than the full one. DeltaPushes+FullPushes is the
+	// number of remap frames actually written, which can trail
+	// RemapsPushed when slow subscribers coalesce events.
+	DeltaPushes uint64
+	FullPushes  uint64
 }
 
 // merge accumulates other into st (fleet aggregation): totals sum,
@@ -187,6 +202,8 @@ func (st *FleetStats) merge(other FleetStats) {
 	st.Watchers += other.Watchers
 	st.ReportsThrottled += other.ReportsThrottled
 	st.LeaseConflicts += other.LeaseConflicts
+	st.DeltaPushes += other.DeltaPushes
+	st.FullPushes += other.FullPushes
 }
 
 // NetStats counts a placement daemon's transport-layer traffic — the

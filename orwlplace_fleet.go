@@ -76,6 +76,8 @@ type FleetAdaptive struct {
 	remapped uint64
 	dropped  uint64 // windows lost to retransmit-queue overflow
 	releases uint64 // lease re-registrations after the daemon lost it
+	sparse   uint64 // remaps applied via the O(changed) sparse re-bind
+	rebound  uint64 // individual task bindings committed across all remaps
 
 	// dropWarned gates the overflow log line: one line per overflow
 	// episode, reset when the queue drains, so a prolonged outage does
@@ -225,12 +227,20 @@ func (f *FleetAdaptive) Report(ctx context.Context) error {
 // ApplyRemap commits the lease's slice of a machine-global remap to
 // the program: fleet task TaskBase+i binds local task i. Stale epochs
 // (already applied) return false without touching the binding.
+//
+// When the event names its moved tasks (a delta push, or a full frame
+// whose controller computed the diff) and this loop holds the directly
+// preceding epoch, only the moved tasks inside the lease are re-bound
+// — O(changed) instead of O(lease). Any gap, and on the first ever
+// remap, the whole slice is bound: bindings this process never applied
+// may differ from what the moved-set was diffed against.
 func (f *FleetAdaptive) ApplyRemap(ev Remap) (bool, error) {
 	if ev.Assignment == nil {
 		return false, nil
 	}
 	f.mu.Lock()
-	if ev.Epoch <= f.applied {
+	applied := f.applied
+	if ev.Epoch <= applied {
 		f.mu.Unlock()
 		return false, nil
 	}
@@ -246,14 +256,38 @@ func (f *FleetAdaptive) ApplyRemap(ev Remap) (bool, error) {
 	if len(ev.Assignment.ControlPU) >= f.cfg.TaskBase+f.count {
 		local.ControlPU = ev.Assignment.ControlPU[f.cfg.TaskBase : f.cfg.TaskBase+f.count]
 	}
-	if err := placement.Bind(f.prog, local); err != nil {
-		return false, err
+	var bound uint64
+	sparseOK := ev.MovedTasks != nil && applied > 0 && ev.Epoch == applied+1 &&
+		!ev.Assignment.Unbound
+	if sparseOK {
+		// Project the machine-global moved set onto the lease's range.
+		var localTasks []int
+		for _, t := range ev.MovedTasks {
+			if t >= f.cfg.TaskBase && t < f.cfg.TaskBase+f.count {
+				localTasks = append(localTasks, t-f.cfg.TaskBase)
+			}
+		}
+		if err := placement.BindTasks(f.prog, local, localTasks); err != nil {
+			return false, err
+		}
+		bound = uint64(len(localTasks))
+	} else {
+		if err := placement.Bind(f.prog, local); err != nil {
+			return false, err
+		}
+		if !ev.Assignment.Unbound {
+			bound = uint64(f.count)
+		}
 	}
 	f.mu.Lock()
 	if ev.Epoch > f.applied {
 		f.applied = ev.Epoch
 	}
 	f.remapped++
+	if sparseOK {
+		f.sparse++
+	}
+	f.rebound += bound
 	f.mu.Unlock()
 	return true, nil
 }
@@ -289,6 +323,13 @@ type FleetAdaptiveStats struct {
 	Releases uint64
 	// AppliedEpoch is the epoch of the last remap committed.
 	AppliedEpoch uint64
+	// DeltaRemaps counts remaps applied through the O(changed) sparse
+	// re-bind (the event named its moved tasks and this loop held the
+	// preceding epoch); Remaps - DeltaRemaps were full re-binds.
+	DeltaRemaps uint64
+	// TasksRebound counts individual task bindings committed across all
+	// applied remaps — the work the sparse path saves.
+	TasksRebound uint64
 }
 
 // Stats returns the loop's client-side health counters.
@@ -301,6 +342,8 @@ func (f *FleetAdaptive) Stats() FleetAdaptiveStats {
 		DroppedWindows: f.dropped,
 		Releases:       f.releases,
 		AppliedEpoch:   f.applied,
+		DeltaRemaps:    f.sparse,
+		TasksRebound:   f.rebound,
 	}
 }
 
